@@ -1,0 +1,21 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunShortSession(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	if err := run(600*time.Millisecond, 300_000, 6, 32, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadCoding(t *testing.T) {
+	if err := run(100*time.Millisecond, 1000, 0, 0, 1); err == nil {
+		t.Fatal("invalid generation size must fail")
+	}
+}

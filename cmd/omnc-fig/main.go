@@ -1,0 +1,290 @@
+// Command omnc-fig regenerates the tables and figures of the paper's
+// evaluation (Sec. 5). Each figure prints its series as an ASCII CDF plot
+// plus the summary statistics the paper quotes, and can optionally be
+// written as CSV for external plotting.
+//
+// Usage:
+//
+//	omnc-fig -fig 1        # convergence of the distributed rate control
+//	omnc-fig -fig 2l       # CDF of throughput gains, lossy network
+//	omnc-fig -fig 2r       # CDF of throughput gains, high link quality
+//	omnc-fig -fig 3        # CDF of time-averaged queue sizes
+//	omnc-fig -fig 4        # CDFs of node and path utility ratios
+//	omnc-fig -fig lpgap    # emulated vs optimized throughput (Sec. 5)
+//	omnc-fig -fig drift    # extension: throughput under link-quality drift
+//	omnc-fig -fig all      # everything (except drift)
+//
+// The default scale is laptop-sized (30 sessions, 200 emulated seconds,
+// payload-rank fidelity); -full selects the paper's full scale (300
+// sessions of 800 s with 1 KB blocks — hours of CPU time).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"omnc/internal/experiments"
+	"omnc/internal/metrics"
+	"omnc/internal/sim"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "figure to regenerate: 1, 2l, 2r, 3, 4, lpgap, all")
+		full     = flag.Bool("full", false, "paper scale (300 sessions x 800 s, 1 KB blocks)")
+		sessions = flag.Int("sessions", 0, "override session count")
+		duration = flag.Float64("duration", 0, "override emulated seconds per session")
+		seed     = flag.Int64("seed", 1, "experiment seed")
+		mac      = flag.String("mac", "oracle", "channel model: oracle or csma")
+		csvDir   = flag.String("csv", "", "directory to write CSV series into")
+	)
+	flag.Parse()
+	if err := run(*fig, *full, *sessions, *duration, *seed, *mac, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "omnc-fig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, full bool, sessions int, duration float64, seed int64, mac, csvDir string) error {
+	cfg := experiments.QuickConfig(seed)
+	if full {
+		cfg = experiments.PaperConfig(seed)
+	}
+	if sessions > 0 {
+		cfg.Sessions = sessions
+	}
+	if duration > 0 {
+		cfg.Duration = duration
+	}
+	switch mac {
+	case "oracle", "":
+		cfg.MAC = sim.ModeOracle
+	case "csma":
+		cfg.MAC = sim.ModeCSMA
+	default:
+		return fmt.Errorf("unknown -mac %q (want oracle or csma)", mac)
+	}
+
+	switch fig {
+	case "1":
+		return fig1(csvDir)
+	case "2l":
+		return comparisonFigs(cfg, csvDir, "2l")
+	case "2r":
+		cfg.MeanQuality = 0.91
+		return comparisonFigs(cfg, csvDir, "2r")
+	case "3":
+		return comparisonFigs(cfg, csvDir, "3")
+	case "4":
+		return comparisonFigs(cfg, csvDir, "4")
+	case "lpgap":
+		cfg.SolveLPGap = true
+		return comparisonFigs(cfg, csvDir, "lpgap")
+	case "drift":
+		return driftFig(cfg)
+	case "all":
+		if err := fig1(csvDir); err != nil {
+			return err
+		}
+		cfg.SolveLPGap = true
+		if err := comparisonFigs(cfg, csvDir, "2l", "3", "4", "lpgap"); err != nil {
+			return err
+		}
+		hq := cfg
+		hq.MeanQuality = 0.91
+		hq.SolveLPGap = false
+		return comparisonFigs(hq, csvDir, "2r")
+	default:
+		return fmt.Errorf("unknown -fig %q", fig)
+	}
+}
+
+func fig1(csvDir string) error {
+	res, err := experiments.Fig1Convergence(experiments.Fig1Config{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure 1: convergence of the distributed rate-control algorithm\n")
+	fmt.Printf("(capacity 1e5 B/s; converged=%v after %d iterations; gamma=%.0f B/s)\n\n",
+		res.Converged, res.Iterations, res.Gamma)
+	// Print the trace as a table every few iterations.
+	fmt.Printf("%-6s", "iter")
+	for _, id := range res.Nodes {
+		fmt.Printf("  node%-3d", id)
+	}
+	fmt.Println()
+	step := res.Iterations / 12
+	if step < 1 {
+		step = 1
+	}
+	for t := 0; t < res.Iterations; t += step {
+		fmt.Printf("%-6d", t+1)
+		for i := range res.Nodes {
+			fmt.Printf("  %-7.0f", res.Series[i][t])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	if csvDir == "" {
+		return nil
+	}
+	rows := [][]string{headerRow(res.Nodes)}
+	for t := 0; t < res.Iterations; t++ {
+		row := []string{strconv.Itoa(t + 1)}
+		for i := range res.Nodes {
+			row = append(row, fmt.Sprintf("%.2f", res.Series[i][t]))
+		}
+		rows = append(rows, row)
+	}
+	return writeCSV(filepath.Join(csvDir, "fig1_convergence.csv"), rows)
+}
+
+func headerRow(nodes []int) []string {
+	row := []string{"iteration"}
+	for _, id := range nodes {
+		row = append(row, fmt.Sprintf("node%d_bytes_per_sec", id))
+	}
+	return row
+}
+
+func comparisonFigs(cfg experiments.Config, csvDir string, figs ...string) error {
+	fmt.Printf("Running %d sessions on %d nodes (density %.0f, mean quality target %s, MAC %s)...\n",
+		cfg.Sessions, cfg.Nodes, cfg.Density, qualityLabel(cfg.MeanQuality), macLabel(cfg.MAC))
+	c, err := experiments.RunComparison(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("network mean link quality: %.3f\n", c.Network.MeanLinkQuality())
+	if it := c.RateIterationsSummary(); it.N > 0 {
+		fmt.Printf("rate-control iterations (paper mean: 91): %s\n", it)
+	}
+	fmt.Println()
+	for _, f := range figs {
+		switch f {
+		case "2l", "2r":
+			label := "lossy network"
+			if f == "2r" {
+				label = "high link quality"
+			}
+			curves := c.GainCDFs()
+			fmt.Println(metrics.ASCIIPlot(
+				fmt.Sprintf("Figure 2 (%s): CDF of throughput gain over ETX routing", label),
+				"throughput gain", 4, curves))
+			if err := writeCurves(csvDir, "fig"+f+"_gains.csv", "gain", curves); err != nil {
+				return err
+			}
+		case "3":
+			curves := c.QueueCDFs()
+			xMax := 1.0
+			for _, cdf := range curves {
+				if cdf.Max() > xMax {
+					xMax = cdf.Max()
+				}
+			}
+			fmt.Println(metrics.ASCIIPlot(
+				"Figure 3: CDF of time-averaged queue size", "queue size (packets)", xMax, curves))
+			if err := writeCurves(csvDir, "fig3_queues.csv", "queue", curves); err != nil {
+				return err
+			}
+		case "4":
+			nodeCurves := c.NodeUtilityCDFs()
+			fmt.Println(metrics.ASCIIPlot(
+				"Figure 4 (left): CDF of node utility ratio", "node utility ratio", 1, nodeCurves))
+			pathCurves := c.PathUtilityCDFs()
+			fmt.Println(metrics.ASCIIPlot(
+				"Figure 4 (right): CDF of path utility ratio", "path utility ratio", 1, pathCurves))
+			if err := writeCurves(csvDir, "fig4_node_utility.csv", "node_utility", nodeCurves); err != nil {
+				return err
+			}
+			if err := writeCurves(csvDir, "fig4_path_utility.csv", "path_utility", pathCurves); err != nil {
+				return err
+			}
+		case "lpgap":
+			fmt.Printf("Emulated OMNC / optimized sUnicast throughput: %s\n\n", c.LPGapSummary())
+		}
+	}
+	return nil
+}
+
+// driftFig runs the link-dynamics extension: OMNC throughput as per-epoch
+// link drift intensifies, re-initiating node selection and rates each epoch.
+func driftFig(cfg experiments.Config) error {
+	cfg.Sessions = minInt(cfg.Sessions, 8)
+	// Shorter generations keep per-epoch throughput measurable: an epoch is
+	// a fraction of the session, and only fully decoded generations count.
+	cfg.Coding.GenerationSize = 16
+	cfg.AirPacketSize = 16 + 1024
+	res, err := experiments.DriftSweep(experiments.DriftSweepConfig{
+		Base:           cfg,
+		Jitters:        []float64{0, 0.1, 0.2, 0.3, 0.4},
+		Epochs:         3,
+		ReinitOverhead: 5,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Extension: OMNC throughput under link-quality drift")
+	fmt.Println("(3 epochs per session; node selection and rate control re-initiated each epoch; 5 s overhead charged)")
+	fmt.Printf("\n%-10s %s\n", "jitter", "throughput (bytes/s)")
+	for i, j := range res.Jitters {
+		fmt.Printf("%-10.2f %s\n", j, res.Throughput[i])
+	}
+	fmt.Println()
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func qualityLabel(q float64) string {
+	if q <= 0 {
+		return "default ~0.58"
+	}
+	return fmt.Sprintf("%.2f", q)
+}
+
+func macLabel(m sim.Mode) string {
+	if m == sim.ModeCSMA {
+		return "csma"
+	}
+	return "oracle"
+}
+
+func writeCurves(dir, name, xName string, curves map[string]*metrics.CDF) error {
+	if dir == "" {
+		return nil
+	}
+	rows := [][]string{{"protocol", xName, "cdf"}}
+	for proto, cdf := range curves {
+		for _, pt := range cdf.Points(200) {
+			rows = append(rows, []string{proto, fmt.Sprintf("%.5f", pt.X), fmt.Sprintf("%.5f", pt.F)})
+		}
+	}
+	return writeCSV(filepath.Join(dir, name), rows)
+}
+
+func writeCSV(path string, rows [][]string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	fmt.Printf("wrote %s\n", path)
+	return w.Error()
+}

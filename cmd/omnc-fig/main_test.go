@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunFig1WritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("1", false, 0, 0, 1, "oracle", dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig1_convergence.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig2SmallSession(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("2l", false, 1, 60, 7, "oracle", dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig2l_gains.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run("nope", false, 1, 10, 1, "oracle", ""); err == nil {
+		t.Fatal("unknown figure must fail")
+	}
+	if err := run("2l", false, 1, 10, 1, "token-ring", ""); err == nil {
+		t.Fatal("unknown MAC must fail")
+	}
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRandomSession(t *testing.T) {
+	if err := run("omnc", 100, 6, 3, -1, -1, 3, 8, 60, 2e4, 1e4, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExplicitEndpointsETX(t *testing.T) {
+	// Deterministic topology: find a pair via the random path first.
+	if err := run("etx", 100, 6, 3, -1, -1, 3, 8, 60, 2e4, 0, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesSessionSVG(t *testing.T) {
+	svg := filepath.Join(t.TempDir(), "session.svg")
+	if err := run("more", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, svg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "#2ca02c") {
+		t.Fatal("no highlighted forwarders in session SVG")
+	}
+}
+
+func TestRunUnknownProtocol(t *testing.T) {
+	if err := run("bogus", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, ""); err == nil {
+		t.Fatal("unknown protocol must fail")
+	}
+}
+
+func TestRunBadQuality(t *testing.T) {
+	if err := run("omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0.05, ""); err == nil {
+		t.Fatal("bad quality target must fail")
+	}
+}

@@ -1,0 +1,130 @@
+// Command omnc-topo generates and inspects the random lossy deployments the
+// experiments run on: node placement, degree and link-quality statistics,
+// and an optional CSV dump of the link set.
+//
+// Usage:
+//
+//	omnc-topo -nodes 300 -density 6 -seed 1
+//	omnc-topo -quality 0.91 -links links.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"omnc"
+	"omnc/internal/graph"
+	"omnc/internal/metrics"
+	"omnc/internal/topology"
+)
+
+func main() {
+	var (
+		nodes   = flag.Int("nodes", 300, "deployment size")
+		density = flag.Float64("density", 6, "expected nodes per range disk")
+		seed    = flag.Int64("seed", 1, "deployment seed")
+		quality = flag.Float64("quality", 0, "target mean link quality (0 = default lossy)")
+		links   = flag.String("links", "", "write the directed link set as CSV to this path")
+		svg     = flag.String("svg", "", "render the deployment as SVG to this path")
+	)
+	flag.Parse()
+	if err := run(*nodes, *density, *seed, *quality, *links, *svg); err != nil {
+		fmt.Fprintln(os.Stderr, "omnc-topo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(nodes int, density float64, seed int64, quality float64, linksPath, svgPath string) error {
+	nw, err := omnc.GenerateNetwork(nodes, density, seed)
+	if err != nil {
+		return err
+	}
+	if quality > 0 {
+		phy, err := omnc.DefaultPHY().CalibrateGain(quality)
+		if err != nil {
+			return err
+		}
+		if nw, err = nw.WithPHY(phy); err != nil {
+			return err
+		}
+	}
+
+	var degrees, qualities []float64
+	linkCount := 0
+	for i := 0; i < nw.Size(); i++ {
+		ns := nw.Neighbors(i)
+		degrees = append(degrees, float64(len(ns)))
+		for _, j := range ns {
+			qualities = append(qualities, nw.Prob(i, j))
+			linkCount++
+		}
+	}
+	adj := make([][]int, nw.Size())
+	for i := range adj {
+		adj[i] = nw.Neighbors(i)
+	}
+	hops := graph.HopCounts(adj, 0)
+	reachable, maxHops := 0, 0
+	for _, h := range hops {
+		if h >= 0 {
+			reachable++
+			if h > maxHops {
+				maxHops = h
+			}
+		}
+	}
+
+	fmt.Printf("nodes:               %d\n", nw.Size())
+	fmt.Printf("directed links:      %d\n", linkCount)
+	fmt.Printf("range:               %.0f m (reception probability %.2f)\n",
+		nw.PHYModel().Range, 0.2)
+	fmt.Printf("degree:              %s\n", metrics.Summarize(degrees))
+	fmt.Printf("link quality:        %s\n", metrics.Summarize(qualities))
+	fmt.Printf("reachable from 0:    %d/%d (max %d hops)\n", reachable, nw.Size(), maxHops)
+
+	if svgPath != "" {
+		f, err := os.Create(svgPath)
+		if err != nil {
+			return err
+		}
+		if err := nw.RenderSVG(f, topology.SVGOptions{ShowLinks: true, Src: -1, Dst: -1}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", svgPath)
+	}
+
+	if linksPath == "" {
+		return nil
+	}
+	f, err := os.Create(linksPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"from", "to", "probability", "distance_m"}); err != nil {
+		return err
+	}
+	for i := 0; i < nw.Size(); i++ {
+		for _, j := range nw.Neighbors(i) {
+			d := nw.Position(i).Distance(nw.Position(j))
+			if err := w.Write([]string{
+				strconv.Itoa(i), strconv.Itoa(j),
+				fmt.Sprintf("%.4f", nw.Prob(i, j)),
+				fmt.Sprintf("%.1f", d),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	fmt.Printf("wrote %s\n", linksPath)
+	return w.Error()
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunPrintsStatsAndWritesLinks(t *testing.T) {
+	dir := t.TempDir()
+	links := filepath.Join(dir, "links.csv")
+	if err := run(60, 6, 3, 0, links, ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("links CSV has %d lines", len(lines))
+	}
+	if lines[0] != "from,to,probability,distance_m" {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestRunHighQuality(t *testing.T) {
+	if err := run(40, 6, 1, 0.9, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesSVG(t *testing.T) {
+	dir := t.TempDir()
+	svg := filepath.Join(dir, "topo.svg")
+	if err := run(40, 6, 2, 0, "", svg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Fatal("not an SVG")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run(1, 6, 1, 0, "", ""); err == nil {
+		t.Fatal("single node must fail")
+	}
+	if err := run(40, 6, 1, 0.05, "", ""); err == nil {
+		t.Fatal("uncalibratable quality must fail")
+	}
+}

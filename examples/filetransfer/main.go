@@ -1,0 +1,108 @@
+// File transfer: stream an arbitrary payload across generations — split,
+// code, relay through a lossy diamond, progressively decode, reassemble,
+// and verify — with a session trace summarizing what happened on the air.
+// This is the end-to-end "long lived unicast session" workload of Sec. 3.1
+// driven entirely through the coding layer.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"omnc"
+	"omnc/internal/coding"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 10 KiB "file".
+	payload := make([]byte, 10*1024)
+	rng := rand.New(rand.NewSource(2024))
+	rng.Read(payload)
+
+	params := omnc.CodingParams{GenerationSize: 16, BlockSize: 256}
+	gens, err := coding.StreamSplit(payload, params, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("file: %d bytes -> %d generations of %d x %d B\n",
+		len(payload), len(gens), params.GenerationSize, params.BlockSize)
+
+	// The lossy diamond: S -> {u, v} -> T.
+	const pSu, pSv, puT, pvT = 0.6, 0.5, 0.7, 0.8
+	var (
+		decoded    [][]byte
+		broadcasts int
+		wireBytes  int
+	)
+	for _, gen := range gens {
+		enc := omnc.NewEncoder(gen, rng)
+		relayU, err := omnc.NewRecoder(gen.ID, params, rng)
+		if err != nil {
+			return err
+		}
+		relayV, err := omnc.NewRecoder(gen.ID, params, rng)
+		if err != nil {
+			return err
+		}
+		sink, err := omnc.NewDecoder(gen.ID, params)
+		if err != nil {
+			return err
+		}
+		for !sink.Decoded() {
+			// Source broadcast, serialized over the wire format.
+			buf, err := coding.MarshalData(1, enc.Packet())
+			if err != nil {
+				return err
+			}
+			broadcasts++
+			wireBytes += len(buf)
+			msg, err := coding.Unmarshal(buf)
+			if err != nil {
+				return err
+			}
+			if rng.Float64() < pSu {
+				relayU.Add(msg.Packet.Clone())
+			}
+			if rng.Float64() < pSv {
+				relayV.Add(msg.Packet.Clone())
+			}
+			// Relay re-broadcasts.
+			for _, hop := range []struct {
+				relay *omnc.Recoder
+				p     float64
+			}{{relayU, puT}, {relayV, pvT}} {
+				pkt := hop.relay.Packet()
+				if pkt == nil {
+					continue
+				}
+				broadcasts++
+				wireBytes += coding.WireSize(params)
+				if rng.Float64() < hop.p {
+					sink.Add(pkt)
+				}
+			}
+		}
+		decoded = append(decoded, sink.Data())
+	}
+
+	got, err := coding.StreamReassemble(decoded, params)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, payload) {
+		return fmt.Errorf("reassembled file differs from the original")
+	}
+	overhead := float64(wireBytes)/float64(len(payload)) - 1
+	fmt.Printf("transferred and verified: %d broadcasts, %d wire bytes (%.0f%% overhead over the raw file)\n",
+		broadcasts, wireBytes, 100*overhead)
+	fmt.Println("every loss absorbed by re-encoding — no retransmission logic anywhere")
+	return nil
+}

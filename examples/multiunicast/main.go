@@ -1,0 +1,107 @@
+// Multi-unicast: the extension the paper's conclusion points to — several
+// concurrent unicast sessions sharing the lossy channel, with OMNC's rate
+// control generalized to shared congestion prices (proportional fairness).
+// The example allocates rates jointly, emulates both sessions on one MAC,
+// and contrasts the outcome with each session running alone.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"omnc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Two sessions crossing through shared middle relays.
+	nw, err := omnc.NetworkFromMatrix(crossroads())
+	if err != nil {
+		return err
+	}
+	sessions := []omnc.Endpoints{
+		{Src: 0, Dst: 5},
+		{Src: 1, Dst: 6},
+	}
+
+	// Joint rate allocation: shared congestion prices split the middle
+	// relays' neighbourhood capacity between the sessions.
+	var multi []omnc.MultiSession
+	for _, s := range sessions {
+		sg, err := omnc.SelectForwarders(nw, s.Src, s.Dst)
+		if err != nil {
+			return err
+		}
+		multi = append(multi, omnc.MultiSession{Subgraph: sg})
+	}
+	opts := omnc.RateOptions{Capacity: 2e4}
+	joint, err := omnc.OptimizeRatesJointly(multi, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("joint rate allocation (shared congestion prices):")
+	for i, r := range joint.PerSession {
+		fmt.Printf("  session %d (%d->%d): gamma = %.0f B/s\n",
+			i, sessions[i].Src, sessions[i].Dst, r.Gamma)
+	}
+
+	// Emulate both sessions simultaneously on one shared channel.
+	cfg := omnc.SessionConfig{
+		Coding:        omnc.CodingParams{GenerationSize: 16, BlockSize: 16},
+		AirPacketSize: 16 + 1024,
+		Capacity:      2e4,
+		Duration:      300,
+		Seed:          11,
+	}
+	shared, err := omnc.RunConcurrentOMNC(nw, sessions, opts, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nemulated concurrently:")
+	for i, st := range shared.PerSession {
+		fmt.Printf("  session %d: %.0f B/s (%d generations)\n",
+			i, st.Throughput, st.GenerationsDecoded)
+	}
+	fmt.Printf("  aggregate: %.0f B/s\n", shared.AggregateThroughput)
+
+	// Against each session running alone on an idle channel.
+	fmt.Println("\neach session alone on an idle channel:")
+	for i, s := range sessions {
+		solo, err := omnc.RunConcurrentOMNC(nw, []omnc.Endpoints{s}, opts, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  session %d: %.0f B/s\n", i, solo.PerSession[0].Throughput)
+	}
+	fmt.Println("\nSharing the middle relays costs each session throughput; the joint")
+	fmt.Println("controller's proportional fairness keeps both sessions alive.")
+	return nil
+}
+
+// crossroads is the shared-relay topology: S1(0), S2(1), relays 2 and 3,
+// destinations T1(5) and T2(6); node 4 unused.
+func crossroads() [][]float64 {
+	p := make([][]float64, 7)
+	for i := range p {
+		p[i] = make([]float64, 7)
+	}
+	set := func(a, b int, q float64) {
+		p[a][b] = q
+		p[b][a] = q
+	}
+	set(0, 2, 0.8)
+	set(0, 3, 0.6)
+	set(1, 2, 0.7)
+	set(1, 3, 0.8)
+	set(2, 5, 0.7)
+	set(3, 5, 0.6)
+	set(2, 6, 0.6)
+	set(3, 6, 0.8)
+	set(2, 3, 0.5)
+	return p
+}

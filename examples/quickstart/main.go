@@ -1,0 +1,103 @@
+// Quickstart: code a generation at a source, relay it through two lossy
+// forwarders that re-encode, and progressively decode it at a destination —
+// the elementary OMNC data path from Sec. 3.1 of the paper, on the
+// two-relay diamond of Sec. 3.2.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"omnc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A small generation: 8 blocks of 64 bytes.
+	params := omnc.CodingParams{GenerationSize: 8, BlockSize: 64}
+	message := bytes.Repeat([]byte("optimized multipath network coding! "), 15)
+	message = message[:8*64]
+
+	rng := rand.New(rand.NewSource(42))
+	gen, err := omnc.NewGeneration(0, params, message)
+	if err != nil {
+		return err
+	}
+
+	// The diamond: source S, relays u and v (out of each other's range),
+	// destination T. Links are lossy; u and v each hear only part of the
+	// stream.
+	const pSu, pSv, puT, pvT = 0.7, 0.6, 0.8, 0.9
+	source := omnc.NewEncoder(gen, rng)
+	relayU, err := omnc.NewRecoder(0, params, rng)
+	if err != nil {
+		return err
+	}
+	relayV, err := omnc.NewRecoder(0, params, rng)
+	if err != nil {
+		return err
+	}
+	sink, err := omnc.NewDecoder(0, params)
+	if err != nil {
+		return err
+	}
+
+	broadcasts, deliveries := 0, 0
+	for !sink.Decoded() {
+		// One broadcast from the source: u and v draw independent losses.
+		pkt := source.Packet()
+		broadcasts++
+		if rng.Float64() < pSu {
+			if _, err := relayU.Add(pkt.Clone()); err != nil {
+				return err
+			}
+		}
+		if rng.Float64() < pSv {
+			if _, err := relayV.Add(pkt.Clone()); err != nil {
+				return err
+			}
+		}
+		// Each relay re-encodes whatever it has and broadcasts toward T.
+		for _, hop := range []struct {
+			relay *omnc.Recoder
+			p     float64
+		}{{relayU, puT}, {relayV, pvT}} {
+			out := hop.relay.Packet()
+			if out == nil {
+				continue // the relay has heard nothing yet
+			}
+			broadcasts++
+			if rng.Float64() < hop.p {
+				innovative, err := sink.Add(out)
+				if err != nil {
+					return err
+				}
+				if innovative {
+					deliveries++
+				}
+			}
+		}
+		// Progressive decoding: blocks resolve before the generation
+		// completes.
+		if blk := sink.Block(0); blk != nil && sink.Rank() < params.GenerationSize {
+			fmt.Printf("rank %d/%d: block 0 already decoded: %q...\n",
+				sink.Rank(), params.GenerationSize, blk[:24])
+		}
+	}
+
+	if !bytes.Equal(sink.Data(), message) {
+		return fmt.Errorf("decoded data differs from the original")
+	}
+	fmt.Printf("\ndecoded %d blocks after %d broadcasts (%d innovative packets at T)\n",
+		params.GenerationSize, broadcasts, deliveries)
+	fmt.Printf("message recovered: %q...\n", sink.Data()[:36])
+	fmt.Println("\nNote: no retransmissions anywhere — random linear coding absorbs the losses.")
+	return nil
+}

@@ -1,0 +1,94 @@
+// Sensor network sweep: OMNC on randomly deployed sensor fields of varying
+// loss severity — the "randomly deployed sensor networks" application the
+// paper names (Sec. 1). The sweep raises transmit power step by step and
+// shows the paper's Fig. 2 contrast: network coding's advantage is largest
+// on lossy links and fades as links approach perfect quality.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"omnc"
+	"omnc/internal/graph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	base, err := omnc.GenerateNetwork(150, 6, 99)
+	if err != nil {
+		return err
+	}
+	src, dst, err := pickSession(base, 4, 9)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sensor field: %d nodes, session %d -> %d\n\n", base.Size(), src, dst)
+	fmt.Printf("%-14s %-12s %-12s %-10s\n", "mean quality", "omnc (B/s)", "etx (B/s)", "gain")
+
+	cfg := omnc.SessionConfig{
+		Coding:        omnc.CodingParams{GenerationSize: 40, BlockSize: 8},
+		AirPacketSize: 40 + 1024,
+		Capacity:      2e4,
+		Duration:      250,
+		CBRRate:       1e4,
+		Seed:          3,
+	}
+
+	for _, target := range []float64{0.45, 0.58, 0.70, 0.82, 0.91} {
+		phy, err := omnc.DefaultPHY().CalibrateGain(target)
+		if err != nil {
+			return err
+		}
+		nw, err := base.WithPHY(phy)
+		if err != nil {
+			return err
+		}
+		etx, err := omnc.RunETX(nw, src, dst, cfg)
+		if err != nil {
+			return err
+		}
+		coded, err := omnc.RunOMNC(nw, src, dst, cfg)
+		if err != nil {
+			return err
+		}
+		gain := 0.0
+		if etx.Throughput > 0 {
+			gain = coded.Throughput / etx.Throughput
+		}
+		fmt.Printf("%-14.2f %-12.0f %-12.0f %.2fx\n",
+			nw.MeanLinkQuality(), coded.Throughput, etx.Throughput, gain)
+	}
+	fmt.Println("\nLossier fields favour coding; near-perfect links favour plain best-path routing.")
+	return nil
+}
+
+// pickSession samples endpoints within the hop band on the lossy field.
+func pickSession(nw *omnc.Network, minHops, maxHops int) (int, int, error) {
+	adj := make([][]int, nw.Size())
+	for i := range adj {
+		adj[i] = nw.Neighbors(i)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for attempt := 0; attempt < 5000; attempt++ {
+		src, dst := rng.Intn(nw.Size()), rng.Intn(nw.Size())
+		if src == dst {
+			continue
+		}
+		h := graph.HopCounts(adj, src)[dst]
+		if h < minHops || h > maxHops {
+			continue
+		}
+		if _, err := omnc.SelectForwarders(nw, src, dst); err != nil {
+			continue
+		}
+		return src, dst, nil
+	}
+	return 0, 0, fmt.Errorf("no suitable session found")
+}

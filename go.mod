@@ -1,0 +1,3 @@
+module omnc
+
+go 1.22

@@ -1,0 +1,129 @@
+package coding
+
+import (
+	"fmt"
+
+	"omnc/internal/gf256"
+)
+
+// BatchDecoder is the non-progressive strawman that Sec. 4 contrasts
+// progressive Gauss-Jordan decoding against: it buffers raw packets and
+// decodes the whole generation in one Gaussian-elimination pass once asked.
+// Because it performs no on-the-fly independence check, it cannot tell when
+// enough packets have arrived without attempting (and possibly wasting) a
+// full elimination, and it buffers duplicate packets a progressive decoder
+// would discard on arrival — the delay and memory effects the paper's
+// implementation avoids. It exists for the decoding ablation
+// (BenchmarkDecodeProgressive / BenchmarkDecodeBatch) and as a reference
+// implementation to cross-check the progressive decoder against.
+type BatchDecoder struct {
+	gen     int
+	params  Params
+	packets []*Packet
+	blocks  [][]byte
+}
+
+// NewBatchDecoder returns a batch decoder for the identified generation.
+func NewBatchDecoder(generation int, params Params) (*BatchDecoder, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &BatchDecoder{gen: generation, params: params}, nil
+}
+
+// Add buffers a packet without any processing (ownership transfers).
+func (d *BatchDecoder) Add(p *Packet) error {
+	if p.Generation != d.gen {
+		return fmt.Errorf("coding: packet generation %d, decoder generation %d", p.Generation, d.gen)
+	}
+	if len(p.Coeffs) != d.params.GenerationSize || len(p.Payload) != d.params.BlockSize {
+		return fmt.Errorf("coding: malformed packet (%d coeffs, %d payload)", len(p.Coeffs), len(p.Payload))
+	}
+	d.packets = append(d.packets, p)
+	return nil
+}
+
+// Buffered returns the number of packets held (duplicates included — the
+// batch decoder cannot tell).
+func (d *BatchDecoder) Buffered() int { return len(d.packets) }
+
+// TryDecode runs one Gaussian elimination over everything buffered and
+// reports whether the generation decoded. Each call re-eliminates from
+// scratch; that is the point of the ablation.
+func (d *BatchDecoder) TryDecode() bool {
+	if d.blocks != nil {
+		return true
+	}
+	n := d.params.GenerationSize
+	if len(d.packets) < n {
+		return false
+	}
+	st := d.params.strategy()
+	// Working copies: elimination is destructive.
+	coeffs := make([][]byte, len(d.packets))
+	payloads := make([][]byte, len(d.packets))
+	for i, p := range d.packets {
+		coeffs[i] = append([]byte(nil), p.Coeffs...)
+		payloads[i] = append([]byte(nil), p.Payload...)
+	}
+
+	// Forward elimination with partial "pivoting" (first non-zero).
+	pivotRow := make([]int, n)
+	for i := range pivotRow {
+		pivotRow[i] = -1
+	}
+	row := 0
+	for col := 0; col < n && row < len(coeffs); col++ {
+		sel := -1
+		for r := row; r < len(coeffs); r++ {
+			if coeffs[r][col] != 0 {
+				sel = r
+				break
+			}
+		}
+		if sel < 0 {
+			continue
+		}
+		coeffs[row], coeffs[sel] = coeffs[sel], coeffs[row]
+		payloads[row], payloads[sel] = payloads[sel], payloads[row]
+		inv := gf256.Inv(coeffs[row][col])
+		gf256.ScaleSlice(st, coeffs[row], inv)
+		gf256.ScaleSlice(st, payloads[row], inv)
+		for r := 0; r < len(coeffs); r++ {
+			if r == row {
+				continue
+			}
+			if f := coeffs[r][col]; f != 0 {
+				gf256.MulAddSlice(st, coeffs[r], coeffs[row], f)
+				gf256.MulAddSlice(st, payloads[r], payloads[row], f)
+			}
+		}
+		pivotRow[col] = row
+		row++
+	}
+	if row < n {
+		return false // rank deficient: keep buffering
+	}
+	blocks := make([][]byte, n)
+	for col := 0; col < n; col++ {
+		blocks[col] = payloads[pivotRow[col]]
+	}
+	d.blocks = blocks
+	return true
+}
+
+// Decoded reports whether a successful TryDecode has happened.
+func (d *BatchDecoder) Decoded() bool { return d.blocks != nil }
+
+// Data returns the decoded generation after a successful TryDecode, nil
+// before.
+func (d *BatchDecoder) Data() []byte {
+	if d.blocks == nil {
+		return nil
+	}
+	out := make([]byte, 0, d.params.GenerationSize*d.params.BlockSize)
+	for _, b := range d.blocks {
+		out = append(out, b...)
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package coding
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestBatchDecoderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	p := testParams(8, 32)
+	data := randomData(rng, 8*32)
+	gen, _ := NewGeneration(0, p, data)
+	enc := NewEncoder(gen, rng)
+	dec, err := NewBatchDecoder(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.TryDecode() {
+		t.Fatal("empty decoder cannot decode")
+	}
+	for i := 0; i < 8; i++ {
+		if err := dec.Add(enc.Packet()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !dec.TryDecode() {
+		// With 8 random packets over GF(256) failure probability is ~2^-60;
+		// add a couple more just in case and retry.
+		dec.Add(enc.Packet())
+		dec.Add(enc.Packet())
+		if !dec.TryDecode() {
+			t.Fatal("batch decode failed with surplus packets")
+		}
+	}
+	if !dec.Decoded() {
+		t.Fatal("Decoded() must be true after successful TryDecode")
+	}
+	if !bytes.Equal(dec.Data(), data) {
+		t.Fatal("batch decode corrupted data")
+	}
+	// Idempotent once decoded.
+	if !dec.TryDecode() {
+		t.Fatal("TryDecode must stay true")
+	}
+}
+
+func TestBatchDecoderMatchesProgressive(t *testing.T) {
+	// Same packet stream into both decoders: identical output.
+	rng := rand.New(rand.NewSource(82))
+	p := testParams(10, 16)
+	gen, _ := NewGeneration(0, p, randomData(rng, 160))
+	enc := NewEncoder(gen, rng)
+	prog, _ := NewDecoder(0, p)
+	batch, _ := NewBatchDecoder(0, p)
+	for !prog.Decoded() {
+		pkt := enc.Packet()
+		batch.Add(pkt.Clone())
+		prog.Add(pkt)
+	}
+	if !batch.TryDecode() {
+		t.Fatal("batch decoder behind progressive")
+	}
+	if !bytes.Equal(batch.Data(), prog.Data()) {
+		t.Fatal("decoders disagree")
+	}
+}
+
+func TestBatchDecoderBuffersDuplicates(t *testing.T) {
+	// Unlike the progressive decoder, the batch decoder cannot screen
+	// duplicates: its buffer grows with every arrival.
+	rng := rand.New(rand.NewSource(83))
+	p := testParams(4, 8)
+	gen, _ := NewGeneration(0, p, nil)
+	enc := NewEncoder(gen, rng)
+	batch, _ := NewBatchDecoder(0, p)
+	pkt := enc.Packet()
+	for i := 0; i < 5; i++ {
+		batch.Add(pkt.Clone())
+	}
+	if batch.Buffered() != 5 {
+		t.Fatalf("buffered = %d, want 5 (duplicates kept)", batch.Buffered())
+	}
+	if batch.TryDecode() {
+		t.Fatal("five copies of one packet cannot decode rank 4")
+	}
+	if batch.Data() != nil {
+		t.Fatal("Data before decode must be nil")
+	}
+}
+
+func TestBatchDecoderValidation(t *testing.T) {
+	if _, err := NewBatchDecoder(0, testParams(0, 1)); err == nil {
+		t.Fatal("invalid params must fail")
+	}
+	dec, _ := NewBatchDecoder(1, testParams(2, 4))
+	if err := dec.Add(&Packet{Generation: 2, Coeffs: []byte{1, 0}, Payload: make([]byte, 4)}); err == nil {
+		t.Fatal("wrong generation must fail")
+	}
+	if err := dec.Add(&Packet{Generation: 1, Coeffs: []byte{1}, Payload: make([]byte, 4)}); err == nil {
+		t.Fatal("malformed packet must fail")
+	}
+}
+
+// BenchmarkDecodeProgressive vs BenchmarkDecodeBatch: the Sec. 4 ablation.
+// The batch decoder is charged what a real receiver without on-the-fly
+// innovation checks must pay — one elimination attempt per arrival once the
+// buffer could plausibly decode.
+func benchDecode(b *testing.B, progressive bool) {
+	rng := rand.New(rand.NewSource(84))
+	p := Params{GenerationSize: 40, BlockSize: 1024}
+	data := make([]byte, 40*1024)
+	rng.Read(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen, _ := NewGeneration(0, p, data)
+		enc := NewEncoder(gen, rng)
+		if progressive {
+			dec, _ := NewDecoder(0, p)
+			for !dec.Decoded() {
+				dec.Add(enc.Packet())
+			}
+		} else {
+			dec, _ := NewBatchDecoder(0, p)
+			for !dec.TryDecode() {
+				dec.Add(enc.Packet())
+			}
+		}
+	}
+}
+
+func BenchmarkDecodeProgressive(b *testing.B) { benchDecode(b, true) }
+func BenchmarkDecodeBatch(b *testing.B)       { benchDecode(b, false) }

@@ -1,0 +1,171 @@
+// Package coding implements the random linear network coding (RLC) scheme
+// OMNC transmits with (Sec. 3.1 and 4 of the paper): source data is grouped
+// into generations of n blocks of m bytes; coded packets carry a random
+// GF(2^8) combination of the blocks together with its coefficient vector;
+// intermediate forwarders re-encode buffered innovative packets; and the
+// destination decodes progressively with Gauss-Jordan elimination, keeping
+// its matrix in reduced row-echelon form so that innovation checks and
+// decoding happen on the fly.
+package coding
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"omnc/internal/gf256"
+)
+
+// Params fixes the coding parameters of a session. The paper's evaluation
+// uses 40 blocks of 1 KB per generation.
+type Params struct {
+	// GenerationSize is n, the number of source blocks per generation.
+	GenerationSize int
+	// BlockSize is m, the number of payload bytes per block.
+	BlockSize int
+	// Strategy selects the GF(2^8) bulk-arithmetic kernel. The zero value
+	// means gf256.StrategyAccel.
+	Strategy gf256.Strategy
+}
+
+// DefaultParams are the evaluation parameters from Sec. 5 of the paper:
+// each generation contains 40 data blocks and each data block is 1 KB.
+func DefaultParams() Params {
+	return Params{GenerationSize: 40, BlockSize: 1024, Strategy: gf256.StrategyAccel}
+}
+
+// Validate reports whether the parameters identify a usable code.
+func (p Params) Validate() error {
+	if p.GenerationSize <= 0 {
+		return fmt.Errorf("coding: generation size %d must be positive", p.GenerationSize)
+	}
+	if p.GenerationSize > 255 {
+		// With byte coefficients the decoding matrix is over GF(2^8); more
+		// than 255 blocks would make random ranks collide too often and the
+		// paper never exceeds 40.
+		return fmt.Errorf("coding: generation size %d exceeds 255", p.GenerationSize)
+	}
+	if p.BlockSize <= 0 {
+		return fmt.Errorf("coding: block size %d must be positive", p.BlockSize)
+	}
+	return nil
+}
+
+func (p Params) strategy() gf256.Strategy {
+	if p.Strategy == 0 {
+		return gf256.StrategyAccel
+	}
+	return p.Strategy
+}
+
+// PacketSize returns the number of bytes a coded packet occupies on the air:
+// coefficient vector plus coded payload. (Headers are accounted separately
+// by the simulator.)
+func (p Params) PacketSize() int { return p.GenerationSize + p.BlockSize }
+
+// Packet is one coded packet: a GF(2^8) linear combination of the blocks of
+// one generation, carrying its combination coefficients.
+type Packet struct {
+	// Generation identifies which generation the packet codes over.
+	Generation int
+	// Coeffs has length GenerationSize; Coeffs[i] multiplies source block i.
+	Coeffs []byte
+	// Payload has length BlockSize: the coded block.
+	Payload []byte
+}
+
+// Clone returns a deep copy of the packet.
+func (pk *Packet) Clone() *Packet {
+	return &Packet{
+		Generation: pk.Generation,
+		Coeffs:     append([]byte(nil), pk.Coeffs...),
+		Payload:    append([]byte(nil), pk.Payload...),
+	}
+}
+
+// Generation holds the source blocks of one generation (the matrix B in the
+// paper, n rows of m bytes).
+type Generation struct {
+	ID     int
+	params Params
+	blocks [][]byte
+}
+
+// ErrDataTooLarge reports that the supplied data does not fit in a single
+// generation.
+var ErrDataTooLarge = errors.New("coding: data exceeds generation capacity")
+
+// NewGeneration builds a generation from raw data, zero-padding the final
+// block. Data longer than GenerationSize*BlockSize is an error.
+func NewGeneration(id int, params Params, data []byte) (*Generation, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	capacity := params.GenerationSize * params.BlockSize
+	if len(data) > capacity {
+		return nil, fmt.Errorf("%w: %d > %d", ErrDataTooLarge, len(data), capacity)
+	}
+	blocks := make([][]byte, params.GenerationSize)
+	for i := range blocks {
+		blocks[i] = make([]byte, params.BlockSize)
+		lo := i * params.BlockSize
+		if lo < len(data) {
+			copy(blocks[i], data[lo:])
+		}
+	}
+	return &Generation{ID: id, params: params, blocks: blocks}, nil
+}
+
+// Params returns the generation's coding parameters.
+func (g *Generation) Params() Params { return g.params }
+
+// Block returns source block i (not a copy; callers must not modify it).
+func (g *Generation) Block(i int) []byte { return g.blocks[i] }
+
+// Data returns the concatenation of all blocks (length n*m, including any
+// padding added by NewGeneration).
+func (g *Generation) Data() []byte {
+	out := make([]byte, 0, g.params.GenerationSize*g.params.BlockSize)
+	for _, b := range g.blocks {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// Encoder produces random linear combinations of a generation's source
+// blocks: one row of X = R * B per call (Sec. 3.1).
+type Encoder struct {
+	gen *Generation
+	rng *rand.Rand
+}
+
+// NewEncoder returns an encoder drawing coefficients from rng. The rng must
+// not be shared concurrently.
+func NewEncoder(gen *Generation, rng *rand.Rand) *Encoder {
+	return &Encoder{gen: gen, rng: rng}
+}
+
+// Packet emits a fresh coded packet over the whole generation.
+func (e *Encoder) Packet() *Packet {
+	p := e.gen.params
+	coeffs := make([]byte, p.GenerationSize)
+	// Reject the (vanishingly unlikely) all-zero vector: it wastes a
+	// transmission and is trivially non-innovative.
+	for {
+		nonZero := false
+		for i := range coeffs {
+			coeffs[i] = byte(e.rng.Intn(256))
+			if coeffs[i] != 0 {
+				nonZero = true
+			}
+		}
+		if nonZero {
+			break
+		}
+	}
+	payload := make([]byte, p.BlockSize)
+	for i, c := range coeffs {
+		gf256.MulAddSlice(p.strategy(), payload, e.gen.blocks[i], c)
+	}
+	return &Packet{Generation: e.gen.ID, Coeffs: coeffs, Payload: payload}
+}

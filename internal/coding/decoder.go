@@ -1,0 +1,264 @@
+package coding
+
+import (
+	"fmt"
+	"math/rand"
+
+	"omnc/internal/gf256"
+)
+
+// rref is a progressive Gauss-Jordan eliminator over the augmented matrix
+// [R | X]: coefficient rows next to their coded payloads, maintained in
+// reduced row-echelon form. It is the shared machinery behind both the
+// destination's Decoder and the forwarders' Recoder.
+//
+// Keeping the matrix in RREF is exactly the paper's "progressive decoding"
+// (Sec. 4): a non-innovative packet reduces to an all-zero row and is
+// discarded immediately; once rank reaches n the left part is the identity
+// and the right part is the decoded generation.
+type rref struct {
+	params Params
+	// pivot[c] is the index into rows of the row whose leading coefficient
+	// column is c, or -1.
+	pivot []int
+	// rows, in insertion order. Each row is stored as coeffs+payload.
+	coeffs   [][]byte
+	payloads [][]byte
+}
+
+func newRREF(params Params) *rref {
+	pivot := make([]int, params.GenerationSize)
+	for i := range pivot {
+		pivot[i] = -1
+	}
+	return &rref{params: params, pivot: pivot}
+}
+
+// rank returns the number of linearly independent packets absorbed.
+func (m *rref) rank() int { return len(m.coeffs) }
+
+// full reports whether the matrix spans the whole generation.
+func (m *rref) full() bool { return m.rank() == m.params.GenerationSize }
+
+// add reduces the packet against the current basis and installs it if it is
+// innovative. It reports whether the packet increased the rank. The packet's
+// slices are consumed (ownership transfers to the matrix).
+func (m *rref) add(coeffs, payload []byte) bool {
+	st := m.params.strategy()
+	// Forward-eliminate: cancel every known pivot column.
+	for c := 0; c < len(coeffs); c++ {
+		if coeffs[c] == 0 {
+			continue
+		}
+		r := m.pivot[c]
+		if r < 0 {
+			continue
+		}
+		f := coeffs[c]
+		gf256.MulAddSlice(st, coeffs, m.coeffs[r], f)
+		gf256.MulAddSlice(st, payload, m.payloads[r], f)
+	}
+	// Find the leading column of what remains.
+	lead := -1
+	for c, v := range coeffs {
+		if v != 0 {
+			lead = c
+			break
+		}
+	}
+	if lead < 0 {
+		return false // non-innovative: reduced to the zero row
+	}
+	// Normalize the leading coefficient to 1.
+	if f := coeffs[lead]; f != 1 {
+		inv := gf256.Inv(f)
+		gf256.ScaleSlice(st, coeffs, inv)
+		gf256.ScaleSlice(st, payload, inv)
+	}
+	// Back-substitute into all existing rows to keep RREF.
+	for r := range m.coeffs {
+		if f := m.coeffs[r][lead]; f != 0 {
+			gf256.MulAddSlice(st, m.coeffs[r], coeffs, f)
+			gf256.MulAddSlice(st, m.payloads[r], payload, f)
+		}
+	}
+	m.pivot[lead] = len(m.coeffs)
+	m.coeffs = append(m.coeffs, coeffs)
+	m.payloads = append(m.payloads, payload)
+	return true
+}
+
+// isInnovative reports whether the packet would increase the rank, without
+// modifying the matrix or the packet.
+func (m *rref) isInnovative(coeffs []byte) bool {
+	st := m.params.strategy()
+	work := append([]byte(nil), coeffs...)
+	for c := 0; c < len(work); c++ {
+		if work[c] == 0 {
+			continue
+		}
+		r := m.pivot[c]
+		if r < 0 {
+			return true // a free leading column remains
+		}
+		gf256.MulAddSlice(st, work, m.coeffs[r], work[c])
+	}
+	for _, v := range work {
+		if v != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// combine emits a fresh random combination of the stored rows: a re-encoded
+// packet whose information content is the span of everything received.
+func (m *rref) combine(rng *rand.Rand) (coeffs, payload []byte) {
+	if len(m.coeffs) == 0 {
+		return nil, nil
+	}
+	st := m.params.strategy()
+	coeffs = make([]byte, m.params.GenerationSize)
+	payload = make([]byte, m.params.BlockSize)
+	for {
+		nonZero := false
+		weights := make([]byte, len(m.coeffs))
+		for i := range weights {
+			weights[i] = byte(rng.Intn(256))
+			if weights[i] != 0 {
+				nonZero = true
+			}
+		}
+		if !nonZero {
+			continue
+		}
+		for i, w := range weights {
+			if w == 0 {
+				continue
+			}
+			gf256.MulAddSlice(st, coeffs, m.coeffs[i], w)
+			gf256.MulAddSlice(st, payload, m.payloads[i], w)
+		}
+		return coeffs, payload
+	}
+}
+
+// Decoder progressively decodes one generation at the destination node.
+type Decoder struct {
+	gen int
+	m   *rref
+}
+
+// NewDecoder returns a decoder for the identified generation.
+func NewDecoder(generation int, params Params) (*Decoder, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Decoder{gen: generation, m: newRREF(params)}, nil
+}
+
+// Generation returns the generation ID this decoder accepts.
+func (d *Decoder) Generation() int { return d.gen }
+
+// Add absorbs a coded packet, reporting whether it was innovative. Packets
+// from other generations are rejected with an error. The packet is consumed.
+func (d *Decoder) Add(p *Packet) (innovative bool, err error) {
+	if p.Generation != d.gen {
+		return false, fmt.Errorf("coding: packet generation %d, decoder generation %d", p.Generation, d.gen)
+	}
+	if len(p.Coeffs) != d.m.params.GenerationSize || len(p.Payload) != d.m.params.BlockSize {
+		return false, fmt.Errorf("coding: malformed packet (%d coeffs, %d payload)", len(p.Coeffs), len(p.Payload))
+	}
+	return d.m.add(p.Coeffs, p.Payload), nil
+}
+
+// Rank returns the current number of independent packets.
+func (d *Decoder) Rank() int { return d.m.rank() }
+
+// Decoded reports whether the full generation has been recovered.
+func (d *Decoder) Decoded() bool { return d.m.full() }
+
+// Block returns decoded source block i, or nil if that block cannot be
+// resolved yet. With progressive decoding a block is available as soon as
+// its pivot row has become a unit vector, which can happen before the whole
+// generation is decodable.
+func (d *Decoder) Block(i int) []byte {
+	if i < 0 || i >= d.m.params.GenerationSize {
+		return nil
+	}
+	r := d.m.pivot[i]
+	if r < 0 {
+		return nil
+	}
+	row := d.m.coeffs[r]
+	for c, v := range row {
+		if (c == i && v != 1) || (c != i && v != 0) {
+			return nil
+		}
+	}
+	return d.m.payloads[r]
+}
+
+// Data returns the decoded generation (n*m bytes) once Decoded is true, and
+// nil before that.
+func (d *Decoder) Data() []byte {
+	if !d.Decoded() {
+		return nil
+	}
+	p := d.m.params
+	out := make([]byte, 0, p.GenerationSize*p.BlockSize)
+	for i := 0; i < p.GenerationSize; i++ {
+		out = append(out, d.m.payloads[d.m.pivot[i]]...)
+	}
+	return out
+}
+
+// Recoder buffers innovative packets at an intermediate forwarder and emits
+// re-encoded packets: fresh random combinations of everything buffered
+// (Sec. 3.1, "re-encoding"). It discards non-innovative arrivals, mirroring
+// the relay behaviour the paper specifies.
+type Recoder struct {
+	gen int
+	m   *rref
+	rng *rand.Rand
+}
+
+// NewRecoder returns a recoder for the identified generation.
+func NewRecoder(generation int, params Params, rng *rand.Rand) (*Recoder, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Recoder{gen: generation, m: newRREF(params), rng: rng}, nil
+}
+
+// Generation returns the generation ID this recoder accepts.
+func (r *Recoder) Generation() int { return r.gen }
+
+// Add absorbs a packet if it is innovative and reports whether it was.
+func (r *Recoder) Add(p *Packet) (innovative bool, err error) {
+	if p.Generation != r.gen {
+		return false, fmt.Errorf("coding: packet generation %d, recoder generation %d", p.Generation, r.gen)
+	}
+	if len(p.Coeffs) != r.m.params.GenerationSize || len(p.Payload) != r.m.params.BlockSize {
+		return false, fmt.Errorf("coding: malformed packet (%d coeffs, %d payload)", len(p.Coeffs), len(p.Payload))
+	}
+	return r.m.add(p.Coeffs, p.Payload), nil
+}
+
+// Rank returns the dimension of the buffered subspace.
+func (r *Recoder) Rank() int { return r.m.rank() }
+
+// Full reports whether the recoder holds the entire generation; further
+// incoming packets are necessarily non-innovative (Sec. 4, "Packet and
+// Queue Management").
+func (r *Recoder) Full() bool { return r.m.full() }
+
+// Packet emits one re-encoded packet, or nil when nothing has been buffered
+// yet (a forwarder with no information cannot contribute).
+func (r *Recoder) Packet() *Packet {
+	coeffs, payload := r.m.combine(r.rng)
+	if coeffs == nil {
+		return nil
+	}
+	return &Packet{Generation: r.gen, Coeffs: coeffs, Payload: payload}
+}

@@ -1,0 +1,193 @@
+package coding
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"omnc/internal/gf256"
+)
+
+// TestPropertyRoundTrip checks decode(encode(B)) == B for arbitrary data and
+// dimensions.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8, data []byte) bool {
+		n := int(nRaw%20) + 1
+		m := int(mRaw%64) + 1
+		p := testParams(n, m)
+		if len(data) > n*m {
+			data = data[:n*m]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		gen, err := NewGeneration(0, p, data)
+		if err != nil {
+			return false
+		}
+		enc := NewEncoder(gen, rng)
+		dec, _ := NewDecoder(0, p)
+		for i := 0; i < 4*n+16 && !dec.Decoded(); i++ {
+			dec.Add(enc.Packet())
+		}
+		if !dec.Decoded() {
+			return false
+		}
+		return bytes.Equal(dec.Data(), gen.Data())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRankNeverExceedsPackets checks rank <= packets absorbed and
+// rank is monotone non-decreasing.
+func TestPropertyRankMonotone(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%12) + 2
+		p := testParams(n, 8)
+		rng := rand.New(rand.NewSource(seed))
+		gen, _ := NewGeneration(0, p, nil)
+		enc := NewEncoder(gen, rng)
+		dec, _ := NewDecoder(0, p)
+		prev := 0
+		for i := 0; i < 2*n; i++ {
+			var pk *Packet
+			if i%3 == 2 {
+				pk = enc.Packet()
+				pk2 := pk.Clone()
+				dec.Add(pk)
+				pk = pk2 // resend a duplicate
+			} else {
+				pk = enc.Packet()
+			}
+			dec.Add(pk)
+			r := dec.Rank()
+			if r < prev || r > i+2 || r > n {
+				return false
+			}
+			prev = r
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRecodingPreservesSubspace: packets emitted by a recoder are
+// always inside the subspace the recoder received, i.e. a decoder that knows
+// that subspace finds them non-innovative.
+func TestPropertyRecodingPreservesSubspace(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		n := 10
+		k := int(kRaw%uint8(n)) + 1 // relay receives k <= n packets
+		p := testParams(n, 8)
+		rng := rand.New(rand.NewSource(seed))
+		gen, _ := NewGeneration(0, p, nil)
+		enc := NewEncoder(gen, rng)
+		relay, _ := NewRecoder(0, p, rng)
+		shadow := newRREF(p) // tracks exactly what the relay received
+		for i := 0; i < k; i++ {
+			pk := enc.Packet()
+			shadowPk := pk.Clone()
+			relay.Add(pk)
+			shadow.add(shadowPk.Coeffs, shadowPk.Payload)
+		}
+		for i := 0; i < 5; i++ {
+			out := relay.Packet()
+			if out == nil {
+				return false
+			}
+			if shadow.isInnovative(out.Coeffs) {
+				return false // recoder invented information it never had
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRREFInvariant: after every insertion the matrix is in reduced
+// row-echelon form: each pivot column is a unit column and pivot rows lead
+// with 1.
+func TestPropertyRREFInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 8
+		p := testParams(n, 4)
+		rng := rand.New(rand.NewSource(seed))
+		gen, _ := NewGeneration(0, p, nil)
+		enc := NewEncoder(gen, rng)
+		m := newRREF(p)
+		for i := 0; i < n+3; i++ {
+			pk := enc.Packet()
+			m.add(pk.Coeffs, pk.Payload)
+			if !isRREF(m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func isRREF(m *rref) bool {
+	for c, r := range m.pivot {
+		if r < 0 {
+			continue
+		}
+		if m.coeffs[r][c] != 1 {
+			return false
+		}
+		for other := range m.coeffs {
+			if other != r && m.coeffs[other][c] != 0 {
+				return false
+			}
+		}
+		// Leading entries: everything left of the pivot must be zero.
+		for cc := 0; cc < c; cc++ {
+			if m.coeffs[r][cc] != 0 {
+				return false
+			}
+		}
+	}
+	// Every row must be a pivot row (zero rows are never installed).
+	count := 0
+	for _, r := range m.pivot {
+		if r >= 0 {
+			count++
+		}
+	}
+	return count == len(m.coeffs)
+}
+
+// TestPropertyDotProductConsistency: a coded payload equals the coefficient
+// combination of the source blocks, byte for byte.
+func TestPropertyEncoderLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		n, m := 5, 16
+		p := testParams(n, m)
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, n*m)
+		rng.Read(data)
+		gen, _ := NewGeneration(0, p, data)
+		enc := NewEncoder(gen, rng)
+		pk := enc.Packet()
+		for col := 0; col < m; col++ {
+			var want byte
+			for row := 0; row < n; row++ {
+				want ^= gf256.Mul(pk.Coeffs[row], gen.Block(row)[col])
+			}
+			if pk.Payload[col] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+package coding
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Stream splits an arbitrary payload into consecutive generations and
+// reassembles it on the far side — the "long lived unicast session"
+// workload OMNC is designed for (Sec. 3.1: "the source node continuously
+// generates packet streams from a group of data blocks"). The exact
+// payload length survives the round trip: the first 8 bytes of the first
+// generation carry it, so zero padding in the last block is stripped on
+// reassembly.
+
+// streamHeaderLen is the length prefix prepended to the payload.
+const streamHeaderLen = 8
+
+// StreamSplit packs data into as many generations as needed under params,
+// numbering them from firstGen. The inverse is StreamReassemble.
+func StreamSplit(data []byte, params Params, firstGen int) ([]*Generation, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	framed := make([]byte, streamHeaderLen+len(data))
+	binary.BigEndian.PutUint64(framed, uint64(len(data)))
+	copy(framed[streamHeaderLen:], data)
+
+	genBytes := params.GenerationSize * params.BlockSize
+	var out []*Generation
+	for off := 0; off < len(framed); off += genBytes {
+		end := off + genBytes
+		if end > len(framed) {
+			end = len(framed)
+		}
+		g, err := NewGeneration(firstGen+len(out), params, framed[off:end])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	if len(out) == 0 {
+		// Zero-byte payload still needs one generation for the header.
+		g, err := NewGeneration(firstGen, params, framed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// StreamGenerations returns how many generations StreamSplit will produce
+// for a payload of the given length.
+func StreamGenerations(dataLen int, params Params) int {
+	genBytes := params.GenerationSize * params.BlockSize
+	framed := streamHeaderLen + dataLen
+	n := (framed + genBytes - 1) / genBytes
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// StreamReassemble inverts StreamSplit: given the decoded generation
+// payloads in order (each GenerationSize*BlockSize bytes, as returned by
+// Decoder.Data), it recovers the original data with padding stripped.
+func StreamReassemble(decoded [][]byte, params Params) ([]byte, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(decoded) == 0 {
+		return nil, fmt.Errorf("coding: no generations to reassemble")
+	}
+	genBytes := params.GenerationSize * params.BlockSize
+	if genBytes < streamHeaderLen {
+		return nil, fmt.Errorf("coding: generation too small (%d bytes) for the stream header", genBytes)
+	}
+	for i, d := range decoded {
+		if len(d) != genBytes {
+			return nil, fmt.Errorf("coding: generation %d has %d bytes, want %d", i, len(d), genBytes)
+		}
+	}
+	total := int64(binary.BigEndian.Uint64(decoded[0]))
+	if total < 0 || total > int64(len(decoded))*int64(genBytes)-streamHeaderLen {
+		return nil, fmt.Errorf("coding: declared length %d exceeds decoded data", total)
+	}
+	need := StreamGenerations(int(total), params)
+	if len(decoded) < need {
+		return nil, fmt.Errorf("coding: %d generations decoded, stream needs %d", len(decoded), need)
+	}
+	out := make([]byte, 0, total)
+	remaining := total
+	for i := 0; i < need && remaining > 0; i++ {
+		chunk := decoded[i]
+		if i == 0 {
+			chunk = chunk[streamHeaderLen:]
+		}
+		take := int64(len(chunk))
+		if take > remaining {
+			take = remaining
+		}
+		out = append(out, chunk[:take]...)
+		remaining -= take
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package coding
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamRoundTripExactLength(t *testing.T) {
+	p := testParams(4, 16) // 64 bytes per generation, 56 usable in the first
+	rng := rand.New(rand.NewSource(91))
+	for _, n := range []int{0, 1, 55, 56, 57, 64, 200, 1000} {
+		data := randomData(rng, n)
+		gens, err := StreamSplit(data, p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gens) != StreamGenerations(n, p) {
+			t.Fatalf("n=%d: %d generations, predicted %d", n, len(gens), StreamGenerations(n, p))
+		}
+		for i, g := range gens {
+			if g.ID != i {
+				t.Fatalf("generation %d has ID %d", i, g.ID)
+			}
+		}
+		decoded := make([][]byte, len(gens))
+		for i, g := range gens {
+			decoded[i] = g.Data()
+		}
+		got, err := StreamReassemble(decoded, p)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("n=%d: reassembly mismatch (%d vs %d bytes)", n, len(got), len(data))
+		}
+	}
+}
+
+func TestStreamRoundTripThroughCoding(t *testing.T) {
+	// Full pipeline: split -> encode -> decode each generation -> reassemble.
+	p := testParams(6, 32)
+	rng := rand.New(rand.NewSource(92))
+	data := randomData(rng, 500)
+	gens, err := StreamSplit(data, p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded := make([][]byte, len(gens))
+	for i, g := range gens {
+		enc := NewEncoder(g, rng)
+		dec, _ := NewDecoder(g.ID, p)
+		for !dec.Decoded() {
+			dec.Add(enc.Packet())
+		}
+		decoded[i] = dec.Data()
+	}
+	got, err := StreamReassemble(decoded, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("coded stream round trip corrupted data")
+	}
+}
+
+func TestStreamFirstGenNumbering(t *testing.T) {
+	p := testParams(4, 8)
+	gens, err := StreamSplit(make([]byte, 100), p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gens[0].ID != 7 {
+		t.Fatalf("first generation ID = %d, want 7", gens[0].ID)
+	}
+}
+
+func TestStreamReassembleValidation(t *testing.T) {
+	p := testParams(4, 8)
+	if _, err := StreamReassemble(nil, p); err == nil {
+		t.Fatal("no generations must fail")
+	}
+	if _, err := StreamReassemble([][]byte{make([]byte, 5)}, p); err == nil {
+		t.Fatal("mis-sized generation must fail")
+	}
+	// Declared length larger than the decoded data must fail.
+	bogus := make([]byte, 32)
+	bogus[0] = 0xFF
+	if _, err := StreamReassemble([][]byte{bogus}, p); err == nil {
+		t.Fatal("oversized declared length must fail")
+	}
+	// Too few generations for the declared length must fail.
+	gens, _ := StreamSplit(make([]byte, 100), p, 0)
+	if _, err := StreamReassemble([][]byte{gens[0].Data()}, p); err == nil {
+		t.Fatal("missing generations must fail")
+	}
+	tiny := Params{GenerationSize: 1, BlockSize: 4}
+	if _, err := StreamReassemble([][]byte{make([]byte, 4)}, tiny); err == nil {
+		t.Fatal("generation smaller than the header must fail")
+	}
+	if _, err := StreamSplit(nil, Params{GenerationSize: -1, BlockSize: 1}, 0); err == nil {
+		t.Fatal("invalid params must fail")
+	}
+}
+
+func TestPropertyStreamRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw % 2000)
+		rng := rand.New(rand.NewSource(seed))
+		p := testParams(2+rng.Intn(8), 8+rng.Intn(32))
+		data := make([]byte, n)
+		rng.Read(data)
+		gens, err := StreamSplit(data, p, 0)
+		if err != nil {
+			return false
+		}
+		decoded := make([][]byte, len(gens))
+		for i, g := range gens {
+			decoded[i] = g.Data()
+		}
+		got, err := StreamReassemble(decoded, p)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,152 @@
+package coding
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire format. OMNC's packets travel over UDP in the paper's testbed; this
+// is the serialization a deployment would put on the air:
+//
+//	offset  size  field
+//	0       4     magic "OMNC"
+//	4       1     version (1)
+//	5       1     message type (1 = coded data, 2 = generation ACK)
+//	6       4     session ID, big endian
+//	10      4     generation ID, big endian
+//
+// Data messages continue with:
+//
+//	14      2     generation size n, big endian
+//	16      2     block size m, big endian
+//	18      n     coding coefficient vector
+//	18+n    m     coded payload
+//
+// ACK messages end at offset 14. All multi-byte integers are big endian.
+const (
+	wireMagic   = "OMNC"
+	wireVersion = 1
+
+	// MessageData identifies a coded data packet.
+	MessageData = 1
+	// MessageAck identifies the destination's uncoded generation ACK
+	// (Sec. 3.1: sent back over best-path routing once a generation
+	// decodes).
+	MessageAck = 2
+
+	commonHeaderLen = 14
+	dataHeaderLen   = commonHeaderLen + 4
+)
+
+// Wire-format errors.
+var (
+	// ErrTruncated reports a buffer too short for its declared contents.
+	ErrTruncated = errors.New("coding: truncated message")
+	// ErrBadMagic reports a buffer that is not an OMNC message.
+	ErrBadMagic = errors.New("coding: bad magic")
+	// ErrBadVersion reports an unsupported wire version.
+	ErrBadVersion = errors.New("coding: unsupported wire version")
+	// ErrBadType reports an unknown message type.
+	ErrBadType = errors.New("coding: unknown message type")
+)
+
+// Message is a parsed wire message.
+type Message struct {
+	// Type is MessageData or MessageAck.
+	Type byte
+	// Session identifies the unicast session.
+	Session uint32
+	// Generation is the generation ID.
+	Generation uint32
+	// Packet carries the coded payload for data messages; nil for ACKs.
+	Packet *Packet
+}
+
+// WireSize returns the serialized size in bytes of a data packet under the
+// given parameters.
+func WireSize(p Params) int {
+	return dataHeaderLen + p.GenerationSize + p.BlockSize
+}
+
+// AckWireSize is the serialized size of an ACK message.
+const AckWireSize = commonHeaderLen
+
+// MarshalData serializes a coded packet for the identified session.
+func MarshalData(session uint32, pkt *Packet) ([]byte, error) {
+	if pkt == nil {
+		return nil, fmt.Errorf("coding: nil packet")
+	}
+	n, m := len(pkt.Coeffs), len(pkt.Payload)
+	if n == 0 || n > 0xFFFF || m == 0 || m > 0xFFFF {
+		return nil, fmt.Errorf("coding: packet dimensions %dx%d not encodable", n, m)
+	}
+	if pkt.Generation < 0 || int64(pkt.Generation) > int64(^uint32(0)) {
+		return nil, fmt.Errorf("coding: generation %d not encodable", pkt.Generation)
+	}
+	buf := make([]byte, dataHeaderLen+n+m)
+	writeCommon(buf, MessageData, session, uint32(pkt.Generation))
+	binary.BigEndian.PutUint16(buf[14:], uint16(n))
+	binary.BigEndian.PutUint16(buf[16:], uint16(m))
+	copy(buf[dataHeaderLen:], pkt.Coeffs)
+	copy(buf[dataHeaderLen+n:], pkt.Payload)
+	return buf, nil
+}
+
+// MarshalAck serializes a generation ACK.
+func MarshalAck(session uint32, generation uint32) []byte {
+	buf := make([]byte, commonHeaderLen)
+	writeCommon(buf, MessageAck, session, generation)
+	return buf
+}
+
+func writeCommon(buf []byte, msgType byte, session, generation uint32) {
+	copy(buf, wireMagic)
+	buf[4] = wireVersion
+	buf[5] = msgType
+	binary.BigEndian.PutUint32(buf[6:], session)
+	binary.BigEndian.PutUint32(buf[10:], generation)
+}
+
+// Unmarshal parses a wire message. The returned Message's packet slices
+// alias the input buffer; clone if the buffer is reused.
+func Unmarshal(buf []byte) (*Message, error) {
+	if len(buf) < commonHeaderLen {
+		return nil, ErrTruncated
+	}
+	if string(buf[:4]) != wireMagic {
+		return nil, ErrBadMagic
+	}
+	if buf[4] != wireVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, buf[4])
+	}
+	msg := &Message{
+		Type:       buf[5],
+		Session:    binary.BigEndian.Uint32(buf[6:]),
+		Generation: binary.BigEndian.Uint32(buf[10:]),
+	}
+	switch msg.Type {
+	case MessageAck:
+		return msg, nil
+	case MessageData:
+		if len(buf) < dataHeaderLen {
+			return nil, ErrTruncated
+		}
+		n := int(binary.BigEndian.Uint16(buf[14:]))
+		m := int(binary.BigEndian.Uint16(buf[16:]))
+		if n == 0 || m == 0 {
+			return nil, fmt.Errorf("coding: zero packet dimensions %dx%d", n, m)
+		}
+		if len(buf) < dataHeaderLen+n+m {
+			return nil, ErrTruncated
+		}
+		msg.Packet = &Packet{
+			Generation: int(msg.Generation),
+			Coeffs:     buf[dataHeaderLen : dataHeaderLen+n],
+			Payload:    buf[dataHeaderLen+n : dataHeaderLen+n+m],
+		}
+		return msg, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadType, msg.Type)
+	}
+}

@@ -1,0 +1,168 @@
+package coding
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWireDataRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	p := testParams(40, 1024)
+	gen, _ := NewGeneration(7, p, randomData(rng, 100))
+	pkt := NewEncoder(gen, rng).Packet()
+
+	buf, err := MarshalData(12345, pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != WireSize(p) {
+		t.Fatalf("wire size = %d, want %d", len(buf), WireSize(p))
+	}
+	msg, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != MessageData || msg.Session != 12345 || msg.Generation != 7 {
+		t.Fatalf("header = %+v", msg)
+	}
+	if msg.Packet.Generation != 7 {
+		t.Fatalf("packet generation = %d", msg.Packet.Generation)
+	}
+	if !bytes.Equal(msg.Packet.Coeffs, pkt.Coeffs) || !bytes.Equal(msg.Packet.Payload, pkt.Payload) {
+		t.Fatal("round trip corrupted the packet")
+	}
+}
+
+func TestWireAckRoundTrip(t *testing.T) {
+	buf := MarshalAck(99, 1234)
+	if len(buf) != AckWireSize {
+		t.Fatalf("ack size = %d", len(buf))
+	}
+	msg, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != MessageAck || msg.Session != 99 || msg.Generation != 1234 {
+		t.Fatalf("ack = %+v", msg)
+	}
+	if msg.Packet != nil {
+		t.Fatal("ACK must carry no packet")
+	}
+}
+
+func TestWireRejectsGarbage(t *testing.T) {
+	tests := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{name: "empty", buf: nil, want: ErrTruncated},
+		{name: "short", buf: []byte("OMNC"), want: ErrTruncated},
+		{name: "bad magic", buf: append([]byte("XXXX"), make([]byte, 20)...), want: ErrBadMagic},
+		{name: "bad version", buf: wireWith(t, func(b []byte) { b[4] = 9 }), want: ErrBadVersion},
+		{name: "bad type", buf: wireWith(t, func(b []byte) { b[5] = 7 }), want: ErrBadType},
+		{name: "truncated payload", buf: wireWith(t, nil)[:30], want: ErrTruncated},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Unmarshal(tt.buf)
+			if !errors.Is(err, tt.want) {
+				t.Fatalf("err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func wireWith(t *testing.T, mutate func([]byte)) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(72))
+	p := testParams(8, 32)
+	gen, _ := NewGeneration(0, p, nil)
+	buf, err := MarshalData(1, NewEncoder(gen, rng).Packet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mutate != nil {
+		mutate(buf)
+	}
+	return buf
+}
+
+func TestWireZeroDimensionsRejected(t *testing.T) {
+	buf := wireWith(t, func(b []byte) { b[14], b[15] = 0, 0 })
+	if _, err := Unmarshal(buf); err == nil {
+		t.Fatal("zero generation size must fail")
+	}
+	buf = wireWith(t, func(b []byte) { b[16], b[17] = 0, 0 })
+	if _, err := Unmarshal(buf); err == nil {
+		t.Fatal("zero block size must fail")
+	}
+}
+
+func TestMarshalDataValidation(t *testing.T) {
+	if _, err := MarshalData(1, nil); err == nil {
+		t.Fatal("nil packet must fail")
+	}
+	if _, err := MarshalData(1, &Packet{Coeffs: nil, Payload: []byte{1}}); err == nil {
+		t.Fatal("empty coefficients must fail")
+	}
+	if _, err := MarshalData(1, &Packet{Generation: -1, Coeffs: []byte{1}, Payload: []byte{1}}); err == nil {
+		t.Fatal("negative generation must fail")
+	}
+	big := &Packet{Coeffs: make([]byte, 70000), Payload: []byte{1}}
+	if _, err := MarshalData(1, big); err == nil {
+		t.Fatal("oversized coefficient vector must fail")
+	}
+}
+
+// TestWireNeverPanics hammers Unmarshal with random buffers: parse errors
+// are fine, panics are not.
+func TestWireNeverPanics(t *testing.T) {
+	f := func(raw []byte, stampMagic bool) bool {
+		buf := raw
+		if stampMagic && len(buf) >= 6 {
+			copy(buf, wireMagic)
+			buf[4] = wireVersion
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Unmarshal panicked on %v: %v", buf, r)
+			}
+		}()
+		_, _ = Unmarshal(buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWireEndToEnd serializes a full generation's packets across the wire
+// and decodes from the parsed form.
+func TestWireEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	p := testParams(8, 64)
+	data := randomData(rng, 8*64)
+	gen, _ := NewGeneration(3, p, data)
+	enc := NewEncoder(gen, rng)
+	dec, _ := NewDecoder(3, p)
+	for !dec.Decoded() {
+		buf, err := MarshalData(5, enc.Packet())
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dec.Add(msg.Packet.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(dec.Data(), data) {
+		t.Fatal("wire round trip corrupted the generation")
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"omnc/internal/lp"
+)
+
+// LPResult is the centralized optimum of the sUnicast program (1)-(5).
+type LPResult struct {
+	// Gamma is the optimal throughput in bytes/second.
+	Gamma float64
+	// B[i] is the optimal broadcast rate of local node i in bytes/second.
+	B []float64
+	// X[l] is the optimal information rate on Links[l] in bytes/second.
+	X []float64
+	// Beta[i] is the shadow price of node i's MAC constraint (4) — the
+	// paper's "congestion price charged on node i" (Sec. 3.3) — in
+	// throughput units per unit of capacity. Zero at the source (no
+	// receiver constraint there) and at uncongested receivers.
+	Beta []float64
+	// Lambda[l] is the shadow price of link l's broadcast-support
+	// constraint (5), the centralized counterpart of the distributed
+	// algorithm's Lagrange multipliers.
+	Lambda []float64
+	// Iterations is the simplex pivot count.
+	Iterations int
+}
+
+// SolveLP solves sUnicast centrally with the simplex solver, for validating
+// the distributed algorithm and for the paper's optimized-vs-emulated
+// throughput comparison (Sec. 5). capacity is C in bytes/second.
+//
+// Variable layout: [gamma, x_0..x_{L-1}, b_0..b_{K-1}], all >= 0.
+func SolveLP(sg *Subgraph, capacity float64) (*LPResult, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("core: non-positive capacity %v", capacity)
+	}
+	k := sg.Size()
+	nl := len(sg.Links)
+	if nl == 0 {
+		return nil, fmt.Errorf("core: subgraph has no links")
+	}
+	// Solve in capacity units (all rates normalized by C, bounds of 1):
+	// mixing O(1) probabilities and O(C) capacities in one dense tableau
+	// degrades pivot conditioning badly on larger subgraphs.
+	nVars := 1 + nl + k
+	xVar := func(l int) int { return 1 + l }
+	bVar := func(i int) int { return 1 + nl + i }
+
+	p := &lp.Problem{Objective: make([]float64, nVars)}
+	p.Objective[0] = 1 // maximize gamma (1)
+
+	// Flow conservation (2): sum_j x_ij - sum_j x_ji - phi(i)*gamma = 0,
+	// with phi(S) = +1, phi(T) = -1, else 0. The destination row is the
+	// negated sum of the others, so it is omitted to keep rows independent.
+	for i := 0; i < k; i++ {
+		if i == sg.Dst {
+			continue
+		}
+		row := make([]float64, nVars)
+		for _, li := range sg.Out(i) {
+			row[xVar(li)] += 1
+		}
+		for _, li := range sg.In(i) {
+			row[xVar(li)] -= 1
+		}
+		if i == sg.Src {
+			row[0] = -1
+		}
+		p.AEq = append(p.AEq, row)
+		p.BEq = append(p.BEq, 0)
+	}
+
+	// Broadcast MAC constraint (4): for every receiver i != S,
+	// b_i + sum_{j in N(i)} b_j <= C (= 1 in capacity units).
+	macRow := make([]int, k) // local node -> inequality row index, -1 for src
+	for i := range macRow {
+		macRow[i] = -1
+	}
+	for i := 0; i < k; i++ {
+		if i == sg.Src {
+			continue
+		}
+		row := make([]float64, nVars)
+		row[bVar(i)] = 1
+		for _, j := range sg.Neighbors(i) {
+			row[bVar(j)] += 1
+		}
+		macRow[i] = len(p.AUb)
+		p.AUb = append(p.AUb, row)
+		p.BUb = append(p.BUb, 1)
+	}
+
+	// Broadcast support constraint (5): x_ij <= b_i * p_ij.
+	supportRow := make([]int, nl)
+	for li, l := range sg.Links {
+		row := make([]float64, nVars)
+		row[xVar(li)] = 1
+		row[bVar(l.From)] = -l.Prob
+		supportRow[li] = len(p.AUb)
+		p.AUb = append(p.AUb, row)
+		p.BUb = append(p.BUb, 0)
+	}
+
+	// The destination does not transmit: b_T <= 0 pins it at zero, and a
+	// loose upper bound b_i <= 1 keeps the source's rate (otherwise only
+	// constrained through its neighbours) bounded.
+	for i := 0; i < k; i++ {
+		row := make([]float64, nVars)
+		row[bVar(i)] = 1
+		bound := 1.0
+		if i == sg.Dst {
+			bound = 0
+		}
+		p.AUb = append(p.AUb, row)
+		p.BUb = append(p.BUb, bound)
+	}
+
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("core: sUnicast LP: %w", err)
+	}
+	out := &LPResult{
+		Gamma:      sol.X[0] * capacity,
+		B:          make([]float64, k),
+		X:          make([]float64, nl),
+		Iterations: sol.Iterations,
+	}
+	for i := 0; i < k; i++ {
+		out.B[i] = sol.X[bVar(i)] * capacity
+	}
+	for l := 0; l < nl; l++ {
+		out.X[l] = sol.X[xVar(l)] * capacity
+	}
+	// Shadow prices: duals are per capacity unit of slack; gamma is also in
+	// capacity units, so the prices carry over unscaled.
+	out.Beta = make([]float64, k)
+	for i := 0; i < k; i++ {
+		if macRow[i] >= 0 {
+			out.Beta[i] = sol.DualsUb[macRow[i]]
+		}
+	}
+	out.Lambda = make([]float64, nl)
+	for li := 0; li < nl; li++ {
+		out.Lambda[li] = sol.DualsUb[supportRow[li]]
+	}
+	return out, nil
+}

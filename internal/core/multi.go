@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"omnc/internal/graph"
+)
+
+// The multiple-unicast extension the paper's conclusion points to ("the
+// rate control framework can be flexibly extended to other scenarios such
+// as the multiple-unicast case"): several concurrent sessions share the
+// wireless channel, so the broadcast MAC constraint (4) couples them at
+// every common receiver. The decomposition of Sec. 3.3 extends naturally —
+// each session runs its own SUB1/SUB2 with private Lagrange multipliers,
+// while the congestion prices beta are shared across sessions at each node,
+// priced against the *aggregate* neighbourhood load. The objective becomes
+// proportional fairness, sum of ln(gamma_s), which SUB1 already implements
+// per session via U = ln.
+
+// MultiSession is one unicast session of a multiple-unicast problem, with
+// its selected forwarder subgraph.
+type MultiSession struct {
+	// Subgraph is the session's forwarder set (local indices private to
+	// the session).
+	Subgraph *Subgraph
+}
+
+// MultiResult is the outcome of the multiple-unicast rate control.
+type MultiResult struct {
+	// PerSession holds each session's rate allocation, index-aligned with
+	// the input sessions.
+	PerSession []*Result
+	// Iterations is the number of joint iterations executed.
+	Iterations int
+	// Converged reports whether every session's recovered rates
+	// stabilized.
+	Converged bool
+}
+
+// MultiRateController jointly allocates rates to several unicast sessions
+// over the same physical network.
+type MultiRateController struct {
+	sessions []MultiSession
+	opts     Options
+}
+
+// NewMultiRateController builds a joint controller. All subgraphs must
+// reference nodes of the same network (their Nodes fields hold the shared
+// network IDs).
+func NewMultiRateController(sessions []MultiSession, opts Options) (*MultiRateController, error) {
+	if len(sessions) == 0 {
+		return nil, fmt.Errorf("core: no sessions")
+	}
+	for i, s := range sessions {
+		if s.Subgraph == nil || len(s.Subgraph.Links) == 0 {
+			return nil, fmt.Errorf("core: session %d has no forwarder links", i)
+		}
+	}
+	return &MultiRateController{sessions: sessions, opts: opts.withDefaults()}, nil
+}
+
+// Run executes the joint algorithm: per-session SUB1 (shortest path under
+// private lambda) and SUB2 (proximal rate update), with congestion prices
+// maintained per *network node* against the aggregate load of all sessions.
+func (mc *MultiRateController) Run() (*MultiResult, error) {
+	o := mc.opts
+	nSess := len(mc.sessions)
+
+	// Map each session's local nodes onto shared network-node slots.
+	type sessState struct {
+		sg      *Subgraph
+		lambda  []float64
+		b       []float64 // raw iterate, capacity units
+		sumB    []float64
+		avgB    []float64
+		prevAvg []float64
+		sumX    []float64
+		avgX    []float64
+	}
+	states := make([]*sessState, nSess)
+	// Shared congestion price per network node that acts as a receiver in
+	// any session.
+	beta := make(map[int]float64)
+	for si, s := range mc.sessions {
+		sg := s.Subgraph
+		st := &sessState{
+			sg:      sg,
+			lambda:  make([]float64, len(sg.Links)),
+			b:       make([]float64, sg.Size()),
+			sumB:    make([]float64, sg.Size()),
+			avgB:    make([]float64, sg.Size()),
+			prevAvg: make([]float64, sg.Size()),
+			sumX:    make([]float64, len(sg.Links)),
+			avgX:    make([]float64, len(sg.Links)),
+		}
+		for i := range st.b {
+			st.b[i] = 0.01
+		}
+		st.b[sg.Dst] = 0
+		states[si] = st
+		for local, id := range sg.Nodes {
+			if local != sg.Src {
+				beta[id] = 0
+			}
+		}
+	}
+
+	// aggregate load at network node id: sum over sessions of
+	// (own rate + in-range rates), all in capacity units.
+	loadAt := func(id int) float64 {
+		load := 0.0
+		for _, st := range states {
+			for local, nid := range st.sg.Nodes {
+				if nid == id {
+					load += st.b[local]
+					for _, j := range st.sg.Neighbors(local) {
+						load += st.b[j]
+					}
+				}
+			}
+		}
+		return load
+	}
+
+	epochStart := 1
+	nextRestart := 2
+	stable := 0
+	res := &MultiResult{PerSession: make([]*Result, nSess)}
+	iterations := 0
+	for t := 1; t <= o.MaxIterations; t++ {
+		iterations = t
+		if t == nextRestart {
+			for _, st := range states {
+				for i := range st.sumB {
+					st.sumB[i] = 0
+				}
+				for i := range st.sumX {
+					st.sumX[i] = 0
+				}
+			}
+			epochStart = t
+			nextRestart *= 2
+			stable = 0
+		}
+		span := float64(t - epochStart + 1)
+		theta := o.StepA / (o.StepB + o.StepC*float64(t))
+
+		maxDelta := 0.0
+		for _, st := range states {
+			sg := st.sg
+			// SUB1: session-private shortest path and gamma.
+			g := sg.ForwardGraph(st.lambda)
+			path, pMin, ok := graph.ShortestPath(g, sg.Src, sg.Dst)
+			if !ok {
+				return nil, &ErrUnreachable{Src: sg.Nodes[sg.Src], Dst: sg.Nodes[sg.Dst]}
+			}
+			gamma := 1.0
+			if pMin > 1 {
+				gamma = 1 / pMin
+			}
+			xt := make([]float64, len(sg.Links))
+			for _, li := range pathLinkIndices(sg, path) {
+				xt[li] = gamma
+			}
+			for li := range st.sumX {
+				st.sumX[li] += xt[li]
+				st.avgX[li] = st.sumX[li] / span
+			}
+
+			// SUB2: proximal update against shared congestion prices.
+			w := make([]float64, sg.Size())
+			for li, l := range sg.Links {
+				w[l.From] += st.lambda[li] * l.Prob
+			}
+			for i := 0; i < sg.Size(); i++ {
+				if i == sg.Dst {
+					continue
+				}
+				grad := w[i]
+				if i != sg.Src {
+					grad -= beta[sg.Nodes[i]]
+				}
+				for _, j := range sg.Neighbors(i) {
+					if j != sg.Src {
+						grad -= beta[sg.Nodes[j]]
+					}
+				}
+				nb := st.b[i] + grad/(2*o.Sigma)*theta
+				if nb < 0 {
+					nb = 0
+				}
+				if nb > 1 {
+					nb = 1
+				}
+				st.b[i] = nb
+			}
+			copy(st.prevAvg, st.avgB)
+			for i := range st.b {
+				st.sumB[i] += st.b[i]
+				st.avgB[i] = st.sumB[i] / span
+				if d := math.Abs(st.avgB[i] - st.prevAvg[i]); d > maxDelta {
+					maxDelta = d
+				}
+			}
+
+			// Private multiplier update (8).
+			for li, l := range sg.Links {
+				slack := st.b[l.From]*l.Prob - xt[li]
+				st.lambda[li] = math.Max(0, st.lambda[li]-theta*slack)
+			}
+		}
+
+		// Shared congestion price update (15) against aggregate load.
+		for id := range beta {
+			viol := loadAt(id) - 1
+			beta[id] = math.Max(0, beta[id]+theta*viol)
+		}
+
+		if t-epochStart >= 1 && maxDelta < o.Tolerance {
+			stable++
+			if stable >= o.Window {
+				res.Converged = true
+				break
+			}
+		} else {
+			stable = 0
+		}
+	}
+
+	res.Iterations = iterations
+	for si, st := range states {
+		r := &Result{
+			B:          make([]float64, st.sg.Size()),
+			X:          make([]float64, len(st.sg.Links)),
+			Iterations: iterations,
+			Converged:  res.Converged,
+		}
+		for i := range st.avgB {
+			r.B[i] = st.avgB[i] * o.Capacity
+		}
+		for li := range st.avgX {
+			r.X[li] = st.avgX[li] * o.Capacity
+		}
+		r.Gamma = recoveredGamma(st.sg, st.avgX) * o.Capacity
+		res.PerSession[si] = r
+	}
+	return res, nil
+}

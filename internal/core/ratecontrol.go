@@ -1,0 +1,373 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"omnc/internal/graph"
+)
+
+// Options tunes the distributed rate-control algorithm (Table 1). The zero
+// value of any field selects the documented default.
+type Options struct {
+	// Capacity is the MAC channel capacity C in bytes/second. The paper's
+	// convergence showcase uses 1e5. Default 1e5.
+	Capacity float64
+	// StepA, StepB, StepC parameterize the diminishing step size
+	// theta(t) = A / (B + C*t). The paper quotes A=1, B=0.5, C=10 for its
+	// Fig. 1 run on raw byte rates; this implementation normalizes all
+	// rates by the channel capacity (so the dual variables live on their
+	// natural O(1/gamma) scale), under which the equivalent decay is much
+	// slower. Defaults: A=1, B=0.5, C=0.05.
+	StepA, StepB, StepC float64
+	// Sigma is the proximal constant of SUB2's quadratic regularizer
+	// (Sec. 3.3); smaller values take more aggressive b updates.
+	// Default 0.5.
+	Sigma float64
+	// MaxIterations bounds the optimization loop. Default 400.
+	MaxIterations int
+	// Tolerance is the convergence threshold on the recovered broadcast
+	// rates: the loop stops when no averaged rate moved by more than
+	// Tolerance (relative to capacity) over the last Window iterations.
+	// Default 1e-3.
+	Tolerance float64
+	// Window is the stability window for convergence detection. Default 10.
+	Window int
+	// RecordTrace enables per-iteration snapshots (used to draw Fig. 1).
+	RecordTrace bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Capacity <= 0 {
+		o.Capacity = 1e5
+	}
+	if o.StepA <= 0 {
+		o.StepA = 1
+	}
+	if o.StepB <= 0 {
+		o.StepB = 0.5
+	}
+	if o.StepC <= 0 {
+		o.StepC = 0.05
+	}
+	if o.Sigma <= 0 {
+		o.Sigma = 0.5
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 400
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-3
+	}
+	if o.Window <= 0 {
+		o.Window = 10
+	}
+	return o
+}
+
+// Snapshot is one iteration of the optimization trace.
+type Snapshot struct {
+	Iteration int
+	// B are the recovered (running-average) broadcast rates in bytes/s,
+	// indexed by local node.
+	B []float64
+	// Gamma is the current recovered throughput estimate in bytes/s.
+	Gamma float64
+}
+
+// Result is the outcome of the rate-control algorithm for one session.
+type Result struct {
+	// B[i] is the optimized broadcast/encoding rate of local node i in
+	// bytes/second (the paper's rate vector b, after primal recovery).
+	B []float64
+	// X[l] is the information flow rate on Links[l] in bytes/second (the
+	// multipath routing scheme, after primal recovery).
+	X []float64
+	// Gamma is the optimized end-to-end throughput estimate in
+	// bytes/second.
+	Gamma float64
+	// Iterations is the number of iterations executed.
+	Iterations int
+	// Converged reports whether the stability criterion was met before
+	// MaxIterations.
+	Converged bool
+	// Trace holds per-iteration snapshots when Options.RecordTrace is set.
+	Trace []Snapshot
+}
+
+// RateController runs the distributed rate-control algorithm of Table 1 on
+// a selected subgraph. The implementation mirrors the message-passing
+// structure of the paper — every update of node i uses only quantities
+// available at i or advertised by its neighbours — but executes the rounds
+// in a single process.
+type RateController struct {
+	sg   *Subgraph
+	opts Options
+}
+
+// NewRateController returns a controller for the subgraph.
+func NewRateController(sg *Subgraph, opts Options) *RateController {
+	return &RateController{sg: sg, opts: opts.withDefaults()}
+}
+
+// Run executes the algorithm until convergence or MaxIterations.
+//
+// All rates are normalized internally by the channel capacity C so the
+// subgradient steps of (8) and (15) operate on O(1) quantities; results are
+// scaled back to bytes/second.
+func (rc *RateController) Run() (*Result, error) {
+	sg := rc.sg
+	o := rc.opts
+	k := sg.Size()
+	nl := len(sg.Links)
+	if nl == 0 {
+		return nil, fmt.Errorf("core: subgraph has no links")
+	}
+
+	// Step 1 of Table 1: primal variables at small positive values, duals
+	// at zero. Everything below is in capacity units (C == 1).
+	const initRate = 0.01
+	b := make([]float64, k)
+	for i := range b {
+		b[i] = initRate
+	}
+	b[sg.Dst] = 0 // the destination never transmits for this session
+	lambda := make([]float64, nl)
+	beta := make([]float64, k) // beta[Src] stays 0: (4) holds for i != S
+
+	// Running sums for primal recovery (13) and (18). Plain 1/t averaging
+	// over the whole history would let the crude early iterates dominate
+	// for thousands of rounds, so the averages restart at every
+	// power-of-two iteration: at any time they cover at least the latest
+	// half of the run, which remains a valid ergodic primal recovery in the
+	// sense of Sherali-Choi while converging much faster in practice.
+	sumX := make([]float64, nl)
+	sumB := make([]float64, k)
+	avgB := make([]float64, k)
+	prevAvgB := make([]float64, k)
+	avgX := make([]float64, nl)
+	epochStart := 1
+	nextRestart := 2
+	// Full-history sums drive the reported Fig. 1 trace: they converge more
+	// slowly but without the visible jumps the epoch restarts would cause.
+	traceSumX := make([]float64, nl)
+	traceSumB := make([]float64, k)
+
+	res := &Result{}
+	stable := 0
+	for t := 1; t <= o.MaxIterations; t++ {
+		if t == nextRestart {
+			for i := range sumX {
+				sumX[i] = 0
+			}
+			for i := range sumB {
+				sumB[i] = 0
+			}
+			epochStart = t
+			nextRestart *= 2
+			stable = 0
+		}
+		span := float64(t - epochStart + 1)
+		theta := o.StepA / (o.StepB + o.StepC*float64(t))
+
+		// --- Step 3, SUB1: shortest path under link costs lambda, then
+		// gamma = U'^{-1}(p_min) with U = ln, i.e. gamma = 1/p_min (12).
+		g := sg.ForwardGraph(lambda)
+		path, pMin, ok := graph.ShortestPath(g, sg.Src, sg.Dst)
+		if !ok {
+			return nil, &ErrUnreachable{Src: sg.Nodes[sg.Src], Dst: sg.Nodes[sg.Dst]}
+		}
+		gamma := 1.0 // cap at capacity: gamma in (0, C]
+		if pMin > 1 {
+			gamma = 1 / pMin
+		}
+		xt := make([]float64, nl)
+		onPath := pathLinkIndices(sg, path)
+		for _, li := range onPath {
+			xt[li] = gamma
+		}
+		for li := range sumX {
+			sumX[li] += xt[li]
+			avgX[li] = sumX[li] / span // primal recovery (13)
+			traceSumX[li] += xt[li]
+		}
+
+		// --- Step 4, SUB2: proximal update of b (17) and congestion price
+		// update (15). w_i = sum_j lambda_ij p_ij over out-links of i.
+		w := make([]float64, k)
+		for li, l := range sg.Links {
+			w[l.From] += lambda[li] * l.Prob
+		}
+		newB := make([]float64, k)
+		for i := 0; i < k; i++ {
+			if i == sg.Dst {
+				continue
+			}
+			grad := w[i] - beta[i]
+			for _, j := range sg.Neighbors(i) {
+				grad -= beta[j]
+			}
+			nb := b[i] + grad/(2*o.Sigma)*theta
+			// Loose bounds 0 <= b_i <= C keep iterates bounded (Sec. 3.3).
+			if nb < 0 {
+				nb = 0
+			}
+			if nb > 1 {
+				nb = 1
+			}
+			newB[i] = nb
+		}
+		copy(b, newB)
+		for i := 0; i < k; i++ {
+			if i == sg.Src {
+				continue // no receiver constraint at the source
+			}
+			viol := b[i] - 1 // b_i + sum_{j in N(i)} b_j - C
+			for _, j := range sg.Neighbors(i) {
+				viol += b[j]
+			}
+			beta[i] = math.Max(0, beta[i]+theta*viol)
+		}
+		copy(prevAvgB, avgB)
+		for i := 0; i < k; i++ {
+			sumB[i] += b[i]
+			avgB[i] = sumB[i] / span // primal recovery (18)
+			traceSumB[i] += b[i]
+		}
+
+		// --- Step 5: Lagrange multiplier update (8) with the raw iterates.
+		for li, l := range sg.Links {
+			slack := b[l.From]*l.Prob - xt[li]
+			lambda[li] = math.Max(0, lambda[li]-theta*slack)
+		}
+
+		if o.RecordTrace {
+			snap := Snapshot{Iteration: t, B: make([]float64, k)}
+			tAvgX := make([]float64, nl)
+			for li := range traceSumX {
+				tAvgX[li] = traceSumX[li] / float64(t)
+			}
+			for i := range traceSumB {
+				snap.B[i] = traceSumB[i] / float64(t) * o.Capacity
+			}
+			snap.Gamma = recoveredGamma(sg, tAvgX) * o.Capacity
+			res.Trace = append(res.Trace, snap)
+		}
+
+		// Convergence: recovered rates stable for Window iterations within
+		// the current averaging epoch (epoch restarts reset the counter).
+		maxDelta := 0.0
+		for i := range avgB {
+			if d := math.Abs(avgB[i] - prevAvgB[i]); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		res.Iterations = t
+		if t-epochStart >= 1 && maxDelta < o.Tolerance {
+			stable++
+			if stable >= o.Window {
+				res.Converged = true
+				break
+			}
+		} else {
+			stable = 0
+		}
+	}
+
+	res.B = make([]float64, k)
+	for i := range avgB {
+		res.B[i] = avgB[i] * o.Capacity
+	}
+	res.X = make([]float64, nl)
+	for li := range avgX {
+		res.X[li] = avgX[li] * o.Capacity
+	}
+	res.Gamma = recoveredGamma(sg, avgX) * o.Capacity
+	return res, nil
+}
+
+// SupportingRates returns a copy of r.B raised where necessary so that the
+// broadcast-support constraint (5) holds against the recovered flows:
+// b_i >= x_ij / p_ij for every out-link. The rate vector and the flow
+// vector are recovered by independent ergodic averages, and on degenerate
+// sessions (multiple primal optima) the raw b iterates can sit at zero for
+// nodes whose recovered flows still carry traffic; a protocol driving
+// transmitters from such a vector would silence forwarders the routing
+// scheme depends on. The result generally violates the MAC constraint (4)
+// slightly and should be passed through RescaleFeasible.
+func (r *Result) SupportingRates(sg *Subgraph) []float64 {
+	b := append([]float64(nil), r.B...)
+	for li, l := range sg.Links {
+		if need := r.X[li] / l.Prob; need > b[l.From] {
+			b[l.From] = need
+		}
+	}
+	return b
+}
+
+// recoveredGamma reads the throughput off the recovered flows: the net flow
+// out of the source.
+func recoveredGamma(sg *Subgraph, x []float64) float64 {
+	g := 0.0
+	for _, li := range sg.Out(sg.Src) {
+		g += x[li]
+	}
+	for _, li := range sg.In(sg.Src) {
+		g -= x[li]
+	}
+	return g
+}
+
+// pathLinkIndices maps a node path to the indices of its links.
+func pathLinkIndices(sg *Subgraph, path []int) []int {
+	idx := make([]int, 0, len(path)-1)
+	for h := 0; h+1 < len(path); h++ {
+		from, to := path[h], path[h+1]
+		for _, li := range sg.Out(from) {
+			if sg.Links[li].To == to {
+				idx = append(idx, li)
+				break
+			}
+		}
+	}
+	return idx
+}
+
+// RescaleFeasible scales the broadcast-rate vector b (bytes/s) by the
+// largest factor that keeps the broadcast MAC constraint (4) satisfied at
+// every receiver: "feasible schedules can be generated by rescaling the
+// broadcast rate" (Sec. 3.2). An infeasible vector is scaled down to the
+// boundary; a strictly interior vector — the usual outcome of finitely many
+// subgradient iterations, whose recovered averages undershoot the optimum —
+// is scaled up to it, which preserves the optimized rate *proportions* while
+// reclaiming the idle capacity the optimum would use. Individual rates are
+// additionally clamped to the channel capacity. It returns the scaled copy
+// and the factor applied.
+func RescaleFeasible(sg *Subgraph, b []float64, capacity float64) ([]float64, float64) {
+	scale := math.Inf(1)
+	for i := 0; i < sg.Size(); i++ {
+		if i == sg.Src {
+			continue
+		}
+		load := b[i]
+		for _, j := range sg.Neighbors(i) {
+			load += b[j]
+		}
+		if load > 0 {
+			if s := capacity / load; s < scale {
+				scale = s
+			}
+		}
+	}
+	if math.IsInf(scale, 1) {
+		scale = 1 // nothing transmits anywhere near a receiver
+	}
+	out := make([]float64, len(b))
+	for i, v := range b {
+		out[i] = v * scale
+		if out[i] > capacity {
+			out[i] = capacity
+		}
+	}
+	return out, scale
+}

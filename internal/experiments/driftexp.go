@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"omnc/internal/core"
+	"omnc/internal/graph"
+	"omnc/internal/metrics"
+	"omnc/internal/protocol"
+	"omnc/internal/topology"
+)
+
+// DriftSweepConfig parameterizes the link-dynamics experiment (an extension
+// beyond the paper's static evaluation; Sec. 4 discusses the re-initiation
+// cost qualitatively).
+type DriftSweepConfig struct {
+	// Base supplies topology, session and protocol settings; only OMNC
+	// runs (the sweep studies OMNC's re-initiation trade-off).
+	Base Config
+	// Jitters are the per-epoch link-quality perturbation magnitudes to
+	// sweep (0 = static network).
+	Jitters []float64
+	// Epochs per session.
+	Epochs int
+	// ReinitOverhead is the seconds charged per re-initiation.
+	ReinitOverhead float64
+}
+
+// DriftSweepResult maps each jitter level to the distribution of session
+// throughputs.
+type DriftSweepResult struct {
+	Jitters []float64
+	// Throughput[i] summarizes session throughputs at Jitters[i].
+	Throughput []metrics.Summary
+}
+
+// DriftSweep measures OMNC throughput across sessions as link-quality drift
+// intensifies, with node selection and rate control re-initiated each
+// epoch.
+func DriftSweep(cfg DriftSweepConfig) (*DriftSweepResult, error) {
+	base := cfg.Base.withDefaults()
+	if len(cfg.Jitters) == 0 {
+		cfg.Jitters = []float64{0, 0.15, 0.3}
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 3
+	}
+	nw, err := topology.Generate(topology.Config{
+		Nodes:   base.Nodes,
+		Density: base.Density,
+		PHY:     topology.DefaultPHY(),
+		Seed:    base.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	adj := make([][]int, nw.Size())
+	for i := range adj {
+		adj[i] = nw.Neighbors(i)
+	}
+
+	// Fixed session set across jitter levels, so the sweep is paired.
+	type pair struct{ src, dst int }
+	var pairs []pair
+	rng := rand.New(rand.NewSource(base.Seed + 5000))
+	attempts := 0
+	for len(pairs) < base.Sessions && attempts < 200*base.Sessions {
+		attempts++
+		src, dst := rng.Intn(nw.Size()), rng.Intn(nw.Size())
+		if src == dst {
+			continue
+		}
+		h := graph.HopCounts(adj, src)[dst]
+		if h < base.MinHops || h > base.MaxHops {
+			continue
+		}
+		if _, err := core.SelectNodes(nw, src, dst); err != nil {
+			continue
+		}
+		pairs = append(pairs, pair{src, dst})
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("experiments: no sessions for the drift sweep")
+	}
+
+	pcfg := protocol.Config{
+		Coding:        base.Coding,
+		AirPacketSize: base.AirPacketSize,
+		Capacity:      base.Capacity,
+		Duration:      base.Duration,
+		CBRRate:       base.CBRRate,
+		MAC:           base.MAC,
+	}
+	out := &DriftSweepResult{Jitters: cfg.Jitters}
+	for ji, jitter := range cfg.Jitters {
+		var tps []float64
+		for si, p := range pairs {
+			pcfg.Seed = base.Seed + int64(si)*7919
+			ds, err := protocol.RunWithDrift(nw, p.src, p.dst,
+				protocol.OMNC(base.RateOptions), pcfg, protocol.DriftConfig{
+					Epochs:         cfg.Epochs,
+					Jitter:         jitter,
+					ReinitOverhead: cfg.ReinitOverhead,
+					Seed:           base.Seed + int64(ji)*131 + int64(si),
+				})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: drift session %d->%d: %w", p.src, p.dst, err)
+			}
+			tps = append(tps, ds.Throughput)
+		}
+		out.Throughput = append(out.Throughput, metrics.Summarize(tps))
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package gf256
+
+import "encoding/binary"
+
+// The wide-XOR strategy exploits that multiplication by a fixed c is
+// GF(2)-linear in the bits of the operand:
+//
+//	c*x = XOR over k in 0..7 with bit k of x set of (c * x^k mod Poly)
+//
+// Packing 8 data bytes into a uint64 lets one loop iteration apply the k-th
+// bit plane to all 8 bytes at once: extract bit k of every lane, expand it to
+// a full byte mask, and XOR in the broadcast constant c*2^k. This mirrors the
+// paper's SSE2 loop (Sec. 4, "Accelerated network coding"), which widens the
+// datapath instead of performing per-byte table lookups.
+
+const (
+	lsbMask   = 0x0101010101010101 // LSB of each byte lane
+	broadcast = 0x0101010101010101 // multiplying a byte by this broadcasts it
+)
+
+// bitPlaneConsts returns c * 2^k mod Poly for k = 0..7, the per-plane
+// constants of the linear map x -> c*x.
+func bitPlaneConsts(c byte) [8]byte {
+	var ck [8]byte
+	v := c
+	for k := 0; k < 8; k++ {
+		ck[k] = v
+		hi := v & 0x80
+		v <<= 1
+		if hi != 0 {
+			v ^= byte(Poly & 0xFF)
+		}
+	}
+	return ck
+}
+
+func mulAddWideXOR(dst, src []byte, c byte) {
+	ck := bitPlaneConsts(c)
+	var bc [8]uint64
+	for k := 0; k < 8; k++ {
+		bc[k] = uint64(ck[k]) * broadcast
+	}
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		w := binary.LittleEndian.Uint64(src[i:])
+		var acc uint64
+		for k := 0; k < 8; k++ {
+			mask := ((w >> uint(k)) & lsbMask) * 0xFF
+			acc ^= mask & bc[k]
+		}
+		d := binary.LittleEndian.Uint64(dst[i:])
+		binary.LittleEndian.PutUint64(dst[i:], d^acc)
+	}
+	for ; i < n; i++ {
+		dst[i] ^= mulTable[c][src[i]]
+	}
+}
+
+func mulWideXOR(dst, src []byte, c byte) {
+	ck := bitPlaneConsts(c)
+	var bc [8]uint64
+	for k := 0; k < 8; k++ {
+		bc[k] = uint64(ck[k]) * broadcast
+	}
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		w := binary.LittleEndian.Uint64(src[i:])
+		var acc uint64
+		for k := 0; k < 8; k++ {
+			mask := ((w >> uint(k)) & lsbMask) * 0xFF
+			acc ^= mask & bc[k]
+		}
+		binary.LittleEndian.PutUint64(dst[i:], acc)
+	}
+	for ; i < n; i++ {
+		dst[i] = mulTable[c][src[i]]
+	}
+}
+
+func leUint64(b []byte) uint64       { return binary.LittleEndian.Uint64(b) }
+func putLeUint64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+
+// The nibble strategy is the scalar analogue of the PSHUFB technique used by
+// SIMD GF(2^8) kernels (and the spirit of the paper's SSE2 loop): split each
+// operand byte into two 4-bit halves and resolve each half against a 16-entry
+// table that lives in L1 (or registers), instead of a 64 KiB product table.
+//
+//	c*x = loTab[x & 0xF] ^ hiTab[x >> 4]
+//
+// because multiplication by c is linear over GF(2) and x = (x & 0xF) ^ (x & 0xF0).
+
+// nibbleTables returns the two 16-entry half-byte product tables for c.
+func nibbleTables(c byte) (lo, hi [16]byte) {
+	for v := 0; v < 16; v++ {
+		lo[v] = mulTable[c][v]
+		hi[v] = mulTable[c][v<<4]
+	}
+	return lo, hi
+}
+
+func mulAddNibble(dst, src []byte, c byte) {
+	lo, hi := nibbleTables(c)
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		s := src[i : i+8 : i+8]
+		d := dst[i : i+8 : i+8]
+		d[0] ^= lo[s[0]&0xF] ^ hi[s[0]>>4]
+		d[1] ^= lo[s[1]&0xF] ^ hi[s[1]>>4]
+		d[2] ^= lo[s[2]&0xF] ^ hi[s[2]>>4]
+		d[3] ^= lo[s[3]&0xF] ^ hi[s[3]>>4]
+		d[4] ^= lo[s[4]&0xF] ^ hi[s[4]>>4]
+		d[5] ^= lo[s[5]&0xF] ^ hi[s[5]>>4]
+		d[6] ^= lo[s[6]&0xF] ^ hi[s[6]>>4]
+		d[7] ^= lo[s[7]&0xF] ^ hi[s[7]>>4]
+	}
+	for ; i < n; i++ {
+		dst[i] ^= lo[src[i]&0xF] ^ hi[src[i]>>4]
+	}
+}
+
+func mulNibble(dst, src []byte, c byte) {
+	lo, hi := nibbleTables(c)
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		s := src[i : i+8 : i+8]
+		d := dst[i : i+8 : i+8]
+		d[0] = lo[s[0]&0xF] ^ hi[s[0]>>4]
+		d[1] = lo[s[1]&0xF] ^ hi[s[1]>>4]
+		d[2] = lo[s[2]&0xF] ^ hi[s[2]>>4]
+		d[3] = lo[s[3]&0xF] ^ hi[s[3]>>4]
+		d[4] = lo[s[4]&0xF] ^ hi[s[4]>>4]
+		d[5] = lo[s[5]&0xF] ^ hi[s[5]>>4]
+		d[6] = lo[s[6]&0xF] ^ hi[s[6]>>4]
+		d[7] = lo[s[7]&0xF] ^ hi[s[7]>>4]
+	}
+	for ; i < n; i++ {
+		dst[i] = lo[src[i]&0xF] ^ hi[src[i]>>4]
+	}
+}

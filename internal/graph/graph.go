@@ -1,0 +1,179 @@
+// Package graph provides the graph algorithms the OMNC stack is built on:
+// Dijkstra shortest paths (used with the ETX metric for routing, node
+// selection, and SUB1 of the rate controller), BFS hop counts (session
+// placement), a min-cost flow solver (the oldMORE baseline's transmission
+// plan), and path counting in forwarder DAGs (the path-utility metric of
+// Fig. 4).
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Edge is a directed, weighted link.
+type Edge struct {
+	To   int
+	Cost float64
+}
+
+// Digraph is a directed graph with float64 edge costs, stored as adjacency
+// lists.
+type Digraph struct {
+	adj [][]Edge
+}
+
+// New returns an empty digraph on n nodes.
+func New(n int) *Digraph {
+	return &Digraph{adj: make([][]Edge, n)}
+}
+
+// N returns the node count.
+func (g *Digraph) N() int { return len(g.adj) }
+
+// AddEdge inserts the directed edge u -> v. Costs must be non-negative for
+// Dijkstra-based queries.
+func (g *Digraph) AddEdge(u, v int, cost float64) {
+	g.adj[u] = append(g.adj[u], Edge{To: v, Cost: cost})
+}
+
+// Edges returns the out-edges of u (not a copy).
+func (g *Digraph) Edges(u int) []Edge { return g.adj[u] }
+
+// Inf is the distance reported for unreachable nodes.
+var Inf = math.Inf(1)
+
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type priorityQueue []pqItem
+
+func (q priorityQueue) Len() int            { return len(q) }
+func (q priorityQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q priorityQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *priorityQueue) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *priorityQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Dijkstra returns the shortest distance from src to every node and the
+// predecessor array (parent[src] == src; parent of unreachable nodes is -1).
+func Dijkstra(g *Digraph, src int) (dist []float64, parent []int) {
+	n := g.N()
+	dist = make([]float64, n)
+	parent = make([]int, n)
+	for i := range dist {
+		dist[i] = Inf
+		parent[i] = -1
+	}
+	dist[src] = 0
+	parent[src] = src
+	pq := &priorityQueue{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pqItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for _, e := range g.adj[it.node] {
+			if nd := it.dist + e.Cost; nd < dist[e.To] {
+				dist[e.To] = nd
+				parent[e.To] = it.node
+				heap.Push(pq, pqItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	return dist, parent
+}
+
+// ShortestPath returns the minimum-cost path from src to dst as a node
+// sequence (src first), its total cost, and whether dst is reachable.
+func ShortestPath(g *Digraph, src, dst int) (path []int, cost float64, ok bool) {
+	dist, parent := Dijkstra(g, src)
+	if math.IsInf(dist[dst], 1) {
+		return nil, Inf, false
+	}
+	for at := dst; ; at = parent[at] {
+		path = append(path, at)
+		if at == src {
+			break
+		}
+	}
+	reverse(path)
+	return path, dist[dst], true
+}
+
+func reverse(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// HopCounts returns BFS hop distances from src over an adjacency structure
+// (unreachable nodes get -1). Used to place sessions with the paper's
+// 4-to-10-hop constraint.
+func HopCounts(neighbors [][]int, src int) []int {
+	hops := make([]int, len(neighbors))
+	for i := range hops {
+		hops[i] = -1
+	}
+	hops[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range neighbors[u] {
+			if hops[v] < 0 {
+				hops[v] = hops[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return hops
+}
+
+// ErrNoPath reports that the requested flow cannot be routed.
+type ErrNoPath struct {
+	Src, Dst int
+}
+
+func (e *ErrNoPath) Error() string {
+	return fmt.Sprintf("graph: no path from %d to %d", e.Src, e.Dst)
+}
+
+// CountPaths counts directed src->dst paths in an acyclic digraph by dynamic
+// programming; counts are float64 because forwarder DAGs can hold
+// exponentially many paths. If the graph has a cycle reachable between src
+// and dst the result is meaningless; OMNC forwarder graphs are DAGs by
+// construction (every link points strictly closer to the destination).
+func CountPaths(g *Digraph, src, dst int) float64 {
+	memo := make([]float64, g.N())
+	state := make([]int8, g.N()) // 0 unvisited, 1 in progress, 2 done
+	var dfs func(u int) float64
+	dfs = func(u int) float64 {
+		if u == dst {
+			return 1
+		}
+		switch state[u] {
+		case 1:
+			return 0 // cycle guard: treat as no path
+		case 2:
+			return memo[u]
+		}
+		state[u] = 1
+		total := 0.0
+		for _, e := range g.adj[u] {
+			total += dfs(e.To)
+		}
+		state[u] = 2
+		memo[u] = total
+		return total
+	}
+	return dfs(src)
+}

@@ -1,0 +1,322 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDijkstraSimpleChain(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 3, 3)
+	dist, parent := Dijkstra(g, 0)
+	want := []float64{0, 1, 3, 6}
+	for i, w := range want {
+		if dist[i] != w {
+			t.Fatalf("dist[%d] = %v, want %v", i, dist[i], w)
+		}
+	}
+	if parent[0] != 0 || parent[1] != 0 || parent[2] != 1 || parent[3] != 2 {
+		t.Fatalf("parents = %v", parent)
+	}
+}
+
+func TestDijkstraPrefersCheaperDetour(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 2, 10)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	path, cost, ok := ShortestPath(g, 0, 2)
+	if !ok || cost != 2 {
+		t.Fatalf("cost = %v, ok = %v", cost, ok)
+	}
+	if len(path) != 3 || path[0] != 0 || path[1] != 1 || path[2] != 2 {
+		t.Fatalf("path = %v", path)
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	dist, parent := Dijkstra(g, 0)
+	if !math.IsInf(dist[2], 1) || parent[2] != -1 {
+		t.Fatalf("node 2 should be unreachable: dist=%v parent=%v", dist[2], parent[2])
+	}
+	if _, _, ok := ShortestPath(g, 0, 2); ok {
+		t.Fatal("ShortestPath to unreachable node must report !ok")
+	}
+}
+
+func TestShortestPathTrivial(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 5)
+	path, cost, ok := ShortestPath(g, 0, 0)
+	if !ok || cost != 0 || len(path) != 1 || path[0] != 0 {
+		t.Fatalf("self path = %v cost %v ok %v", path, cost, ok)
+	}
+}
+
+func TestHopCounts(t *testing.T) {
+	//    0 - 1 - 2
+	//        |
+	//        3       4 (isolated)
+	adj := [][]int{{1}, {0, 2, 3}, {1}, {1}, {}}
+	hops := HopCounts(adj, 0)
+	want := []int{0, 1, 2, 2, -1}
+	for i, w := range want {
+		if hops[i] != w {
+			t.Fatalf("hops[%d] = %d, want %d", i, hops[i], w)
+		}
+	}
+}
+
+func TestDijkstraAgainstBellmanFordRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(15)
+		g := New(n)
+		type edge struct {
+			u, v int
+			c    float64
+		}
+		var edges []edge
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.3 {
+					c := rng.Float64() * 10
+					g.AddEdge(u, v, c)
+					edges = append(edges, edge{u, v, c})
+				}
+			}
+		}
+		// Bellman-Ford reference.
+		ref := make([]float64, n)
+		for i := range ref {
+			ref[i] = Inf
+		}
+		ref[0] = 0
+		for it := 0; it < n; it++ {
+			for _, e := range edges {
+				if !math.IsInf(ref[e.u], 1) && ref[e.u]+e.c < ref[e.v] {
+					ref[e.v] = ref[e.u] + e.c
+				}
+			}
+		}
+		dist, _ := Dijkstra(g, 0)
+		for i := range dist {
+			if math.Abs(dist[i]-ref[i]) > 1e-9 && !(math.IsInf(dist[i], 1) && math.IsInf(ref[i], 1)) {
+				t.Fatalf("trial %d node %d: dijkstra %v, bellman-ford %v", trial, i, dist[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestCountPathsDiamond(t *testing.T) {
+	// 0 -> {1,2} -> 3: two paths; plus direct 0->3: three total.
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(2, 3, 1)
+	if got := CountPaths(g, 0, 3); got != 2 {
+		t.Fatalf("CountPaths = %v, want 2", got)
+	}
+	g.AddEdge(0, 3, 1)
+	if got := CountPaths(g, 0, 3); got != 3 {
+		t.Fatalf("CountPaths = %v, want 3", got)
+	}
+	if got := CountPaths(g, 3, 0); got != 0 {
+		t.Fatalf("reverse CountPaths = %v, want 0", got)
+	}
+}
+
+func TestCountPathsLayeredGrowth(t *testing.T) {
+	// k layers of 2 parallel nodes: 2^k paths.
+	const k = 10
+	g := New(2*k + 2)
+	src, dst := 2*k, 2*k+1
+	prev := []int{src}
+	for layer := 0; layer < k; layer++ {
+		a, b := 2*layer, 2*layer+1
+		for _, p := range prev {
+			g.AddEdge(p, a, 1)
+			g.AddEdge(p, b, 1)
+		}
+		prev = []int{a, b}
+	}
+	for _, p := range prev {
+		g.AddEdge(p, dst, 1)
+	}
+	if got := CountPaths(g, src, dst); got != math.Pow(2, k) {
+		t.Fatalf("CountPaths = %v, want 2^%d", got, k)
+	}
+}
+
+func TestMinCostFlowSinglePath(t *testing.T) {
+	edges := []FlowEdge{
+		{From: 0, To: 1, Capacity: 10, Cost: 1},
+		{From: 1, To: 2, Capacity: 10, Cost: 1},
+	}
+	res, err := MinCostFlow(3, edges, 0, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 5 || res.Cost != 10 {
+		t.Fatalf("sent %d cost %v", res.Sent, res.Cost)
+	}
+	if res.Flow[0] != 5 || res.Flow[1] != 5 {
+		t.Fatalf("flows = %v", res.Flow)
+	}
+}
+
+func TestMinCostFlowPrefersCheapPathThenSpills(t *testing.T) {
+	// Cheap path capacity 3, expensive path capacity 10; demand 5 must use
+	// 3 cheap + 2 expensive.
+	edges := []FlowEdge{
+		{From: 0, To: 1, Capacity: 3, Cost: 1},
+		{From: 1, To: 3, Capacity: 3, Cost: 1},
+		{From: 0, To: 2, Capacity: 10, Cost: 5},
+		{From: 2, To: 3, Capacity: 10, Cost: 5},
+	}
+	res, err := MinCostFlow(4, edges, 0, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 5 {
+		t.Fatalf("sent = %d", res.Sent)
+	}
+	if res.Flow[0] != 3 || res.Flow[2] != 2 {
+		t.Fatalf("flows = %v", res.Flow)
+	}
+	if want := 3.0*2 + 2.0*10; math.Abs(res.Cost-want) > 1e-9 {
+		t.Fatalf("cost = %v, want %v", res.Cost, want)
+	}
+}
+
+func TestMinCostFlowInfeasibleDemand(t *testing.T) {
+	edges := []FlowEdge{{From: 0, To: 1, Capacity: 2, Cost: 1}}
+	res, err := MinCostFlow(2, edges, 0, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 2 {
+		t.Fatalf("sent = %d, want max feasible 2", res.Sent)
+	}
+}
+
+func TestMinCostFlowDisconnected(t *testing.T) {
+	res, err := MinCostFlow(3, []FlowEdge{{From: 0, To: 1, Capacity: 5, Cost: 1}}, 0, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 0 {
+		t.Fatalf("sent = %d into disconnected sink", res.Sent)
+	}
+}
+
+func TestMinCostFlowValidation(t *testing.T) {
+	if _, err := MinCostFlow(2, nil, 0, 0, 1); err == nil {
+		t.Fatal("src == dst must fail")
+	}
+	if _, err := MinCostFlow(2, nil, 0, 1, 0); err == nil {
+		t.Fatal("zero demand must fail")
+	}
+	if _, err := MinCostFlow(2, []FlowEdge{{From: 0, To: 1, Capacity: 1, Cost: -1}}, 0, 1, 1); err == nil {
+		t.Fatal("negative cost must fail")
+	}
+	if _, err := MinCostFlow(2, []FlowEdge{{From: 0, To: 5, Capacity: 1, Cost: 1}}, 0, 1, 1); err == nil {
+		t.Fatal("out-of-range edge must fail")
+	}
+	if _, err := MinCostFlow(2, []FlowEdge{{From: 0, To: 1, Capacity: -2, Cost: 1}}, 0, 1, 1); err == nil {
+		t.Fatal("negative capacity must fail")
+	}
+}
+
+func TestMinCostFlowConservation(t *testing.T) {
+	// Random graphs: flow conservation and capacity constraints must hold.
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + rng.Intn(8)
+		var edges []FlowEdge
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.35 {
+					edges = append(edges, FlowEdge{
+						From: u, To: v,
+						Capacity: int64(1 + rng.Intn(10)),
+						Cost:     rng.Float64() * 4,
+					})
+				}
+			}
+		}
+		res, err := MinCostFlow(n, edges, 0, n-1, int64(1+rng.Intn(12)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := make([]int64, n)
+		for i, e := range edges {
+			f := res.Flow[i]
+			if f < 0 || f > e.Capacity {
+				t.Fatalf("trial %d: flow %d outside [0,%d] on edge %d", trial, f, e.Capacity, i)
+			}
+			net[e.From] -= f
+			net[e.To] += f
+		}
+		for v := 0; v < n; v++ {
+			switch v {
+			case 0:
+				if net[v] != -res.Sent {
+					t.Fatalf("trial %d: source imbalance %d", trial, net[v])
+				}
+			case n - 1:
+				if net[v] != res.Sent {
+					t.Fatalf("trial %d: sink imbalance %d", trial, net[v])
+				}
+			default:
+				if net[v] != 0 {
+					t.Fatalf("trial %d: node %d imbalance %d", trial, v, net[v])
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyShortestPathTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		g := New(n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.4 {
+					g.AddEdge(u, v, rng.Float64()*5)
+				}
+			}
+		}
+		dist, _ := Dijkstra(g, 0)
+		for u := 0; u < n; u++ {
+			if math.IsInf(dist[u], 1) {
+				continue
+			}
+			for _, e := range g.Edges(u) {
+				if dist[e.To] > dist[u]+e.Cost+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErrNoPathMessage(t *testing.T) {
+	err := &ErrNoPath{Src: 3, Dst: 9}
+	if err.Error() != "graph: no path from 3 to 9" {
+		t.Fatalf("message = %q", err.Error())
+	}
+}

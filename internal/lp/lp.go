@@ -1,0 +1,307 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	maximize    c'x
+//	subject to  A_ub x <= b_ub
+//	            A_eq x  = b_eq
+//	            x >= 0
+//
+// It exists to solve the paper's sUnicast program (1)-(5) centrally, both to
+// validate the distributed rate-control algorithm of Table 1 and to measure
+// the "optimized throughput" that Sec. 5 compares emulated throughput
+// against. Problem sizes are modest (a few hundred variables after node
+// selection), so a dense tableau with Bland's anti-cycling rule is plenty.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Tolerance for pivoting and feasibility decisions.
+const eps = 1e-9
+
+// Errors returned by Solve.
+var (
+	// ErrInfeasible reports that no x satisfies the constraints.
+	ErrInfeasible = errors.New("lp: infeasible")
+	// ErrUnbounded reports that the objective can grow without bound.
+	ErrUnbounded = errors.New("lp: unbounded")
+)
+
+// Problem is a linear program in inequality/equality form. All variables are
+// implicitly non-negative.
+type Problem struct {
+	// Objective holds c: Solve maximizes Objective . x.
+	Objective []float64
+	// AUb/BUb hold the inequality rows A_ub x <= b_ub.
+	AUb [][]float64
+	BUb []float64
+	// AEq/BEq hold the equality rows A_eq x = b_eq.
+	AEq [][]float64
+	BEq []float64
+}
+
+// Solution is the optimum of a Problem.
+type Solution struct {
+	// X is the optimizer (length = len(Objective)).
+	X []float64
+	// Value is the attained objective c'x.
+	Value float64
+	// DualsUb are the shadow prices of the inequality rows: the marginal
+	// objective gain per unit of b_ub slack. Non-negative at an optimum.
+	DualsUb []float64
+	// DualsEq are the shadow prices of the equality rows (free sign).
+	DualsEq []float64
+	// Iterations counts simplex pivots across both phases.
+	Iterations int
+}
+
+// Validate checks structural consistency of the problem.
+func (p *Problem) Validate() error {
+	n := len(p.Objective)
+	if n == 0 {
+		return errors.New("lp: empty objective")
+	}
+	if len(p.AUb) != len(p.BUb) {
+		return fmt.Errorf("lp: %d inequality rows, %d bounds", len(p.AUb), len(p.BUb))
+	}
+	if len(p.AEq) != len(p.BEq) {
+		return fmt.Errorf("lp: %d equality rows, %d bounds", len(p.AEq), len(p.BEq))
+	}
+	for i, row := range p.AUb {
+		if len(row) != n {
+			return fmt.Errorf("lp: inequality row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	for i, row := range p.AEq {
+		if len(row) != n {
+			return fmt.Errorf("lp: equality row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	return nil
+}
+
+// Solve maximizes the problem. It returns ErrInfeasible or ErrUnbounded for
+// degenerate inputs.
+func (p *Problem) Solve() (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Objective)
+	mUb, mEq := len(p.AUb), len(p.AEq)
+	m := mUb + mEq
+
+	// Columns: n structural + mUb slacks + m artificials.
+	nSlack := mUb
+	nArt := m
+	cols := n + nSlack + nArt
+
+	// Build tableau rows with non-negative right-hand sides.
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	basis := make([]int, m)
+	for i := 0; i < mUb; i++ {
+		a[i] = make([]float64, cols)
+		copy(a[i], p.AUb[i])
+		a[i][n+i] = 1 // slack
+		b[i] = p.BUb[i]
+	}
+	for i := 0; i < mEq; i++ {
+		r := mUb + i
+		a[r] = make([]float64, cols)
+		copy(a[r], p.AEq[i])
+		b[r] = p.BEq[i]
+	}
+	for i := 0; i < m; i++ {
+		if b[i] < 0 {
+			for j := range a[i] {
+				a[i][j] = -a[i][j]
+			}
+			b[i] = -b[i]
+		}
+		a[i][n+nSlack+i] = 1 // artificial
+		basis[i] = n + nSlack + i
+	}
+
+	t := &tableau{a: a, b: b, basis: basis, cols: cols}
+
+	// Phase 1: minimize the sum of artificials, i.e. maximize -(sum).
+	phase1 := make([]float64, cols)
+	for j := n + nSlack; j < cols; j++ {
+		phase1[j] = -1
+	}
+	it1, err := t.optimize(phase1, cols)
+	if err != nil {
+		// Phase 1 is bounded by construction; unbounded means a bug.
+		return nil, err
+	}
+	if t.objective(phase1) < -eps {
+		return nil, ErrInfeasible
+	}
+	// Drive any lingering artificial variables out of the basis.
+	t.expelArtificials(n + nSlack)
+
+	// Phase 2: maximize the real objective over structural + slack columns,
+	// freezing artificial columns at zero.
+	phase2 := make([]float64, cols)
+	copy(phase2, p.Objective)
+	it2, err := t.optimize(phase2, n+nSlack)
+	if err != nil {
+		return nil, err
+	}
+
+	x := make([]float64, n)
+	for i, bv := range t.basis {
+		if bv < n {
+			x[bv] = t.b[i]
+		}
+	}
+	value := 0.0
+	for j, c := range p.Objective {
+		value += c * x[j]
+	}
+	sol := &Solution{X: x, Value: value, Iterations: it1 + it2}
+
+	// Shadow prices: y = c_B B^{-1}. The tableau's columns already hold
+	// B^{-1} A, so the dual of inequality row i is the reduced objective
+	// over its slack column, and the dual of an equality row is read off
+	// its (possibly non-basic) artificial column. Each b[i] was negated
+	// during normalization when it was negative, flipping the row's sign.
+	readDual := func(col int, flipped bool) float64 {
+		y := 0.0
+		for r := 0; r < m; r++ {
+			y += phase2[t.basis[r]] * t.a[r][col]
+		}
+		if flipped {
+			return -y
+		}
+		return y
+	}
+	sol.DualsUb = make([]float64, mUb)
+	for i := 0; i < mUb; i++ {
+		sol.DualsUb[i] = readDual(n+i, p.BUb[i] < 0)
+	}
+	sol.DualsEq = make([]float64, mEq)
+	for i := 0; i < mEq; i++ {
+		sol.DualsEq[i] = readDual(n+nSlack+mUb+i, p.BEq[i] < 0)
+	}
+	return sol, nil
+}
+
+// tableau is a dense simplex tableau with an explicit basis.
+type tableau struct {
+	a     [][]float64
+	b     []float64
+	basis []int
+	cols  int
+}
+
+// objective evaluates c over the current basic solution.
+func (t *tableau) objective(c []float64) float64 {
+	v := 0.0
+	for i, bv := range t.basis {
+		v += c[bv] * t.b[i]
+	}
+	return v
+}
+
+// optimize runs primal simplex maximizing c, considering only columns
+// j < colLimit for entering. It uses Dantzig pricing with a Bland fallback
+// after a pivot budget, which suffices for the problem sizes at hand.
+func (t *tableau) optimize(c []float64, colLimit int) (int, error) {
+	m := len(t.a)
+	// Reduced costs require c_B B^{-1} A; with an explicit tableau the rows
+	// are already B^{-1}A, so z_j - c_j = sum_i cB_i a_ij - c_j.
+	iterations := 0
+	maxIter := 200 * (m + t.cols)
+	for {
+		iterations++
+		if iterations > maxIter {
+			return iterations, errors.New("lp: iteration limit exceeded (cycling?)")
+		}
+		bland := iterations > 20*(m+t.cols)
+		// Pricing.
+		enter := -1
+		best := eps
+		for j := 0; j < colLimit; j++ {
+			zj := -c[j]
+			for i := 0; i < m; i++ {
+				zj += c[t.basis[i]] * t.a[i][j]
+			}
+			if -zj > best { // improving column: reduced cost c_j - z_j > 0
+				if bland {
+					enter = j
+					break
+				}
+				best = -zj
+				enter = j
+			}
+		}
+		if enter < 0 {
+			return iterations, nil // optimal
+		}
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t.a[i][enter] > eps {
+				r := t.b[i] / t.a[i][enter]
+				if r < bestRatio-eps || (math.Abs(r-bestRatio) <= eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					bestRatio = r
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return iterations, ErrUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col).
+func (t *tableau) pivot(row, col int) {
+	m := len(t.a)
+	pv := t.a[row][col]
+	inv := 1 / pv
+	for j := 0; j < t.cols; j++ {
+		t.a[row][j] *= inv
+	}
+	t.b[row] *= inv
+	t.a[row][col] = 1 // exact
+	for i := 0; i < m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < t.cols; j++ {
+			t.a[i][j] -= f * t.a[row][j]
+		}
+		t.b[i] -= f * t.b[row]
+		t.a[i][col] = 0 // exact
+	}
+	t.basis[row] = col
+}
+
+// expelArtificials pivots basic artificial variables (all at value zero
+// after a feasible phase 1) out of the basis where possible.
+func (t *tableau) expelArtificials(artStart int) {
+	for i, bv := range t.basis {
+		if bv < artStart {
+			continue
+		}
+		for j := 0; j < artStart; j++ {
+			if math.Abs(t.a[i][j]) > eps {
+				t.pivot(i, j)
+				break
+			}
+		}
+		// If the row is all zeros over real columns it is redundant; the
+		// artificial stays basic at zero, which is harmless.
+	}
+}

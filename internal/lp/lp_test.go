@@ -1,0 +1,359 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleMaximization(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj=12.
+	p := &Problem{
+		Objective: []float64{3, 2},
+		AUb:       [][]float64{{1, 1}, {1, 3}},
+		BUb:       []float64{4, 6},
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value, 12) {
+		t.Fatalf("value = %v, want 12", sol.Value)
+	}
+	if !approx(sol.X[0], 4) || !approx(sol.X[1], 0) {
+		t.Fatalf("x = %v", sol.X)
+	}
+}
+
+func TestClassicTwoVariable(t *testing.T) {
+	// max 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6 -> x=3, y=1.5, obj=21.
+	p := &Problem{
+		Objective: []float64{5, 4},
+		AUb:       [][]float64{{6, 4}, {1, 2}},
+		BUb:       []float64{24, 6},
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value, 21) || !approx(sol.X[0], 3) || !approx(sol.X[1], 1.5) {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestEqualityConstraints(t *testing.T) {
+	// max x + y s.t. x + y = 3, x <= 2 -> any split with x<=2; obj = 3.
+	p := &Problem{
+		Objective: []float64{1, 1},
+		AUb:       [][]float64{{1, 0}},
+		BUb:       []float64{2},
+		AEq:       [][]float64{{1, 1}},
+		BEq:       []float64{3},
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value, 3) {
+		t.Fatalf("value = %v, want 3", sol.Value)
+	}
+	if sol.X[0] > 2+1e-9 {
+		t.Fatalf("x = %v violates bound", sol.X)
+	}
+}
+
+func TestNegativeRHSNormalized(t *testing.T) {
+	// Equality with negative rhs: x - y = -2, x + y <= 4, max x ->
+	// y = x + 2, x + (x+2) <= 4 -> x <= 1.
+	p := &Problem{
+		Objective: []float64{1, 0},
+		AUb:       [][]float64{{1, 1}},
+		BUb:       []float64{4},
+		AEq:       [][]float64{{1, -1}},
+		BEq:       []float64{-2},
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value, 1) || !approx(sol.X[1], 3) {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x <= 1 and x = 5 cannot both hold.
+	p := &Problem{
+		Objective: []float64{1},
+		AUb:       [][]float64{{1}},
+		BUb:       []float64{1},
+		AEq:       [][]float64{{1}},
+		BEq:       []float64{5},
+	}
+	if _, err := p.Solve(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// max x with only -x <= 1: unbounded above.
+	p := &Problem{
+		Objective: []float64{1},
+		AUb:       [][]float64{{-1}},
+		BUb:       []float64{1},
+	}
+	if _, err := p.Solve(); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := (&Problem{}).Solve(); err == nil {
+		t.Fatal("empty objective must fail")
+	}
+	p := &Problem{Objective: []float64{1}, AUb: [][]float64{{1, 2}}, BUb: []float64{1}}
+	if _, err := p.Solve(); err == nil {
+		t.Fatal("ragged inequality row must fail")
+	}
+	p = &Problem{Objective: []float64{1}, AUb: [][]float64{{1}}, BUb: []float64{1, 2}}
+	if _, err := p.Solve(); err == nil {
+		t.Fatal("row/bound count mismatch must fail")
+	}
+	p = &Problem{Objective: []float64{1}, AEq: [][]float64{{1, 2}}, BEq: []float64{1}}
+	if _, err := p.Solve(); err == nil {
+		t.Fatal("ragged equality row must fail")
+	}
+	p = &Problem{Objective: []float64{1}, AEq: [][]float64{{1}}, BEq: []float64{1, 2}}
+	if _, err := p.Solve(); err == nil {
+		t.Fatal("equality count mismatch must fail")
+	}
+}
+
+func TestDegenerateProblem(t *testing.T) {
+	// Degenerate vertex (redundant constraints meeting at one point); the
+	// anti-cycling fallback must still terminate at the optimum.
+	p := &Problem{
+		Objective: []float64{1, 1},
+		AUb: [][]float64{
+			{1, 0}, {0, 1}, {1, 1}, {2, 2},
+		},
+		BUb: []float64{1, 1, 2, 4},
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value, 2) {
+		t.Fatalf("value = %v, want 2", sol.Value)
+	}
+}
+
+func TestMaxFlowAsLP(t *testing.T) {
+	// Max flow on the diamond 0->1->3, 0->2->3, caps 1 each: value 2.
+	// Variables: f01, f02, f13, f23.
+	p := &Problem{
+		Objective: []float64{1, 1, 0, 0},
+		AUb: [][]float64{
+			{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1},
+		},
+		BUb: []float64{1, 1, 1, 1},
+		AEq: [][]float64{
+			{1, 0, -1, 0}, // node 1 conservation
+			{0, 1, 0, -1}, // node 2 conservation
+		},
+		BEq: []float64{0, 0},
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value, 2) {
+		t.Fatalf("max flow = %v, want 2", sol.Value)
+	}
+}
+
+func TestRandomLPsSatisfyConstraints(t *testing.T) {
+	// Random feasible bounded LPs: returned solutions must satisfy every
+	// constraint and beat random feasible points.
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(4)
+		m := 2 + rng.Intn(5)
+		p := &Problem{Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = rng.Float64()
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = rng.Float64() // non-negative rows + positive rhs => bounded, feasible at 0
+			}
+			p.AUb = append(p.AUb, row)
+			p.BUb = append(p.BUb, 1+rng.Float64()*5)
+		}
+		// Ensure boundedness: every variable capped.
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			p.AUb = append(p.AUb, row)
+			p.BUb = append(p.BUb, 10)
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i, row := range p.AUb {
+			lhs := 0.0
+			for j := range row {
+				lhs += row[j] * sol.X[j]
+			}
+			if lhs > p.BUb[i]+1e-6 {
+				t.Fatalf("trial %d: constraint %d violated (%v > %v)", trial, i, lhs, p.BUb[i])
+			}
+		}
+		for j, v := range sol.X {
+			if v < -1e-9 {
+				t.Fatalf("trial %d: x[%d] = %v negative", trial, j, v)
+			}
+		}
+		// Compare against random feasible points (rejection sampling).
+		for probe := 0; probe < 50; probe++ {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = rng.Float64() * 3
+			}
+			feasible := true
+			val := 0.0
+			for i, row := range p.AUb {
+				lhs := 0.0
+				for j := range row {
+					lhs += row[j] * x[j]
+				}
+				if lhs > p.BUb[i] {
+					feasible = false
+					break
+				}
+			}
+			if !feasible {
+				continue
+			}
+			for j := range x {
+				val += p.Objective[j] * x[j]
+			}
+			if val > sol.Value+1e-6 {
+				t.Fatalf("trial %d: random point beats 'optimum' (%v > %v)", trial, val, sol.Value)
+			}
+		}
+	}
+}
+
+func TestIterationsReported(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{1, 1},
+		AUb:       [][]float64{{1, 1}},
+		BUb:       []float64{1},
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Iterations <= 0 {
+		t.Fatal("Iterations must be positive")
+	}
+}
+
+func TestDualsStrongDuality(t *testing.T) {
+	// max 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6: primal optimum 21,
+	// dual optimum b'y must equal it (strong duality), with known
+	// y = (0.75, 0.5).
+	p := &Problem{
+		Objective: []float64{5, 4},
+		AUb:       [][]float64{{6, 4}, {1, 2}},
+		BUb:       []float64{24, 6},
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.DualsUb[0], 0.75) || !approx(sol.DualsUb[1], 0.5) {
+		t.Fatalf("duals = %v, want (0.75, 0.5)", sol.DualsUb)
+	}
+	dualValue := 24*sol.DualsUb[0] + 6*sol.DualsUb[1]
+	if !approx(dualValue, sol.Value) {
+		t.Fatalf("strong duality violated: %v != %v", dualValue, sol.Value)
+	}
+}
+
+func TestDualsEquality(t *testing.T) {
+	// max x + y s.t. x + y = 3, x <= 2. The equality's dual must be 1
+	// (objective rises 1:1 with b_eq) and the inequality's 0 (slack).
+	p := &Problem{
+		Objective: []float64{1, 1},
+		AUb:       [][]float64{{1, 0}},
+		BUb:       []float64{2},
+		AEq:       [][]float64{{1, 1}},
+		BEq:       []float64{3},
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.DualsEq[0], 1) {
+		t.Fatalf("equality dual = %v, want 1", sol.DualsEq[0])
+	}
+	if !approx(sol.DualsUb[0], 0) {
+		t.Fatalf("slack inequality dual = %v, want 0", sol.DualsUb[0])
+	}
+}
+
+func TestDualsComplementarySlackness(t *testing.T) {
+	// Random bounded feasible LPs: y_i > 0 only on tight rows, and strong
+	// duality holds.
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(4)
+		m := 2 + rng.Intn(4)
+		p := &Problem{Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = rng.Float64() + 0.1
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = rng.Float64()
+			}
+			p.AUb = append(p.AUb, row)
+			p.BUb = append(p.BUb, 1+rng.Float64()*5)
+		}
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			p.AUb = append(p.AUb, row)
+			p.BUb = append(p.BUb, 10)
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		dualValue := 0.0
+		for i, y := range sol.DualsUb {
+			if y < -1e-7 {
+				t.Fatalf("trial %d: negative dual %v", trial, y)
+			}
+			lhs := 0.0
+			for j := range p.AUb[i] {
+				lhs += p.AUb[i][j] * sol.X[j]
+			}
+			if y > 1e-7 && lhs < p.BUb[i]-1e-6 {
+				t.Fatalf("trial %d: dual %v on slack row (%v < %v)", trial, y, lhs, p.BUb[i])
+			}
+			dualValue += y * p.BUb[i]
+		}
+		if math.Abs(dualValue-sol.Value) > 1e-6 {
+			t.Fatalf("trial %d: strong duality violated: %v != %v", trial, dualValue, sol.Value)
+		}
+	}
+}

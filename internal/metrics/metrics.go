@@ -1,0 +1,195 @@
+// Package metrics computes the evaluation statistics of Sec. 5: empirical
+// CDFs (every figure in the paper is a CDF), summary statistics, and the
+// derived per-session metrics — throughput gain over ETX routing, node
+// utility ratio and path utility ratio.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution function over float64
+// samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from samples (copied; the input is not retained).
+func NewCDF(samples []float64) *CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Len returns the sample count.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// First index with value > x.
+	idx := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > x })
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) by the nearest-rank
+// method.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(c.sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return c.sorted[rank]
+}
+
+// Mean returns the sample mean.
+func (c *CDF) Mean() float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range c.sorted {
+		sum += v
+	}
+	return sum / float64(len(c.sorted))
+}
+
+// Min and Max return the extreme samples.
+func (c *CDF) Min() float64 { return c.Quantile(0) }
+
+// Max returns the largest sample.
+func (c *CDF) Max() float64 { return c.Quantile(1) }
+
+// Points returns n evenly spaced (x, F(x)) pairs spanning the sample range,
+// the series the paper's figures plot. n must be at least 2.
+func (c *CDF) Points(n int) []Point {
+	if len(c.sorted) == 0 || n < 2 {
+		return nil
+	}
+	lo, hi := c.sorted[0], c.sorted[len(c.sorted)-1]
+	pts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		pts[i] = Point{X: x, F: c.At(x)}
+	}
+	return pts
+}
+
+// Point is one (x, F(x)) sample of a CDF curve.
+type Point struct {
+	X float64
+	F float64
+}
+
+// Summary condenses a sample set the way the paper quotes results
+// ("the average throughput gain of OMNC and MORE are 2.45 and 1.67").
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	P10    float64
+	P90    float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of the samples.
+func Summarize(samples []float64) Summary {
+	c := NewCDF(samples)
+	if c.Len() == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:      c.Len(),
+		Mean:   c.Mean(),
+		Median: c.Quantile(0.5),
+		P10:    c.Quantile(0.1),
+		P90:    c.Quantile(0.9),
+		Min:    c.Min(),
+		Max:    c.Max(),
+	}
+}
+
+// String formats the summary on one line.
+func (s Summary) String() string {
+	if s.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.3f median=%.3f p10=%.3f p90=%.3f min=%.3f max=%.3f",
+		s.N, s.Mean, s.Median, s.P10, s.P90, s.Min, s.Max)
+}
+
+// Gains divides each protocol throughput by the matching baseline
+// throughput, skipping pairs where the baseline is not positive (the
+// paper's throughput-gain metric is undefined there).
+func Gains(protocol, baseline []float64) []float64 {
+	n := len(protocol)
+	if len(baseline) < n {
+		n = len(baseline)
+	}
+	var out []float64
+	for i := 0; i < n; i++ {
+		if baseline[i] > 0 {
+			out = append(out, protocol[i]/baseline[i])
+		}
+	}
+	return out
+}
+
+// ASCIIPlot renders one or more CDF curves as a fixed-width text chart:
+// x spans [0, xMax], y is the cumulative fraction. It is how cmd/omnc-fig
+// presents the paper's figures in a terminal.
+func ASCIIPlot(title, xLabel string, xMax float64, curves map[string]*CDF) string {
+	const width, height = 60, 16
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	names := make([]string, 0, len(curves))
+	for name := range curves {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	markers := []byte{'o', '+', 'x', '*', '#', '@'}
+	for ci, name := range names {
+		c := curves[name]
+		if c.Len() == 0 {
+			continue
+		}
+		mark := markers[ci%len(markers)]
+		for col := 0; col < width; col++ {
+			x := xMax * float64(col) / float64(width-1)
+			f := c.At(x)
+			row := height - 1 - int(f*float64(height-1)+0.5)
+			if row >= 0 && row < height {
+				grid[row][col] = mark
+			}
+		}
+	}
+	for i, row := range grid {
+		y := 1 - float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%4.2f |%s|\n", y, string(row))
+	}
+	fmt.Fprintf(&b, "      %s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "      0%s%.2f  (%s)\n", strings.Repeat(" ", width-12), xMax, xLabel)
+	for ci, name := range names {
+		fmt.Fprintf(&b, "      %c = %s (%s)\n", markers[ci%len(markers)], name, Summarize(curves[name].sorted))
+	}
+	return b.String()
+}

@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 2, 4})
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0},
+		{1, 0.25},
+		{2.5, 0.5},
+		{4, 1},
+		{9, 1},
+	}
+	for _, tt := range tests {
+		if got := c.At(tt.x); got != tt.want {
+			t.Fatalf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestCDFDoesNotAliasInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	c := NewCDF(in)
+	in[0] = 100
+	if c.At(3) != 1 {
+		t.Fatal("CDF must copy its input")
+	}
+}
+
+func TestEmptyCDF(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(1) != 0 {
+		t.Fatal("empty CDF At must be 0")
+	}
+	if !math.IsNaN(c.Mean()) || !math.IsNaN(c.Quantile(0.5)) {
+		t.Fatal("empty CDF stats must be NaN")
+	}
+	if c.Points(5) != nil {
+		t.Fatal("empty CDF Points must be nil")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if c.Quantile(0.5) != 5 {
+		t.Fatalf("median = %v", c.Quantile(0.5))
+	}
+	if c.Quantile(0.1) != 1 {
+		t.Fatalf("p10 = %v", c.Quantile(0.1))
+	}
+	if c.Quantile(0) != 1 || c.Quantile(1) != 10 {
+		t.Fatalf("extremes = %v, %v", c.Quantile(0), c.Quantile(1))
+	}
+	if c.Min() != 1 || c.Max() != 10 {
+		t.Fatal("Min/Max wrong")
+	}
+}
+
+func TestMean(t *testing.T) {
+	c := NewCDF([]float64{2, 4, 6})
+	if c.Mean() != 4 {
+		t.Fatalf("mean = %v", c.Mean())
+	}
+}
+
+func TestPoints(t *testing.T) {
+	c := NewCDF([]float64{0, 10})
+	pts := c.Points(11)
+	if len(pts) != 11 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].X != 0 || pts[10].X != 10 {
+		t.Fatalf("x range = [%v, %v]", pts[0].X, pts[10].X)
+	}
+	if pts[0].F != 0.5 || pts[10].F != 1 {
+		t.Fatalf("F values = %v, %v", pts[0].F, pts[10].F)
+	}
+	if c.Points(1) != nil {
+		t.Fatal("n < 2 must return nil")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !strings.Contains(s.String(), "mean=2.500") {
+		t.Fatalf("String() = %q", s.String())
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.String() != "n=0" {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+}
+
+func TestGains(t *testing.T) {
+	got := Gains([]float64{10, 20, 30}, []float64{5, 0, 10})
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("gains = %v", got)
+	}
+	if Gains(nil, nil) != nil {
+		t.Fatal("empty gains must be nil")
+	}
+	// Length mismatch: use the shorter prefix.
+	got = Gains([]float64{10, 20}, []float64{5})
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("gains = %v", got)
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	curves := map[string]*CDF{
+		"omnc": NewCDF([]float64{1, 2, 3}),
+		"more": NewCDF([]float64{0.5, 1, 1.5}),
+	}
+	out := ASCIIPlot("Fig 2", "gain", 4, curves)
+	if !strings.Contains(out, "Fig 2") || !strings.Contains(out, "omnc") || !strings.Contains(out, "more") {
+		t.Fatalf("plot missing elements:\n%s", out)
+	}
+	if !strings.Contains(out, "gain") {
+		t.Fatal("plot missing x label")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 18 {
+		t.Fatalf("plot has %d lines", len(lines))
+	}
+}
+
+func TestPropertyCDFMonotone(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		rng := rand.New(rand.NewSource(seed))
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = rng.NormFloat64() * 10
+		}
+		c := NewCDF(samples)
+		prev := -1.0
+		for x := -30.0; x <= 30; x += 1.5 {
+			f := c.At(x)
+			if f < prev || f < 0 || f > 1 {
+				return false
+			}
+			prev = f
+		}
+		return c.At(c.Max()) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyQuantileInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		samples := make([]float64, 30)
+		for i := range samples {
+			samples[i] = rng.Float64() * 100
+		}
+		c := NewCDF(samples)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+			v := c.Quantile(q)
+			// At(Quantile(q)) >= q by nearest-rank construction.
+			if c.At(v) < q-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortedInvariant(t *testing.T) {
+	c := NewCDF([]float64{5, 3, 8, 1})
+	if !sort.Float64sAreSorted(c.sorted) {
+		t.Fatal("internal samples must stay sorted")
+	}
+}

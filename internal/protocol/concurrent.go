@@ -1,0 +1,391 @@
+package protocol
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"omnc/internal/coding"
+	"omnc/internal/core"
+	"omnc/internal/sim"
+	"omnc/internal/topology"
+)
+
+// Endpoints identifies one session of a multiple-unicast run.
+type Endpoints struct {
+	Src, Dst int
+}
+
+// ConcurrentStats aggregates a multiple-unicast emulation.
+type ConcurrentStats struct {
+	// PerSession holds each session's statistics, index-aligned with the
+	// input endpoints.
+	PerSession []*Stats
+	// AggregateThroughput sums the per-session throughputs.
+	AggregateThroughput float64
+}
+
+// RunConcurrentOMNC emulates several OMNC unicast sessions sharing the
+// channel simultaneously — the multiple-unicast scenario the paper's
+// conclusion points to. Rates come from the joint controller
+// (core.MultiRateController), whose shared congestion prices divide each
+// neighbourhood's capacity across sessions; the emulation then runs all
+// sessions on one MAC over the full network, so they really do contend.
+func RunConcurrentOMNC(net *topology.Network, sessions []Endpoints, opts core.Options, cfg Config) (*ConcurrentStats, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Coding.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sessions) == 0 {
+		return nil, fmt.Errorf("protocol: no sessions")
+	}
+	if opts.Capacity <= 0 {
+		opts.Capacity = cfg.Capacity
+	}
+
+	// Joint rate allocation.
+	subgraphs := make([]*core.Subgraph, len(sessions))
+	multi := make([]core.MultiSession, len(sessions))
+	for i, s := range sessions {
+		sg, err := core.SelectNodes(net, s.Src, s.Dst)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: session %d: %w", i, err)
+		}
+		subgraphs[i] = sg
+		multi[i] = core.MultiSession{Subgraph: sg}
+	}
+	mc, err := core.NewMultiRateController(multi, opts)
+	if err != nil {
+		return nil, err
+	}
+	joint, err := mc.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	// One engine + MAC over the whole network; session nodes multiplex.
+	eng := sim.NewEngine()
+	mode := cfg.MAC
+	utilization := 1.0
+	if mode == sim.ModeCSMA {
+		utilization = CSMAUtilization
+	}
+	mac, err := sim.NewMAC(eng, net, sim.Config{
+		Capacity:            cfg.Capacity,
+		Mode:                mode,
+		Seed:                cfg.Seed,
+		QueueSampleInterval: cfg.QueueSampleInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	runs := make([]*sessionRun, len(sessions))
+	muxes := make(map[int]*muxNode)
+	mux := func(netID int) *muxNode {
+		m, ok := muxes[netID]
+		if !ok {
+			m = &muxNode{}
+			muxes[netID] = m
+		}
+		return m
+	}
+	for i := range sessions {
+		rates := joint.PerSession[i].SupportingRates(subgraphs[i])
+		caps, _ := core.RescaleFeasible(subgraphs[i], rates, utilization*opts.Capacity)
+		sr, err := newSessionRun(uint32(i), net, subgraphs[i], caps, joint.PerSession[i].Gamma, cfg, eng, mac)
+		if err != nil {
+			return nil, err
+		}
+		runs[i] = sr
+		for local, id := range subgraphs[i].Nodes {
+			mux(id).attach(sr, local)
+		}
+	}
+	// Register the multiplexers: a node transmits if it forwards for any
+	// session; it receives if it is a non-source in any session. Its rate
+	// cap is the sum of its per-session allocations (the joint controller's
+	// aggregate constraint keeps the sum feasible).
+	for id, m := range muxes {
+		if capSum := m.capSum(); capSum > 0 {
+			mac.RegisterTransmitter(id, m, capSum)
+		}
+		if m.receives() {
+			mac.RegisterReceiver(id, m)
+		}
+	}
+
+	for _, sr := range runs {
+		sr.wakeSource()
+	}
+	eng.Run(cfg.Duration)
+
+	out := &ConcurrentStats{PerSession: make([]*Stats, len(sessions))}
+	for i, sr := range runs {
+		st := sr.stats(cfg.Duration)
+		out.PerSession[i] = st
+		out.AggregateThroughput += st.Throughput
+	}
+	return out, nil
+}
+
+// sessionRun is one session's state inside a concurrent emulation: a slim
+// sibling of the single-session runtime operating in network indices.
+type sessionRun struct {
+	id    uint32
+	net   *topology.Network
+	sg    *core.Subgraph
+	caps  []float64
+	gamma float64
+	cfg   Config
+	eng   *sim.Engine
+	mac   *sim.MAC
+	rng   *rand.Rand
+
+	localOf map[int]int // network ID -> local index
+
+	currentGen int
+	decoded    int
+	genBytes   int
+	ackDelay   float64
+
+	enc  *coding.Encoder
+	recs []*coding.Recoder // per local node (nil for src/dst)
+	dec  *coding.Decoder
+}
+
+func newSessionRun(id uint32, net *topology.Network, sg *core.Subgraph, caps []float64, gamma float64,
+	cfg Config, eng *sim.Engine, mac *sim.MAC) (*sessionRun, error) {
+	nominalBlock := cfg.AirPacketSize - cfg.Coding.GenerationSize
+	if nominalBlock <= 0 {
+		return nil, fmt.Errorf("protocol: air packet size %d cannot carry %d coefficients",
+			cfg.AirPacketSize, cfg.Coding.GenerationSize)
+	}
+	sr := &sessionRun{
+		id:       id,
+		net:      net,
+		sg:       sg,
+		caps:     caps,
+		gamma:    gamma,
+		cfg:      cfg,
+		eng:      eng,
+		mac:      mac,
+		rng:      rand.New(rand.NewSource(cfg.Seed + 31*int64(id) + 1)),
+		localOf:  make(map[int]int, sg.Size()),
+		genBytes: cfg.Coding.GenerationSize * nominalBlock,
+		ackDelay: ackLatency(sg, cfg),
+	}
+	for local, nid := range sg.Nodes {
+		sr.localOf[nid] = local
+	}
+	return sr, sr.startGeneration(0)
+}
+
+func (sr *sessionRun) startGeneration(gen int) error {
+	sr.currentGen = gen
+	data := make([]byte, sr.cfg.Coding.GenerationSize*sr.cfg.Coding.BlockSize)
+	sr.rng.Read(data)
+	g, err := coding.NewGeneration(gen, sr.cfg.Coding, data)
+	if err != nil {
+		return err
+	}
+	sr.enc = coding.NewEncoder(g, sr.rng)
+	sr.recs = make([]*coding.Recoder, sr.sg.Size())
+	for local := range sr.sg.Nodes {
+		if local == sr.sg.Src || local == sr.sg.Dst {
+			continue
+		}
+		rec, err := coding.NewRecoder(gen, sr.cfg.Coding, sr.rng)
+		if err != nil {
+			return err
+		}
+		sr.recs[local] = rec
+	}
+	dec, err := coding.NewDecoder(gen, sr.cfg.Coding)
+	if err != nil {
+		return err
+	}
+	sr.dec = dec
+	return nil
+}
+
+func (sr *sessionRun) wakeSource() {
+	sr.mac.Wake(sr.sg.Nodes[sr.sg.Src])
+}
+
+// dequeue produces the session's next frame from the given local node, or
+// nil.
+func (sr *sessionRun) dequeue(local int) *sim.Frame {
+	if local == sr.sg.Dst {
+		return nil
+	}
+	var pkt *coding.Packet
+	if local == sr.sg.Src {
+		if !sr.cbrAvailable() {
+			return nil
+		}
+		pkt = sr.enc.Packet()
+	} else {
+		rec := sr.recs[local]
+		if rec == nil {
+			return nil
+		}
+		pkt = rec.Packet()
+		if pkt == nil {
+			return nil
+		}
+	}
+	return &sim.Frame{
+		Size:      sr.cfg.AirPacketSize,
+		Broadcast: true,
+		Payload:   sessionPayload{session: sr.id, pkt: pkt},
+	}
+}
+
+func (sr *sessionRun) cbrAvailable() bool {
+	if sr.cfg.CBRRate <= 0 {
+		return true
+	}
+	ready := float64(sr.currentGen+1) * float64(sr.genBytes) / sr.cfg.CBRRate
+	if sr.eng.Now() >= ready {
+		return true
+	}
+	src := sr.sg.Nodes[sr.sg.Src]
+	sr.eng.Schedule(ready-sr.eng.Now(), func() { sr.mac.Wake(src) })
+	return false
+}
+
+// receive handles a session packet at the given local node.
+func (sr *sessionRun) receive(fromNet int, local int, pkt *coding.Packet) {
+	if pkt.Generation != sr.currentGen {
+		return
+	}
+	fromLocal, ok := sr.localOf[fromNet]
+	if !ok || sr.sg.ETXDist[fromLocal] <= sr.sg.ETXDist[local] {
+		return // not a downstream delivery for this session
+	}
+	if local == sr.sg.Dst {
+		innovative, err := sr.dec.Add(pkt.Clone())
+		if err != nil || !innovative {
+			return
+		}
+		if sr.dec.Decoded() {
+			sr.generationDecoded()
+		}
+		return
+	}
+	rec := sr.recs[local]
+	if rec == nil || rec.Full() {
+		return
+	}
+	if innovative, err := rec.Add(pkt.Clone()); err == nil && innovative {
+		sr.mac.Wake(sr.sg.Nodes[local])
+	}
+}
+
+func (sr *sessionRun) generationDecoded() {
+	sr.decoded++
+	gen := sr.currentGen + 1
+	sr.eng.Schedule(sr.ackDelay, func() {
+		if err := sr.startGeneration(gen); err != nil {
+			panic(fmt.Sprintf("protocol: concurrent generation restart: %v", err))
+		}
+		for local, nid := range sr.sg.Nodes {
+			if local != sr.sg.Dst {
+				sr.mac.Wake(nid)
+			}
+		}
+	})
+}
+
+func (sr *sessionRun) stats(duration float64) *Stats {
+	st := &Stats{
+		Policy:             "omnc-multi",
+		GenerationsDecoded: sr.decoded,
+		Duration:           duration,
+		Gamma:              sr.gamma,
+		SelectedNodes:      sr.sg.Size(),
+	}
+	if duration > 0 {
+		st.Throughput = float64(sr.decoded) * float64(sr.genBytes) / duration
+	}
+	return st
+}
+
+// sessionPayload tags a coded packet with its session for demultiplexing.
+type sessionPayload struct {
+	session uint32
+	pkt     *coding.Packet
+}
+
+// muxNode multiplexes one physical node's roles across sessions: it
+// round-robins transmissions between the sessions it forwards for and
+// dispatches receptions by session tag.
+type muxNode struct {
+	parts []muxPart
+	next  int
+}
+
+type muxPart struct {
+	run   *sessionRun
+	local int
+}
+
+func (m *muxNode) attach(sr *sessionRun, local int) {
+	m.parts = append(m.parts, muxPart{run: sr, local: local})
+}
+
+// capSum returns the node's aggregate transmission-rate budget.
+func (m *muxNode) capSum() float64 {
+	sum := 0.0
+	for _, p := range m.parts {
+		if p.local == p.run.sg.Dst {
+			continue
+		}
+		c := p.run.caps[p.local]
+		if math.IsInf(c, 1) {
+			return math.Inf(1)
+		}
+		sum += c
+	}
+	return sum
+}
+
+// receives reports whether the node is a receiver in any session.
+func (m *muxNode) receives() bool {
+	for _, p := range m.parts {
+		if p.local != p.run.sg.Src {
+			return true
+		}
+	}
+	return false
+}
+
+// Dequeue implements sim.Transmitter: round-robin across sessions.
+func (m *muxNode) Dequeue() *sim.Frame {
+	for i := 0; i < len(m.parts); i++ {
+		p := m.parts[(m.next+i)%len(m.parts)]
+		if f := p.run.dequeue(p.local); f != nil {
+			m.next = (m.next + i + 1) % len(m.parts)
+			return f
+		}
+	}
+	return nil
+}
+
+// QueueLen implements sim.Transmitter; on-demand coding keeps it at zero.
+func (m *muxNode) QueueLen() int { return 0 }
+
+// Receive implements sim.Receiver: dispatch by session tag.
+func (m *muxNode) Receive(from int, payload interface{}) {
+	sp, ok := payload.(sessionPayload)
+	if !ok {
+		return
+	}
+	for _, p := range m.parts {
+		if p.run.id == sp.session && p.local != p.run.sg.Src {
+			p.run.receive(from, p.local, sp.pkt)
+			return
+		}
+	}
+}

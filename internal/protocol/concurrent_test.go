@@ -1,0 +1,123 @@
+package protocol
+
+import (
+	"testing"
+
+	"omnc/internal/core"
+	"omnc/internal/topology"
+)
+
+// crossroads hosts two sessions through shared middle relays:
+// S1(0) -> {2,3} -> T1(5), S2(1) -> {2,3} -> T2(6).
+func crossroads(t *testing.T) *topology.Network {
+	t.Helper()
+	p := make([][]float64, 7)
+	for i := range p {
+		p[i] = make([]float64, 7)
+	}
+	set := func(a, b int, q float64) {
+		p[a][b] = q
+		p[b][a] = q
+	}
+	set(0, 2, 0.8)
+	set(0, 3, 0.6)
+	set(1, 2, 0.7)
+	set(1, 3, 0.8)
+	set(2, 5, 0.7)
+	set(3, 5, 0.6)
+	set(2, 6, 0.6)
+	set(3, 6, 0.8)
+	set(2, 3, 0.5)
+	nw, err := topology.NewExplicit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestRunConcurrentOMNCSingleSession(t *testing.T) {
+	nw := crossroads(t)
+	cfg := fastConfig(91)
+	cfg.Duration = 200
+	cs, err := RunConcurrentOMNC(nw, []Endpoints{{Src: 0, Dst: 5}}, core.Options{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.PerSession) != 1 {
+		t.Fatalf("sessions = %d", len(cs.PerSession))
+	}
+	if cs.PerSession[0].GenerationsDecoded == 0 {
+		t.Fatal("single concurrent session decoded nothing")
+	}
+	if cs.AggregateThroughput != cs.PerSession[0].Throughput {
+		t.Fatal("aggregate must equal the single session")
+	}
+}
+
+func TestRunConcurrentOMNCTwoSessions(t *testing.T) {
+	nw := crossroads(t)
+	cfg := fastConfig(92)
+	cfg.Duration = 300
+	cs, err := RunConcurrentOMNC(nw,
+		[]Endpoints{{Src: 0, Dst: 5}, {Src: 1, Dst: 6}}, core.Options{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.PerSession) != 2 {
+		t.Fatalf("sessions = %d", len(cs.PerSession))
+	}
+	for i, st := range cs.PerSession {
+		if st.GenerationsDecoded == 0 {
+			t.Fatalf("session %d decoded nothing (gamma %.0f)", i, st.Gamma)
+		}
+		if st.Policy != "omnc-multi" {
+			t.Fatalf("policy = %q", st.Policy)
+		}
+	}
+
+	// Sharing the relays must cost throughput versus running alone.
+	solo, err := RunConcurrentOMNC(nw, []Endpoints{{Src: 0, Dst: 5}}, core.Options{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.PerSession[0].Throughput > solo.PerSession[0].Throughput*1.1 {
+		t.Fatalf("shared session (%v) outperformed solo (%v)",
+			cs.PerSession[0].Throughput, solo.PerSession[0].Throughput)
+	}
+}
+
+func TestRunConcurrentOMNCValidation(t *testing.T) {
+	nw := crossroads(t)
+	cfg := fastConfig(93)
+	if _, err := RunConcurrentOMNC(nw, nil, core.Options{}, cfg); err == nil {
+		t.Fatal("no sessions must fail")
+	}
+	if _, err := RunConcurrentOMNC(nw, []Endpoints{{Src: 0, Dst: 0}}, core.Options{}, cfg); err == nil {
+		t.Fatal("degenerate endpoints must fail")
+	}
+	bad := cfg
+	bad.Coding.GenerationSize = -1
+	if _, err := RunConcurrentOMNC(nw, []Endpoints{{Src: 0, Dst: 5}}, core.Options{}, bad); err == nil {
+		t.Fatal("bad coding params must fail")
+	}
+}
+
+func TestRunConcurrentOMNCDeterministic(t *testing.T) {
+	nw := crossroads(t)
+	cfg := fastConfig(94)
+	cfg.Duration = 150
+	eps := []Endpoints{{Src: 0, Dst: 5}, {Src: 1, Dst: 6}}
+	a, err := RunConcurrentOMNC(nw, eps, core.Options{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunConcurrentOMNC(nw, eps, core.Options{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.PerSession {
+		if a.PerSession[i].Throughput != b.PerSession[i].Throughput {
+			t.Fatalf("session %d not deterministic", i)
+		}
+	}
+}

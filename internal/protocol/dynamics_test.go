@@ -1,0 +1,197 @@
+package protocol
+
+import (
+	"testing"
+
+	"omnc/internal/core"
+	"omnc/internal/topology"
+)
+
+func TestPerturbQualityPreservesStructure(t *testing.T) {
+	nw, err := topology.Generate(topology.Config{Nodes: 60, Density: 6, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := nw.PerturbQuality(1, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := false
+	for i := 0; i < nw.Size(); i++ {
+		if len(p.Neighbors(i)) != len(nw.Neighbors(i)) {
+			t.Fatal("perturbation must not change the neighbour geometry")
+		}
+		for _, j := range nw.Neighbors(i) {
+			q := p.Prob(i, j)
+			if q <= 0 || q > 1 {
+				t.Fatalf("perturbed prob(%d,%d) = %v", i, j, q)
+			}
+			if q != p.Prob(j, i) {
+				t.Fatal("perturbation must preserve symmetry")
+			}
+			if q != nw.Prob(i, j) {
+				changed = true
+			}
+			// Bounded drift: within the jitter envelope (plus clamping).
+			if ratio := q / nw.Prob(i, j); ratio < 0.69 || ratio > 1.31 {
+				if q != 1 && q != 0.01 { // clamped values may exceed the envelope
+					t.Fatalf("drift ratio %v outside +/-30%%", ratio)
+				}
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("perturbation changed nothing")
+	}
+	// The original is untouched.
+	if nw.Prob(0, nwFirstNeighbor(t, nw, 0)) != nw.Prob(0, nwFirstNeighbor(t, nw, 0)) {
+		t.Fatal("original mutated")
+	}
+	if _, err := nw.PerturbQuality(1, 1.5); err == nil {
+		t.Fatal("jitter >= 1 must fail")
+	}
+}
+
+func nwFirstNeighbor(t *testing.T, nw *topology.Network, i int) int {
+	t.Helper()
+	ns := nw.Neighbors(i)
+	if len(ns) == 0 {
+		t.Skip("node has no neighbours")
+	}
+	return ns[0]
+}
+
+func TestWithoutNodesCutsLinks(t *testing.T) {
+	nw := diamond(t)
+	cut, err := nw.WithoutNodes(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.InRange(0, 1) || cut.InRange(1, 3) {
+		t.Fatal("failed node still has links")
+	}
+	if !cut.InRange(0, 2) || !cut.InRange(2, 3) {
+		t.Fatal("surviving links removed")
+	}
+	if cut.Size() != nw.Size() {
+		t.Fatal("node indices must stay stable")
+	}
+	if _, err := nw.WithoutNodes(99); err == nil {
+		t.Fatal("out-of-range node must fail")
+	}
+}
+
+func TestRunWithDriftSingleEpochMatchesPlainRun(t *testing.T) {
+	nw := diamond(t)
+	cfg := fastConfig(61)
+	plain, err := Run(nw, 0, 3, OMNC(core.Options{}), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := RunWithDrift(nw, 0, 3, OMNC(core.Options{}), cfg, DriftConfig{Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.PerEpoch) != 1 || ds.PerEpoch[0] == nil {
+		t.Fatalf("epochs = %+v", ds.PerEpoch)
+	}
+	if ds.Throughput != plain.Throughput {
+		t.Fatalf("single-epoch drift run (%v) must equal plain run (%v)",
+			ds.Throughput, plain.Throughput)
+	}
+}
+
+func TestRunWithDriftReinitOverheadCostsThroughput(t *testing.T) {
+	nw := diamond(t)
+	cfg := fastConfig(62)
+	cfg.Duration = 240
+	free, err := RunWithDrift(nw, 0, 3, OMNC(core.Options{}), cfg,
+		DriftConfig{Epochs: 4, Jitter: 0.2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	taxed, err := RunWithDrift(nw, 0, 3, OMNC(core.Options{}), cfg,
+		DriftConfig{Epochs: 4, Jitter: 0.2, ReinitOverhead: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if taxed.Throughput >= free.Throughput {
+		t.Fatalf("re-initiation overhead must cost throughput: %v >= %v",
+			taxed.Throughput, free.Throughput)
+	}
+	if free.Reinits != 4 || taxed.Reinits != 4 {
+		t.Fatalf("reinits = %d, %d", free.Reinits, taxed.Reinits)
+	}
+}
+
+func TestRunWithDriftFailuresCanDisconnect(t *testing.T) {
+	// The diamond has exactly two relays; killing one per epoch
+	// disconnects the pair by the third epoch.
+	nw := diamond(t)
+	cfg := fastConfig(63)
+	cfg.Duration = 300
+	ds, err := RunWithDrift(nw, 0, 3, OMNC(core.Options{}), cfg,
+		DriftConfig{Epochs: 3, FailuresPerEpoch: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.FailedNodes) == 0 {
+		t.Fatal("no failures injected")
+	}
+	if ds.UnreachableEpochs == 0 {
+		t.Fatal("killing both relays must eventually disconnect the diamond")
+	}
+	if ds.PerEpoch[0] == nil {
+		t.Fatal("first epoch runs before any failure")
+	}
+}
+
+func TestRunWithDriftValidation(t *testing.T) {
+	nw := diamond(t)
+	cfg := fastConfig(64)
+	if _, err := RunWithDrift(nw, 0, 3, OMNC(core.Options{}), cfg,
+		DriftConfig{Epochs: 2, Jitter: 1.2}); err == nil {
+		t.Fatal("bad jitter must fail")
+	}
+	if _, err := RunWithDrift(nw, 0, 3, OMNC(core.Options{}), cfg,
+		DriftConfig{Epochs: 2, ReinitOverhead: cfg.Duration}); err == nil {
+		t.Fatal("overhead exceeding epoch must fail")
+	}
+}
+
+func TestRunWithDriftSurvivesQualityDrift(t *testing.T) {
+	// Drift without failures: the session must keep decoding in every
+	// epoch (OMNC re-optimizes for the new qualities each time).
+	nw, err := topology.Generate(topology.Config{Nodes: 80, Density: 6, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := -1, -1
+	for d := 1; d < nw.Size(); d++ {
+		if sg, err := core.SelectNodes(nw, 0, d); err == nil && sg.Size() >= 5 {
+			src, dst = 0, d
+			break
+		}
+	}
+	if src < 0 {
+		t.Skip("no usable session")
+	}
+	cfg := fastConfig(65)
+	cfg.Duration = 360
+	ds, err := RunWithDrift(nw, src, dst, OMNC(core.Options{}), cfg,
+		DriftConfig{Epochs: 3, Jitter: 0.25, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.UnreachableEpochs > 0 {
+		t.Fatal("pure quality drift must not disconnect the session")
+	}
+	for i, st := range ds.PerEpoch {
+		if st == nil || st.GenerationsDecoded == 0 {
+			t.Fatalf("epoch %d decoded nothing", i)
+		}
+	}
+	if ds.Throughput <= 0 {
+		t.Fatal("aggregate throughput must be positive")
+	}
+}

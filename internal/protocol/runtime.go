@@ -1,0 +1,388 @@
+package protocol
+
+import (
+	"fmt"
+	"math/rand"
+
+	"omnc/internal/coding"
+	"omnc/internal/core"
+	"omnc/internal/graph"
+	"omnc/internal/sim"
+	"omnc/internal/topology"
+	"omnc/internal/trace"
+)
+
+// runtime wires one session's nodes, MAC and generation lifecycle together.
+type runtime struct {
+	net *topology.Network
+	sg  *core.Subgraph
+	pol *Policy
+	cfg Config
+
+	eng   *sim.Engine
+	mac   *sim.MAC
+	rng   *rand.Rand
+	nodes []*node
+
+	currentGen int
+	decoded    int
+	done       bool
+	finishedAt float64
+	ackDelay   float64
+	genBytes   int // nominal application bytes per generation
+	genStart   float64
+
+	latencies  []float64
+	innovative int64
+	received   int64
+}
+
+// emit records a protocol event when tracing is enabled.
+func (rt *runtime) emit(t trace.EventType, node, from int) {
+	if rt.cfg.Trace == nil {
+		return
+	}
+	rt.cfg.Trace.Record(trace.Event{
+		Time:       rt.eng.Now(),
+		Type:       t,
+		Node:       node,
+		From:       from,
+		Generation: rt.currentGen,
+	})
+}
+
+func newRuntime(net *topology.Network, sg *core.Subgraph, pol *Policy, cfg Config) (*runtime, error) {
+	eng := sim.NewEngine()
+	mac, err := sim.NewMAC(eng, &subgraphMedium{net: net, sg: sg}, sim.Config{
+		Capacity:            cfg.Capacity,
+		Mode:                cfg.MAC,
+		Seed:                cfg.Seed,
+		QueueSampleInterval: cfg.QueueSampleInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	nominalBlock := cfg.AirPacketSize - cfg.Coding.GenerationSize
+	if nominalBlock <= 0 {
+		return nil, fmt.Errorf("protocol: air packet size %d cannot carry %d coefficients",
+			cfg.AirPacketSize, cfg.Coding.GenerationSize)
+	}
+	rt := &runtime{
+		net:      net,
+		sg:       sg,
+		pol:      pol,
+		cfg:      cfg,
+		eng:      eng,
+		mac:      mac,
+		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
+		ackDelay: ackLatency(sg, cfg),
+		genBytes: cfg.Coding.GenerationSize * nominalBlock,
+	}
+	rt.nodes = make([]*node, sg.Size())
+	for i := range rt.nodes {
+		n := &node{rt: rt, local: i, isSrc: i == sg.Src, isDst: i == sg.Dst}
+		rt.nodes[i] = n
+		if !n.isSrc {
+			mac.RegisterReceiver(i, n)
+		}
+		excluded := pol.Exclude != nil && pol.Exclude[i]
+		if !n.isDst && !excluded {
+			mac.RegisterTransmitter(i, n, pol.Caps[i])
+		}
+		n.excluded = excluded
+	}
+	if err := rt.startGeneration(0); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// startGeneration resets every node to the given generation.
+func (rt *runtime) startGeneration(gen int) error {
+	rt.currentGen = gen
+	rt.genStart = rt.eng.Now()
+	rt.emit(trace.EventGeneration, rt.sg.Src, -1)
+	data := make([]byte, rt.cfg.Coding.GenerationSize*rt.cfg.Coding.BlockSize)
+	rt.rng.Read(data)
+	g, err := coding.NewGeneration(gen, rt.cfg.Coding, data)
+	if err != nil {
+		return err
+	}
+	for _, n := range rt.nodes {
+		if err := n.reset(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// generationDecoded fires when the destination completes a generation: the
+// ACK travels back over the best path and the source moves on (Sec. 3.1);
+// intermediate nodes flush the expired generation (Sec. 4).
+func (rt *runtime) generationDecoded() {
+	rt.decoded++
+	rt.latencies = append(rt.latencies, rt.eng.Now()-rt.genStart)
+	rt.emit(trace.EventDecode, rt.sg.Dst, -1)
+	if rt.cfg.MaxGenerations > 0 && rt.decoded >= rt.cfg.MaxGenerations {
+		rt.done = true
+		rt.finishedAt = rt.eng.Now()
+		rt.eng.Stop()
+		return
+	}
+	gen := rt.currentGen + 1
+	rt.eng.Schedule(rt.ackDelay, func() {
+		if err := rt.startGeneration(gen); err != nil {
+			// Parameters were validated up front; a failure here is a bug.
+			panic(fmt.Sprintf("protocol: generation restart: %v", err))
+		}
+		for _, n := range rt.nodes {
+			if !n.isDst && !n.excluded {
+				rt.mac.Wake(n.local)
+			}
+		}
+	})
+}
+
+func (rt *runtime) run() (*Stats, error) {
+	rt.mac.Wake(rt.sg.Src)
+	rt.eng.Run(rt.cfg.Duration)
+
+	duration := rt.cfg.Duration
+	if rt.done && rt.finishedAt > 0 {
+		duration = rt.finishedAt
+	}
+	st := &Stats{
+		Policy:             rt.pol.Name,
+		GenerationsDecoded: rt.decoded,
+		Duration:           duration,
+		InnovativeReceived: rt.innovative,
+		TotalReceived:      rt.received,
+		Gamma:              rt.pol.Gamma,
+		RateIterations:     rt.pol.RateIterations,
+		SelectedNodes:      rt.sg.Size(),
+	}
+	if duration > 0 {
+		st.Throughput = float64(rt.decoded) * float64(rt.genBytes) / duration
+	}
+	st.GenerationLatencies = append([]float64(nil), rt.latencies...)
+
+	// Queue statistics over involved nodes (Fig. 3).
+	st.QueuePerNode = make([]float64, rt.sg.Size())
+	involved := 0
+	queueSum := 0.0
+	for i := range rt.nodes {
+		st.QueuePerNode[i] = rt.mac.TimeAvgQueue(i)
+		if rt.mac.FramesSent(i) > 0 {
+			involved++
+			queueSum += st.QueuePerNode[i]
+		}
+	}
+	if involved > 0 {
+		st.MeanQueue = queueSum / float64(involved)
+	}
+
+	// Node utility (Fig. 4): transmitting nodes over selected non-dst nodes.
+	nonDst := rt.sg.Size() - 1
+	if nonDst > 0 {
+		st.NodeUtility = float64(involved) / float64(nonDst)
+	}
+
+	// Path utility (Fig. 4): paths whose links all delivered something.
+	used := graph.New(rt.sg.Size())
+	for _, l := range rt.sg.Links {
+		if rt.mac.Delivered(l.From, l.To) > 0 {
+			used.AddEdge(l.From, l.To, 1)
+		}
+	}
+	total := rt.sg.PathCount()
+	if total > 0 {
+		st.PathUtility = graph.CountPaths(used, rt.sg.Src, rt.sg.Dst) / total
+	}
+	return st, nil
+}
+
+// node is one selected forwarder: a sim.Transmitter feeding re-encoded
+// packets to the MAC and a sim.Receiver absorbing coded packets.
+type node struct {
+	rt       *runtime
+	local    int
+	isSrc    bool
+	isDst    bool
+	excluded bool
+
+	credit float64
+	outq   []*coding.Packet // pre-generated packets awaiting transmission
+	enc    *coding.Encoder  // source only
+	rec    *coding.Recoder  // forwarders
+	dec    *coding.Decoder  // destination
+}
+
+// reset re-arms the node for a new generation; pending credit from the
+// expired generation is discarded with it.
+func (n *node) reset(g *coding.Generation) error {
+	n.credit = 0
+	n.outq = nil // packets of the expired generation are discarded (Sec. 4)
+	cfg := n.rt.cfg
+	switch {
+	case n.isSrc:
+		n.enc = coding.NewEncoder(g, n.rt.rng)
+	case n.isDst:
+		dec, err := coding.NewDecoder(g.ID, cfg.Coding)
+		if err != nil {
+			return err
+		}
+		n.dec = dec
+	default:
+		rec, err := coding.NewRecoder(g.ID, cfg.Coding, n.rt.rng)
+		if err != nil {
+			return err
+		}
+		n.rec = rec
+	}
+	return nil
+}
+
+// Dequeue implements sim.Transmitter.
+func (n *node) Dequeue() *sim.Frame {
+	rt := n.rt
+	if rt.done || n.isDst || n.excluded {
+		return nil
+	}
+	if n.isSrc {
+		if !n.cbrAvailable() {
+			return nil
+		}
+		return n.frame(n.enc.Packet())
+	}
+	// OMNC-style forwarders re-encode a fresh packet at transmission time,
+	// so the stream always spans the forwarder's current buffer ("all
+	// outgoing packets are generated by re-encoding existing innovative
+	// packets", Sec. 4). Credit-driven forwarders (MORE, oldMORE) transmit
+	// the queue of packets pre-generated when credit arrived — under
+	// congestion those age in the queue and go stale, which is exactly the
+	// failure mode Fig. 3 attributes to MORE.
+	if rt.pol.SendWhenNonEmpty {
+		if pkt := n.rec.Packet(); pkt != nil {
+			return n.frame(pkt)
+		}
+		return nil
+	}
+	if len(n.outq) == 0 {
+		return nil
+	}
+	pkt := n.outq[0]
+	n.outq = n.outq[1:]
+	return n.frame(pkt)
+}
+
+// cbrAvailable reports whether the CBR workload has produced the bytes of
+// the current generation yet; if not, it arms a wake-up for when it will.
+func (n *node) cbrAvailable() bool {
+	rt := n.rt
+	if rt.cfg.CBRRate <= 0 {
+		return true
+	}
+	ready := float64(rt.currentGen+1) * float64(rt.genBytes) / rt.cfg.CBRRate
+	if rt.eng.Now() >= ready {
+		return true
+	}
+	local := n.local
+	rt.eng.Schedule(ready-rt.eng.Now(), func() { rt.mac.Wake(local) })
+	return false
+}
+
+func (n *node) frame(pkt *coding.Packet) *sim.Frame {
+	n.rt.emit(trace.EventTx, n.local, -1)
+	return &sim.Frame{Size: n.rt.cfg.AirPacketSize, Broadcast: true, Payload: pkt}
+}
+
+// QueueLen implements sim.Transmitter: the broadcast queue holds the
+// pre-generated coded packets awaiting transmission (Fig. 3's metric).
+// OMNC-style nodes and sources code on demand, so their queue stays empty.
+func (n *node) QueueLen() int {
+	if n.rt.done {
+		return 0
+	}
+	return len(n.outq)
+}
+
+// earnCredit converts accumulated credit into pre-generated re-encoded
+// packets on the broadcast queue.
+func (n *node) earnCredit() {
+	for n.credit >= 1 {
+		n.credit--
+		pkt := n.rec.Packet()
+		if pkt == nil {
+			return
+		}
+		n.outq = append(n.outq, pkt)
+	}
+	n.rt.mac.Wake(n.local)
+}
+
+// Receive implements sim.Receiver.
+func (n *node) Receive(from int, payload interface{}) {
+	rt := n.rt
+	pkt, ok := payload.(*coding.Packet)
+	if !ok || rt.done {
+		return
+	}
+	if pkt.Generation != rt.currentGen {
+		return // expired generation: discard (Sec. 4)
+	}
+	// Packets only flow downstream: a node ignores transmissions from nodes
+	// that are not farther from the destination than itself.
+	if rt.sg.ETXDist[from] <= rt.sg.ETXDist[n.local] {
+		return
+	}
+	rt.received++
+	rt.emit(trace.EventRx, n.local, from)
+	if n.isDst {
+		innovative, err := n.dec.Add(pkt.Clone())
+		if err != nil {
+			return
+		}
+		if innovative {
+			rt.innovative++
+			rt.emit(trace.EventInnovative, n.local, from)
+			if n.dec.Decoded() {
+				rt.generationDecoded()
+			}
+		} else {
+			rt.emit(trace.EventDiscard, n.local, from)
+		}
+		return
+	}
+	// Forwarder: full-rank nodes no longer accept packets (all incoming
+	// packets are necessarily non-innovative, Sec. 4) — but MORE-style
+	// forwarders still earn TX credit from hearing upstream transmissions,
+	// otherwise a filled relay would fall silent mid-generation.
+	if n.rec.Full() {
+		rt.emit(trace.EventDiscard, n.local, from)
+		if rt.pol.CreditOnAnyReception {
+			n.credit += rt.pol.Credit[n.local]
+			n.earnCredit()
+		} else if rt.pol.SendWhenNonEmpty {
+			rt.mac.Wake(n.local)
+		}
+		return
+	}
+	innovative, err := n.rec.Add(pkt.Clone())
+	if err != nil {
+		return
+	}
+	if innovative {
+		rt.innovative++
+		rt.emit(trace.EventInnovative, n.local, from)
+	} else {
+		rt.emit(trace.EventDiscard, n.local, from)
+	}
+	if rt.pol.SendWhenNonEmpty {
+		rt.mac.Wake(n.local)
+		return
+	}
+	if innovative || rt.pol.CreditOnAnyReception {
+		n.credit += rt.pol.Credit[n.local]
+		n.earnCredit()
+	}
+}

@@ -1,0 +1,8 @@
+package routing
+
+import "omnc/internal/coding"
+
+// defaultCoding mirrors protocol's default coding parameters (the paper's
+// 40 x 1 KB generations) for the ETX runtime, which does not code but uses
+// the parameters for packet sizing and generation accounting.
+func defaultCoding() coding.Params { return coding.DefaultParams() }

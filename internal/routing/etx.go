@@ -1,0 +1,241 @@
+package routing
+
+import (
+	"math"
+
+	"omnc/internal/core"
+	"omnc/internal/graph"
+	"omnc/internal/protocol"
+	"omnc/internal/sim"
+	"omnc/internal/topology"
+)
+
+// macAckBytes is the link-layer acknowledgement size charged to every
+// reliable-unicast attempt (an 802.11 ACK frame is 14 bytes).
+const macAckBytes = 14
+
+// etxRuntime is the traditional high-throughput single-path baseline
+// (Sec. 5, "ETX routing"): Dijkstra on the ETX metric picks one path, each
+// hop forwards store-and-forward with MAC-layer retransmissions providing
+// per-hop reliability, and nodes contend for channel shares like everyone
+// else. No coding, no multipath.
+type etxRuntime struct {
+	cfg      protocol.Config
+	eng      *sim.Engine
+	mac      *sim.MAC
+	sg       *core.Subgraph
+	path     []int       // local node indices, source first
+	nextHop  map[int]int // local index -> next local index
+	appBytes int
+
+	srcSent    int64
+	delivered  int64
+	target     int64 // stop after this many delivered packets (0 = none)
+	done       bool
+	finishedAt float64
+}
+
+// RunETX emulates one unicast session under ETX routing and returns its
+// statistics. The session runs over the same selected subgraph and channel
+// model as the coded protocols so that throughput gains (Fig. 2) compare
+// like with like.
+func RunETX(net *topology.Network, src, dst int, cfg protocol.Config) (*protocol.Stats, error) {
+	cfg = applyDefaults(cfg)
+	sg, err := core.SelectNodes(net, src, dst)
+	if err != nil {
+		return nil, err
+	}
+	costs := make([]float64, len(sg.Links))
+	for i, l := range sg.Links {
+		costs[i] = 1 / l.Prob
+	}
+	path, _, ok := graph.ShortestPath(sg.ForwardGraph(costs), sg.Src, sg.Dst)
+	if !ok {
+		return nil, &graph.ErrNoPath{Src: src, Dst: dst}
+	}
+
+	eng := sim.NewEngine()
+	mac, err := sim.NewMAC(eng, protocol.NewMedium(net, sg), sim.Config{
+		Capacity:            cfg.Capacity,
+		Mode:                cfg.MAC,
+		Seed:                cfg.Seed,
+		QueueSampleInterval: cfg.QueueSampleInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt := &etxRuntime{
+		cfg:      cfg,
+		eng:      eng,
+		mac:      mac,
+		sg:       sg,
+		path:     path,
+		nextHop:  make(map[int]int, len(path)),
+		appBytes: cfg.AirPacketSize - cfg.Coding.GenerationSize,
+	}
+	if cfg.MaxGenerations > 0 {
+		rt.target = int64(cfg.MaxGenerations) * int64(cfg.Coding.GenerationSize)
+	}
+	for h := 0; h+1 < len(path); h++ {
+		rt.nextHop[path[h]] = path[h+1]
+	}
+	for h, v := range path {
+		switch {
+		case h == 0:
+			mac.RegisterTransmitter(v, &etxSource{rt: rt, local: v}, math.Inf(1))
+		case h == len(path)-1:
+			mac.RegisterReceiver(v, &etxSink{rt: rt})
+		default:
+			relay := &etxRelay{rt: rt, local: v}
+			mac.RegisterTransmitter(v, relay, math.Inf(1))
+			mac.RegisterReceiver(v, relay)
+		}
+	}
+
+	mac.Wake(path[0])
+	eng.Run(cfg.Duration)
+
+	duration := cfg.Duration
+	if rt.done && rt.finishedAt > 0 {
+		duration = rt.finishedAt
+	}
+	st := &protocol.Stats{
+		Policy:        "etx",
+		Duration:      duration,
+		SelectedNodes: sg.Size(),
+	}
+	if duration > 0 {
+		st.Throughput = float64(rt.delivered) * float64(rt.appBytes) / duration
+	}
+	st.GenerationsDecoded = int(rt.delivered) / cfg.Coding.GenerationSize
+
+	st.QueuePerNode = make([]float64, sg.Size())
+	involved, queueSum := 0, 0.0
+	for i := range st.QueuePerNode {
+		st.QueuePerNode[i] = mac.TimeAvgQueue(i)
+		if mac.FramesSent(i) > 0 {
+			involved++
+			queueSum += st.QueuePerNode[i]
+		}
+	}
+	if involved > 0 {
+		st.MeanQueue = queueSum / float64(involved)
+	}
+	if nonDst := sg.Size() - 1; nonDst > 0 {
+		st.NodeUtility = float64(involved) / float64(nonDst)
+	}
+	used := graph.New(sg.Size())
+	for _, l := range sg.Links {
+		if mac.Delivered(l.From, l.To) > 0 {
+			used.AddEdge(l.From, l.To, 1)
+		}
+	}
+	if total := sg.PathCount(); total > 0 {
+		st.PathUtility = graph.CountPaths(used, sg.Src, sg.Dst) / total
+	}
+	return st, nil
+}
+
+// applyDefaults mirrors protocol.Config defaults for the ETX runtime, which
+// bypasses protocol.Run.
+func applyDefaults(cfg protocol.Config) protocol.Config {
+	if cfg.Coding.GenerationSize == 0 && cfg.Coding.BlockSize == 0 {
+		cfg.Coding = defaultCoding()
+	}
+	if cfg.AirPacketSize <= 0 {
+		cfg.AirPacketSize = cfg.Coding.PacketSize()
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 2e4
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 60
+	}
+	return cfg
+}
+
+// etxSource emits uncoded packets paced by the CBR workload.
+type etxSource struct {
+	rt    *etxRuntime
+	local int
+}
+
+func (s *etxSource) Dequeue() *sim.Frame {
+	rt := s.rt
+	if rt.done {
+		return nil
+	}
+	if rt.cfg.CBRRate > 0 {
+		ready := float64(rt.srcSent+1) * float64(rt.appBytes) / rt.cfg.CBRRate
+		if rt.eng.Now() < ready {
+			local := s.local
+			rt.eng.Schedule(ready-rt.eng.Now(), func() { rt.mac.Wake(local) })
+			return nil
+		}
+	}
+	rt.srcSent++
+	return &sim.Frame{
+		Size:     rt.appBytes,
+		Dest:     rt.nextHop[s.local],
+		Reliable: true,
+		AckSize:  macAckBytes,
+		Payload:  rt.srcSent,
+	}
+}
+
+// QueueLen reports the source's link-layer queue. The CBR backlog is an
+// application-layer quantity: like the coded protocols' sources (which
+// encode on demand), it is not part of the broadcast-queue metric Fig. 3
+// samples, so the source reports an empty queue; relays report their real
+// store-and-forward backlog.
+func (s *etxSource) QueueLen() int { return 0 }
+
+// etxRelay stores and forwards packets hop by hop.
+type etxRelay struct {
+	rt    *etxRuntime
+	local int
+	queue []interface{}
+}
+
+func (r *etxRelay) Receive(from int, payload interface{}) {
+	if r.rt.done {
+		return
+	}
+	r.queue = append(r.queue, payload)
+	r.rt.mac.Wake(r.local)
+}
+
+func (r *etxRelay) Dequeue() *sim.Frame {
+	if r.rt.done || len(r.queue) == 0 {
+		return nil
+	}
+	payload := r.queue[0]
+	r.queue = r.queue[1:]
+	return &sim.Frame{
+		Size:     r.rt.appBytes,
+		Dest:     r.rt.nextHop[r.local],
+		Reliable: true,
+		AckSize:  macAckBytes,
+		Payload:  payload,
+	}
+}
+
+func (r *etxRelay) QueueLen() int { return len(r.queue) }
+
+// etxSink counts delivered packets at the destination.
+type etxSink struct {
+	rt *etxRuntime
+}
+
+func (s *etxSink) Receive(from int, payload interface{}) {
+	rt := s.rt
+	if rt.done {
+		return
+	}
+	rt.delivered++
+	if rt.target > 0 && rt.delivered >= rt.target {
+		rt.done = true
+		rt.finishedAt = rt.eng.Now()
+		rt.eng.Stop()
+	}
+}

@@ -1,0 +1,122 @@
+package routing
+
+import (
+	"fmt"
+	"math"
+
+	"omnc/internal/core"
+	"omnc/internal/graph"
+	"omnc/internal/protocol"
+)
+
+// flowScale converts link probabilities into integral min-cost-flow
+// capacities.
+const flowScale = 1000
+
+// oldMOREDemandFraction sets how much of the max feasible flow the min-cost
+// plan routes. The Lun et al. formulation minimizes expected transmissions
+// for a target rate rather than maximizing rate, so the plan concentrates on
+// the cheapest (highest-quality) links and ignores lossy detours — the
+// best-path bias that Fig. 4 shows pruning most nodes and paths. A small
+// fraction keeps the plan close to the uncapacitated min-cost solution
+// (essentially the single best path, spilling only at bottlenecks).
+const oldMOREDemandFraction = 0.35
+
+// OldMOREPlan is the transmission plan of the MORE technical-report
+// precursor: a min-cost flow in the spirit of Lun et al. [17], which
+// minimizes expected transmissions and therefore "favors high-quality
+// paths" and "tends to prune a large number of nodes associated with low
+// quality links" (Sec. 5).
+type OldMOREPlan struct {
+	// Z[i] is the relative transmission rate of local node i.
+	Z []float64
+	// Credit[i] is the TX credit per innovative packet received.
+	Credit []float64
+	// Exclude[i] marks nodes the plan prunes entirely.
+	Exclude []bool
+}
+
+// ComputeOldMOREPlan derives the min-cost transmission plan on a selected
+// subgraph: link cost is the expected transmission count 1/p_ij, link
+// capacity is proportional to p_ij, and the plan routes a fixed fraction of
+// the maximum feasible flow at minimum cost. Per-node transmission rates
+// follow from the flows (z_i = sum_j x_ij / p_ij).
+func ComputeOldMOREPlan(sg *core.Subgraph) (*OldMOREPlan, error) {
+	k := sg.Size()
+	edges := make([]graph.FlowEdge, len(sg.Links))
+	for i, l := range sg.Links {
+		edges[i] = graph.FlowEdge{
+			From:     l.From,
+			To:       l.To,
+			Capacity: int64(math.Max(1, math.Round(l.Prob*flowScale))),
+			Cost:     1 / l.Prob,
+		}
+	}
+	// First pass: measure the maximum feasible flow.
+	probe, err := graph.MinCostFlow(k, edges, sg.Src, sg.Dst, int64(k)*flowScale)
+	if err != nil {
+		return nil, fmt.Errorf("routing: oldMORE max-flow probe: %w", err)
+	}
+	if probe.Sent <= 0 {
+		return nil, fmt.Errorf("routing: oldMORE found no feasible flow")
+	}
+	demand := int64(math.Max(1, math.Floor(oldMOREDemandFraction*float64(probe.Sent))))
+	res, err := graph.MinCostFlow(k, edges, sg.Src, sg.Dst, demand)
+	if err != nil {
+		return nil, fmt.Errorf("routing: oldMORE min-cost plan: %w", err)
+	}
+
+	z := make([]float64, k)
+	for i, l := range sg.Links {
+		f := float64(res.Flow[i]) / float64(demand)
+		z[l.From] += f / l.Prob
+	}
+	exclude := make([]bool, k)
+	for i := 0; i < k; i++ {
+		if i != sg.Src && i != sg.Dst && z[i] <= 1e-12 {
+			exclude[i] = true
+		}
+	}
+	// Credit per packet heard from upstream: normalize by the expected
+	// reception rate implied by the plan's transmission rates, so the
+	// credit loop is stationary (each reception spawns exactly the planned
+	// number of transmissions, like MORE's TX-credit rule).
+	recv := make([]float64, k)
+	for _, l := range sg.Links {
+		if !exclude[l.From] {
+			recv[l.To] += z[l.From] * l.Prob
+		}
+	}
+	credit := make([]float64, k)
+	for i := 0; i < k; i++ {
+		if i == sg.Src || i == sg.Dst || exclude[i] || recv[i] <= 0 {
+			continue
+		}
+		credit[i] = z[i] / recv[i]
+	}
+	clampCredits(credit)
+	return &OldMOREPlan{Z: z, Credit: credit, Exclude: exclude}, nil
+}
+
+// OldMORE returns the policy builder for the oldMORE baseline: min-cost
+// flow transmission plan, credits per innovative packet, no rate control,
+// pruned nodes silent.
+func OldMORE() protocol.Builder {
+	return func(sg *core.Subgraph, cfg protocol.Config) (*protocol.Policy, error) {
+		plan, err := ComputeOldMOREPlan(sg)
+		if err != nil {
+			return nil, err
+		}
+		return &protocol.Policy{
+			Name:   "oldmore",
+			Caps:   protocol.UncappedRates(sg.Size()),
+			Credit: plan.Credit,
+			// The min-cost plan fixes transmission rates relative to
+			// reception rates (z_i per unit flow), so credit accrues on
+			// every packet heard from upstream, like MORE; a full-rank
+			// relay keeps forwarding as long as upstream keeps sending.
+			CreditOnAnyReception: true,
+			Exclude:              plan.Exclude,
+		}, nil
+	}
+}

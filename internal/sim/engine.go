@@ -1,0 +1,98 @@
+// Package sim is the in-process substitute for the paper's Drift emulation
+// testbed (Sec. 5): a discrete-event simulator whose PHY and MAC follow the
+// models Drift implements — per-link Bernoulli packet loss from the
+// distance-probability map, and an idealized collision-free MAC in which
+// transmitters within range of a common receiver share the channel capacity
+// ("interfering nodes can optimally multiplex the channel").
+//
+// Protocol logic stays outside this package: protocols register Transmitter
+// queues and Receiver callbacks with the MAC and react to deliveries.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  float64
+	seq uint64 // FIFO tie-break for simultaneous events
+	fn  func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler. Time is in seconds, starting at 0.
+// Engines are not safe for concurrent use; the whole simulation runs on one
+// goroutine, which is also how Drift serializes its model computations.
+type Engine struct {
+	now     float64
+	seq     uint64
+	stopped bool
+	queue   eventQueue
+}
+
+// NewEngine returns an engine at time zero with an empty calendar.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule runs fn after delay seconds of simulated time. Negative delays
+// panic: they would reorder causality.
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Run executes events in timestamp order until the calendar empties, the
+// next event lies beyond until, or Stop is called from inside an event; the
+// clock finishes at min(until, last event time) unless stopped. It returns
+// the number of events executed.
+func (e *Engine) Run(until float64) int {
+	executed := 0
+	for e.queue.Len() > 0 && !e.stopped {
+		if e.queue[0].at > until {
+			break
+		}
+		ev := heap.Pop(&e.queue).(event)
+		e.now = ev.at
+		ev.fn()
+		executed++
+	}
+	if e.now < until && !e.stopped {
+		e.now = until
+	}
+	return executed
+}
+
+// Stop halts the run loop after the current event; pending events stay
+// queued and the clock stays at the stopping event's time. Used when a
+// session reaches its goal before the wall-clock horizon.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.queue.Len() }

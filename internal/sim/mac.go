@@ -1,0 +1,618 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Medium exposes the lossy-link structure the MAC operates over. Both
+// *topology.Network and protocol-level subgraph adapters satisfy it.
+type Medium interface {
+	// Size returns the number of nodes.
+	Size() int
+	// Prob returns the one-way reception probability of link (i,j); zero
+	// means out of range.
+	Prob(i, j int) float64
+	// Neighbors lists the nodes within (interference = transmission) range
+	// of i.
+	Neighbors(i int) []int
+}
+
+// Frame is one link-layer transmission unit.
+type Frame struct {
+	// Size in bytes; determines air time.
+	Size int
+	// Broadcast frames are offered to every in-range receiver with
+	// independent per-link loss draws; unicast frames only to Dest.
+	Broadcast bool
+	// Dest is the unicast destination node (ignored for broadcasts).
+	Dest int
+	// Reliable unicast frames are retransmitted by the MAC until received
+	// or MaxRetries attempts are spent — the paper's ETX baseline assumes
+	// "reliability is guaranteed by MAC layer re-transmissions" (Sec. 5).
+	// MAC-layer reliability needs link-layer acknowledgements, so an
+	// attempt succeeds only if the data survives the forward link AND the
+	// ACK survives the reverse link — the two-way delivery ratio the ETX
+	// metric of De Couto et al. is defined over. Broadcast frames carry no
+	// ACKs (the coded protocols' resilience makes them unnecessary).
+	Reliable bool
+	// AckSize adds the link-layer ACK's air time to each reliable-unicast
+	// attempt.
+	AckSize int
+	// Payload travels opaquely to receivers.
+	Payload interface{}
+}
+
+// Transmitter supplies frames to the MAC. Implementations must call
+// MAC.Wake after enqueueing work while idle.
+type Transmitter interface {
+	// Dequeue pops the next frame to send, or nil when idle.
+	Dequeue() *Frame
+	// QueueLen reports the backlog (pending frames) for queue statistics.
+	QueueLen() int
+}
+
+// Receiver consumes delivered frames.
+type Receiver interface {
+	// Receive handles a successfully received payload. from is the
+	// transmitting node.
+	Receive(from int, payload interface{})
+}
+
+// Mode selects the channel-access model.
+type Mode int
+
+const (
+	// ModeOracle is the paper's ideal scheduling scheme (Sec. 5): an
+	// omniscient scheduler lets interfering nodes "optimally multiplex the
+	// channel" with no collisions; concurrently active transmitters split
+	// every receiver neighbourhood's capacity max-min fairly, honouring
+	// per-node rate caps. This is the default and the model behind all
+	// paper-figure experiments.
+	ModeOracle Mode = iota + 1
+	// ModeCSMA is a decentralized contention model kept for the MAC
+	// sensitivity ablation: transmitters carrier-sense one another within
+	// range, hidden terminals collide at common receivers ("a node cannot
+	// receive packets if it falls in the range of an interfering node"),
+	// and rate caps pace transmissions with randomized intervals.
+	ModeCSMA
+)
+
+// Config parameterizes the MAC model.
+type Config struct {
+	// Capacity is the channel capacity C in bytes/second (Sec. 3.2 assumes
+	// every link alone has MAC-layer capacity C).
+	Capacity float64
+	// Mode selects the channel-access model; zero value means ModeOracle.
+	Mode Mode
+	// MaxRetries bounds reliable-unicast retransmissions. Default 100.
+	MaxRetries int
+	// Seed drives the loss process and contention jitter.
+	Seed int64
+	// QueueSampleInterval is the period of queue-size sampling in seconds;
+	// 0 disables sampling. Fig. 3 samples broadcast queue sizes.
+	QueueSampleInterval float64
+	// SlotBytes sets the CSMA contention-jitter scale: before
+	// (re)attempting a transmission a node waits a uniform random time of
+	// up to SlotBytes/Capacity seconds. Default 64.
+	SlotBytes int
+}
+
+// LinkStat counts deliveries on a directed link.
+type LinkStat struct {
+	From, To  int
+	Delivered int64
+}
+
+// MAC emulates the wireless channel access of the paper's Drift testbed:
+// every transmission is subject to the PHY's per-link Bernoulli loss, and
+// channel competition among neighbouring nodes follows the configured Mode.
+// Per-node rate caps carry OMNC's allocated broadcast rates; uncapped nodes
+// (MORE, oldMORE, ETX) take whatever the channel gives them.
+type MAC struct {
+	eng    *Engine
+	medium Medium
+	cfg    Config
+	rng    *rand.Rand
+
+	tx       map[int]Transmitter
+	rx       map[int]Receiver
+	caps     map[int]float64
+	busy     map[int]bool
+	current  map[int]*Frame
+	attempts map[int]int
+	txStart  map[int]float64 // CSMA: start of current/last transmission
+	txEnd    map[int]float64 // CSMA: end of current/last transmission
+	tokens   map[int]float64 // CSMA: byte bucket for rate-capped nodes
+	tokenAt  map[int]float64 // CSMA: last bucket refill time
+	pending  map[int]bool    // CSMA: a retry event is already scheduled
+	order    []int           // registered transmitter nodes, stable order
+	sites    []int           // registered receiver nodes (constraint sites)
+
+	// statistics
+	framesSent    map[int]int64
+	bytesSent     map[int]int64
+	delivered     map[[2]int]int64
+	collided      map[int]int64
+	lost          map[int]int64
+	queueSumTime  map[int]float64
+	lastSampleAt  float64
+	samplingSince float64
+	dropped       map[int]int64
+}
+
+// NewMAC builds a MAC over the medium. Register transmitters and receivers,
+// then drive the engine.
+func NewMAC(eng *Engine, medium Medium, cfg Config) (*MAC, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("sim: non-positive capacity %v", cfg.Capacity)
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeOracle
+	}
+	if cfg.Mode != ModeOracle && cfg.Mode != ModeCSMA {
+		return nil, fmt.Errorf("sim: unknown MAC mode %d", cfg.Mode)
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 100
+	}
+	if cfg.SlotBytes <= 0 {
+		cfg.SlotBytes = 64
+	}
+	m := &MAC{
+		eng:          eng,
+		medium:       medium,
+		cfg:          cfg,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		tx:           make(map[int]Transmitter),
+		rx:           make(map[int]Receiver),
+		caps:         make(map[int]float64),
+		busy:         make(map[int]bool),
+		current:      make(map[int]*Frame),
+		attempts:     make(map[int]int),
+		txStart:      make(map[int]float64),
+		txEnd:        make(map[int]float64),
+		tokens:       make(map[int]float64),
+		tokenAt:      make(map[int]float64),
+		pending:      make(map[int]bool),
+		framesSent:   make(map[int]int64),
+		bytesSent:    make(map[int]int64),
+		delivered:    make(map[[2]int]int64),
+		collided:     make(map[int]int64),
+		lost:         make(map[int]int64),
+		queueSumTime: make(map[int]float64),
+		dropped:      make(map[int]int64),
+	}
+	if cfg.QueueSampleInterval > 0 {
+		m.samplingSince = eng.Now()
+		m.lastSampleAt = eng.Now()
+		m.scheduleSample()
+	}
+	return m, nil
+}
+
+// RegisterTransmitter attaches a frame source to node. rateCap limits the
+// node's long-run transmission rate in bytes/second; pass math.Inf(1) for
+// uncapped contention.
+func (m *MAC) RegisterTransmitter(node int, t Transmitter, rateCap float64) {
+	if _, dup := m.tx[node]; !dup {
+		m.order = append(m.order, node)
+	}
+	m.tx[node] = t
+	m.caps[node] = rateCap
+	m.tokens[node] = 0
+	m.tokenAt[node] = m.eng.Now()
+	m.txStart[node] = -1
+	m.txEnd[node] = -1
+}
+
+// RegisterReceiver attaches a frame sink to node. Registered receivers are
+// the constraint sites of the oracle model's neighbourhood sharing.
+func (m *MAC) RegisterReceiver(node int, r Receiver) {
+	if _, dup := m.rx[node]; !dup {
+		m.sites = append(m.sites, node)
+	}
+	m.rx[node] = r
+	if _, isTx := m.tx[node]; !isTx {
+		m.txStart[node] = -1
+		m.txEnd[node] = -1
+	}
+}
+
+// Wake notifies the MAC that node may have frames pending. Idempotent;
+// cheap when the node is already transmitting or scheduled.
+func (m *MAC) Wake(node int) {
+	if m.cfg.Mode == ModeCSMA {
+		m.scheduleTry(node, 0)
+		return
+	}
+	if !m.busy[node] {
+		m.tryStart(node)
+	}
+}
+
+// airBytes is the channel occupancy of one attempt.
+func airBytes(f *Frame) int {
+	b := f.Size
+	if f.Reliable && !f.Broadcast {
+		b += f.AckSize
+	}
+	return b
+}
+
+// effectiveCap is the node's rate cap clamped to the channel capacity.
+func (m *MAC) effectiveCap(node int) float64 {
+	limit := m.caps[node]
+	if limit > m.cfg.Capacity {
+		return m.cfg.Capacity
+	}
+	return limit
+}
+
+// slotTime is the CSMA contention jitter scale.
+func (m *MAC) slotTime() float64 {
+	return float64(m.cfg.SlotBytes) / m.cfg.Capacity
+}
+
+// scheduleTry arms a single CSMA tryStart for node after base plus random
+// jitter.
+func (m *MAC) scheduleTry(node int, base float64) {
+	if m.pending[node] || m.busy[node] || m.tx[node] == nil {
+		return
+	}
+	m.pending[node] = true
+	delay := base + m.rng.Float64()*m.slotTime()
+	m.eng.Schedule(delay, func() {
+		m.pending[node] = false
+		m.tryStart(node)
+	})
+}
+
+// tryStart begins the next transmission of node if the mode's access rules
+// allow one.
+func (m *MAC) tryStart(node int) {
+	t := m.tx[node]
+	if t == nil || m.busy[node] {
+		return
+	}
+	frame := m.current[node]
+	if frame == nil {
+		frame = t.Dequeue()
+		if frame == nil {
+			return
+		}
+		m.current[node] = frame
+		m.attempts[node] = 0
+	}
+	need := float64(airBytes(frame))
+
+	if m.cfg.Mode == ModeCSMA {
+		// Token pacing for rate-capped nodes.
+		if rate := m.effectiveCap(node); !math.IsInf(rate, 1) {
+			if rate <= 0 {
+				return // rate zero: never transmits
+			}
+			now := m.eng.Now()
+			m.tokens[node] += (now - m.tokenAt[node]) * rate
+			m.tokenAt[node] = now
+			if m.tokens[node] > need {
+				m.tokens[node] = need // burst of one frame
+			}
+			if m.tokens[node] < need {
+				// Randomize the pacing interval (mean-preserving, +/-50%):
+				// deterministic waits phase-lock transmitters that share a
+				// period, turning hidden-terminal overlap into a
+				// persistent collision train.
+				wait := (need - m.tokens[node]) / rate * (0.5 + m.rng.Float64())
+				m.scheduleTry(node, wait)
+				return
+			}
+		}
+		// Carrier sense: defer while any in-range node transmits. Their
+		// completion handler re-arms us.
+		for _, v := range m.medium.Neighbors(node) {
+			if m.busy[v] {
+				return
+			}
+		}
+		if !math.IsInf(m.caps[node], 1) {
+			m.tokens[node] -= need
+		}
+		m.busy[node] = true
+		m.txStart[node] = m.eng.Now()
+		m.txEnd[node] = m.eng.Now() + need/m.cfg.Capacity
+		m.eng.Schedule(need/m.cfg.Capacity, func() { m.complete(node) })
+		return
+	}
+
+	// Oracle mode: the ideal scheduler multiplexes interfering nodes with
+	// no collisions; the node's long-run rate is its max-min fair share of
+	// the neighbourhood constraints, at most its cap, and the frame simply
+	// occupies its share for Size/rate seconds.
+	rate := m.allocate(node)
+	if rate <= 0 {
+		m.eng.Schedule(need/m.cfg.Capacity, func() { m.tryStart(node) })
+		return
+	}
+	m.busy[node] = true
+	m.eng.Schedule(need/rate, func() { m.complete(node) })
+}
+
+// complete finishes node's in-flight frame: draws receptions, handles
+// reliable retransmission, and chains the next attempt.
+func (m *MAC) complete(node int) {
+	frame := m.current[node]
+	csma := m.cfg.Mode == ModeCSMA
+	start, end := m.txStart[node], m.txEnd[node]
+	m.busy[node] = false
+	m.framesSent[node]++
+	m.bytesSent[node] += int64(airBytes(frame))
+	m.attempts[node]++
+
+	if frame.Broadcast {
+		for _, j := range m.medium.Neighbors(node) {
+			if m.rx[j] == nil {
+				continue
+			}
+			if csma && m.interfered(j, node, start, end) {
+				m.collided[j]++
+				continue
+			}
+			if m.rng.Float64() < m.medium.Prob(node, j) {
+				m.deliver(node, j, frame.Payload)
+			} else {
+				m.lost[j]++
+			}
+		}
+		m.current[node] = nil
+	} else {
+		dest := frame.Dest
+		success := false
+		if csma && m.interfered(dest, node, start, end) {
+			m.collided[dest]++
+		} else if m.rng.Float64() < m.medium.Prob(node, dest) {
+			success = true
+		} else {
+			m.lost[dest]++
+		}
+		if success && frame.Reliable {
+			// The transmitter only learns of success through the reverse
+			// ACK; a lost ACK forces a retransmission even though the data
+			// arrived (duplicates are suppressed upstream; the delivery
+			// counts once, on the attempt whose ACK returns).
+			success = m.rng.Float64() < m.medium.Prob(dest, node)
+		}
+		switch {
+		case success && m.rx[dest] != nil:
+			m.deliver(node, dest, frame.Payload)
+			m.current[node] = nil
+		case frame.Reliable && m.attempts[node] < m.cfg.MaxRetries:
+			// Keep the frame as current: retransmit next round.
+		default:
+			if frame.Reliable {
+				m.dropped[node]++
+			}
+			m.current[node] = nil
+		}
+	}
+
+	if csma {
+		// Chain our next attempt and re-arm neighbours that deferred to
+		// us. Jitter decorrelates the contenders; whoever fires first wins
+		// the channel and the rest re-sense.
+		m.scheduleTry(node, 0)
+		for _, v := range m.medium.Neighbors(node) {
+			m.scheduleTry(v, 0)
+		}
+		return
+	}
+	m.tryStart(node)
+}
+
+func (m *MAC) deliver(from, to int, payload interface{}) {
+	m.delivered[[2]int{from, to}]++
+	r := m.rx[to]
+	m.eng.Schedule(0, func() { r.Receive(from, payload) })
+}
+
+// overlaps reports whether node v's current or last CSMA transmission
+// intersects the interval [start, end).
+func (m *MAC) overlaps(v int, start, end float64) bool {
+	s, e := m.txStart[v], m.txEnd[v]
+	if s < 0 {
+		return false
+	}
+	if m.busy[v] {
+		return s < end
+	}
+	return e > start && s < end
+}
+
+// interfered reports whether receiver j was jammed during [start, end) by
+// any transmitter other than from — including j itself (half-duplex).
+func (m *MAC) interfered(j, from int, start, end float64) bool {
+	if m.overlaps(j, start, end) {
+		return true // j was transmitting: cannot receive
+	}
+	for _, v := range m.medium.Neighbors(j) {
+		if v != from && m.overlaps(v, start, end) {
+			return true
+		}
+	}
+	return false
+}
+
+// allocate computes the oracle-mode max-min fair rate of node among the
+// currently active transmitters (mid-frame or backlogged), subject to the
+// per-receiver constraint (4) and per-node caps.
+func (m *MAC) allocate(node int) float64 {
+	active := make([]int, 0, len(m.order))
+	for _, u := range m.order {
+		if u == node || m.busy[u] || m.current[u] != nil || m.tx[u].QueueLen() > 0 {
+			active = append(active, u)
+		}
+	}
+	return m.progressiveFill(active)[node]
+}
+
+// progressiveFill implements max-min fair filling with caps: all active
+// rates grow together until a receiver neighbourhood saturates or a cap
+// binds; saturated participants freeze and filling continues.
+func (m *MAC) progressiveFill(active []int) map[int]float64 {
+	rates := make(map[int]float64, len(active))
+	frozen := make(map[int]bool, len(active))
+	for _, u := range active {
+		rates[u] = 0
+	}
+
+	// Constraint sites: registered receivers, each covering itself and its
+	// in-range transmitters.
+	type site struct {
+		remaining float64
+		cover     []int
+	}
+	var sites []site
+	for _, v := range m.sites {
+		var cover []int
+		for _, u := range active {
+			if u == v || m.medium.Prob(u, v) > 0 {
+				cover = append(cover, u)
+			}
+		}
+		if len(cover) > 0 {
+			sites = append(sites, site{remaining: m.cfg.Capacity, cover: cover})
+		}
+	}
+
+	for {
+		unfrozen := 0
+		for _, u := range active {
+			if !frozen[u] {
+				unfrozen++
+			}
+		}
+		if unfrozen == 0 {
+			break
+		}
+		inc := math.Inf(1)
+		for _, u := range active {
+			if frozen[u] {
+				continue
+			}
+			if room := m.effectiveCap(u) - rates[u]; room < inc {
+				inc = room
+			}
+		}
+		for i := range sites {
+			n := 0
+			for _, u := range sites[i].cover {
+				if !frozen[u] {
+					n++
+				}
+			}
+			if n > 0 {
+				if share := sites[i].remaining / float64(n); share < inc {
+					inc = share
+				}
+			}
+		}
+		if inc <= 1e-12 || math.IsInf(inc, 1) {
+			if math.IsInf(inc, 1) {
+				// No constraint covers the unfrozen nodes; cap them at
+				// channel capacity.
+				for _, u := range active {
+					if !frozen[u] {
+						rates[u] = m.cfg.Capacity
+					}
+				}
+			}
+			break
+		}
+		for _, u := range active {
+			if !frozen[u] {
+				rates[u] += inc
+			}
+		}
+		for i := range sites {
+			n := 0
+			for _, u := range sites[i].cover {
+				if !frozen[u] {
+					n++
+				}
+			}
+			sites[i].remaining -= inc * float64(n)
+		}
+		for _, u := range active {
+			if !frozen[u] && rates[u] >= m.effectiveCap(u)-1e-12 {
+				frozen[u] = true
+			}
+		}
+		for i := range sites {
+			if sites[i].remaining <= 1e-9*m.cfg.Capacity {
+				for _, u := range sites[i].cover {
+					frozen[u] = true
+				}
+			}
+		}
+	}
+	return rates
+}
+
+// scheduleSample arms the periodic queue sampler.
+func (m *MAC) scheduleSample() {
+	m.eng.Schedule(m.cfg.QueueSampleInterval, func() {
+		dt := m.eng.Now() - m.lastSampleAt
+		for _, u := range m.order {
+			q := float64(m.tx[u].QueueLen())
+			if m.busy[u] {
+				// A frame on the air still occupies the queue's head slot.
+				q++
+			}
+			m.queueSumTime[u] += q * dt
+		}
+		m.lastSampleAt = m.eng.Now()
+		m.scheduleSample()
+	})
+}
+
+// TimeAvgQueue returns the time-averaged queue length of node since the MAC
+// was created (Fig. 3's metric), or 0 if sampling is disabled.
+func (m *MAC) TimeAvgQueue(node int) float64 {
+	elapsed := m.lastSampleAt - m.samplingSince
+	if elapsed <= 0 {
+		return 0
+	}
+	return m.queueSumTime[node] / elapsed
+}
+
+// FramesSent returns the number of frames node put on the air (including
+// retransmissions).
+func (m *MAC) FramesSent(node int) int64 { return m.framesSent[node] }
+
+// BytesSent returns the air bytes node transmitted (data plus ACK
+// overhead).
+func (m *MAC) BytesSent(node int) int64 { return m.bytesSent[node] }
+
+// Delivered returns successful deliveries on directed link (from, to).
+func (m *MAC) Delivered(from, to int) int64 { return m.delivered[[2]int{from, to}] }
+
+// Collided returns receptions destroyed at node by concurrent in-range
+// transmissions (CSMA mode only; the oracle scheduler never collides).
+func (m *MAC) Collided(node int) int64 { return m.collided[node] }
+
+// Lost returns receptions at node lost to channel noise (the PHY's
+// Bernoulli process), excluding interference.
+func (m *MAC) Lost(node int) int64 { return m.lost[node] }
+
+// Dropped returns reliable-unicast frames abandoned after MaxRetries.
+func (m *MAC) Dropped(node int) int64 { return m.dropped[node] }
+
+// LinkStats snapshots all per-link delivery counters.
+func (m *MAC) LinkStats() []LinkStat {
+	out := make([]LinkStat, 0, len(m.delivered))
+	for k, v := range m.delivered {
+		out = append(out, LinkStat{From: k[0], To: k[1], Delivered: v})
+	}
+	return out
+}

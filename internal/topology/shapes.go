@@ -1,0 +1,37 @@
+package topology
+
+import "fmt"
+
+// Line deploys n nodes on a straight line with the given spacing in meters
+// — the classic multi-hop chain used in tests and examples.
+func Line(n int, spacing float64, phy PHY) (*Network, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: line needs at least 2 nodes, got %d", n)
+	}
+	if spacing <= 0 {
+		return nil, fmt.Errorf("topology: non-positive spacing %v", spacing)
+	}
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: float64(i) * spacing}
+	}
+	return FromPositions(pts, phy)
+}
+
+// Grid deploys rows x cols nodes on a regular lattice with the given
+// spacing in meters. Node (r, c) has index r*cols + c.
+func Grid(rows, cols int, spacing float64, phy PHY) (*Network, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("topology: grid %dx%d too small", rows, cols)
+	}
+	if spacing <= 0 {
+		return nil, fmt.Errorf("topology: non-positive spacing %v", spacing)
+	}
+	pts := make([]Point, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			pts = append(pts, Point{X: float64(c) * spacing, Y: float64(r) * spacing})
+		}
+	}
+	return FromPositions(pts, phy)
+}

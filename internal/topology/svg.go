@@ -1,0 +1,128 @@
+package topology
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// SVGOptions controls RenderSVG.
+type SVGOptions struct {
+	// Width is the output width in pixels (height follows the deployment's
+	// aspect ratio). Default 800.
+	Width int
+	// Highlight marks nodes to draw emphasized (e.g. a session's selected
+	// forwarders); nil draws everything uniformly.
+	Highlight []int
+	// Src and Dst mark session endpoints (-1 = none).
+	Src, Dst int
+	// ShowLinks draws every link, colored by reception probability.
+	ShowLinks bool
+}
+
+// RenderSVG writes the deployment as a standalone SVG document: nodes at
+// their positions, links colored from red (lossy) to green (clean). It is
+// the visual companion to cmd/omnc-topo for inspecting deployments and
+// selected forwarder subgraphs.
+func (nw *Network) RenderSVG(w io.Writer, opts SVGOptions) error {
+	if opts.Width <= 0 {
+		opts.Width = 800
+	}
+	minX, minY, maxX, maxY := nw.bounds()
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX <= 0 {
+		spanX = 1
+	}
+	if spanY <= 0 {
+		spanY = 1
+	}
+	const margin = 20.0
+	scale := (float64(opts.Width) - 2*margin) / spanX
+	height := int(spanY*scale + 2*margin)
+	px := func(p Point) (float64, float64) {
+		return margin + (p.X-minX)*scale, margin + (p.Y-minY)*scale
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opts.Width, height, opts.Width, height)
+	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+
+	if opts.ShowLinks {
+		for i := 0; i < nw.Size(); i++ {
+			for _, j := range nw.Neighbors(i) {
+				if j < i {
+					continue // draw each undirected link once
+				}
+				x1, y1 := px(nw.Position(i))
+				x2, y2 := px(nw.Position(j))
+				fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1" opacity="0.6"/>`+"\n",
+					x1, y1, x2, y2, qualityColor(nw.Prob(i, j)))
+			}
+		}
+	}
+
+	highlighted := make(map[int]bool, len(opts.Highlight))
+	for _, v := range opts.Highlight {
+		highlighted[v] = true
+	}
+	// Deterministic node order for stable output.
+	order := make([]int, nw.Size())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Ints(order)
+	for _, i := range order {
+		x, y := px(nw.Position(i))
+		r, fill := 3.0, "#888"
+		switch {
+		case i == opts.Src:
+			r, fill = 7, "#1f77b4"
+		case i == opts.Dst:
+			r, fill = 7, "#d62728"
+		case highlighted[i]:
+			r, fill = 5, "#2ca02c"
+		}
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"><title>node %d</title></circle>`+"\n",
+			x, y, r, fill, i)
+	}
+	fmt.Fprint(&b, "</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// bounds returns the deployment's bounding box.
+func (nw *Network) bounds() (minX, minY, maxX, maxY float64) {
+	first := nw.Position(0)
+	minX, minY, maxX, maxY = first.X, first.Y, first.X, first.Y
+	for i := 1; i < nw.Size(); i++ {
+		p := nw.Position(i)
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	return minX, minY, maxX, maxY
+}
+
+// qualityColor maps a reception probability to a red-to-green ramp.
+func qualityColor(p float64) string {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	r := int(220 * (1 - p))
+	g := int(180 * p)
+	return fmt.Sprintf("#%02x%02x40", r, g)
+}

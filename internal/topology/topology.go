@@ -1,0 +1,307 @@
+// Package topology generates the random lossy wireless networks the paper
+// evaluates on (Sec. 5): nodes deployed uniformly at random with a target
+// density, and a PHY model that maps link distance to one-way reception
+// probability.
+//
+// The paper's Drift testbed uses an empirical distance-to-probability map
+// from real-world urban-mesh traces (Camp et al.). We substitute a smooth
+// parametric curve with the same qualitative shape — a near-perfect plateau
+// close to the transmitter, a wide band of intermediate qualities, and
+// reception probability 0.2 at the transmission range — calibrated so that
+// a density-6 deployment has a mean link quality of about 0.58, matching
+// the paper's lossy topology, with a transmit-power knob that raises the
+// mean to about 0.91 for the high-quality experiment. See DESIGN.md.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// RangeProbability is the reception probability that defines transmission
+// (and interference) range: "we define transmission range as the distance
+// where packet reception probability is below a small threshold" (Sec. 3.2).
+const RangeProbability = 0.2
+
+// Point is a node position in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Distance returns the Euclidean distance between two points.
+func (p Point) Distance(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// PHY maps link distance to one-way reception probability at a given
+// transmit power. The curve is a logistic in distance,
+//
+//	p(d) = 1 / (1 + exp((d/gain - mid) / width))
+//
+// which plateaus near 1 for short links and decays through a wide
+// intermediate-quality band, the shape measured by the urban-mesh traces the
+// paper's testbed replays.
+type PHY struct {
+	// Range is the transmission/interference range in meters: the distance
+	// at which reception probability equals RangeProbability at unit power.
+	Range float64
+	// Width controls how wide the intermediate-quality band is, as a
+	// fraction of Range.
+	Width float64
+	// Gain is the transmit-power gain; 1 reproduces the lossy topology,
+	// larger values shorten effective distances and raise link qualities
+	// ("the transmission power of each node is increased", Sec. 5).
+	Gain float64
+}
+
+// DefaultPHY returns the PHY used throughout the evaluation: 100 m range and
+// a band width calibrated so the mean neighbour link quality is ~0.58.
+func DefaultPHY() PHY {
+	return PHY{Range: 100, Width: 0.18, Gain: 1}
+}
+
+// mid returns the logistic midpoint implied by the p(Range) = 0.2 boundary
+// condition: mid = Range - width*ln(4).
+func (p PHY) mid() float64 {
+	return p.Range - p.Width*p.Range*math.Log(1/RangeProbability-1)
+}
+
+// Prob returns the reception probability at distance d.
+func (p PHY) Prob(d float64) float64 {
+	gain := p.Gain
+	if gain <= 0 {
+		gain = 1
+	}
+	w := p.Width * p.Range
+	x := (d/gain - p.mid()) / w
+	pr := 1 / (1 + math.Exp(x))
+	if pr < 0 {
+		return 0
+	}
+	if pr > 1 {
+		return 1
+	}
+	return pr
+}
+
+// MeanNeighborQuality returns the analytic mean link quality over neighbours
+// uniformly distributed in the range disk (distance density 2d/R^2),
+// evaluated numerically. Used for power calibration.
+func (p PHY) MeanNeighborQuality() float64 {
+	const steps = 2000
+	sum := 0.0
+	for i := 0; i < steps; i++ {
+		d := (float64(i) + 0.5) / steps * p.Range
+		sum += p.Prob(d) * 2 * d / (p.Range * p.Range)
+	}
+	return sum * p.Range / steps
+}
+
+// CalibrateGain returns a PHY whose Gain is adjusted (by bisection) so that
+// MeanNeighborQuality is targetMean. Targets outside (RangeProbability, 1)
+// are an error.
+func (p PHY) CalibrateGain(targetMean float64) (PHY, error) {
+	if targetMean <= RangeProbability || targetMean >= 1 {
+		return p, fmt.Errorf("topology: target mean quality %.3f out of range (%.2f, 1)", targetMean, RangeProbability)
+	}
+	lo, hi := 0.05, 100.0
+	for i := 0; i < 200; i++ {
+		mid := math.Sqrt(lo * hi)
+		q := p
+		q.Gain = mid
+		if q.MeanNeighborQuality() < targetMean {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	out := p
+	out.Gain = math.Sqrt(lo * hi)
+	return out, nil
+}
+
+// Config describes a random deployment.
+type Config struct {
+	// Nodes is the deployment size. The paper uses 300.
+	Nodes int
+	// Density is the expected number of nodes (including the node itself)
+	// inside a range disk. The paper uses 6, i.e. 5 expected neighbours.
+	Density float64
+	// PHY is the reception-probability model. Zero value means DefaultPHY.
+	PHY PHY
+	// Seed makes the deployment reproducible.
+	Seed int64
+}
+
+// DefaultConfig is the paper's evaluation topology: 300 nodes at density 6.
+func DefaultConfig(seed int64) Config {
+	return Config{Nodes: 300, Density: 6, PHY: DefaultPHY(), Seed: seed}
+}
+
+// Network is a generated deployment: node positions plus the derived lossy
+// link structure. Links exist between nodes within range; each directed link
+// (i,j) has one-way reception probability Prob(i,j). Interference range
+// equals transmission range (Sec. 3.2).
+type Network struct {
+	phy       PHY
+	positions []Point
+	neighbors [][]int     // adjacency: nodes within range, sorted
+	prob      [][]float64 // prob[i][j] > 0 iff j in neighbors[i]
+}
+
+// Generate deploys the network described by cfg.
+func Generate(cfg Config) (*Network, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("topology: need at least 2 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.Density <= 1 {
+		return nil, fmt.Errorf("topology: density %.2f must exceed 1", cfg.Density)
+	}
+	phy := cfg.PHY
+	if phy.Range <= 0 {
+		phy = DefaultPHY()
+	}
+	// Side length such that the expected disk occupancy is Density:
+	// N * pi R^2 / L^2 = Density.
+	side := phy.Range * math.Sqrt(float64(cfg.Nodes)*math.Pi/cfg.Density)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	positions := make([]Point, cfg.Nodes)
+	for i := range positions {
+		positions[i] = Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+	}
+	return FromPositions(positions, phy)
+}
+
+// FromPositions builds a network from explicit node positions, deriving
+// links from the PHY model. Useful for hand-crafted topologies in tests and
+// examples.
+func FromPositions(positions []Point, phy PHY) (*Network, error) {
+	if len(positions) < 2 {
+		return nil, fmt.Errorf("topology: need at least 2 nodes, got %d", len(positions))
+	}
+	if phy.Range <= 0 {
+		return nil, fmt.Errorf("topology: non-positive range %.2f", phy.Range)
+	}
+	n := len(positions)
+	nw := &Network{
+		phy:       phy,
+		positions: append([]Point(nil), positions...),
+		neighbors: make([][]int, n),
+		prob:      make([][]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		nw.prob[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := positions[i].Distance(positions[j])
+			if d > phy.Range {
+				continue
+			}
+			p := phy.Prob(d)
+			if p <= 0 {
+				continue
+			}
+			nw.prob[i][j] = p
+			nw.prob[j][i] = p
+			nw.neighbors[i] = append(nw.neighbors[i], j)
+			nw.neighbors[j] = append(nw.neighbors[j], i)
+		}
+	}
+	return nw, nil
+}
+
+// NewExplicit builds a network directly from a link-probability matrix,
+// bypassing geometry entirely. prob must be square; prob[i][j] > 0 declares
+// a directed link. Positions default to a unit line so that String and
+// plotting helpers still work. This is the entry point for the paper's
+// hand-drawn sample topologies (e.g. the one behind Fig. 1).
+func NewExplicit(prob [][]float64) (*Network, error) {
+	n := len(prob)
+	if n < 2 {
+		return nil, fmt.Errorf("topology: need at least 2 nodes, got %d", n)
+	}
+	nw := &Network{
+		phy:       DefaultPHY(),
+		positions: make([]Point, n),
+		neighbors: make([][]int, n),
+		prob:      make([][]float64, n),
+	}
+	for i := range prob {
+		if len(prob[i]) != n {
+			return nil, fmt.Errorf("topology: row %d has %d entries, want %d", i, len(prob[i]), n)
+		}
+		nw.positions[i] = Point{X: float64(i)}
+		nw.prob[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p := prob[i][j]
+			if i == j || p <= 0 {
+				continue
+			}
+			if p > 1 {
+				return nil, fmt.Errorf("topology: prob[%d][%d] = %.3f exceeds 1", i, j, p)
+			}
+			nw.prob[i][j] = p
+			nw.neighbors[i] = append(nw.neighbors[i], j)
+		}
+	}
+	return nw, nil
+}
+
+// Size returns the number of nodes.
+func (nw *Network) Size() int { return len(nw.positions) }
+
+// Position returns the coordinates of node i.
+func (nw *Network) Position(i int) Point { return nw.positions[i] }
+
+// PHYModel returns the PHY the network was built with.
+func (nw *Network) PHYModel() PHY { return nw.phy }
+
+// Neighbors returns the nodes within range of i (callers must not modify
+// the returned slice).
+func (nw *Network) Neighbors(i int) []int { return nw.neighbors[i] }
+
+// Prob returns the one-way reception probability of link (i,j); 0 if j is
+// out of range of i.
+func (nw *Network) Prob(i, j int) float64 { return nw.prob[i][j] }
+
+// InRange reports whether i and j can hear (and hence interfere with) each
+// other.
+func (nw *Network) InRange(i, j int) bool { return i != j && nw.prob[i][j] > 0 }
+
+// MeanLinkQuality returns the average reception probability across all
+// directed links. The paper's lossy topology averages 0.58; the high-power
+// variant 0.91.
+func (nw *Network) MeanLinkQuality() float64 {
+	sum, count := 0.0, 0
+	for i := range nw.prob {
+		for _, j := range nw.neighbors[i] {
+			sum += nw.prob[i][j]
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// MeanDegree returns the average neighbour count (the paper's "density"
+// minus one).
+func (nw *Network) MeanDegree() float64 {
+	total := 0
+	for _, ns := range nw.neighbors {
+		total += len(ns)
+	}
+	return float64(total) / float64(len(nw.neighbors))
+}
+
+// WithPHY returns a copy of the network re-evaluated under a different PHY
+// (same positions, same neighbour geometry determined by phy.Range). Used to
+// raise transmit power on an existing deployment.
+func (nw *Network) WithPHY(phy PHY) (*Network, error) {
+	return FromPositions(nw.positions, phy)
+}

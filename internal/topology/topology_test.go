@@ -1,0 +1,380 @@
+package topology
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDistance(t *testing.T) {
+	a := Point{X: 0, Y: 0}
+	b := Point{X: 3, Y: 4}
+	if d := a.Distance(b); d != 5 {
+		t.Fatalf("Distance = %v, want 5", d)
+	}
+	if d := a.Distance(a); d != 0 {
+		t.Fatalf("self distance = %v", d)
+	}
+}
+
+func TestPHYBoundaryCondition(t *testing.T) {
+	phy := DefaultPHY()
+	// By construction p(Range) must equal RangeProbability.
+	if got := phy.Prob(phy.Range); math.Abs(got-RangeProbability) > 1e-9 {
+		t.Fatalf("Prob(Range) = %v, want %v", got, RangeProbability)
+	}
+}
+
+func TestPHYMonotoneDecreasing(t *testing.T) {
+	phy := DefaultPHY()
+	prev := 1.1
+	for d := 0.0; d <= phy.Range*1.5; d += 1 {
+		p := phy.Prob(d)
+		if p > prev {
+			t.Fatalf("Prob not monotone at d=%v: %v > %v", d, p, prev)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("Prob(%v) = %v out of [0,1]", d, p)
+		}
+		prev = p
+	}
+	if phy.Prob(0) < 0.95 {
+		t.Fatalf("Prob(0) = %v, want near-perfect plateau", phy.Prob(0))
+	}
+}
+
+func TestPHYZeroGainTreatedAsUnit(t *testing.T) {
+	phy := DefaultPHY()
+	var zero PHY
+	zero.Range = phy.Range
+	zero.Width = phy.Width
+	zero.Gain = 0
+	if zero.Prob(50) != phy.Prob(50) {
+		t.Fatal("Gain=0 must behave like Gain=1")
+	}
+}
+
+func TestDefaultPHYMeanIsLossy(t *testing.T) {
+	// Sec. 5: "Most links have intermediate qualities (average reception
+	// probability is 0.58)". Calibration target: within a few points.
+	mean := DefaultPHY().MeanNeighborQuality()
+	if mean < 0.53 || mean > 0.63 {
+		t.Fatalf("default mean neighbour quality = %.3f, want ~0.58", mean)
+	}
+}
+
+func TestCalibrateGainHighQuality(t *testing.T) {
+	phy, err := DefaultPHY().CalibrateGain(0.91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := phy.MeanNeighborQuality(); math.Abs(got-0.91) > 0.01 {
+		t.Fatalf("calibrated mean = %.3f, want 0.91", got)
+	}
+	if phy.Gain <= 1 {
+		t.Fatalf("raising quality requires gain > 1, got %v", phy.Gain)
+	}
+}
+
+func TestCalibrateGainRejectsBadTargets(t *testing.T) {
+	if _, err := DefaultPHY().CalibrateGain(0.1); err == nil {
+		t.Fatal("target below RangeProbability must fail")
+	}
+	if _, err := DefaultPHY().CalibrateGain(1.0); err == nil {
+		t.Fatal("target of 1 must fail")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{Nodes: 1, Density: 6}); err == nil {
+		t.Fatal("single node must fail")
+	}
+	if _, err := Generate(Config{Nodes: 10, Density: 0.5}); err == nil {
+		t.Fatal("density <= 1 must fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(DefaultConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Generate(DefaultConfig(42))
+	for i := 0; i < a.Size(); i++ {
+		if a.Position(i) != b.Position(i) {
+			t.Fatalf("node %d position differs between identical seeds", i)
+		}
+	}
+	c, _ := Generate(DefaultConfig(43))
+	same := true
+	for i := 0; i < a.Size(); i++ {
+		if a.Position(i) != c.Position(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical deployments")
+	}
+}
+
+func TestGenerateDensity(t *testing.T) {
+	nw, err := Generate(DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Size() != 300 {
+		t.Fatalf("Size = %d", nw.Size())
+	}
+	// Density 6 means ~5 expected neighbours; border effects push the
+	// realized mean a little lower.
+	deg := nw.MeanDegree()
+	if deg < 3.4 || deg > 6.5 {
+		t.Fatalf("mean degree = %.2f, want ~5 (density 6)", deg)
+	}
+}
+
+func TestGenerateMeanLinkQuality(t *testing.T) {
+	nw, err := Generate(DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := nw.MeanLinkQuality()
+	if q < 0.5 || q > 0.68 {
+		t.Fatalf("mean link quality = %.3f, want ~0.58 (lossy topology)", q)
+	}
+}
+
+func TestWithPHYRaisesQuality(t *testing.T) {
+	nw, err := Generate(DefaultConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := DefaultPHY().CalibrateGain(0.91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hq, err := nw.WithPHY(high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hq.MeanLinkQuality() <= nw.MeanLinkQuality() {
+		t.Fatal("raised power must raise mean link quality")
+	}
+	if hq.MeanLinkQuality() < 0.85 {
+		t.Fatalf("high-power quality = %.3f, want ~0.91", hq.MeanLinkQuality())
+	}
+	// Geometry (neighbour sets) must be unchanged: range is a constant.
+	for i := 0; i < nw.Size(); i++ {
+		a, b := nw.Neighbors(i), hq.Neighbors(i)
+		if len(a) != len(b) {
+			t.Fatalf("node %d neighbour count changed with power", i)
+		}
+	}
+}
+
+func TestNetworkSymmetryAndRange(t *testing.T) {
+	nw, err := Generate(DefaultConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nw.Size(); i++ {
+		if nw.InRange(i, i) {
+			t.Fatal("node must not be in range of itself")
+		}
+		for _, j := range nw.Neighbors(i) {
+			if nw.Prob(i, j) <= 0 || nw.Prob(i, j) > 1 {
+				t.Fatalf("Prob(%d,%d) = %v", i, j, nw.Prob(i, j))
+			}
+			if nw.Prob(i, j) != nw.Prob(j, i) {
+				t.Fatalf("geometric link (%d,%d) must be symmetric", i, j)
+			}
+			if !nw.InRange(j, i) {
+				t.Fatalf("InRange not symmetric for (%d,%d)", i, j)
+			}
+			if nw.Position(i).Distance(nw.Position(j)) > nw.PHYModel().Range {
+				t.Fatalf("neighbour (%d,%d) beyond range", i, j)
+			}
+		}
+	}
+}
+
+func TestFromPositionsValidation(t *testing.T) {
+	if _, err := FromPositions([]Point{{}}, DefaultPHY()); err == nil {
+		t.Fatal("one position must fail")
+	}
+	if _, err := FromPositions([]Point{{}, {X: 1}}, PHY{Range: 0}); err == nil {
+		t.Fatal("zero range must fail")
+	}
+}
+
+func TestFromPositionsLine(t *testing.T) {
+	// Three nodes in a line, spaced 60 m with 100 m range: ends are out of
+	// range of each other, middle hears both.
+	pts := []Point{{X: 0}, {X: 60}, {X: 120}}
+	nw, err := FromPositions(pts, DefaultPHY())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nw.InRange(0, 1) || !nw.InRange(1, 2) {
+		t.Fatal("adjacent nodes must be linked")
+	}
+	if nw.InRange(0, 2) {
+		t.Fatal("distant nodes must not be linked")
+	}
+	if len(nw.Neighbors(1)) != 2 {
+		t.Fatalf("middle node neighbours = %v", nw.Neighbors(1))
+	}
+}
+
+func TestNewExplicit(t *testing.T) {
+	nw, err := NewExplicit([][]float64{
+		{0, 0.8, 0},
+		{0.5, 0, 0.9},
+		{0, 0, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Prob(0, 1) != 0.8 || nw.Prob(1, 0) != 0.5 || nw.Prob(1, 2) != 0.9 {
+		t.Fatal("explicit probabilities not preserved")
+	}
+	if nw.Prob(0, 2) != 0 || nw.Prob(2, 1) != 0 {
+		t.Fatal("absent links must have probability 0")
+	}
+	if nw.MeanLinkQuality() == 0 {
+		t.Fatal("mean quality of explicit network must be positive")
+	}
+}
+
+func TestNewExplicitValidation(t *testing.T) {
+	if _, err := NewExplicit([][]float64{{0}}); err == nil {
+		t.Fatal("1x1 must fail")
+	}
+	if _, err := NewExplicit([][]float64{{0, 1}, {1}}); err == nil {
+		t.Fatal("ragged matrix must fail")
+	}
+	if _, err := NewExplicit([][]float64{{0, 2}, {1, 0}}); err == nil {
+		t.Fatal("probability > 1 must fail")
+	}
+}
+
+func TestPropertyProbWithinUnitInterval(t *testing.T) {
+	phy := DefaultPHY()
+	f := func(d float64) bool {
+		d = math.Abs(d)
+		p := phy.Prob(d)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyHigherGainNeverHurts(t *testing.T) {
+	base := DefaultPHY()
+	boosted := base
+	boosted.Gain = 2
+	f := func(d float64) bool {
+		d = math.Abs(math.Mod(d, 200))
+		return boosted.Prob(d) >= base.Prob(d)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineTopology(t *testing.T) {
+	nw, err := Line(5, 70, DefaultPHY())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Size() != 5 {
+		t.Fatalf("size = %d", nw.Size())
+	}
+	// 70 m spacing, 100 m range: adjacent nodes linked, two apart not.
+	if !nw.InRange(0, 1) || !nw.InRange(3, 4) {
+		t.Fatal("adjacent line nodes must link")
+	}
+	if nw.InRange(0, 2) {
+		t.Fatal("nodes 140 m apart must not link")
+	}
+	if _, err := Line(1, 70, DefaultPHY()); err == nil {
+		t.Fatal("1-node line must fail")
+	}
+	if _, err := Line(3, 0, DefaultPHY()); err == nil {
+		t.Fatal("zero spacing must fail")
+	}
+}
+
+func TestGridTopology(t *testing.T) {
+	nw, err := Grid(3, 4, 80, DefaultPHY())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Size() != 12 {
+		t.Fatalf("size = %d", nw.Size())
+	}
+	// Node (1,1) = index 5: neighbours at 80 m (4-connected), diagonals at
+	// ~113 m are out of range.
+	if len(nw.Neighbors(5)) != 4 {
+		t.Fatalf("interior grid node has %d neighbours, want 4", len(nw.Neighbors(5)))
+	}
+	// Corner (0,0) has 2.
+	if len(nw.Neighbors(0)) != 2 {
+		t.Fatalf("corner has %d neighbours, want 2", len(nw.Neighbors(0)))
+	}
+	if _, err := Grid(1, 1, 80, DefaultPHY()); err == nil {
+		t.Fatal("1x1 grid must fail")
+	}
+	if _, err := Grid(2, 2, -1, DefaultPHY()); err == nil {
+		t.Fatal("negative spacing must fail")
+	}
+}
+
+func TestRenderSVG(t *testing.T) {
+	nw, err := Generate(Config{Nodes: 40, Density: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	err = nw.RenderSVG(&buf, SVGOptions{
+		Width:     400,
+		Highlight: []int{1, 2},
+		Src:       0,
+		Dst:       5,
+		ShowLinks: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not a well-formed SVG document")
+	}
+	if strings.Count(svg, "<circle") != 40 {
+		t.Fatalf("circles = %d, want 40", strings.Count(svg, "<circle"))
+	}
+	if !strings.Contains(svg, "<line") {
+		t.Fatal("no links drawn")
+	}
+	if !strings.Contains(svg, "#1f77b4") || !strings.Contains(svg, "#d62728") {
+		t.Fatal("endpoint markers missing")
+	}
+	// Deterministic output.
+	var buf2 strings.Builder
+	nw.RenderSVG(&buf2, SVGOptions{Width: 400, Highlight: []int{1, 2}, Src: 0, Dst: 5, ShowLinks: true})
+	if buf2.String() != svg {
+		t.Fatal("SVG output not deterministic")
+	}
+}
+
+func TestQualityColorRamp(t *testing.T) {
+	if qualityColor(0) == qualityColor(1) {
+		t.Fatal("color ramp must distinguish loss extremes")
+	}
+	if qualityColor(-1) != qualityColor(0) || qualityColor(2) != qualityColor(1) {
+		t.Fatal("color ramp must clamp")
+	}
+}

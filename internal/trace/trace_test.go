@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func sample(n int) []Event {
+	out := make([]Event, n)
+	for i := range out {
+		t := EventTx
+		if i%2 == 1 {
+			t = EventRx
+		}
+		out[i] = Event{Time: float64(i), Type: t, Node: i % 3, From: -1, Generation: i / 4}
+	}
+	return out
+}
+
+func TestBufferRecordAndQuery(t *testing.T) {
+	b := NewBuffer()
+	for _, e := range sample(12) {
+		b.Record(e)
+	}
+	if b.Len() != 12 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if got := b.Count(EventTx); got != 6 {
+		t.Fatalf("Count(tx) = %d", got)
+	}
+	if got := b.Count(EventDecode); got != 0 {
+		t.Fatalf("Count(decode) = %d", got)
+	}
+	byNode := b.ByNode(1)
+	for _, e := range byNode {
+		if e.Node != 1 {
+			t.Fatalf("ByNode returned node %d", e.Node)
+		}
+	}
+	if len(byNode) != 4 {
+		t.Fatalf("ByNode(1) = %d events", len(byNode))
+	}
+	between := b.Between(3, 7)
+	if len(between) != 4 {
+		t.Fatalf("Between(3,7) = %d events", len(between))
+	}
+	for _, e := range between {
+		if e.Time < 3 || e.Time >= 7 {
+			t.Fatalf("Between returned t=%v", e.Time)
+		}
+	}
+}
+
+func TestBufferEventsIsACopy(t *testing.T) {
+	b := NewBuffer()
+	b.Record(Event{Type: EventTx})
+	evs := b.Events()
+	evs[0].Type = EventDecode
+	if b.Events()[0].Type != EventTx {
+		t.Fatal("Events must return a copy")
+	}
+}
+
+func TestBufferConcurrentRecord(t *testing.T) {
+	b := NewBuffer()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b.Record(Event{Type: EventRx})
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", b.Len())
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	b := NewBuffer()
+	b.Record(Event{Time: 1.5, Type: EventInnovative, Node: 2, From: 0, Generation: 3})
+	var buf bytes.Buffer
+	if err := b.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	var e Event
+	if err := json.Unmarshal([]byte(line), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Type != EventInnovative || e.Node != 2 || e.Generation != 3 {
+		t.Fatalf("round trip = %+v", e)
+	}
+}
+
+func TestJSONLWriterStreams(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	w.Record(Event{Type: EventTx})
+	w.Record(Event{Type: EventRx})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if w.Errors() != 0 {
+		t.Fatalf("errors = %d", w.Errors())
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, bytes.ErrTooLarge }
+
+func TestJSONLWriterCountsErrors(t *testing.T) {
+	w := NewJSONLWriter(failWriter{})
+	w.Record(Event{Type: EventTx})
+	if w.Errors() != 1 {
+		t.Fatalf("errors = %d", w.Errors())
+	}
+}

@@ -1,0 +1,253 @@
+// Package omnc is a Go implementation of OMNC — Optimized Multipath Network
+// Coding in lossy wireless networks (Zhang & Li, ICDCS 2008) — together with
+// the baselines and the emulation substrate the paper evaluates against.
+//
+// The package offers four layers:
+//
+//   - Topology: random lossy wireless deployments with the paper's PHY model
+//     (GenerateNetwork, NetworkFromMatrix, NetworkFromPositions).
+//   - Optimization: node selection and the distributed rate-control
+//     algorithm of the paper's Table 1, plus the centralized sUnicast LP
+//     (SelectForwarders, OptimizeRates, SolveOptimalRates).
+//   - Coding: random linear network coding over GF(2^8) with progressive
+//     Gauss-Jordan decoding (NewGeneration, NewEncoder, NewRecoder,
+//     NewDecoder).
+//   - Emulation: end-to-end unicast sessions under OMNC, MORE, oldMORE and
+//     best-path ETX routing on a discrete-event wireless channel (RunOMNC,
+//     RunMORE, RunOldMORE, RunETX).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for how every
+// figure of the paper is regenerated.
+package omnc
+
+import (
+	"math/rand"
+
+	"omnc/internal/coding"
+	"omnc/internal/core"
+	"omnc/internal/protocol"
+	"omnc/internal/routing"
+	"omnc/internal/topology"
+	"omnc/internal/trace"
+)
+
+// Re-exported types. The aliases keep the public API surface in one place
+// while the implementations live in focused internal packages.
+type (
+	// Network is a wireless deployment: node positions plus lossy links.
+	Network = topology.Network
+	// PHY maps link distance to reception probability.
+	PHY = topology.PHY
+	// Point is a node position in meters.
+	Point = topology.Point
+	// TopologyConfig parameterizes random deployments.
+	TopologyConfig = topology.Config
+
+	// Subgraph is a session's selected forwarder set.
+	Subgraph = core.Subgraph
+	// RateOptions tunes the distributed rate-control algorithm (Table 1).
+	RateOptions = core.Options
+	// RateResult is the optimized rate allocation.
+	RateResult = core.Result
+	// LPResult is the centralized sUnicast optimum.
+	LPResult = core.LPResult
+
+	// CodingParams fixes generation size, block size and the arithmetic
+	// kernel.
+	CodingParams = coding.Params
+	// Generation holds one generation of source blocks.
+	Generation = coding.Generation
+	// Packet is one coded packet.
+	Packet = coding.Packet
+	// Encoder emits random linear combinations at the source.
+	Encoder = coding.Encoder
+	// Recoder re-encodes buffered innovative packets at a forwarder.
+	Recoder = coding.Recoder
+	// Decoder progressively decodes a generation at the destination.
+	Decoder = coding.Decoder
+
+	// SessionConfig parameterizes one emulated unicast session.
+	SessionConfig = protocol.Config
+	// SessionStats summarizes one emulated session.
+	SessionStats = protocol.Stats
+)
+
+// DefaultCodingParams are the paper's evaluation parameters: generations of
+// 40 blocks of 1 KB (Sec. 5).
+func DefaultCodingParams() CodingParams { return coding.DefaultParams() }
+
+// GenerateNetwork deploys nodes uniformly at random with the given expected
+// density (nodes per range disk, the paper uses 6) and the default lossy
+// PHY.
+func GenerateNetwork(nodes int, density float64, seed int64) (*Network, error) {
+	return topology.Generate(topology.Config{
+		Nodes:   nodes,
+		Density: density,
+		PHY:     topology.DefaultPHY(),
+		Seed:    seed,
+	})
+}
+
+// NetworkFromMatrix builds a network from an explicit link-probability
+// matrix (prob[i][j] is the one-way reception probability of link i->j).
+func NetworkFromMatrix(prob [][]float64) (*Network, error) {
+	return topology.NewExplicit(prob)
+}
+
+// NetworkFromPositions builds a network from node coordinates under the
+// given PHY; a zero-value PHY selects the default lossy model.
+func NetworkFromPositions(positions []Point, phy PHY) (*Network, error) {
+	if phy.Range == 0 {
+		phy = topology.DefaultPHY()
+	}
+	return topology.FromPositions(positions, phy)
+}
+
+// DefaultPHY returns the lossy PHY model (mean neighbour link quality
+// ~0.58); use PHY.CalibrateGain to retune transmit power.
+func DefaultPHY() PHY { return topology.DefaultPHY() }
+
+// SelectForwarders runs the decentralized node selection of Sec. 4 for a
+// unicast session, returning the forwarder subgraph the optimization and
+// the protocols operate on.
+func SelectForwarders(net *Network, src, dst int) (*Subgraph, error) {
+	return core.SelectNodes(net, src, dst)
+}
+
+// OptimizeRates runs the distributed rate-control algorithm (Table 1) on a
+// selected subgraph and returns the per-node broadcast/encoding rates, the
+// per-link information rates, and the throughput estimate.
+func OptimizeRates(sg *Subgraph, opts RateOptions) (*RateResult, error) {
+	return core.NewRateController(sg, opts).Run()
+}
+
+// SolveOptimalRates solves the sUnicast linear program (1)-(5) centrally
+// with a simplex solver — the reference the distributed algorithm converges
+// to.
+func SolveOptimalRates(sg *Subgraph, capacity float64) (*LPResult, error) {
+	return core.SolveLP(sg, capacity)
+}
+
+// NewGeneration builds a generation from raw data, zero-padding the final
+// block.
+func NewGeneration(id int, params CodingParams, data []byte) (*Generation, error) {
+	return coding.NewGeneration(id, params, data)
+}
+
+// NewEncoder returns a source encoder for the generation drawing
+// coefficients from rng.
+func NewEncoder(gen *Generation, rng *rand.Rand) *Encoder {
+	return coding.NewEncoder(gen, rng)
+}
+
+// NewRecoder returns a forwarder's re-encoding buffer for the identified
+// generation.
+func NewRecoder(generation int, params CodingParams, rng *rand.Rand) (*Recoder, error) {
+	return coding.NewRecoder(generation, params, rng)
+}
+
+// NewDecoder returns a progressive Gauss-Jordan decoder for the identified
+// generation.
+func NewDecoder(generation int, params CodingParams) (*Decoder, error) {
+	return coding.NewDecoder(generation, params)
+}
+
+// RunOMNC emulates one unicast session under the OMNC protocol: node
+// selection, distributed rate control, and rate-driven re-encoding
+// forwarders.
+func RunOMNC(net *Network, src, dst int, cfg SessionConfig) (*SessionStats, error) {
+	return protocol.Run(net, src, dst, protocol.OMNC(core.Options{}), cfg)
+}
+
+// RunOMNCWithOptions is RunOMNC with explicit rate-controller options.
+func RunOMNCWithOptions(net *Network, src, dst int, opts RateOptions, cfg SessionConfig) (*SessionStats, error) {
+	return protocol.Run(net, src, dst, protocol.OMNC(opts), cfg)
+}
+
+// RunMORE emulates one session under the MORE baseline (SIGCOMM'07
+// heuristic, TX-credit forwarding, no rate control).
+func RunMORE(net *Network, src, dst int, cfg SessionConfig) (*SessionStats, error) {
+	return protocol.Run(net, src, dst, routing.MORE(), cfg)
+}
+
+// RunOldMORE emulates one session under the oldMORE baseline (min-cost
+// transmission plan in the spirit of Lun et al., no rate control).
+func RunOldMORE(net *Network, src, dst int, cfg SessionConfig) (*SessionStats, error) {
+	return protocol.Run(net, src, dst, routing.OldMORE(), cfg)
+}
+
+// RunETX emulates one session under traditional best-path routing on the
+// ETX metric with MAC-layer retransmissions — the paper's throughput-gain
+// baseline.
+func RunETX(net *Network, src, dst int, cfg SessionConfig) (*SessionStats, error) {
+	return routing.RunETX(net, src, dst, cfg)
+}
+
+// Extension types (beyond the paper's single-unicast evaluation; see
+// DESIGN.md "Extensions").
+type (
+	// DriftConfig injects link-quality drift and node failures into a
+	// long-lived session (Sec. 4's re-initiation scenario).
+	DriftConfig = protocol.DriftConfig
+	// DriftStats aggregates a session under dynamics.
+	DriftStats = protocol.DriftStats
+	// Endpoints identifies one session of a multiple-unicast run.
+	Endpoints = protocol.Endpoints
+	// ConcurrentStats aggregates a multiple-unicast emulation.
+	ConcurrentStats = protocol.ConcurrentStats
+	// MultiSession is one session of a joint rate-control problem.
+	MultiSession = core.MultiSession
+	// MultiResult is the joint rate allocation.
+	MultiResult = core.MultiResult
+)
+
+// RunOMNCWithDrift emulates a long-lived OMNC session whose link qualities
+// drift (and whose forwarders optionally fail): node selection and rate
+// allocation re-initiate at every epoch, and the re-initiation overhead is
+// charged against throughput (Sec. 4).
+func RunOMNCWithDrift(net *Network, src, dst int, cfg SessionConfig, drift DriftConfig) (*DriftStats, error) {
+	return protocol.RunWithDrift(net, src, dst, protocol.OMNC(core.Options{}), cfg, drift)
+}
+
+// OptimizeRatesJointly allocates rates to several concurrent unicast
+// sessions sharing the channel: per-session SUB1/SUB2 with congestion
+// prices shared per network node (the paper's multiple-unicast extension).
+func OptimizeRatesJointly(sessions []MultiSession, opts RateOptions) (*MultiResult, error) {
+	mc, err := core.NewMultiRateController(sessions, opts)
+	if err != nil {
+		return nil, err
+	}
+	return mc.Run()
+}
+
+// RunConcurrentOMNC emulates several OMNC sessions simultaneously on one
+// shared channel, rates allocated by the joint controller.
+func RunConcurrentOMNC(net *Network, sessions []Endpoints, opts RateOptions, cfg SessionConfig) (*ConcurrentStats, error) {
+	return protocol.RunConcurrentOMNC(net, sessions, opts, cfg)
+}
+
+// Tracing types: attach a TraceBuffer (or any TraceRecorder) to
+// SessionConfig.Trace to capture per-packet protocol events.
+type (
+	// TraceRecorder consumes protocol events.
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one protocol occurrence.
+	TraceEvent = trace.Event
+	// TraceEventType classifies protocol events.
+	TraceEventType = trace.EventType
+	// TraceBuffer is an in-memory recorder with query helpers.
+	TraceBuffer = trace.Buffer
+)
+
+// Trace event types.
+const (
+	TraceTx         = trace.EventTx
+	TraceRx         = trace.EventRx
+	TraceInnovative = trace.EventInnovative
+	TraceDiscard    = trace.EventDiscard
+	TraceDecode     = trace.EventDecode
+	TraceGeneration = trace.EventGeneration
+)
+
+// NewTraceBuffer returns an empty in-memory trace recorder.
+func NewTraceBuffer() *TraceBuffer { return trace.NewBuffer() }
