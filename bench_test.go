@@ -10,6 +10,7 @@
 package omnc_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -142,6 +143,34 @@ func BenchmarkFig4Utility(b *testing.B) {
 	b.ReportMetric(oldNode, "oldmore-node-util")
 	b.ReportMetric(omncPath, "omnc-path-util")
 	b.ReportMetric(oldPath, "oldmore-path-util")
+}
+
+// BenchmarkRunComparisonWorkers measures the wall-clock scaling of the
+// parallel trial executor on one multi-session comparison: the same
+// experiment (identical output, bit for bit) at 1, 2 and 4 workers. On a
+// 4+ core machine the workers=4 case should finish the sweep at least 2x
+// faster than workers=1; compare the ns/op of the sub-benchmarks:
+//
+//	go test -bench BenchmarkRunComparisonWorkers -benchtime 1x
+func BenchmarkRunComparisonWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := benchConfig(31)
+			cfg.Sessions = 8
+			cfg.Workers = workers
+			var tp float64
+			for i := 0; i < b.N; i++ {
+				c, err := experiments.RunComparison(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tp = meanOf(c.GainCDFs(), experiments.ProtoOMNC)
+			}
+			b.ReportMetric(tp, "omnc-gain")
+			b.ReportMetric(float64(cfg.Sessions)/b.Elapsed().Seconds()*float64(b.N), "sessions/s")
+		})
+	}
 }
 
 // BenchmarkTable1RateControl measures the distributed rate-control

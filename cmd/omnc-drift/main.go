@@ -8,6 +8,7 @@
 //
 //	omnc-drift                    # two-relay diamond, 2 s wall time
 //	omnc-drift -duration 5s -rate 500000
+//	omnc-drift -trials 4 -workers 4   # four sessions, concurrently
 package main
 
 import (
@@ -20,7 +21,13 @@ import (
 	"omnc/internal/coding"
 	"omnc/internal/core"
 	"omnc/internal/drift"
+	"omnc/internal/parallel"
+	"omnc/internal/seedmix"
 )
+
+// streamDriftTrial derives each trial's loss-process seed from the -seed
+// flag; every trial gets an independent stream.
+const streamDriftTrial int64 = 201
 
 func main() {
 	var (
@@ -29,15 +36,20 @@ func main() {
 		genSize  = flag.Int("generation", 8, "blocks per generation")
 		block    = flag.Int("block", 64, "bytes per block")
 		seed     = flag.Int64("seed", 1, "loss-process seed")
+		trials   = flag.Int("trials", 1, "independent loopback sessions to run")
+		workers  = flag.Int("workers", 0, "concurrent sessions (0 = all cores); each owns its own sockets")
 	)
 	flag.Parse()
-	if err := run(*duration, *rate, *genSize, *block, *seed); err != nil {
+	if err := run(*duration, *rate, *genSize, *block, *seed, *trials, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "omnc-drift:", err)
 		os.Exit(1)
 	}
 }
 
-func run(duration time.Duration, rate float64, genSize, block int, seed int64) error {
+func run(duration time.Duration, rate float64, genSize, block int, seed int64, trials, workers int) error {
+	if trials < 1 {
+		return fmt.Errorf("-trials must be at least 1, got %d", trials)
+	}
 	nw, err := omnc.NetworkFromMatrix([][]float64{
 		{0, 0.8, 0.6, 0},
 		{0.8, 0, 0, 0.7},
@@ -57,25 +69,53 @@ func run(duration time.Duration, rate float64, genSize, block int, seed int64) e
 	}
 	rates[sg.Dst] = 0
 
-	fmt.Printf("running OMNC over loopback UDP: %d nodes, generation %dx%dB, %v wall time\n",
-		sg.Size(), genSize, block, duration)
-	res, err := drift.RunSession(nw, sg, drift.Config{
-		Coding:   coding.Params{GenerationSize: genSize, BlockSize: block},
-		Rates:    rates,
-		Duration: duration,
-		Seed:     seed,
+	fmt.Printf("running OMNC over loopback UDP: %d nodes, generation %dx%dB, %v wall time, %d session(s)\n",
+		sg.Size(), genSize, block, duration, trials)
+
+	// Each trial is a full loopback session with its own sockets and a
+	// loss-process seed derived from (seed, trial); concurrent sessions
+	// don't interact, so -workers trades wall-clock time for CPU only.
+	results := make([]*drift.Result, trials)
+	err = parallel.ForEach(trials, parallel.Workers(workers), func(i int) error {
+		trialSeed := seed
+		if trials > 1 {
+			trialSeed = seedmix.Derive(seed, streamDriftTrial, int64(i))
+		}
+		res, err := drift.RunSession(nw, sg, drift.Config{
+			Coding:   coding.Params{GenerationSize: genSize, BlockSize: block},
+			Rates:    rates,
+			Duration: duration,
+			Seed:     trialSeed,
+		})
+		if err != nil {
+			return fmt.Errorf("trial %d: %w", i, err)
+		}
+		results[i] = res
+		return nil
 	})
 	if err != nil {
 		return err
 	}
-	total := res.DatagramsForwarded + res.DatagramsDropped
+
+	var sum drift.Result
+	for i, res := range results {
+		if trials > 1 {
+			fmt.Printf("trial %d: %d generations decoded, %d corrupted, %d datagrams lost\n",
+				i, res.GenerationsDecoded, res.Corrupted, res.DatagramsDropped)
+		}
+		sum.GenerationsDecoded += res.GenerationsDecoded
+		sum.Corrupted += res.Corrupted
+		sum.DatagramsForwarded += res.DatagramsForwarded
+		sum.DatagramsDropped += res.DatagramsDropped
+	}
+	total := sum.DatagramsForwarded + sum.DatagramsDropped
 	fmt.Printf("generations decoded:  %d (verified byte-for-byte; %d corrupted)\n",
-		res.GenerationsDecoded, res.Corrupted)
+		sum.GenerationsDecoded, sum.Corrupted)
 	fmt.Printf("channel emulator:     %d datagrams forwarded, %d lost (%.0f%% loss)\n",
-		res.DatagramsForwarded, res.DatagramsDropped,
-		100*float64(res.DatagramsDropped)/float64(max64(total, 1)))
-	fmt.Printf("goodput:              %.0f bytes/s of decoded application data\n",
-		float64(res.GenerationsDecoded*genSize*block)/duration.Seconds())
+		sum.DatagramsForwarded, sum.DatagramsDropped,
+		100*float64(sum.DatagramsDropped)/float64(max64(total, 1)))
+	fmt.Printf("goodput:              %.0f bytes/s of decoded application data per session\n",
+		float64(sum.GenerationsDecoded*genSize*block)/(duration.Seconds()*float64(trials)))
 	return nil
 }
 

@@ -9,13 +9,28 @@ func TestRunShortSession(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wall-clock test")
 	}
-	if err := run(600*time.Millisecond, 300_000, 6, 32, 2); err != nil {
+	if err := run(600*time.Millisecond, 300_000, 6, 32, 2, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunParallelTrials(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	if err := run(400*time.Millisecond, 300_000, 6, 32, 2, 2, 2); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBadCoding(t *testing.T) {
-	if err := run(100*time.Millisecond, 1000, 0, 0, 1); err == nil {
+	if err := run(100*time.Millisecond, 1000, 0, 0, 1, 1, 1); err == nil {
 		t.Fatal("invalid generation size must fail")
+	}
+}
+
+func TestRunBadTrials(t *testing.T) {
+	if err := run(100*time.Millisecond, 1000, 8, 64, 1, 0, 1); err == nil {
+		t.Fatal("zero trials must fail")
 	}
 }

@@ -25,7 +25,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
+	"time"
 
 	"omnc/internal/experiments"
 	"omnc/internal/metrics"
@@ -41,15 +43,16 @@ func main() {
 		seed     = flag.Int64("seed", 1, "experiment seed")
 		mac      = flag.String("mac", "oracle", "channel model: oracle or csma")
 		csvDir   = flag.String("csv", "", "directory to write CSV series into")
+		workers  = flag.Int("workers", 0, "concurrent session emulations (0 = all cores, 1 = serial); results are identical either way")
 	)
 	flag.Parse()
-	if err := run(*fig, *full, *sessions, *duration, *seed, *mac, *csvDir); err != nil {
+	if err := run(*fig, *full, *sessions, *duration, *seed, *mac, *csvDir, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "omnc-fig:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, full bool, sessions int, duration float64, seed int64, mac, csvDir string) error {
+func run(fig string, full bool, sessions int, duration float64, seed int64, mac, csvDir string, workers int) error {
 	cfg := experiments.QuickConfig(seed)
 	if full {
 		cfg = experiments.PaperConfig(seed)
@@ -60,6 +63,7 @@ func run(fig string, full bool, sessions int, duration float64, seed int64, mac,
 	if duration > 0 {
 		cfg.Duration = duration
 	}
+	cfg.Workers = workers
 	switch mac {
 	case "oracle", "":
 		cfg.MAC = sim.ModeOracle
@@ -154,7 +158,10 @@ func headerRow(nodes []int) []string {
 func comparisonFigs(cfg experiments.Config, csvDir string, figs ...string) error {
 	fmt.Printf("Running %d sessions on %d nodes (density %.0f, mean quality target %s, MAC %s)...\n",
 		cfg.Sessions, cfg.Nodes, cfg.Density, qualityLabel(cfg.MeanQuality), macLabel(cfg.MAC))
+	cfg.Progress = metrics.NewProgress(cfg.Sessions)
+	stopTicker := startProgressTicker(cfg.Progress)
 	c, err := experiments.RunComparison(cfg)
+	stopTicker()
 	if err != nil {
 		return err
 	}
@@ -258,13 +265,44 @@ func macLabel(m sim.Mode) string {
 	return "oracle"
 }
 
+// startProgressTicker reports sweep progress to stderr while a long
+// comparison runs; the returned func stops the reporting goroutine.
+func startProgressTicker(p *metrics.Progress) func() {
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(5 * time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				fmt.Fprintf(os.Stderr, "omnc-fig: %s sessions done\n", p)
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		<-done
+	}
+}
+
 func writeCurves(dir, name, xName string, curves map[string]*metrics.CDF) error {
 	if dir == "" {
 		return nil
 	}
+	// Protocols in sorted order: the CSV is byte-stable for a fixed seed
+	// (the golden-file test depends on it; map order is not deterministic).
+	protos := make([]string, 0, len(curves))
+	for proto := range curves {
+		protos = append(protos, proto)
+	}
+	sort.Strings(protos)
 	rows := [][]string{{"protocol", xName, "cdf"}}
-	for proto, cdf := range curves {
-		for _, pt := range cdf.Points(200) {
+	for _, proto := range protos {
+		for _, pt := range curves[proto].Points(200) {
 			rows = append(rows, []string{proto, fmt.Sprintf("%.5f", pt.X), fmt.Sprintf("%.5f", pt.F)})
 		}
 	}

@@ -1,14 +1,22 @@
 package main
 
 import (
+	"bytes"
+	"flag"
 	"os"
 	"path/filepath"
 	"testing"
 )
 
+// -update regenerates the golden fixtures under testdata/ instead of
+// comparing against them:
+//
+//	go test ./cmd/omnc-fig -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
 func TestRunFig1WritesCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("1", false, 0, 0, 1, "oracle", dir); err != nil {
+	if err := run("1", false, 0, 0, 1, "oracle", dir, 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig1_convergence.csv")); err != nil {
@@ -18,7 +26,7 @@ func TestRunFig1WritesCSV(t *testing.T) {
 
 func TestRunFig2SmallSession(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("2l", false, 1, 60, 7, "oracle", dir); err != nil {
+	if err := run("2l", false, 1, 60, 7, "oracle", dir, 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig2l_gains.csv")); err != nil {
@@ -27,10 +35,46 @@ func TestRunFig2SmallSession(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run("nope", false, 1, 10, 1, "oracle", ""); err == nil {
+	if err := run("nope", false, 1, 10, 1, "oracle", "", 0); err == nil {
 		t.Fatal("unknown figure must fail")
 	}
-	if err := run("2l", false, 1, 10, 1, "token-ring", ""); err == nil {
+	if err := run("2l", false, 1, 10, 1, "token-ring", "", 0); err == nil {
 		t.Fatal("unknown MAC must fail")
+	}
+}
+
+// TestGoldenFig2CSV pins the figure data omnc-fig emits for a fixed seed:
+// the CSV series must match the committed fixture byte for byte. The run
+// uses two workers, so the fixture also guards the parallel runner's
+// determinism at the CLI boundary. Regenerate with -update after an
+// intentional behaviour change.
+func TestGoldenFig2CSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("2l", false, 2, 60, 7, "oracle", dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "fig2l_gains.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "fig2l_gains.golden.csv")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the fixture)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("figure data drifted from %s (%d vs %d bytes); rerun with -update if the change is intentional",
+			golden, len(got), len(want))
 	}
 }

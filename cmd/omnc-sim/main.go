@@ -7,6 +7,7 @@
 //	omnc-sim -proto omnc                 # random session, OMNC
 //	omnc-sim -proto more -seed 7         # same session, MORE
 //	omnc-sim -src 12 -dst 91 -proto etx  # explicit endpoints
+//	omnc-sim -trials 16 -workers 4       # 16 loss realizations, 4 at a time
 package main
 
 import (
@@ -17,7 +18,18 @@ import (
 
 	"omnc"
 	"omnc/internal/graph"
+	"omnc/internal/metrics"
+	"omnc/internal/parallel"
+	"omnc/internal/seedmix"
 	"omnc/internal/topology"
+)
+
+// RNG streams derived from the -seed flag via seedmix: endpoint placement
+// and per-trial loss processes draw from separate streams, so the same base
+// seed replays the same session under independent loss realizations.
+const (
+	streamSimPlacement int64 = 100
+	streamSimTrial     int64 = 101
 )
 
 func main() {
@@ -35,17 +47,22 @@ func main() {
 		cbr      = flag.Float64("cbr", 1e4, "CBR workload rate (bytes/s, 0 = backlogged)")
 		quality  = flag.Float64("quality", 0, "target mean link quality (0 = default lossy)")
 		svgPath  = flag.String("svg", "", "render the session's forwarder subgraph as SVG to this path")
+		trials   = flag.Int("trials", 1, "independent loss realizations of the same session")
+		workers  = flag.Int("workers", 0, "concurrent trials (0 = all cores); results are identical either way")
 	)
 	flag.Parse()
 	if err := run(*proto, *nodes, *density, *seed, *src, *dst, *minHops, *maxHops,
-		*duration, *capacity, *cbr, *quality, *svgPath); err != nil {
+		*duration, *capacity, *cbr, *quality, *svgPath, *trials, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "omnc-sim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(proto string, nodes int, density float64, seed int64, src, dst, minHops, maxHops int,
-	duration, capacity, cbr, quality float64, svgPath string) error {
+	duration, capacity, cbr, quality float64, svgPath string, trials, workers int) error {
+	if trials < 1 {
+		return fmt.Errorf("-trials must be at least 1, got %d", trials)
+	}
 	nw, err := omnc.GenerateNetwork(nodes, density, seed)
 	if err != nil {
 		return err
@@ -94,19 +111,26 @@ func run(proto string, nodes int, density float64, seed int64, src, dst, minHops
 	cfg.Coding.BlockSize = 8
 	cfg.AirPacketSize = cfg.Coding.GenerationSize + 1024
 
-	var st *omnc.SessionStats
-	switch proto {
-	case "omnc":
-		st, err = omnc.RunOMNC(nw, src, dst, cfg)
-	case "more":
-		st, err = omnc.RunMORE(nw, src, dst, cfg)
-	case "oldmore":
-		st, err = omnc.RunOldMORE(nw, src, dst, cfg)
-	case "etx":
-		st, err = omnc.RunETX(nw, src, dst, cfg)
-	default:
-		return fmt.Errorf("unknown protocol %q", proto)
+	runProto := func(cfg omnc.SessionConfig) (*omnc.SessionStats, error) {
+		switch proto {
+		case "omnc":
+			return omnc.RunOMNC(nw, src, dst, cfg)
+		case "more":
+			return omnc.RunMORE(nw, src, dst, cfg)
+		case "oldmore":
+			return omnc.RunOldMORE(nw, src, dst, cfg)
+		case "etx":
+			return omnc.RunETX(nw, src, dst, cfg)
+		default:
+			return nil, fmt.Errorf("unknown protocol %q", proto)
+		}
 	}
+
+	if trials > 1 {
+		return runTrials(runProto, cfg, seed, trials, workers)
+	}
+
+	st, err := runProto(cfg)
 	if err != nil {
 		return err
 	}
@@ -126,6 +150,38 @@ func run(proto string, nodes int, density float64, seed int64, src, dst, minHops
 	fmt.Printf("mean queue:          %.2f packets\n", st.MeanQueue)
 	fmt.Printf("node utility:        %.2f\n", st.NodeUtility)
 	fmt.Printf("path utility:        %.2f\n", st.PathUtility)
+	return nil
+}
+
+// runTrials replays the session under trials independent loss realizations
+// on a bounded worker pool and prints the per-trial throughputs plus a
+// summary. Trial i's protocol seed is derived from (seed, i), so the output
+// is identical for every -workers value.
+func runTrials(runProto func(omnc.SessionConfig) (*omnc.SessionStats, error),
+	cfg omnc.SessionConfig, seed int64, trials, workers int) error {
+	stats := make([]*omnc.SessionStats, trials)
+	err := parallel.ForEach(trials, parallel.Workers(workers), func(i int) error {
+		tcfg := cfg
+		tcfg.Seed = seedmix.Derive(seed, streamSimTrial, int64(i))
+		st, err := runProto(tcfg)
+		if err != nil {
+			return fmt.Errorf("trial %d: %w", i, err)
+		}
+		stats[i] = st
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nprotocol: %s, %d trials\n", stats[0].Policy, trials)
+	fmt.Printf("%-7s %-18s %-12s %s\n", "trial", "throughput (B/s)", "mean queue", "generations")
+	tps := make([]float64, trials)
+	for i, st := range stats {
+		tps[i] = st.Throughput
+		fmt.Printf("%-7d %-18.0f %-12.2f %d\n", i, st.Throughput, st.MeanQueue, st.GenerationsDecoded)
+	}
+	fmt.Printf("\nthroughput summary:  %s\n", metrics.Summarize(tps))
 	return nil
 }
 
@@ -151,7 +207,7 @@ func pickSession(nw *omnc.Network, seed int64, minHops, maxHops int) (int, int, 
 	for i := range adj {
 		adj[i] = nw.Neighbors(i)
 	}
-	rng := rand.New(rand.NewSource(seed + 17))
+	rng := rand.New(rand.NewSource(seedmix.Derive(seed, streamSimPlacement)))
 	for attempt := 0; attempt < 5000; attempt++ {
 		src := rng.Intn(nw.Size())
 		dst := rng.Intn(nw.Size())

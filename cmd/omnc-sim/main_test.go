@@ -8,21 +8,21 @@ import (
 )
 
 func TestRunRandomSession(t *testing.T) {
-	if err := run("omnc", 100, 6, 3, -1, -1, 3, 8, 60, 2e4, 1e4, 0, ""); err != nil {
+	if err := run("omnc", 100, 6, 3, -1, -1, 3, 8, 60, 2e4, 1e4, 0, "", 1, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunExplicitEndpointsETX(t *testing.T) {
 	// Deterministic topology: find a pair via the random path first.
-	if err := run("etx", 100, 6, 3, -1, -1, 3, 8, 60, 2e4, 0, 0, ""); err != nil {
+	if err := run("etx", 100, 6, 3, -1, -1, 3, 8, 60, 2e4, 0, 0, "", 1, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWritesSessionSVG(t *testing.T) {
 	svg := filepath.Join(t.TempDir(), "session.svg")
-	if err := run("more", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, svg); err != nil {
+	if err := run("more", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, svg, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(svg)
@@ -35,13 +35,25 @@ func TestRunWritesSessionSVG(t *testing.T) {
 }
 
 func TestRunUnknownProtocol(t *testing.T) {
-	if err := run("bogus", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, ""); err == nil {
+	if err := run("bogus", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0); err == nil {
 		t.Fatal("unknown protocol must fail")
 	}
 }
 
 func TestRunBadQuality(t *testing.T) {
-	if err := run("omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0.05, ""); err == nil {
+	if err := run("omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0.05, "", 1, 0); err == nil {
 		t.Fatal("bad quality target must fail")
+	}
+}
+
+func TestRunParallelTrials(t *testing.T) {
+	if err := run("etx", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, "", 4, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadTrials(t *testing.T) {
+	if err := run("etx", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, "", 0, 1); err == nil {
+		t.Fatal("zero trials must fail")
 	}
 }

@@ -1,0 +1,145 @@
+package coding
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// fuzzSeedBuffers reproduces the hand-written wire_test vectors as a fuzz
+// corpus: valid data and ACK messages, plus each rejection case the table
+// test covers (truncation, bad magic/version/type, zero dimensions).
+func fuzzSeedBuffers(tb testing.TB) [][]byte {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(72))
+	mk := func(n, m int, mutate func([]byte)) []byte {
+		gen, err := NewGeneration(0, testParams(n, m), nil)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		buf, err := MarshalData(1, NewEncoder(gen, rng).Packet())
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if mutate != nil {
+			mutate(buf)
+		}
+		return buf
+	}
+	return [][]byte{
+		nil,
+		[]byte("OMNC"),
+		append([]byte("XXXX"), make([]byte, 20)...),
+		mk(8, 32, nil),
+		mk(40, 1024, nil),
+		mk(8, 32, func(b []byte) { b[4] = 9 }),
+		mk(8, 32, func(b []byte) { b[5] = 7 }),
+		mk(8, 32, nil)[:30],
+		mk(8, 32, func(b []byte) { b[14], b[15] = 0, 0 }),
+		mk(8, 32, func(b []byte) { b[16], b[17] = 0, 0 }),
+		MarshalAck(99, 1234),
+	}
+}
+
+// FuzzDecodePacket hammers the wire decoder with arbitrary buffers. The
+// decoder must never panic, and anything it accepts must survive a
+// re-marshal/re-parse round trip unchanged (the parsed form is canonical —
+// trailing garbage aside, Unmarshal(Marshal(msg)) is the identity).
+func FuzzDecodePacket(f *testing.F) {
+	for _, buf := range fuzzSeedBuffers(f) {
+		f.Add(buf)
+	}
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		msg, err := Unmarshal(buf)
+		if err != nil {
+			if msg != nil {
+				t.Fatalf("error %v must not return a message", err)
+			}
+			return
+		}
+		switch msg.Type {
+		case MessageAck:
+			if msg.Packet != nil {
+				t.Fatal("ACK with payload")
+			}
+			again, err := Unmarshal(MarshalAck(msg.Session, msg.Generation))
+			if err != nil {
+				t.Fatalf("re-parse of re-marshaled ACK: %v", err)
+			}
+			if *again != *msg {
+				t.Fatalf("ACK not canonical: %+v vs %+v", msg, again)
+			}
+		case MessageData:
+			if msg.Packet == nil {
+				t.Fatal("data message without packet")
+			}
+			out, err := MarshalData(msg.Session, msg.Packet)
+			if err != nil {
+				t.Fatalf("accepted packet failed to re-marshal: %v", err)
+			}
+			again, err := Unmarshal(out)
+			if err != nil {
+				t.Fatalf("re-parse of re-marshaled data: %v", err)
+			}
+			if again.Session != msg.Session || again.Generation != msg.Generation {
+				t.Fatal("header not canonical")
+			}
+			if !bytes.Equal(again.Packet.Coeffs, msg.Packet.Coeffs) ||
+				!bytes.Equal(again.Packet.Payload, msg.Packet.Payload) {
+				t.Fatal("packet not canonical")
+			}
+		default:
+			t.Fatalf("accepted unknown message type %d", msg.Type)
+		}
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip drives the data path in the forward direction:
+// any packet MarshalData accepts must come back identical through Unmarshal,
+// even with trailing bytes appended (UDP reads can hand back oversized
+// buffers).
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	rng := rand.New(rand.NewSource(71))
+	gen, err := NewGeneration(7, testParams(40, 1024), randomData(rng, 100))
+	if err != nil {
+		f.Fatal(err)
+	}
+	pkt := NewEncoder(gen, rng).Packet()
+	f.Add(uint32(12345), uint32(7), []byte(pkt.Coeffs), []byte(pkt.Payload), byte(0))
+	f.Add(uint32(0), uint32(0), []byte{1}, []byte{0}, byte(3))
+	f.Add(uint32(1), uint32(1<<31), []byte{0, 0, 255}, []byte{9, 9}, byte(0))
+
+	f.Fuzz(func(t *testing.T, session, generation uint32, coeffs, payload []byte, trailing byte) {
+		pkt := &Packet{
+			Generation: int(generation),
+			Coeffs:     coeffs,
+			Payload:    payload,
+		}
+		buf, err := MarshalData(session, pkt)
+		if err != nil {
+			// Only dimension limits may be rejected; anything else in
+			// range must marshal.
+			if n, m := len(coeffs), len(payload); n > 0 && n <= 0xFFFF && m > 0 && m <= 0xFFFF {
+				t.Fatalf("in-range packet %dx%d rejected: %v", n, m, err)
+			}
+			return
+		}
+		if len(buf) != WireSize(Params{GenerationSize: len(coeffs), BlockSize: len(payload)}) {
+			t.Fatalf("wire size %d inconsistent with WireSize", len(buf))
+		}
+		buf = append(buf, make([]byte, int(trailing))...)
+		msg, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatalf("marshaled packet failed to parse: %v", err)
+		}
+		if msg.Type != MessageData || msg.Session != session || msg.Generation != generation {
+			t.Fatalf("header round trip: %+v", msg)
+		}
+		if msg.Packet.Generation != int(generation) {
+			t.Fatalf("packet generation = %d, want %d", msg.Packet.Generation, generation)
+		}
+		if !bytes.Equal(msg.Packet.Coeffs, coeffs) || !bytes.Equal(msg.Packet.Payload, payload) {
+			t.Fatal("round trip corrupted the packet")
+		}
+	})
+}

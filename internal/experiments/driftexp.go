@@ -7,7 +7,9 @@ import (
 	"omnc/internal/core"
 	"omnc/internal/graph"
 	"omnc/internal/metrics"
+	"omnc/internal/parallel"
 	"omnc/internal/protocol"
+	"omnc/internal/seedmix"
 	"omnc/internal/topology"
 )
 
@@ -63,7 +65,7 @@ func DriftSweep(cfg DriftSweepConfig) (*DriftSweepResult, error) {
 	// Fixed session set across jitter levels, so the sweep is paired.
 	type pair struct{ src, dst int }
 	var pairs []pair
-	rng := rand.New(rand.NewSource(base.Seed + 5000))
+	rng := rand.New(rand.NewSource(seedmix.Derive(base.Seed, streamDriftPairs)))
 	attempts := 0
 	for len(pairs) < base.Sessions && attempts < 200*base.Sessions {
 		attempts++
@@ -84,32 +86,50 @@ func DriftSweep(cfg DriftSweepConfig) (*DriftSweepResult, error) {
 		return nil, fmt.Errorf("experiments: no sessions for the drift sweep")
 	}
 
-	pcfg := protocol.Config{
-		Coding:        base.Coding,
-		AirPacketSize: base.AirPacketSize,
-		Capacity:      base.Capacity,
-		Duration:      base.Duration,
-		CBRRate:       base.CBRRate,
-		MAC:           base.MAC,
+	// The sweep is a flat grid of (jitter level, session) cells; every cell
+	// is an independent emulation, so all of them share one worker pool.
+	// Each cell's protocol and drift seeds are derived from its coordinates
+	// and results land in slots addressed by them, keeping the sweep
+	// bit-identical across worker counts (same guarantee as RunComparison).
+	tps := make([][]float64, len(cfg.Jitters))
+	for ji := range tps {
+		tps[ji] = make([]float64, len(pairs))
+	}
+	cells := len(cfg.Jitters) * len(pairs)
+	err = parallel.ForEach(cells, parallel.Workers(base.Workers), func(i int) error {
+		ji, si := i/len(pairs), i%len(pairs)
+		p := pairs[si]
+		pcfg := protocol.Config{
+			Coding:        base.Coding,
+			AirPacketSize: base.AirPacketSize,
+			Capacity:      base.Capacity,
+			Duration:      base.Duration,
+			CBRRate:       base.CBRRate,
+			MAC:           base.MAC,
+			Seed:          TrialSeed(base.Seed, si),
+		}
+		ds, err := protocol.RunWithDrift(nw, p.src, p.dst,
+			protocol.OMNC(base.RateOptions), pcfg, protocol.DriftConfig{
+				Epochs:         cfg.Epochs,
+				Jitter:         cfg.Jitters[ji],
+				ReinitOverhead: cfg.ReinitOverhead,
+				Seed:           seedmix.Derive(base.Seed, streamDriftTrial, int64(ji), int64(si)),
+			})
+		if err != nil {
+			return fmt.Errorf("experiments: drift session %d->%d: %w", p.src, p.dst, err)
+		}
+		tps[ji][si] = ds.Throughput
+		if base.Progress != nil {
+			base.Progress.Add(1)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	out := &DriftSweepResult{Jitters: cfg.Jitters}
-	for ji, jitter := range cfg.Jitters {
-		var tps []float64
-		for si, p := range pairs {
-			pcfg.Seed = base.Seed + int64(si)*7919
-			ds, err := protocol.RunWithDrift(nw, p.src, p.dst,
-				protocol.OMNC(base.RateOptions), pcfg, protocol.DriftConfig{
-					Epochs:         cfg.Epochs,
-					Jitter:         jitter,
-					ReinitOverhead: cfg.ReinitOverhead,
-					Seed:           base.Seed + int64(ji)*131 + int64(si),
-				})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: drift session %d->%d: %w", p.src, p.dst, err)
-			}
-			tps = append(tps, ds.Throughput)
-		}
-		out.Throughput = append(out.Throughput, metrics.Summarize(tps))
+	for ji := range cfg.Jitters {
+		out.Throughput = append(out.Throughput, metrics.Summarize(tps[ji]))
 	}
 	return out, nil
 }

@@ -24,11 +24,30 @@ import (
 	"omnc/internal/gf256"
 	"omnc/internal/graph"
 	"omnc/internal/metrics"
+	"omnc/internal/parallel"
 	"omnc/internal/protocol"
 	"omnc/internal/routing"
+	"omnc/internal/seedmix"
 	"omnc/internal/sim"
 	"omnc/internal/topology"
 )
+
+// RNG stream identifiers mixed with Config.Seed via seedmix.Derive. Every
+// random process in the harness draws from its own derived stream, so
+// changing one (say, adding a trial) never perturbs another.
+const (
+	streamPlacement int64 = iota + 1
+	streamTrial
+	streamDriftPairs
+	streamDriftTrial
+)
+
+// TrialSeed derives the deterministic protocol seed of trial idx under the
+// experiment seed. It is exposed so tests and tools can reproduce a single
+// trial out of a sweep without replaying the whole experiment.
+func TrialSeed(seed int64, idx int) int64 {
+	return seedmix.Derive(seed, streamTrial, int64(idx))
+}
 
 // Protocol names accepted by Config.Protocols.
 const (
@@ -77,6 +96,16 @@ type Config struct {
 	SolveLPGap bool
 	// Seed makes the whole experiment reproducible.
 	Seed int64
+	// Workers bounds how many sessions are emulated concurrently: 1 runs
+	// strictly serially, anything else (including the zero value) uses one
+	// worker per available CPU. Results are bit-identical for every worker
+	// count — each trial runs on its own sim.Engine with an RNG stream
+	// derived from (Seed, trial index) and lands in a slice slot addressed
+	// by its trial index.
+	Workers int
+	// Progress, when non-nil, is incremented once per completed session so
+	// callers can report sweep progress from another goroutine.
+	Progress *metrics.Progress
 }
 
 // PaperConfig returns the full-scale evaluation settings of Sec. 5.
@@ -162,8 +191,23 @@ type Comparison struct {
 	Sessions []SessionResult
 }
 
+// trial is one placed session waiting to be emulated: endpoints, hop count,
+// and the forwarder subgraph the placement phase already selected.
+type trial struct {
+	src, dst, hops int
+	sg             *core.Subgraph
+}
+
 // RunComparison generates the deployment, samples sessions under the hop
 // constraint, and emulates every requested protocol on each session.
+//
+// It runs in two phases. Placement is serial: a single RNG stream samples
+// endpoint candidates, so the accepted session list depends only on the
+// seed. Emulation fans the placed trials out over Config.Workers goroutines;
+// each trial owns a private discrete-event engine and an RNG stream derived
+// from (Seed, trial index), and writes its result into the slot addressed by
+// its trial index — so the returned Comparison is bit-identical whether the
+// trials ran on one worker or thirty-two.
 func RunComparison(cfg Config) (*Comparison, error) {
 	cfg = cfg.withDefaults()
 	nw, err := topology.Generate(topology.Config{
@@ -185,19 +229,50 @@ func RunComparison(cfg Config) (*Comparison, error) {
 		}
 	}
 
+	trials, err := placeSessions(nw, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Comparison{Config: cfg, Network: nw}
+	out.Sessions = make([]SessionResult, len(trials))
+	err = parallel.ForEach(len(trials), parallel.Workers(cfg.Workers), func(i int) error {
+		tr := trials[i]
+		res, err := runSession(nw, tr.sg, tr.src, tr.dst, cfg, i)
+		if err != nil {
+			return fmt.Errorf("experiments: session %d->%d: %w", tr.src, tr.dst, err)
+		}
+		res.Hops = tr.hops
+		out.Sessions[i] = *res
+		if cfg.Progress != nil {
+			cfg.Progress.Add(1)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// placeSessions samples (src, dst) candidates from the placement RNG stream
+// until Config.Sessions pairs satisfy the hop constraint and have a feasible
+// forwarder subgraph. It is deliberately serial: one RNG stream consumed in
+// a fixed order is what makes the trial list a pure function of the seed.
+func placeSessions(nw *topology.Network, cfg Config) ([]trial, error) {
 	adj := make([][]int, nw.Size())
 	for i := range adj {
 		adj[i] = nw.Neighbors(i)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 1000))
+	rng := rand.New(rand.NewSource(seedmix.Derive(cfg.Seed, streamPlacement)))
 
-	out := &Comparison{Config: cfg, Network: nw}
+	var trials []trial
 	attempts := 0
 	maxAttempts := 200 * cfg.Sessions
-	for len(out.Sessions) < cfg.Sessions {
+	for len(trials) < cfg.Sessions {
 		attempts++
 		if attempts > maxAttempts {
-			if len(out.Sessions) == 0 {
+			if len(trials) == 0 {
 				return nil, fmt.Errorf("experiments: no session satisfying %d-%d hops found in %d attempts",
 					cfg.MinHops, cfg.MaxHops, attempts)
 			}
@@ -216,24 +291,19 @@ func RunComparison(cfg Config) (*Comparison, error) {
 		if err != nil {
 			continue
 		}
-		res, err := runSession(nw, sg, src, dst, cfg, int64(len(out.Sessions)))
-		if err != nil {
-			return nil, fmt.Errorf("experiments: session %d->%d: %w", src, dst, err)
-		}
-		res.Hops = hops
-		out.Sessions = append(out.Sessions, *res)
+		trials = append(trials, trial{src: src, dst: dst, hops: hops, sg: sg})
 	}
-	return out, nil
+	return trials, nil
 }
 
-func runSession(nw *topology.Network, sg *core.Subgraph, src, dst int, cfg Config, idx int64) (*SessionResult, error) {
+func runSession(nw *topology.Network, sg *core.Subgraph, src, dst int, cfg Config, idx int) (*SessionResult, error) {
 	pcfg := protocol.Config{
 		Coding:              cfg.Coding,
 		AirPacketSize:       cfg.AirPacketSize,
 		Capacity:            cfg.Capacity,
 		Duration:            cfg.Duration,
 		CBRRate:             cfg.CBRRate,
-		Seed:                cfg.Seed + 7919*idx,
+		Seed:                TrialSeed(cfg.Seed, idx),
 		QueueSampleInterval: cfg.QueueSampleInterval,
 		MAC:                 cfg.MAC,
 	}

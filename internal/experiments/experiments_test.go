@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"math/rand"
+	"reflect"
 	"testing"
 
 	"omnc/internal/coding"
 	"omnc/internal/gf256"
+	"omnc/internal/metrics"
 )
 
 // tinyConfig keeps comparison tests fast on one CPU.
@@ -137,6 +140,122 @@ func TestRunComparisonDeterministic(t *testing.T) {
 		if sa.ByProtocol[ProtoOMNC].Throughput != sb.ByProtocol[ProtoOMNC].Throughput {
 			t.Fatal("throughput not deterministic")
 		}
+	}
+}
+
+// TestRunComparisonParallelMatchesSerial is the determinism contract of the
+// parallel runner: for the same seed, a RunComparison fanned out over eight
+// workers must be indistinguishable — session by session, CDF by CDF — from
+// the strictly serial run. The configs derive from QuickConfig (the paper's
+// topology and air frames) with the session count and emulated time scaled
+// down so the three-seed sweep stays test-suite-sized.
+func TestRunComparisonParallelMatchesSerial(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		cfg := QuickConfig(seed)
+		cfg.Sessions = 4
+		cfg.Duration = 60
+		cfg.SolveLPGap = true
+
+		serialCfg := cfg
+		serialCfg.Workers = 1
+		serial, err := RunComparison(serialCfg)
+		if err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		parCfg := cfg
+		parCfg.Workers = 8
+		par, err := RunComparison(parCfg)
+		if err != nil {
+			t.Fatalf("seed %d parallel: %v", seed, err)
+		}
+
+		if len(serial.Sessions) != len(par.Sessions) {
+			t.Fatalf("seed %d: %d serial vs %d parallel sessions",
+				seed, len(serial.Sessions), len(par.Sessions))
+		}
+		for i := range serial.Sessions {
+			if !reflect.DeepEqual(serial.Sessions[i], par.Sessions[i]) {
+				t.Fatalf("seed %d session %d diverges:\nserial:   %+v\nparallel: %+v",
+					seed, i, serial.Sessions[i], par.Sessions[i])
+			}
+		}
+		for name, cmp := range map[string][2]interface{}{
+			"gain CDFs":         {serial.GainCDFs(), par.GainCDFs()},
+			"queue CDFs":        {serial.QueueCDFs(), par.QueueCDFs()},
+			"node utility":      {serial.NodeUtilityCDFs(), par.NodeUtilityCDFs()},
+			"path utility":      {serial.PathUtilityCDFs(), par.PathUtilityCDFs()},
+			"rate iterations":   {serial.RateIterationsSummary(), par.RateIterationsSummary()},
+			"LP gap":            {serial.LPGapSummary(), par.LPGapSummary()},
+			"network (pointer)": {serial.Network.MeanLinkQuality(), par.Network.MeanLinkQuality()},
+		} {
+			if !reflect.DeepEqual(cmp[0], cmp[1]) {
+				t.Fatalf("seed %d: %s diverge between serial and parallel", seed, name)
+			}
+		}
+	}
+}
+
+// TestRunComparisonDefaultWorkers checks the zero value fans out (and still
+// succeeds) — Workers: 0 must behave like "all cores", not like zero
+// workers.
+func TestRunComparisonDefaultWorkers(t *testing.T) {
+	cfg := tinyConfig(11)
+	cfg.Sessions = 2
+	cfg.Protocols = []string{ProtoETX}
+	c, err := RunComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Sessions) != 2 {
+		t.Fatalf("sessions = %d", len(c.Sessions))
+	}
+}
+
+// TestRunComparisonProgress verifies every completed trial ticks the shared
+// progress counter exactly once.
+func TestRunComparisonProgress(t *testing.T) {
+	cfg := tinyConfig(12)
+	cfg.Sessions = 3
+	cfg.Protocols = []string{ProtoETX}
+	cfg.Workers = 4
+	cfg.Progress = metrics.NewProgress(cfg.Sessions)
+	if _, err := RunComparison(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Progress.Done() != cfg.Sessions {
+		t.Fatalf("progress = %s, want %d", cfg.Progress, cfg.Sessions)
+	}
+	if cfg.Progress.Fraction() != 1 {
+		t.Fatalf("fraction = %v", cfg.Progress.Fraction())
+	}
+}
+
+// TestTrialSeedsDecorrelated pins the property the SplitMix64 derivation was
+// introduced for: RNGs seeded from distinct trial indices open with distinct
+// first draws (the old additive seed+7919*idx offsets fed math/rand source
+// states that were nearly collinear across trials).
+func TestTrialSeedsDecorrelated(t *testing.T) {
+	const trials = 2048
+	seeds := make(map[int64]int, trials)
+	firsts := make(map[int64]int, trials)
+	for i := 0; i < trials; i++ {
+		s := TrialSeed(42, i)
+		if prev, ok := seeds[s]; ok {
+			t.Fatalf("trials %d and %d derive the same seed %d", prev, i, s)
+		}
+		seeds[s] = i
+		first := rand.New(rand.NewSource(s)).Int63()
+		if prev, ok := firsts[first]; ok {
+			t.Fatalf("trials %d and %d share first draw %d", prev, i, first)
+		}
+		firsts[first] = i
+	}
+	if TrialSeed(42, 0) == TrialSeed(43, 0) {
+		t.Fatal("different experiment seeds must derive different trial seeds")
 	}
 }
 

@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Progress is a goroutine-safe completion counter for long-running
+// experiment sweeps. The parallel trial executor increments it from every
+// worker; reporting code (CLI tickers, logs) reads it from any goroutine
+// without synchronizing with the workers.
+//
+// The zero value is usable as an untracked counter; NewProgress attaches an
+// expected total so readers can render fractions.
+type Progress struct {
+	done  atomic.Int64
+	total int64
+}
+
+// NewProgress returns a counter expecting total completions.
+func NewProgress(total int) *Progress {
+	return &Progress{total: int64(total)}
+}
+
+// Add records n more completed trials.
+func (p *Progress) Add(n int) { p.done.Add(int64(n)) }
+
+// Done returns the number of completed trials so far.
+func (p *Progress) Done() int { return int(p.done.Load()) }
+
+// Total returns the expected number of trials (0 if unknown).
+func (p *Progress) Total() int { return int(p.total) }
+
+// Fraction returns completion in [0, 1], or 0 when the total is unknown.
+func (p *Progress) Fraction() float64 {
+	if p.total <= 0 {
+		return 0
+	}
+	f := float64(p.done.Load()) / float64(p.total)
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// String renders "done/total" (or just the count when the total is
+// unknown).
+func (p *Progress) String() string {
+	if p.total <= 0 {
+		return fmt.Sprintf("%d", p.Done())
+	}
+	return fmt.Sprintf("%d/%d", p.Done(), p.Total())
+}

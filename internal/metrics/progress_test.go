@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestProgressCounts(t *testing.T) {
+	p := NewProgress(10)
+	if p.Done() != 0 || p.Total() != 10 || p.Fraction() != 0 {
+		t.Fatalf("fresh progress = %s", p)
+	}
+	p.Add(3)
+	p.Add(1)
+	if p.Done() != 4 {
+		t.Fatalf("done = %d", p.Done())
+	}
+	if p.Fraction() != 0.4 {
+		t.Fatalf("fraction = %v", p.Fraction())
+	}
+	if p.String() != "4/10" {
+		t.Fatalf("string = %q", p.String())
+	}
+}
+
+func TestProgressUnknownTotal(t *testing.T) {
+	var p Progress
+	p.Add(7)
+	if p.Fraction() != 0 {
+		t.Fatal("unknown total has no fraction")
+	}
+	if p.String() != "7" {
+		t.Fatalf("string = %q", p.String())
+	}
+}
+
+func TestProgressFractionClamped(t *testing.T) {
+	p := NewProgress(2)
+	p.Add(5)
+	if p.Fraction() != 1 {
+		t.Fatalf("fraction = %v, want clamp to 1", p.Fraction())
+	}
+}
+
+func TestProgressConcurrentAdds(t *testing.T) {
+	const workers, per = 16, 1000
+	p := NewProgress(workers * per)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				p.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Done() != workers*per {
+		t.Fatalf("done = %d, want %d", p.Done(), workers*per)
+	}
+	if p.Fraction() != 1 {
+		t.Fatalf("fraction = %v", p.Fraction())
+	}
+}

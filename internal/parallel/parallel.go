@@ -1,0 +1,91 @@
+// Package parallel runs independent, index-addressed trials on a bounded
+// worker pool. It is the execution layer of the experiment harness: callers
+// write results into pre-sized slices at the trial index, so the output is
+// byte-identical no matter how many workers raced to produce it.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: values above zero are used as
+// given, anything else means one worker per available CPU.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach invokes fn(0) … fn(n-1), running at most workers calls
+// concurrently (workers <= 1 runs serially on the calling goroutine, exactly
+// like a plain loop). Indices are handed out in order from a shared atomic
+// counter.
+//
+// On failure, ForEach returns the error from the lowest failing index —
+// deterministically, independent of scheduling: indices above the lowest
+// known failure stop being dispatched, but every index below it still runs,
+// so a lower-indexed failure can never be masked by a later one that a
+// faster worker happened to hit first.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+
+		// bound is the lowest failing index seen so far (n = none); indices
+		// at or above it are not worth starting.
+		bound atomic.Int64
+
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = n
+	)
+	bound.Store(int64(n))
+	record := func(i int, err error) {
+		for {
+			cur := bound.Load()
+			if int64(i) >= cur || bound.CompareAndSwap(cur, int64(i)) {
+				break
+			}
+		}
+		mu.Lock()
+		if i < errIdx {
+			firstErr, errIdx = err, i
+		}
+		mu.Unlock()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || int64(i) >= bound.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,98 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if Workers(4) != 4 {
+		t.Fatal("positive counts pass through")
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestForEachCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 500
+			counts := make([]atomic.Int32, n)
+			if err := ForEach(n, workers, func(i int) error {
+				counts[i].Add(1)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for i := range counts {
+				if c := counts[i].Load(); c != 1 {
+					t.Fatalf("index %d ran %d times", i, c)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 8, func(int) error { t.Fatal("must not run"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(-5, 8, func(int) error { t.Fatal("must not run"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachSerialStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	ran := 0
+	err := ForEach(10, 1, func(i int) error {
+		ran++
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran != 4 {
+		t.Fatalf("serial run executed %d trials, want 4", ran)
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	// Several trials fail; the reported error must be the lowest failing
+	// index regardless of which worker saw its failure first.
+	for trial := 0; trial < 20; trial++ {
+		err := ForEach(100, 8, func(i int) error {
+			if i%2 == 1 {
+				return fmt.Errorf("fail-%d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail-1" {
+			t.Fatalf("err = %v, want fail-1", err)
+		}
+	}
+}
+
+func TestForEachStopsDispatchAfterError(t *testing.T) {
+	var ran atomic.Int32
+	err := ForEach(1_000_000, 4, func(i int) error {
+		ran.Add(1)
+		return errors.New("stop")
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if n := ran.Load(); n > 16 {
+		t.Fatalf("ran %d trials after early failure", n)
+	}
+}

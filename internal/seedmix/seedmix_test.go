@@ -1,0 +1,97 @@
+package seedmix
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+func TestMix64Bijective(t *testing.T) {
+	// A sample of inputs must not collide; the mixer is a bijection, so any
+	// collision is an implementation bug.
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 10000; i++ {
+		out := Mix64(i)
+		if prev, ok := seen[out]; ok {
+			t.Fatalf("Mix64 collision: %d and %d both map to %#x", prev, i, out)
+		}
+		seen[out] = i
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		x := rng.Uint64()
+		for bit := 0; bit < 64; bit++ {
+			d := Mix64(x) ^ Mix64(x^(1<<bit))
+			if n := bits.OnesCount64(d); n < 10 || n > 54 {
+				t.Fatalf("weak avalanche: input %#x bit %d flips only %d output bits", x, bit, n)
+			}
+		}
+	}
+}
+
+func TestDeriveDistinctStreams(t *testing.T) {
+	seen := make(map[int64]int64)
+	for i := int64(0); i < 4096; i++ {
+		s := Derive(42, i)
+		if prev, ok := seen[s]; ok {
+			t.Fatalf("streams %d and %d collide on seed %d", prev, i, s)
+		}
+		seen[s] = i
+	}
+}
+
+func TestDeriveOrderMatters(t *testing.T) {
+	if Derive(1, 2, 3) == Derive(1, 3, 2) {
+		t.Fatal("stream order must matter")
+	}
+	if Derive(1, 2) == Derive(2, 1) {
+		t.Fatal("seed and stream are not interchangeable")
+	}
+	if Derive(7) == Derive(7, 0) {
+		t.Fatal("adding a level must change the derivation")
+	}
+}
+
+func TestDeriveDeterministic(t *testing.T) {
+	// Frozen vectors: the derivation is part of the reproducibility contract
+	// (experiment seeds recorded in papers and CI must replay forever).
+	vectors := []struct {
+		seed    int64
+		streams []int64
+		want    int64
+	}{
+		{0, nil, int64(Mix64(0))},
+		{1, []int64{0}, int64(Mix64(Mix64(1)))},
+	}
+	for _, v := range vectors {
+		if got := Derive(v.seed, v.streams...); got != v.want {
+			t.Fatalf("Derive(%d, %v) = %d, want %d", v.seed, v.streams, got, v.want)
+		}
+	}
+	// Stability across calls.
+	for i := 0; i < 3; i++ {
+		if Derive(99, 1, 2, 3) != Derive(99, 1, 2, 3) {
+			t.Fatal("derivation must be pure")
+		}
+	}
+}
+
+// TestDerivedFirstDrawsDistinct is the decorrelation property the experiment
+// harness relies on: RNGs seeded from adjacent trial indices must not open
+// with the same draw (the failure mode of additive seed offsets).
+func TestDerivedFirstDrawsDistinct(t *testing.T) {
+	for _, seed := range []int64{0, 1, 42, -7, 1 << 40} {
+		firsts := make(map[int64]int64)
+		for i := int64(0); i < 1024; i++ {
+			first := rand.New(rand.NewSource(Derive(seed, i))).Int63()
+			if prev, ok := firsts[first]; ok {
+				t.Fatalf("seed %d: trials %d and %d share first draw %d", seed, prev, i, first)
+			}
+			firsts[first] = i
+		}
+	}
+}
