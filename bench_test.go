@@ -20,6 +20,7 @@ import (
 	"omnc/internal/gf256"
 	"omnc/internal/metrics"
 	"omnc/internal/protocol"
+	"omnc/internal/sessionbench"
 	"omnc/internal/sim"
 	"omnc/internal/topology"
 )
@@ -172,6 +173,40 @@ func BenchmarkRunComparisonWorkers(b *testing.B) {
 		})
 	}
 }
+
+// benchSession is the allocation trajectory the repo records in
+// BENCH_<n>.json: one emulated unicast session end to end (node selection,
+// rate control, coding, MAC) with allocs/op and B/op reported. The scenario
+// itself lives in internal/sessionbench so cmd/omnc-bench records exactly
+// this workload; the regression gate lives in internal/coding's and
+// internal/protocol's AllocsPerRun tests.
+func benchSession(b *testing.B, scenario int) {
+	s := sessionbench.Scenarios()[scenario]
+	nw, src, dst, err := sessionbench.Network()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	var tp float64
+	for i := 0; i < b.N; i++ {
+		st, err := s.Run(nw, src, dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.GenerationsDecoded == 0 {
+			b.Fatal("session decoded nothing")
+		}
+		tp = st.Throughput
+	}
+	b.ReportMetric(tp, "bytes/s")
+}
+
+func BenchmarkSessionOMNC(b *testing.B) { benchSession(b, 0) }
+
+func BenchmarkSessionMORE(b *testing.B) { benchSession(b, 1) }
+
+func BenchmarkSessionETX(b *testing.B) { benchSession(b, 2) }
 
 // BenchmarkTable1RateControl measures the distributed rate-control
 // algorithm itself (Table 1) on a random selected subgraph.

@@ -1,0 +1,209 @@
+// Command omnc-bench records the repo's session benchmark trajectory as a
+// machine-readable JSON report (BENCH_<n>.json at the repo root). It runs
+// the exact scenario behind `go test -bench='^BenchmarkSession'` (see
+// internal/sessionbench) and emits ns/op, allocs/op and B/op per protocol
+// next to the recorded pre-optimization baseline, so the allocation win of
+// the pooled hot path stays an auditable number instead of a claim.
+//
+// Usage:
+//
+//	omnc-bench [-iters N] [-out BENCH_2.json]   record a fresh report
+//	omnc-bench -check BENCH_2.json              validate a committed report
+//
+// -check verifies the schema and re-asserts the headline regression gate:
+// the OMNC session must show at least 50% fewer allocs/op than baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"omnc/internal/sessionbench"
+)
+
+// schemaVersion identifies the report layout. Bump only when a field
+// changes meaning; adding fields is backward compatible.
+const schemaVersion = "omnc-bench/v1"
+
+// Report is the top-level BENCH_<n>.json document.
+type Report struct {
+	Schema     string   `json:"schema"`
+	GoVersion  string   `json:"go_version"`
+	Iterations int      `json:"iterations"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Result is one session benchmark with its recorded baseline.
+type Result struct {
+	Name        string   `json:"name"`
+	NsPerOp     int64    `json:"ns_per_op"`
+	AllocsPerOp int64    `json:"allocs_per_op"`
+	BytesPerOp  int64    `json:"bytes_per_op"`
+	Throughput  float64  `json:"throughput_bytes_per_s"`
+	Baseline    Baseline `json:"baseline"`
+}
+
+// Baseline is a frozen earlier measurement of the same scenario.
+type Baseline struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+// baselines freezes the pre-pooling numbers (go test -bench Session
+// -benchtime=5x on the commit before the arena landed). They stay valid as
+// long as internal/sessionbench's scenario is unchanged.
+var baselines = map[string]Baseline{
+	"SessionOMNC": {NsPerOp: 22093928, AllocsPerOp: 72996, BytesPerOp: 3804190},
+	"SessionMORE": {NsPerOp: 9651859, AllocsPerOp: 30166, BytesPerOp: 1692928},
+	"SessionETX":  {NsPerOp: 980601, AllocsPerOp: 14319, BytesPerOp: 626320},
+}
+
+// allocGate is the acceptance threshold -check re-asserts: current
+// allocs/op must be at most this fraction of baseline on the OMNC session.
+const allocGate = 0.5
+
+func main() {
+	iters := flag.Int("iters", 5, "measured session runs per benchmark (after one warmup)")
+	out := flag.String("out", "BENCH_2.json", "output path, or - for stdout")
+	check := flag.String("check", "", "validate an existing report instead of benchmarking")
+	flag.Parse()
+
+	if *check != "" {
+		if err := checkReport(*check); err != nil {
+			fmt.Fprintf(os.Stderr, "omnc-bench: %s: %v\n", *check, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: schema %s ok, alloc gate held\n", *check, schemaVersion)
+		return
+	}
+
+	rep, err := record(*iters)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omnc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omnc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "omnc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, r := range rep.Benchmarks {
+		fmt.Printf("%-12s %12d ns/op %8d allocs/op %10d B/op  (baseline %d allocs/op)\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.Baseline.AllocsPerOp)
+	}
+}
+
+// record benchmarks every scenario and assembles the report.
+func record(iters int) (*Report, error) {
+	if iters < 1 {
+		return nil, fmt.Errorf("need at least 1 iteration, got %d", iters)
+	}
+	rep := &Report{Schema: schemaVersion, GoVersion: runtime.Version(), Iterations: iters}
+	for _, s := range sessionbench.Scenarios() {
+		r, err := measure(s, iters)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+	}
+	return rep, nil
+}
+
+// measure runs one warmup session (arena fill, lazy tables) and then iters
+// timed sessions, deriving allocs/op and B/op from MemStats deltas — the
+// same quantities testing.B reports with -benchmem.
+func measure(s sessionbench.Scenario, iters int) (Result, error) {
+	nw, src, dst, err := sessionbench.Network()
+	if err != nil {
+		return Result{}, err
+	}
+	st, err := s.Run(nw, src, dst)
+	if err != nil {
+		return Result{}, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if st, err = s.Run(nw, src, dst); err != nil {
+			return Result{}, err
+		}
+		if st.GenerationsDecoded == 0 {
+			return Result{}, fmt.Errorf("session decoded nothing")
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := int64(iters)
+	return Result{
+		Name:        s.Name,
+		NsPerOp:     elapsed.Nanoseconds() / n,
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / n,
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / n,
+		Throughput:  st.Throughput,
+		Baseline:    baselines[s.Name],
+	}, nil
+}
+
+// checkReport validates a committed report: schema identity, one entry per
+// scenario with sane fields, and the OMNC allocation gate.
+func checkReport(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	if rep.Schema != schemaVersion {
+		return fmt.Errorf("schema %q, want %q", rep.Schema, schemaVersion)
+	}
+	if rep.GoVersion == "" {
+		return fmt.Errorf("missing go_version")
+	}
+	if rep.Iterations < 1 {
+		return fmt.Errorf("iterations %d, want >= 1", rep.Iterations)
+	}
+	byName := map[string]Result{}
+	for _, r := range rep.Benchmarks {
+		if r.NsPerOp <= 0 || r.AllocsPerOp <= 0 || r.BytesPerOp <= 0 {
+			return fmt.Errorf("%s: non-positive measurement %+v", r.Name, r)
+		}
+		if r.Throughput <= 0 {
+			return fmt.Errorf("%s: non-positive throughput", r.Name)
+		}
+		byName[r.Name] = r
+	}
+	for _, s := range sessionbench.Scenarios() {
+		r, ok := byName[s.Name]
+		if !ok {
+			return fmt.Errorf("missing benchmark %s", s.Name)
+		}
+		if r.Baseline != baselines[s.Name] {
+			return fmt.Errorf("%s: baseline %+v drifted from recorded %+v", s.Name, r.Baseline, baselines[s.Name])
+		}
+	}
+	omncRes := byName["SessionOMNC"]
+	limit := int64(float64(omncRes.Baseline.AllocsPerOp) * allocGate)
+	if omncRes.AllocsPerOp > limit {
+		return fmt.Errorf("SessionOMNC allocs/op %d exceeds gate %d (%.0f%% of baseline %d)",
+			omncRes.AllocsPerOp, limit, allocGate*100, omncRes.Baseline.AllocsPerOp)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package omnc_test
+
+import (
+	"errors"
+	"testing"
+
+	"omnc"
+)
+
+// TestInvalidPHYIsMatchable: a partially specified PHY fails loudly and the
+// failure matches the ErrInvalidPHY sentinel.
+func TestInvalidPHYIsMatchable(t *testing.T) {
+	pts := []omnc.Point{{X: 0}, {X: 50}}
+	for _, phy := range []omnc.PHY{
+		{Range: 50},              // no width
+		{Width: 0.2},             // no range
+		{Range: -1, Width: 0.2},  // negative range
+		{Range: 50, Width: -0.1}, // negative width
+	} {
+		_, err := omnc.NetworkFromPositions(pts, phy)
+		if err == nil {
+			t.Errorf("PHY %+v: expected error", phy)
+			continue
+		}
+		if !errors.Is(err, omnc.ErrInvalidPHY) {
+			t.Errorf("PHY %+v: error %v does not match ErrInvalidPHY", phy, err)
+		}
+	}
+	// The zero value still selects the default model.
+	if _, err := omnc.NetworkFromPositions(pts, omnc.PHY{}); err != nil {
+		t.Errorf("zero-value PHY: %v", err)
+	}
+}
+
+// TestNoRouteIsMatchable: disconnected endpoints surface as ErrNoRoute from
+// both node selection and the unified Run entry point.
+func TestNoRouteIsMatchable(t *testing.T) {
+	// Two nodes far outside each other's 100 m range: no links at all.
+	nw, err := omnc.NetworkFromPositions([]omnc.Point{{X: 0}, {X: 1000}}, omnc.PHY{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := omnc.SelectForwarders(nw, 0, 1); !errors.Is(err, omnc.ErrNoRoute) {
+		t.Errorf("SelectForwarders error %v does not match ErrNoRoute", err)
+	}
+	for _, proto := range []omnc.Protocol{omnc.OMNC(omnc.RateOptions{}), omnc.ETX()} {
+		_, err := omnc.Run(nw, 0, 1, proto, omnc.SessionConfig{Duration: 1})
+		if !errors.Is(err, omnc.ErrNoRoute) {
+			t.Errorf("%s: error %v does not match ErrNoRoute", proto.Name(), err)
+		}
+	}
+}

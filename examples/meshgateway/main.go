@@ -47,21 +47,19 @@ func run() error {
 		Seed:          7,
 	}
 
-	etx, err := omnc.RunETX(nw, client, gateway, cfg)
-	if err != nil {
-		return err
+	// One entry point for every protocol: Run with a Protocol value.
+	stats := make([]*omnc.SessionStats, 0, 3)
+	for _, proto := range []omnc.Protocol{omnc.ETX(), omnc.MORE(), omnc.OMNC(omnc.RateOptions{})} {
+		st, err := omnc.Run(nw, client, gateway, proto, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", proto.Name(), err)
+		}
+		stats = append(stats, st)
 	}
-	more, err := omnc.RunMORE(nw, client, gateway, cfg)
-	if err != nil {
-		return err
-	}
-	best, err := omnc.RunOMNC(nw, client, gateway, cfg)
-	if err != nil {
-		return err
-	}
+	etx, best := stats[0], stats[2]
 
 	fmt.Printf("%-12s %12s %10s %12s %12s\n", "protocol", "throughput", "gain", "node util", "path util")
-	for _, st := range []*omnc.SessionStats{etx, more, best} {
+	for _, st := range stats {
 		gain := 1.0
 		if etx.Throughput > 0 {
 			gain = st.Throughput / etx.Throughput

@@ -6,12 +6,26 @@
 // destination decodes progressively with Gauss-Jordan elimination, keeping
 // its matrix in reduced row-echelon form so that innovation checks and
 // decoding happen on the fly.
+//
+// # Packet ownership
+//
+// The emission hot path is allocation-free: Encoder.Next and Recoder.Next
+// draw reference-counted packets from a package-global arena (pool.go).
+// The caller owns exactly one reference to the returned packet and must
+// call Packet.Release when done with it — or Packet.Retain first when
+// handing it to an additional owner (a broadcast MAC retains once per
+// scheduled delivery). Decoder.Add and Recoder.Add never take ownership:
+// they copy what they need into preallocated row storage, so the caller's
+// packet is untouched and still the caller's to release. Packets built by
+// hand (&Packet{...}, Clone, wire.Unmarshal) are not pooled; Retain and
+// Release are no-ops on them, so code can release uniformly.
 package coding
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"omnc/internal/gf256"
 )
@@ -64,7 +78,9 @@ func (p Params) strategy() gf256.Strategy {
 func (p Params) PacketSize() int { return p.GenerationSize + p.BlockSize }
 
 // Packet is one coded packet: a GF(2^8) linear combination of the blocks of
-// one generation, carrying its combination coefficients.
+// one generation, carrying its combination coefficients. Packets emitted by
+// Encoder.Next and Recoder.Next are pooled and reference counted — see the
+// package-level ownership contract.
 type Packet struct {
 	// Generation identifies which generation the packet codes over.
 	Generation int
@@ -72,9 +88,15 @@ type Packet struct {
 	Coeffs []byte
 	// Payload has length BlockSize: the coded block.
 	Payload []byte
+
+	// Arena bookkeeping (pool.go): pooled marks packets drawn from the
+	// arena; refs counts outstanding owners of such packets.
+	pooled bool
+	refs   atomic.Int32
 }
 
-// Clone returns a deep copy of the packet.
+// Clone returns a deep, unpooled copy of the packet; Release on the clone
+// is a no-op.
 func (pk *Packet) Clone() *Packet {
 	return &Packet{
 		Generation: pk.Generation,
@@ -105,13 +127,14 @@ func NewGeneration(id int, params Params, data []byte) (*Generation, error) {
 	if len(data) > capacity {
 		return nil, fmt.Errorf("%w: %d > %d", ErrDataTooLarge, len(data), capacity)
 	}
+	// One backing slab for all blocks: two allocations per generation
+	// instead of n+1, and the rows stay cache-adjacent for the encoder's
+	// row scans.
+	slab := make([]byte, capacity)
+	copy(slab, data)
 	blocks := make([][]byte, params.GenerationSize)
 	for i := range blocks {
-		blocks[i] = make([]byte, params.BlockSize)
-		lo := i * params.BlockSize
-		if lo < len(data) {
-			copy(blocks[i], data[lo:])
-		}
+		blocks[i] = slab[i*params.BlockSize : (i+1)*params.BlockSize]
 	}
 	return &Generation{ID: id, params: params, blocks: blocks}, nil
 }
@@ -135,20 +158,36 @@ func (g *Generation) Data() []byte {
 // Encoder produces random linear combinations of a generation's source
 // blocks: one row of X = R * B per call (Sec. 3.1).
 type Encoder struct {
-	gen *Generation
-	rng *rand.Rand
+	gen    *Generation
+	rng    *rand.Rand
+	kernel gf256.Kernel
 }
 
 // NewEncoder returns an encoder drawing coefficients from rng. The rng must
 // not be shared concurrently.
 func NewEncoder(gen *Generation, rng *rand.Rand) *Encoder {
-	return &Encoder{gen: gen, rng: rng}
+	return &Encoder{gen: gen, rng: rng, kernel: gf256.KernelFor(gen.params.strategy())}
 }
 
-// Packet emits a fresh coded packet over the whole generation.
-func (e *Encoder) Packet() *Packet {
-	p := e.gen.params
-	coeffs := make([]byte, p.GenerationSize)
+// Next emits a fresh coded packet over the whole generation, drawn from the
+// packet arena: the caller owns one reference and releases it when done
+// (see the package ownership contract).
+func (e *Encoder) Next() *Packet {
+	pk := GetPacket(e.gen.params)
+	pk.Generation = e.gen.ID
+	e.fill(pk)
+	return pk
+}
+
+// Packet emits a fresh coded packet.
+//
+// Deprecated: use Next, which documents that the emitted packet is pooled;
+// Packet is retained so existing callers keep compiling.
+func (e *Encoder) Packet() *Packet { return e.Next() }
+
+// fill overwrites pk with a fresh random combination of the generation.
+func (e *Encoder) fill(pk *Packet) {
+	coeffs := pk.Coeffs
 	// Reject the (vanishingly unlikely) all-zero vector: it wastes a
 	// transmission and is trivially non-innovative.
 	for {
@@ -163,9 +202,7 @@ func (e *Encoder) Packet() *Packet {
 			break
 		}
 	}
-	payload := make([]byte, p.BlockSize)
 	for i, c := range coeffs {
-		gf256.MulAddSlice(p.strategy(), payload, e.gen.blocks[i], c)
+		e.kernel.MulAdd(pk.Payload, e.gen.blocks[i], c)
 	}
-	return &Packet{Generation: e.gen.ID, Coeffs: coeffs, Payload: payload}
 }

@@ -16,51 +16,96 @@ import (
 // (Sec. 4): a non-innovative packet reduces to an all-zero row and is
 // discarded immediately; once rank reaches n the left part is the identity
 // and the right part is the decoded generation.
+//
+// All row storage for the full generation is preallocated up front from the
+// buffer arena (pool.go) as two slabs of GenerationSize+1 rows — the extra
+// row is the reduction scratch — so absorbing a packet allocates nothing:
+// add copies the packet into the scratch row, eliminates in place, and
+// installing an innovative row is a slice-header promotion, not a copy.
+// release returns the slabs to the arena.
 type rref struct {
 	params Params
+	kernel gf256.Kernel
 	// pivot[c] is the index into rows of the row whose leading coefficient
 	// column is c, or -1.
 	pivot []int
-	// rows, in insertion order. Each row is stored as coeffs+payload.
+	// rows is the rank: rows [0, rows) of coeffs/payloads are installed;
+	// row `rows` is the reduction scratch.
+	rows int
+	// coeffs and payloads are GenerationSize+1 row views into the pooled
+	// slabs.
 	coeffs   [][]byte
 	payloads [][]byte
+
+	coefSlab []byte // pooled backing for coeffs
+	paySlab  []byte // pooled backing for payloads
+	weights  []byte // pooled re-encoding weight scratch (combineInto)
 }
 
 func newRREF(params Params) *rref {
-	pivot := make([]int, params.GenerationSize)
-	for i := range pivot {
-		pivot[i] = -1
+	n, bs := params.GenerationSize, params.BlockSize
+	m := &rref{
+		params:   params,
+		kernel:   gf256.KernelFor(params.strategy()),
+		pivot:    make([]int, n),
+		coeffs:   make([][]byte, n+1),
+		payloads: make([][]byte, n+1),
+		coefSlab: getBuf((n + 1) * n),
+		paySlab:  getBuf((n + 1) * bs),
+		weights:  getBuf(n),
 	}
-	return &rref{params: params, pivot: pivot}
+	for i := range m.pivot {
+		m.pivot[i] = -1
+	}
+	for i := 0; i <= n; i++ {
+		m.coeffs[i] = m.coefSlab[i*n : (i+1)*n]
+		m.payloads[i] = m.paySlab[i*bs : (i+1)*bs]
+	}
+	return m
+}
+
+// release returns the row slabs to the arena. The matrix must not be used
+// afterwards; any row views previously handed out (Decoder.Block,
+// Decoder.Data views) become invalid.
+func (m *rref) release() {
+	putBuf(m.coefSlab)
+	putBuf(m.paySlab)
+	putBuf(m.weights)
+	m.coefSlab, m.paySlab, m.weights = nil, nil, nil
+	m.coeffs, m.payloads = nil, nil
 }
 
 // rank returns the number of linearly independent packets absorbed.
-func (m *rref) rank() int { return len(m.coeffs) }
+func (m *rref) rank() int { return m.rows }
 
 // full reports whether the matrix spans the whole generation.
-func (m *rref) full() bool { return m.rank() == m.params.GenerationSize }
+func (m *rref) full() bool { return m.rows == m.params.GenerationSize }
 
 // add reduces the packet against the current basis and installs it if it is
 // innovative. It reports whether the packet increased the rank. The packet's
-// slices are consumed (ownership transfers to the matrix).
+// slices are only read: the matrix copies them into its own storage, so the
+// caller keeps ownership.
 func (m *rref) add(coeffs, payload []byte) bool {
-	st := m.params.strategy()
+	k := m.kernel
+	wc, wp := m.coeffs[m.rows], m.payloads[m.rows]
+	copy(wc, coeffs)
+	copy(wp, payload)
 	// Forward-eliminate: cancel every known pivot column.
-	for c := 0; c < len(coeffs); c++ {
-		if coeffs[c] == 0 {
+	for c := 0; c < len(wc); c++ {
+		if wc[c] == 0 {
 			continue
 		}
 		r := m.pivot[c]
 		if r < 0 {
 			continue
 		}
-		f := coeffs[c]
-		gf256.MulAddSlice(st, coeffs, m.coeffs[r], f)
-		gf256.MulAddSlice(st, payload, m.payloads[r], f)
+		f := wc[c]
+		k.MulAdd(wc, m.coeffs[r], f)
+		k.MulAdd(wp, m.payloads[r], f)
 	}
 	// Find the leading column of what remains.
 	lead := -1
-	for c, v := range coeffs {
+	for c, v := range wc {
 		if v != 0 {
 			lead = c
 			break
@@ -70,29 +115,32 @@ func (m *rref) add(coeffs, payload []byte) bool {
 		return false // non-innovative: reduced to the zero row
 	}
 	// Normalize the leading coefficient to 1.
-	if f := coeffs[lead]; f != 1 {
+	if f := wc[lead]; f != 1 {
 		inv := gf256.Inv(f)
-		gf256.ScaleSlice(st, coeffs, inv)
-		gf256.ScaleSlice(st, payload, inv)
+		k.Scale(wc, inv)
+		k.Scale(wp, inv)
 	}
 	// Back-substitute into all existing rows to keep RREF.
-	for r := range m.coeffs {
+	for r := 0; r < m.rows; r++ {
 		if f := m.coeffs[r][lead]; f != 0 {
-			gf256.MulAddSlice(st, m.coeffs[r], coeffs, f)
-			gf256.MulAddSlice(st, m.payloads[r], payload, f)
+			k.MulAdd(m.coeffs[r], wc, f)
+			k.MulAdd(m.payloads[r], wp, f)
 		}
 	}
-	m.pivot[lead] = len(m.coeffs)
-	m.coeffs = append(m.coeffs, coeffs)
-	m.payloads = append(m.payloads, payload)
+	// The scratch row becomes row `rows`; the next free row is the new
+	// scratch.
+	m.pivot[lead] = m.rows
+	m.rows++
 	return true
 }
 
 // isInnovative reports whether the packet would increase the rank, without
-// modifying the matrix or the packet.
+// modifying the matrix or the packet. It borrows the scratch row, which add
+// fully overwrites on its next call.
 func (m *rref) isInnovative(coeffs []byte) bool {
-	st := m.params.strategy()
-	work := append([]byte(nil), coeffs...)
+	k := m.kernel
+	work := m.coeffs[m.rows]
+	copy(work, coeffs)
 	for c := 0; c < len(work); c++ {
 		if work[c] == 0 {
 			continue
@@ -101,7 +149,7 @@ func (m *rref) isInnovative(coeffs []byte) bool {
 		if r < 0 {
 			return true // a free leading column remains
 		}
-		gf256.MulAddSlice(st, work, m.coeffs[r], work[c])
+		k.MulAdd(work, m.coeffs[r], work[c])
 	}
 	for _, v := range work {
 		if v != 0 {
@@ -111,18 +159,20 @@ func (m *rref) isInnovative(coeffs []byte) bool {
 	return false
 }
 
-// combine emits a fresh random combination of the stored rows: a re-encoded
-// packet whose information content is the span of everything received.
-func (m *rref) combine(rng *rand.Rand) (coeffs, payload []byte) {
-	if len(m.coeffs) == 0 {
-		return nil, nil
+// combineInto overwrites coeffs and payload with a fresh random combination
+// of the stored rows — a re-encoded packet whose information content is the
+// span of everything received — and reports whether the matrix held
+// anything to combine.
+func (m *rref) combineInto(rng *rand.Rand, coeffs, payload []byte) bool {
+	if m.rows == 0 {
+		return false
 	}
-	st := m.params.strategy()
-	coeffs = make([]byte, m.params.GenerationSize)
-	payload = make([]byte, m.params.BlockSize)
+	k := m.kernel
+	clear(coeffs)
+	clear(payload)
+	weights := m.weights[:m.rows]
 	for {
 		nonZero := false
-		weights := make([]byte, len(m.coeffs))
 		for i := range weights {
 			weights[i] = byte(rng.Intn(256))
 			if weights[i] != 0 {
@@ -136,10 +186,10 @@ func (m *rref) combine(rng *rand.Rand) (coeffs, payload []byte) {
 			if w == 0 {
 				continue
 			}
-			gf256.MulAddSlice(st, coeffs, m.coeffs[i], w)
-			gf256.MulAddSlice(st, payload, m.payloads[i], w)
+			k.MulAdd(coeffs, m.coeffs[i], w)
+			k.MulAdd(payload, m.payloads[i], w)
 		}
-		return coeffs, payload
+		return true
 	}
 }
 
@@ -149,7 +199,9 @@ type Decoder struct {
 	m   *rref
 }
 
-// NewDecoder returns a decoder for the identified generation.
+// NewDecoder returns a progressive Gauss-Jordan decoder for the identified
+// generation, with its whole elimination matrix preallocated from the
+// buffer arena; Close returns the storage.
 func NewDecoder(generation int, params Params) (*Decoder, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
@@ -161,7 +213,9 @@ func NewDecoder(generation int, params Params) (*Decoder, error) {
 func (d *Decoder) Generation() int { return d.gen }
 
 // Add absorbs a coded packet, reporting whether it was innovative. Packets
-// from other generations are rejected with an error. The packet is consumed.
+// from other generations are rejected with an error. The packet is only
+// read — the decoder copies into its own storage — so the caller keeps
+// ownership (and any pooled reference) of it.
 func (d *Decoder) Add(p *Packet) (innovative bool, err error) {
 	if p.Generation != d.gen {
 		return false, fmt.Errorf("coding: packet generation %d, decoder generation %d", p.Generation, d.gen)
@@ -178,10 +232,19 @@ func (d *Decoder) Rank() int { return d.m.rank() }
 // Decoded reports whether the full generation has been recovered.
 func (d *Decoder) Decoded() bool { return d.m.full() }
 
+// Close returns the decoder's preallocated row storage to the buffer arena.
+// The decoder must not be used afterwards, and slices previously returned
+// by Block or Data become invalid: copy them first if they outlive the
+// decoder. Close is optional — an unclosed decoder is reclaimed by the GC —
+// but closing keeps a long-lived session allocation-free across
+// generations.
+func (d *Decoder) Close() { d.m.release() }
+
 // Block returns decoded source block i, or nil if that block cannot be
 // resolved yet. With progressive decoding a block is available as soon as
 // its pivot row has become a unit vector, which can happen before the whole
-// generation is decodable.
+// generation is decodable. The returned slice aliases the decoder's row
+// storage: valid until Close.
 func (d *Decoder) Block(i int) []byte {
 	if i < 0 || i >= d.m.params.GenerationSize {
 		return nil
@@ -200,7 +263,8 @@ func (d *Decoder) Block(i int) []byte {
 }
 
 // Data returns the decoded generation (n*m bytes) once Decoded is true, and
-// nil before that.
+// nil before that. The returned slice is freshly allocated and remains
+// valid after Close.
 func (d *Decoder) Data() []byte {
 	if !d.Decoded() {
 		return nil
@@ -223,7 +287,9 @@ type Recoder struct {
 	rng *rand.Rand
 }
 
-// NewRecoder returns a recoder for the identified generation.
+// NewRecoder returns a recoder for the identified generation, with its
+// whole buffering matrix preallocated from the buffer arena; Close returns
+// the storage.
 func NewRecoder(generation int, params Params, rng *rand.Rand) (*Recoder, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
@@ -234,7 +300,8 @@ func NewRecoder(generation int, params Params, rng *rand.Rand) (*Recoder, error)
 // Generation returns the generation ID this recoder accepts.
 func (r *Recoder) Generation() int { return r.gen }
 
-// Add absorbs a packet if it is innovative and reports whether it was.
+// Add absorbs a packet if it is innovative and reports whether it was. Like
+// Decoder.Add, the packet is only read; the caller keeps ownership.
 func (r *Recoder) Add(p *Packet) (innovative bool, err error) {
 	if p.Generation != r.gen {
 		return false, fmt.Errorf("coding: packet generation %d, recoder generation %d", p.Generation, r.gen)
@@ -253,12 +320,25 @@ func (r *Recoder) Rank() int { return r.m.rank() }
 // Queue Management").
 func (r *Recoder) Full() bool { return r.m.full() }
 
-// Packet emits one re-encoded packet, or nil when nothing has been buffered
-// yet (a forwarder with no information cannot contribute).
-func (r *Recoder) Packet() *Packet {
-	coeffs, payload := r.m.combine(r.rng)
-	if coeffs == nil {
+// Close returns the recoder's preallocated row storage to the buffer arena.
+// The recoder must not be used afterwards.
+func (r *Recoder) Close() { r.m.release() }
+
+// Next emits one re-encoded packet drawn from the packet arena — the caller
+// owns one reference, as with Encoder.Next — or nil when nothing has been
+// buffered yet (a forwarder with no information cannot contribute).
+func (r *Recoder) Next() *Packet {
+	pk := GetPacket(r.m.params)
+	pk.Generation = r.gen
+	if !r.m.combineInto(r.rng, pk.Coeffs, pk.Payload) {
+		pk.Release()
 		return nil
 	}
-	return &Packet{Generation: r.gen, Coeffs: coeffs, Payload: payload}
+	return pk
 }
+
+// Packet emits one re-encoded packet, or nil when nothing has been buffered.
+//
+// Deprecated: use Next, which documents that the emitted packet is pooled;
+// Packet is retained so existing callers keep compiling.
+func (r *Recoder) Packet() *Packet { return r.Next() }

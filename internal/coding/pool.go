@@ -1,0 +1,151 @@
+package coding
+
+import "sync"
+
+// This file is the buffer arena behind the zero-allocation session hot path.
+//
+// Three kinds of hot-path storage cycle through it:
+//
+//   - Packets: Encoder.Next and Recoder.Next draw *Packet objects (struct
+//     plus coefficient and payload buffers) from a sync.Pool; Packet.Release
+//     returns them. Packets are reference counted so a broadcast MAC can
+//     deliver one packet to several receivers before it is reclaimed.
+//   - Elimination slabs: every Decoder/Recoder preallocates its pivot and
+//     row storage for the whole generation up front as two slabs drawn from
+//     the size-classed byte pool; Close returns them.
+//   - Wire frames: GetFrame/PutFrame cycle serialization buffers for the
+//     wire encode/decode path.
+//
+// The arena is package-global and safe for concurrent use: sync.Pool shards
+// per P, and packet reference counts are atomic, so concurrent sessions
+// (internal/parallel workers) share it without contention or aliasing.
+
+// packetPool recycles Packet structs together with their attached buffers.
+// Keeping the buffers attached to the pooled struct avoids both the
+// interface boxing a []byte-valued sync.Pool would cost on every Put and a
+// separate size lookup on every Get.
+var packetPool = sync.Pool{New: func() interface{} { return new(Packet) }}
+
+// bufPool is the size-classed byte-slab arena: class i holds slabs of
+// exactly 1<<(i+bufClassShift) bytes. Slabs are stored via a small header
+// struct so Put does not box a slice header on every call; headers
+// themselves cycle through headerPool.
+const (
+	bufClassShift = 5  // smallest class: 32 B
+	bufClasses    = 17 // largest class: 32 B << 16 = 2 MiB
+)
+
+type bufHeader struct {
+	b []byte
+}
+
+var (
+	bufPool    [bufClasses]sync.Pool
+	headerPool = sync.Pool{New: func() interface{} { return new(bufHeader) }}
+)
+
+// bufClass returns the class index whose slab capacity is the smallest
+// power of two >= n (at least the minimum class), or -1 when n is too large
+// to pool.
+func bufClass(n int) int {
+	if n > 1<<(bufClassShift+bufClasses-1) {
+		return -1
+	}
+	c := 0
+	for 1<<(bufClassShift+c) < n {
+		c++
+	}
+	return c
+}
+
+// getBuf returns a zeroed slice of length n backed by a pooled slab.
+// Buffers whose size exceeds the largest class are allocated directly and
+// simply dropped by putBuf.
+func getBuf(n int) []byte {
+	c := bufClass(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	if v := bufPool[c].Get(); v != nil {
+		h := v.(*bufHeader)
+		b := h.b[:n]
+		h.b = nil
+		headerPool.Put(h)
+		clear(b)
+		return b
+	}
+	return make([]byte, n, 1<<(bufClassShift+c))
+}
+
+// putBuf returns a slab obtained from getBuf to its class. Slices whose
+// capacity does not match a class exactly (including oversized direct
+// allocations) are dropped for the GC.
+func putBuf(b []byte) {
+	if b == nil {
+		return
+	}
+	c := bufClass(cap(b))
+	if c < 0 || cap(b) != 1<<(bufClassShift+c) {
+		return
+	}
+	h := headerPool.Get().(*bufHeader)
+	h.b = b[:cap(b)]
+	bufPool[c].Put(h)
+}
+
+// GetPacket returns a pooled packet sized for params, zeroed, with one
+// reference held by the caller. Release the reference (Packet.Release) to
+// return the packet to the arena; forgetting to release is safe but forfeits
+// reuse.
+func GetPacket(params Params) *Packet {
+	pk := packetPool.Get().(*Packet)
+	n, m := params.GenerationSize, params.BlockSize
+	if cap(pk.Coeffs) >= n {
+		pk.Coeffs = pk.Coeffs[:n]
+		clear(pk.Coeffs)
+	} else {
+		pk.Coeffs = getBuf(n)
+	}
+	if cap(pk.Payload) >= m {
+		pk.Payload = pk.Payload[:m]
+		clear(pk.Payload)
+	} else {
+		pk.Payload = getBuf(m)
+	}
+	pk.Generation = 0
+	pk.pooled = true
+	pk.refs.Store(1)
+	return pk
+}
+
+// Retain adds a reference to a pooled packet, keeping it alive across an
+// additional owner (e.g. one scheduled MAC delivery). On packets not drawn
+// from the arena it is a no-op.
+func (pk *Packet) Retain() {
+	if pk.pooled {
+		pk.refs.Add(1)
+	}
+}
+
+// Release drops one reference; the last release returns the packet and its
+// buffers to the arena. On packets not drawn from the arena it is a no-op.
+// Releasing more references than were held corrupts the arena, so the final
+// transition is checked and panics on double release.
+func (pk *Packet) Release() {
+	if !pk.pooled {
+		return
+	}
+	switch n := pk.refs.Add(-1); {
+	case n > 0:
+		return
+	case n < 0:
+		panic("coding: Packet.Release without a matching reference")
+	}
+	// pooled stays set: it marks arena provenance, so a stray Release on a
+	// packet already back in the arena trips the refcount panic above
+	// instead of silently corrupting the pool.
+	packetPool.Put(pk)
+}
+
+// refcount is exposed for tests.
+func (pk *Packet) refcount() int32 { return pk.refs.Load() }

@@ -1,0 +1,244 @@
+package coding
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"omnc/internal/parallel"
+)
+
+// allocTolerance absorbs the rare GC that drains a sync.Pool mid-run and
+// forces a one-off refill; the steady-state expectation is exactly zero.
+const allocTolerance = 0.5
+
+// skipIfRace skips zero-allocation gates under the race detector, whose
+// sync.Pool deliberately drops items at random.
+func skipIfRace(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items randomly under -race; alloc gate not meaningful")
+	}
+}
+
+// warm primes the arena so AllocsPerRun measures the steady state, not the
+// first-fill.
+func warmArena(p Params) {
+	pk := GetPacket(p)
+	pk.Release()
+}
+
+// TestAllocsEncoderNext gates the source hot path: emitting and releasing a
+// coded packet must not allocate once the arena is warm.
+func TestAllocsEncoderNext(t *testing.T) {
+	skipIfRace(t)
+	p := testParams(16, 64)
+	rng := rand.New(rand.NewSource(1))
+	gen, err := NewGeneration(0, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewEncoder(gen, rng)
+	warmArena(p)
+	enc.Next().Release()
+	avg := testing.AllocsPerRun(200, func() {
+		enc.Next().Release()
+	})
+	if avg > allocTolerance {
+		t.Errorf("Encoder.Next allocates %.2f objects per packet, want 0", avg)
+	}
+}
+
+// TestAllocsRecoderNext gates the forwarder hot path: re-encoding a packet
+// from the buffered subspace must not allocate.
+func TestAllocsRecoderNext(t *testing.T) {
+	skipIfRace(t)
+	p := testParams(16, 64)
+	rng := rand.New(rand.NewSource(2))
+	gen, err := NewGeneration(0, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewEncoder(gen, rng)
+	rec, err := NewRecoder(0, p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	for i := 0; i < 8; i++ {
+		pk := enc.Next()
+		if _, err := rec.Add(pk); err != nil {
+			t.Fatal(err)
+		}
+		pk.Release()
+	}
+	rec.Next().Release()
+	avg := testing.AllocsPerRun(200, func() {
+		rec.Next().Release()
+	})
+	if avg > allocTolerance {
+		t.Errorf("Recoder.Next allocates %.2f objects per packet, want 0", avg)
+	}
+}
+
+// TestAllocsDecoderAdd gates the destination hot path: absorbing a packet
+// into the preallocated elimination matrix must not allocate, full or not.
+func TestAllocsDecoderAdd(t *testing.T) {
+	skipIfRace(t)
+	p := testParams(16, 64)
+	rng := rand.New(rand.NewSource(3))
+	gen, err := NewGeneration(0, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewEncoder(gen, rng)
+	dec, err := NewDecoder(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dec.Close()
+	warmArena(p)
+	enc.Next().Release()
+	avg := testing.AllocsPerRun(200, func() {
+		pk := enc.Next()
+		if _, err := dec.Add(pk); err != nil {
+			t.Fatal(err)
+		}
+		pk.Release()
+	})
+	if avg > allocTolerance {
+		t.Errorf("Encoder.Next + Decoder.Add allocates %.2f objects per packet, want 0", avg)
+	}
+	if !dec.Decoded() {
+		t.Fatal("decoder did not reach full rank")
+	}
+}
+
+// TestAllocsWireRoundTrip gates serialization: GetFrame + AppendData +
+// UnmarshalPacket + PutFrame must cycle arena storage without allocating.
+func TestAllocsWireRoundTrip(t *testing.T) {
+	skipIfRace(t)
+	p := testParams(16, 64)
+	rng := rand.New(rand.NewSource(4))
+	gen, err := NewGeneration(0, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewEncoder(gen, rng)
+	pk := enc.Next()
+	defer pk.Release()
+	// Warm one frame and one unmarshal-side packet.
+	frame, err := AppendData(GetFrame(p), 7, pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rx, err := UnmarshalPacket(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx.Release()
+	PutFrame(frame)
+	avg := testing.AllocsPerRun(200, func() {
+		frame, err := AppendData(GetFrame(p), 7, pk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rx, err := UnmarshalPacket(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx.Release()
+		PutFrame(frame)
+	})
+	if avg > allocTolerance {
+		t.Errorf("wire round trip allocates %.2f objects, want 0", avg)
+	}
+}
+
+// TestPacketRefcount exercises the ownership contract: Retain/Release
+// balance, no-op on unpooled packets, panic on over-release.
+func TestPacketRefcount(t *testing.T) {
+	p := testParams(4, 8)
+	pk := GetPacket(p)
+	if got := pk.refcount(); got != 1 {
+		t.Fatalf("fresh packet refcount = %d, want 1", got)
+	}
+	pk.Retain()
+	pk.Retain()
+	if got := pk.refcount(); got != 3 {
+		t.Fatalf("after two retains refcount = %d, want 3", got)
+	}
+	pk.Release()
+	pk.Release()
+	pk.Release() // final: returns to the arena
+	if got := pk.refcount(); got != 0 {
+		t.Fatalf("fully released packet refcount = %d, want 0", got)
+	}
+
+	over := GetPacket(p)
+	over.Release()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double release did not panic")
+			}
+		}()
+		over.Release()
+	}()
+
+	plain := &Packet{Coeffs: make([]byte, 4), Payload: make([]byte, 8)}
+	plain.Retain()
+	plain.Release()
+	plain.Release() // no-ops: hand-built packets are not pooled
+}
+
+// TestPoolNoAliasingAcrossSessions runs many concurrent encoder/decoder
+// sessions through the shared arena and checks every session decodes its own
+// data. Under -race this also proves pooled buffers never alias across
+// goroutines: any packet or slab handed to two sessions at once would be a
+// detected data race.
+func TestPoolNoAliasingAcrossSessions(t *testing.T) {
+	p := testParams(12, 96)
+	const sessions = 64
+	err := parallel.ForEach(sessions, parallel.Workers(0), func(i int) error {
+		rng := rand.New(rand.NewSource(int64(1000 + i)))
+		data := make([]byte, p.GenerationSize*p.BlockSize)
+		rng.Read(data)
+		gen, err := NewGeneration(i, p, data)
+		if err != nil {
+			return err
+		}
+		enc := NewEncoder(gen, rng)
+		rec, err := NewRecoder(i, p, rng)
+		if err != nil {
+			return err
+		}
+		dec, err := NewDecoder(i, p)
+		if err != nil {
+			return err
+		}
+		for !dec.Decoded() {
+			pk := enc.Next()
+			if _, err := rec.Add(pk); err != nil {
+				return err
+			}
+			pk.Release()
+			out := rec.Next()
+			if out == nil {
+				continue
+			}
+			if _, err := dec.Add(out); err != nil {
+				return err
+			}
+			out.Release()
+		}
+		if !bytes.Equal(dec.Data(), gen.Data()) {
+			t.Errorf("session %d: decoded data differs from source", i)
+		}
+		rec.Close()
+		dec.Close()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

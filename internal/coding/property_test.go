@@ -142,7 +142,7 @@ func isRREF(m *rref) bool {
 		if m.coeffs[r][c] != 1 {
 			return false
 		}
-		for other := range m.coeffs {
+		for other := 0; other < m.rows; other++ {
 			if other != r && m.coeffs[other][c] != 0 {
 				return false
 			}
@@ -154,14 +154,15 @@ func isRREF(m *rref) bool {
 			}
 		}
 	}
-	// Every row must be a pivot row (zero rows are never installed).
+	// Every installed row must be a pivot row (zero rows are never
+	// installed; rows at and above m.rows are scratch).
 	count := 0
 	for _, r := range m.pivot {
 		if r >= 0 {
 			count++
 		}
 	}
-	return count == len(m.coeffs)
+	return count == m.rows
 }
 
 // TestPropertyDotProductConsistency: a coded payload equals the coefficient

@@ -1,0 +1,8 @@
+//go:build race
+
+package coding
+
+// raceEnabled reports that the race detector is active: sync.Pool then
+// randomly drops items to widen interleavings, so zero-allocation gates do
+// not hold.
+const raceEnabled = true

@@ -72,8 +72,18 @@ func WireSize(p Params) int {
 // AckWireSize is the serialized size of an ACK message.
 const AckWireSize = commonHeaderLen
 
-// MarshalData serializes a coded packet for the identified session.
+// MarshalData serializes a coded packet for the identified session into a
+// fresh buffer. The zero-allocation path is GetFrame + AppendData, which
+// reuses arena frames.
 func MarshalData(session uint32, pkt *Packet) ([]byte, error) {
+	return AppendData(nil, session, pkt)
+}
+
+// AppendData appends the wire encoding of a coded packet to dst (growing it
+// only when dst lacks capacity) and returns the extended slice. Passing a
+// frame from GetFrame sliced to length zero makes serialization
+// allocation-free.
+func AppendData(dst []byte, session uint32, pkt *Packet) ([]byte, error) {
 	if pkt == nil {
 		return nil, fmt.Errorf("coding: nil packet")
 	}
@@ -84,14 +94,34 @@ func MarshalData(session uint32, pkt *Packet) ([]byte, error) {
 	if pkt.Generation < 0 || int64(pkt.Generation) > int64(^uint32(0)) {
 		return nil, fmt.Errorf("coding: generation %d not encodable", pkt.Generation)
 	}
-	buf := make([]byte, dataHeaderLen+n+m)
+	off := len(dst)
+	total := off + dataHeaderLen + n + m
+	if cap(dst) >= total {
+		dst = dst[:total]
+	} else {
+		grown := make([]byte, total)
+		copy(grown, dst)
+		dst = grown
+	}
+	buf := dst[off:]
 	writeCommon(buf, MessageData, session, uint32(pkt.Generation))
 	binary.BigEndian.PutUint16(buf[14:], uint16(n))
 	binary.BigEndian.PutUint16(buf[16:], uint16(m))
 	copy(buf[dataHeaderLen:], pkt.Coeffs)
 	copy(buf[dataHeaderLen+n:], pkt.Payload)
-	return buf, nil
+	return dst, nil
 }
+
+// GetFrame returns a zero-length wire buffer from the arena with capacity
+// for one serialized data packet under params. Return it with PutFrame when
+// the frame has left the transmit path.
+func GetFrame(params Params) []byte {
+	return getBuf(WireSize(params))[:0]
+}
+
+// PutFrame returns a frame obtained from GetFrame to the arena. The caller
+// must not use the slice afterwards.
+func PutFrame(frame []byte) { putBuf(frame) }
 
 // MarshalAck serializes a generation ACK.
 func MarshalAck(session uint32, generation uint32) []byte {
@@ -108,45 +138,75 @@ func writeCommon(buf []byte, msgType byte, session, generation uint32) {
 	binary.BigEndian.PutUint32(buf[10:], generation)
 }
 
-// Unmarshal parses a wire message. The returned Message's packet slices
-// alias the input buffer; clone if the buffer is reused.
-func Unmarshal(buf []byte) (*Message, error) {
+// parseHeader validates the common header and the data-message dimensions.
+// For data messages, n and m are the coefficient and payload lengths and
+// the packet body starts at dataHeaderLen; for ACKs both are zero.
+func parseHeader(buf []byte) (msg Message, n, m int, err error) {
 	if len(buf) < commonHeaderLen {
-		return nil, ErrTruncated
+		return msg, 0, 0, ErrTruncated
 	}
 	if string(buf[:4]) != wireMagic {
-		return nil, ErrBadMagic
+		return msg, 0, 0, ErrBadMagic
 	}
 	if buf[4] != wireVersion {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, buf[4])
+		return msg, 0, 0, fmt.Errorf("%w: %d", ErrBadVersion, buf[4])
 	}
-	msg := &Message{
-		Type:       buf[5],
-		Session:    binary.BigEndian.Uint32(buf[6:]),
-		Generation: binary.BigEndian.Uint32(buf[10:]),
-	}
+	msg.Type = buf[5]
+	msg.Session = binary.BigEndian.Uint32(buf[6:])
+	msg.Generation = binary.BigEndian.Uint32(buf[10:])
 	switch msg.Type {
 	case MessageAck:
-		return msg, nil
+		return msg, 0, 0, nil
 	case MessageData:
 		if len(buf) < dataHeaderLen {
-			return nil, ErrTruncated
+			return msg, 0, 0, ErrTruncated
 		}
-		n := int(binary.BigEndian.Uint16(buf[14:]))
-		m := int(binary.BigEndian.Uint16(buf[16:]))
+		n = int(binary.BigEndian.Uint16(buf[14:]))
+		m = int(binary.BigEndian.Uint16(buf[16:]))
 		if n == 0 || m == 0 {
-			return nil, fmt.Errorf("coding: zero packet dimensions %dx%d", n, m)
+			return msg, 0, 0, fmt.Errorf("coding: zero packet dimensions %dx%d", n, m)
 		}
 		if len(buf) < dataHeaderLen+n+m {
-			return nil, ErrTruncated
+			return msg, 0, 0, ErrTruncated
 		}
+		return msg, n, m, nil
+	default:
+		return msg, 0, 0, fmt.Errorf("%w: %d", ErrBadType, msg.Type)
+	}
+}
+
+// UnmarshalPacket parses a wire message, decoding data packets into a
+// packet drawn from the arena: nothing in the result aliases buf, so the
+// receive buffer can be reused (or returned with PutFrame) immediately, and
+// the caller owns one reference to the returned packet. ACK messages yield
+// a nil packet.
+func UnmarshalPacket(buf []byte) (Message, *Packet, error) {
+	msg, n, m, err := parseHeader(buf)
+	if err != nil || msg.Type == MessageAck {
+		return msg, nil, err
+	}
+	pk := GetPacket(Params{GenerationSize: n, BlockSize: m})
+	pk.Generation = int(msg.Generation)
+	copy(pk.Coeffs, buf[dataHeaderLen:dataHeaderLen+n])
+	copy(pk.Payload, buf[dataHeaderLen+n:dataHeaderLen+n+m])
+	msg.Packet = pk
+	return msg, pk, nil
+}
+
+// Unmarshal parses a wire message. The returned Message's packet slices
+// alias the input buffer; clone if the buffer is reused, or use
+// UnmarshalPacket for the non-aliasing arena-backed path.
+func Unmarshal(buf []byte) (*Message, error) {
+	msg, n, m, err := parseHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if msg.Type == MessageData {
 		msg.Packet = &Packet{
 			Generation: int(msg.Generation),
 			Coeffs:     buf[dataHeaderLen : dataHeaderLen+n],
 			Payload:    buf[dataHeaderLen+n : dataHeaderLen+n+m],
 		}
-		return msg, nil
-	default:
-		return nil, fmt.Errorf("%w: %d", ErrBadType, msg.Type)
 	}
+	return &msg, nil
 }

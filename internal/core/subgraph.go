@@ -51,6 +51,9 @@ func (e *ErrUnreachable) Error() string {
 	return fmt.Sprintf("core: destination %d unreachable from source %d", e.Dst, e.Src)
 }
 
+// Is matches the graph.ErrNoRoute sentinel.
+func (e *ErrUnreachable) Is(target error) bool { return target == graph.ErrNoRoute }
+
 // SelectNodes runs the decentralized node selection procedure of Sec. 4 on
 // the full network: every node computes its ETX distance to the destination,
 // and a node is selected as a potential forwarder if it is strictly closer

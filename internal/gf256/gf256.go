@@ -278,3 +278,87 @@ func mulAddTable(dst, src []byte, c byte) {
 		dst[i] ^= row[v]
 	}
 }
+
+// Kernel is a strategy resolved once into direct function pointers, so hot
+// loops (Gauss-Jordan elimination, re-encoding) skip the per-call strategy
+// dispatch of MulAddSlice/MulSlice. The zero Kernel is invalid; obtain one
+// from KernelFor.
+type Kernel struct {
+	strategy Strategy
+	mulAdd   func(dst, src []byte, c byte)
+	mul      func(dst, src []byte, c byte)
+}
+
+// KernelFor resolves the strategy's bulk kernels.
+func KernelFor(strategy Strategy) Kernel {
+	k := Kernel{strategy: strategy}
+	switch strategy {
+	case StrategyNaive:
+		k.mulAdd, k.mul = mulAddNaive, mulNaive
+	case StrategyTable:
+		k.mulAdd, k.mul = mulAddTable, mulSliceTable
+	case StrategyBitPlane:
+		k.mulAdd, k.mul = mulAddWideXOR, mulWideXOR
+	default:
+		k.strategy = StrategyAccel
+		k.mulAdd, k.mul = mulAddNibble, mulNibble
+	}
+	return k
+}
+
+// Strategy returns the strategy the kernel was resolved from.
+func (k Kernel) Strategy() Strategy { return k.strategy }
+
+// MulAdd computes dst[i] ^= c * src[i]; the Kernel counterpart of
+// MulAddSlice.
+func (k Kernel) MulAdd(dst, src []byte, c byte) {
+	if len(dst) != len(src) {
+		panic("gf256: Kernel.MulAdd length mismatch")
+	}
+	switch c {
+	case 0:
+		return
+	case 1:
+		xorSlice(dst, src)
+	default:
+		k.mulAdd(dst, src, c)
+	}
+}
+
+// Mul computes dst[i] = c * src[i]; the Kernel counterpart of MulSlice.
+func (k Kernel) Mul(dst, src []byte, c byte) {
+	if len(dst) != len(src) {
+		panic("gf256: Kernel.Mul length mismatch")
+	}
+	switch c {
+	case 0:
+		clear(dst)
+	case 1:
+		copy(dst, src)
+	default:
+		k.mul(dst, src, c)
+	}
+}
+
+// Scale multiplies the slice in place by c.
+func (k Kernel) Scale(s []byte, c byte) { k.Mul(s, s, c) }
+
+// mulNaive is MulSlice's naive path as a direct kernel.
+func mulNaive(dst, src []byte, c byte) {
+	logC := int(logTable[c])
+	for i, v := range src {
+		if v == 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = expTable[logC+int(logTable[v])]
+		}
+	}
+}
+
+// mulSliceTable is MulSlice's full-table path as a direct kernel.
+func mulSliceTable(dst, src []byte, c byte) {
+	row := &mulTable[c]
+	for i, v := range src {
+		dst[i] = row[v]
+	}
+}

@@ -8,6 +8,7 @@ package graph
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"math"
 )
@@ -138,6 +139,12 @@ func HopCounts(neighbors [][]int, src int) []int {
 	return hops
 }
 
+// ErrNoRoute is the sentinel every routability failure matches: both
+// *ErrNoPath (no path in a digraph) and *core.ErrUnreachable (no forwarder
+// subgraph) satisfy errors.Is(err, ErrNoRoute), so callers can detect
+// disconnected endpoints without knowing which layer rejected them.
+var ErrNoRoute = errors.New("no route between the session endpoints")
+
 // ErrNoPath reports that the requested flow cannot be routed.
 type ErrNoPath struct {
 	Src, Dst int
@@ -146,6 +153,9 @@ type ErrNoPath struct {
 func (e *ErrNoPath) Error() string {
 	return fmt.Sprintf("graph: no path from %d to %d", e.Src, e.Dst)
 }
+
+// Is matches the ErrNoRoute sentinel.
+func (e *ErrNoPath) Is(target error) bool { return target == ErrNoRoute }
 
 // CountPaths counts directed src->dst paths in an acyclic digraph by dynamic
 // programming; counts are float64 because forwarder DAGs can hold

@@ -29,7 +29,8 @@ type runtime struct {
 	done       bool
 	finishedAt float64
 	ackDelay   float64
-	genBytes   int // nominal application bytes per generation
+	genBytes   int    // nominal application bytes per generation
+	genData    []byte // reused workload buffer, refilled per generation
 	genStart   float64
 
 	latencies  []float64
@@ -77,6 +78,7 @@ func newRuntime(net *topology.Network, sg *core.Subgraph, pol *Policy, cfg Confi
 		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
 		ackDelay: ackLatency(sg, cfg),
 		genBytes: cfg.Coding.GenerationSize * nominalBlock,
+		genData:  make([]byte, cfg.Coding.GenerationSize*cfg.Coding.BlockSize),
 	}
 	rt.nodes = make([]*node, sg.Size())
 	for i := range rt.nodes {
@@ -102,9 +104,8 @@ func (rt *runtime) startGeneration(gen int) error {
 	rt.currentGen = gen
 	rt.genStart = rt.eng.Now()
 	rt.emit(trace.EventGeneration, rt.sg.Src, -1)
-	data := make([]byte, rt.cfg.Coding.GenerationSize*rt.cfg.Coding.BlockSize)
-	rt.rng.Read(data)
-	g, err := coding.NewGeneration(gen, rt.cfg.Coding, data)
+	rt.rng.Read(rt.genData)
+	g, err := coding.NewGeneration(gen, rt.cfg.Coding, rt.genData)
 	if err != nil {
 		return err
 	}
@@ -146,6 +147,12 @@ func (rt *runtime) generationDecoded() {
 func (rt *runtime) run() (*Stats, error) {
 	rt.mac.Wake(rt.sg.Src)
 	rt.eng.Run(rt.cfg.Duration)
+	// Return pooled resources (elimination slabs, queued packets) to the
+	// arena so back-to-back sessions — benchmark iterations, parameter
+	// sweeps — recycle instead of reallocating.
+	for _, n := range rt.nodes {
+		n.shutdown()
+	}
 
 	duration := rt.cfg.Duration
 	if rt.done && rt.finishedAt > 0 {
@@ -210,18 +217,20 @@ type node struct {
 	isDst    bool
 	excluded bool
 
-	credit float64
-	outq   []*coding.Packet // pre-generated packets awaiting transmission
-	enc    *coding.Encoder  // source only
-	rec    *coding.Recoder  // forwarders
-	dec    *coding.Decoder  // destination
+	credit  float64
+	outq    []*coding.Packet // pre-generated packets awaiting transmission
+	enc     *coding.Encoder  // source only
+	rec     *coding.Recoder  // forwarders
+	dec     *coding.Decoder  // destination
+	txFrame sim.Frame        // reused: at most one frame of n is in flight
 }
 
 // reset re-arms the node for a new generation; pending credit from the
-// expired generation is discarded with it.
+// expired generation is discarded with it, and the expired generation's
+// pooled resources go back to the arena.
 func (n *node) reset(g *coding.Generation) error {
 	n.credit = 0
-	n.outq = nil // packets of the expired generation are discarded (Sec. 4)
+	n.shutdown() // expired generation's packets and slabs return to the arena (Sec. 4)
 	cfg := n.rt.cfg
 	switch {
 	case n.isSrc:
@@ -242,6 +251,23 @@ func (n *node) reset(g *coding.Generation) error {
 	return nil
 }
 
+// shutdown releases the node's pooled state: queued packets and the
+// decoder/recoder elimination slabs.
+func (n *node) shutdown() {
+	for _, pkt := range n.outq {
+		pkt.Release()
+	}
+	n.outq = n.outq[:0]
+	if n.dec != nil {
+		n.dec.Close()
+		n.dec = nil
+	}
+	if n.rec != nil {
+		n.rec.Close()
+		n.rec = nil
+	}
+}
+
 // Dequeue implements sim.Transmitter.
 func (n *node) Dequeue() *sim.Frame {
 	rt := n.rt
@@ -252,7 +278,7 @@ func (n *node) Dequeue() *sim.Frame {
 		if !n.cbrAvailable() {
 			return nil
 		}
-		return n.frame(n.enc.Packet())
+		return n.frame(n.enc.Next())
 	}
 	// OMNC-style forwarders re-encode a fresh packet at transmission time,
 	// so the stream always spans the forwarder's current buffer ("all
@@ -262,7 +288,7 @@ func (n *node) Dequeue() *sim.Frame {
 	// congestion those age in the queue and go stale, which is exactly the
 	// failure mode Fig. 3 attributes to MORE.
 	if rt.pol.SendWhenNonEmpty {
-		if pkt := n.rec.Packet(); pkt != nil {
+		if pkt := n.rec.Next(); pkt != nil {
 			return n.frame(pkt)
 		}
 		return nil
@@ -291,9 +317,14 @@ func (n *node) cbrAvailable() bool {
 	return false
 }
 
+// frame wraps a coded packet for the MAC, transferring the caller's packet
+// reference to it (the MAC releases on frame retirement). A node has at most
+// one frame in flight — the MAC dequeues the next only after completing the
+// previous — so the frame struct is reused across transmissions.
 func (n *node) frame(pkt *coding.Packet) *sim.Frame {
 	n.rt.emit(trace.EventTx, n.local, -1)
-	return &sim.Frame{Size: n.rt.cfg.AirPacketSize, Broadcast: true, Payload: pkt}
+	n.txFrame = sim.Frame{Size: n.rt.cfg.AirPacketSize, Broadcast: true, Payload: pkt}
+	return &n.txFrame
 }
 
 // QueueLen implements sim.Transmitter: the broadcast queue holds the
@@ -311,7 +342,7 @@ func (n *node) QueueLen() int {
 func (n *node) earnCredit() {
 	for n.credit >= 1 {
 		n.credit--
-		pkt := n.rec.Packet()
+		pkt := n.rec.Next()
 		if pkt == nil {
 			return
 		}
@@ -338,7 +369,9 @@ func (n *node) Receive(from int, payload interface{}) {
 	rt.received++
 	rt.emit(trace.EventRx, n.local, from)
 	if n.isDst {
-		innovative, err := n.dec.Add(pkt.Clone())
+		// Add copies the packet into the decoder's preallocated rows, so the
+		// MAC's delivery reference is enough: no clone, no ownership change.
+		innovative, err := n.dec.Add(pkt)
 		if err != nil {
 			return
 		}
@@ -367,7 +400,7 @@ func (n *node) Receive(from int, payload interface{}) {
 		}
 		return
 	}
-	innovative, err := n.rec.Add(pkt.Clone())
+	innovative, err := n.rec.Add(pkt)
 	if err != nil {
 		return
 	}

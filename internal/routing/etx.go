@@ -35,6 +35,10 @@ type etxRuntime struct {
 	finishedAt float64
 }
 
+// ETXProtocol wraps ETX routing as a protocol.Protocol for the unified Run
+// entry point.
+func ETXProtocol() protocol.Protocol { return protocol.CustomProtocol("etx", RunETX) }
+
 // RunETX emulates one unicast session under ETX routing and returns its
 // statistics. The session runs over the same selected subgraph and channel
 // model as the coded protocols so that throughput gains (Fig. 2) compare

@@ -1,0 +1,72 @@
+// Package sessionbench pins the session-benchmark scenario shared by the
+// BenchmarkSession* benchmarks and cmd/omnc-bench, so the trajectory the
+// repo records in BENCH_<n>.json measures exactly the same workload as
+//
+//	go test -bench='^BenchmarkSession' -benchmem
+//
+// Any change here shifts both at once; the recorded baselines in
+// cmd/omnc-bench stay comparable only as long as this file does not change.
+package sessionbench
+
+import (
+	"omnc"
+	"omnc/internal/coding"
+	"omnc/internal/gf256"
+	"omnc/internal/protocol"
+	"omnc/internal/topology"
+)
+
+// Scenario is one benchmarked session: a protocol with its fixed seed on
+// the strip network.
+type Scenario struct {
+	// Name is the stable benchmark identifier ("SessionOMNC", ...) used in
+	// BENCH_<n>.json and as the Benchmark* suffix.
+	Name string
+	// Seed feeds the session RNG; each protocol keeps its own so the
+	// recorded numbers are individually reproducible.
+	Seed  int64
+	Proto omnc.Protocol
+}
+
+// Scenarios lists the benchmarked protocols in recorded order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{Name: "SessionOMNC", Seed: 41, Proto: omnc.OMNC(omnc.RateOptions{})},
+		{Name: "SessionMORE", Seed: 42, Proto: omnc.MORE()},
+		{Name: "SessionETX", Seed: 43, Proto: omnc.ETX()},
+	}
+}
+
+// Network returns the fixed session-benchmark topology: a 12-node strip
+// with the paper's lossy PHY, wide enough that OMNC selects a multi-relay
+// subgraph but small enough that one session run stays cheap. Src and dst
+// sit four strip segments apart.
+func Network() (nw *topology.Network, src, dst int, err error) {
+	positions := make([]topology.Point, 0, 12)
+	for i := 0; i < 6; i++ {
+		positions = append(positions,
+			topology.Point{X: float64(i) * 55, Y: 0},
+			topology.Point{X: float64(i)*55 + 27, Y: 45},
+		)
+	}
+	nw, err = topology.FromPositions(positions, topology.DefaultPHY())
+	return nw, 0, 10, err
+}
+
+// Config bounds the session by decoded generations, not wall-clock, so
+// every benchmark iteration does identical coding work.
+func Config(seed int64) protocol.Config {
+	return protocol.Config{
+		Coding:         coding.Params{GenerationSize: 16, BlockSize: 256, Strategy: gf256.StrategyAccel},
+		AirPacketSize:  16 + 1024,
+		Capacity:       2e4,
+		Duration:       600,
+		MaxGenerations: 4,
+		Seed:           seed,
+	}
+}
+
+// Run executes one session of the scenario on nw.
+func (s Scenario) Run(nw *topology.Network, src, dst int) (*protocol.Stats, error) {
+	return omnc.Run(nw, src, dst, s.Proto, Config(s.Seed))
+}

@@ -9,45 +9,48 @@
 // queues and Receiver callbacks with the MAC and react to deliveries.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a scheduled callback.
+// Handler is a scheduled callback bound to its own state. Scheduling a
+// handler (ScheduleHandler) is the allocation-free alternative to Schedule:
+// converting an existing pointer to the interface allocates nothing, whereas
+// every closure passed to Schedule is a fresh heap object. Hot paths keep a
+// free list of handler structs and recycle them from inside Fire.
+type Handler interface {
+	// Fire runs the event at its scheduled time.
+	Fire()
+}
+
+// Event is a scheduled callback: either a typed handler or a plain closure.
 type event struct {
 	at  float64
 	seq uint64 // FIFO tie-break for simultaneous events
+	h   Handler
 	fn  func()
 }
 
-type eventQueue []event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before orders events by timestamp, then by scheduling order. It is a
+// strict total order (seq is unique), so the execution sequence does not
+// depend on heap internals.
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // Engine is a discrete-event scheduler. Time is in seconds, starting at 0.
 // Engines are not safe for concurrent use; the whole simulation runs on one
 // goroutine, which is also how Drift serializes its model computations.
+//
+// The calendar is a hand-rolled binary heap of event values: unlike
+// container/heap, pushing and popping moves no events through interface{},
+// so scheduling allocates only when the backing array grows.
 type Engine struct {
 	now     float64
 	seq     uint64
 	stopped bool
-	queue   eventQueue
+	queue   []event
 }
 
 // NewEngine returns an engine at time zero with an empty calendar.
@@ -59,13 +62,67 @@ func NewEngine() *Engine {
 func (e *Engine) Now() float64 { return e.now }
 
 // Schedule runs fn after delay seconds of simulated time. Negative delays
-// panic: they would reorder causality.
+// panic: they would reorder causality. Each call allocates the closure; on
+// hot paths prefer ScheduleHandler with a recycled Handler.
 func (e *Engine) Schedule(delay float64, fn func()) {
+	e.push(delay, event{fn: fn})
+}
+
+// ScheduleHandler runs h.Fire after delay seconds of simulated time. The
+// handler may be recycled from inside Fire; the engine keeps no reference
+// after firing.
+func (e *Engine) ScheduleHandler(delay float64, h Handler) {
+	e.push(delay, event{h: h})
+}
+
+func (e *Engine) push(delay float64, ev event) {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
 	e.seq++
-	heap.Push(&e.queue, event{at: e.now + delay, seq: e.seq, fn: fn})
+	ev.at = e.now + delay
+	ev.seq = e.seq
+	e.queue = append(e.queue, ev)
+	// Sift up.
+	q := e.queue
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q[i].before(q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event. The queue must be non-empty.
+func (e *Engine) pop() event {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // drop handler/closure references for the GC
+	e.queue = q[:n]
+	q = e.queue
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && q[l].before(q[least]) {
+			least = l
+		}
+		if r < n && q[r].before(q[least]) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+	return top
 }
 
 // Run executes events in timestamp order until the calendar empties, the
@@ -74,13 +131,17 @@ func (e *Engine) Schedule(delay float64, fn func()) {
 // the number of events executed.
 func (e *Engine) Run(until float64) int {
 	executed := 0
-	for e.queue.Len() > 0 && !e.stopped {
+	for len(e.queue) > 0 && !e.stopped {
 		if e.queue[0].at > until {
 			break
 		}
-		ev := heap.Pop(&e.queue).(event)
+		ev := e.pop()
 		e.now = ev.at
-		ev.fn()
+		if ev.h != nil {
+			ev.h.Fire()
+		} else {
+			ev.fn()
+		}
 		executed++
 	}
 	if e.now < until && !e.stopped {
@@ -95,4 +156,4 @@ func (e *Engine) Run(until float64) int {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return len(e.queue) }

@@ -40,8 +40,22 @@ type Frame struct {
 	// AckSize adds the link-layer ACK's air time to each reliable-unicast
 	// attempt.
 	AckSize int
-	// Payload travels opaquely to receivers.
+	// Payload travels opaquely to receivers. If it implements Releasable,
+	// the MAC manages its lifetime: enqueueing the frame transfers one
+	// reference to the MAC, which releases it when the frame retires (after
+	// its final attempt); each successful delivery additionally retains the
+	// payload before the Receive callback and releases it after the callback
+	// returns, so receivers that need the payload beyond Receive must retain
+	// it themselves.
 	Payload interface{}
+}
+
+// Releasable is a reference-counted payload (e.g. a pooled *coding.Packet).
+// The MAC retains payloads per scheduled delivery and releases them when
+// frames retire, letting pooled packets cycle without garbage.
+type Releasable interface {
+	Retain()
+	Release()
 }
 
 // Transmitter supplies frames to the MAC. Implementations must call
@@ -130,6 +144,26 @@ type MAC struct {
 	order    []int           // registered transmitter nodes, stable order
 	sites    []int           // registered receiver nodes (constraint sites)
 
+	// eventFree recycles macEvent structs: every event the MAC schedules —
+	// transmission attempts, completions, deliveries, queue samples — is one
+	// fixed struct drawn from this free list, so the steady-state per-frame
+	// path allocates nothing. The simulation is single-goroutine, so a plain
+	// slice suffices.
+	eventFree []*macEvent
+
+	// Oracle-mode allocation scratch: progressiveFill runs once per frame,
+	// so its working state is preallocated per MAC (node-indexed slices
+	// instead of maps) and the per-site coverage sets — which depend only on
+	// the static medium and registrations — are computed once.
+	fillActive   []int
+	fillRates    []float64
+	fillFrozen   []bool
+	fillIsActive []bool
+	siteCover    [][]int
+	siteRemain   []float64
+	fillOrderLen int // registrations seen when siteCover was built
+	fillSitesLen int
+
 	// statistics
 	framesSent    map[int]int64
 	bytesSent     map[int]int64
@@ -190,6 +224,77 @@ func NewMAC(eng *Engine, medium Medium, cfg Config) (*MAC, error) {
 		m.scheduleSample()
 	}
 	return m, nil
+}
+
+// macEvent is the MAC's fixed event struct: one pooled type covers every
+// callback the MAC schedules, replacing the per-event closures that used to
+// dominate the simulator's allocation profile.
+type macEvent struct {
+	m       *MAC
+	kind    uint8
+	node    int         // transmitter, receiver, or sampled node
+	from    int         // evDeliver: transmitting node
+	payload interface{} // evDeliver: delivered payload
+}
+
+const (
+	evCSMATry  uint8 = iota + 1 // clear pending, then attempt transmission
+	evTryStart                  // oracle-mode (re)attempt
+	evComplete                  // finish the in-flight frame
+	evDeliver                   // hand a payload to a receiver
+	evSample                    // periodic queue-size sample
+)
+
+// Fire dispatches the event. The struct is recycled before the callback runs
+// so the callback can immediately draw it again when scheduling follow-ups.
+func (e *macEvent) Fire() {
+	m, kind, node, from, payload := e.m, e.kind, e.node, e.from, e.payload
+	e.payload = nil
+	m.putEvent(e)
+	switch kind {
+	case evCSMATry:
+		m.pending[node] = false
+		m.tryStart(node)
+	case evTryStart:
+		m.tryStart(node)
+	case evComplete:
+		m.complete(node)
+	case evDeliver:
+		m.rx[node].Receive(from, payload)
+		if rel, ok := payload.(Releasable); ok {
+			rel.Release()
+		}
+	case evSample:
+		m.sample()
+	}
+}
+
+func (m *MAC) getEvent(kind uint8, node int) *macEvent {
+	var e *macEvent
+	if n := len(m.eventFree); n > 0 {
+		e = m.eventFree[n-1]
+		m.eventFree = m.eventFree[:n-1]
+	} else {
+		e = &macEvent{m: m}
+	}
+	e.kind = kind
+	e.node = node
+	return e
+}
+
+func (m *MAC) putEvent(e *macEvent) { m.eventFree = append(m.eventFree, e) }
+
+// scheduleEvent arms a pooled event after delay seconds.
+func (m *MAC) scheduleEvent(delay float64, kind uint8, node int) {
+	m.eng.ScheduleHandler(delay, m.getEvent(kind, node))
+}
+
+// retire drops the MAC's ownership reference on a frame's payload once the
+// frame has left the air for good.
+func retire(f *Frame) {
+	if rel, ok := f.Payload.(Releasable); ok {
+		rel.Release()
+	}
 }
 
 // RegisterTransmitter attaches a frame source to node. rateCap limits the
@@ -263,10 +368,7 @@ func (m *MAC) scheduleTry(node int, base float64) {
 	}
 	m.pending[node] = true
 	delay := base + m.rng.Float64()*m.slotTime()
-	m.eng.Schedule(delay, func() {
-		m.pending[node] = false
-		m.tryStart(node)
-	})
+	m.scheduleEvent(delay, evCSMATry, node)
 }
 
 // tryStart begins the next transmission of node if the mode's access rules
@@ -322,7 +424,7 @@ func (m *MAC) tryStart(node int) {
 		m.busy[node] = true
 		m.txStart[node] = m.eng.Now()
 		m.txEnd[node] = m.eng.Now() + need/m.cfg.Capacity
-		m.eng.Schedule(need/m.cfg.Capacity, func() { m.complete(node) })
+		m.scheduleEvent(need/m.cfg.Capacity, evComplete, node)
 		return
 	}
 
@@ -332,11 +434,11 @@ func (m *MAC) tryStart(node int) {
 	// occupies its share for Size/rate seconds.
 	rate := m.allocate(node)
 	if rate <= 0 {
-		m.eng.Schedule(need/m.cfg.Capacity, func() { m.tryStart(node) })
+		m.scheduleEvent(need/m.cfg.Capacity, evTryStart, node)
 		return
 	}
 	m.busy[node] = true
-	m.eng.Schedule(need/rate, func() { m.complete(node) })
+	m.scheduleEvent(need/rate, evComplete, node)
 }
 
 // complete finishes node's in-flight frame: draws receptions, handles
@@ -365,6 +467,7 @@ func (m *MAC) complete(node int) {
 				m.lost[j]++
 			}
 		}
+		retire(frame)
 		m.current[node] = nil
 	} else {
 		dest := frame.Dest
@@ -386,6 +489,7 @@ func (m *MAC) complete(node int) {
 		switch {
 		case success && m.rx[dest] != nil:
 			m.deliver(node, dest, frame.Payload)
+			retire(frame)
 			m.current[node] = nil
 		case frame.Reliable && m.attempts[node] < m.cfg.MaxRetries:
 			// Keep the frame as current: retransmit next round.
@@ -393,6 +497,7 @@ func (m *MAC) complete(node int) {
 			if frame.Reliable {
 				m.dropped[node]++
 			}
+			retire(frame)
 			m.current[node] = nil
 		}
 	}
@@ -412,8 +517,13 @@ func (m *MAC) complete(node int) {
 
 func (m *MAC) deliver(from, to int, payload interface{}) {
 	m.delivered[[2]int{from, to}]++
-	r := m.rx[to]
-	m.eng.Schedule(0, func() { r.Receive(from, payload) })
+	if rel, ok := payload.(Releasable); ok {
+		rel.Retain() // held until the Receive callback returns
+	}
+	e := m.getEvent(evDeliver, to)
+	e.from = from
+	e.payload = payload
+	m.eng.ScheduleHandler(0, e)
 }
 
 // overlaps reports whether node v's current or last CSMA transmission
@@ -447,42 +557,62 @@ func (m *MAC) interfered(j, from int, start, end float64) bool {
 // currently active transmitters (mid-frame or backlogged), subject to the
 // per-receiver constraint (4) and per-node caps.
 func (m *MAC) allocate(node int) float64 {
-	active := make([]int, 0, len(m.order))
+	m.ensureFillScratch()
+	active := m.fillActive[:0]
 	for _, u := range m.order {
 		if u == node || m.busy[u] || m.current[u] != nil || m.tx[u].QueueLen() > 0 {
 			active = append(active, u)
+			m.fillIsActive[u] = true
 		}
 	}
-	return m.progressiveFill(active)[node]
+	m.fillActive = active
+	m.progressiveFill(active)
+	for _, u := range active {
+		m.fillIsActive[u] = false
+	}
+	return m.fillRates[node]
 }
 
-// progressiveFill implements max-min fair filling with caps: all active
-// rates grow together until a receiver neighbourhood saturates or a cap
-// binds; saturated participants freeze and filling continues.
-func (m *MAC) progressiveFill(active []int) map[int]float64 {
-	rates := make(map[int]float64, len(active))
-	frozen := make(map[int]bool, len(active))
-	for _, u := range active {
-		rates[u] = 0
+// ensureFillScratch sizes the allocation scratch and computes the static
+// per-site coverage: registered receiver v covers itself and every
+// registered transmitter within range. Rebuilt only when registrations
+// change.
+func (m *MAC) ensureFillScratch() {
+	if m.fillRates != nil && m.fillOrderLen == len(m.order) && m.fillSitesLen == len(m.sites) {
+		return
 	}
-
-	// Constraint sites: registered receivers, each covering itself and its
-	// in-range transmitters.
-	type site struct {
-		remaining float64
-		cover     []int
-	}
-	var sites []site
+	n := m.medium.Size()
+	m.fillRates = make([]float64, n)
+	m.fillFrozen = make([]bool, n)
+	m.fillIsActive = make([]bool, n)
+	m.fillActive = make([]int, 0, len(m.order))
+	m.siteRemain = make([]float64, len(m.sites))
+	m.siteCover = m.siteCover[:0]
 	for _, v := range m.sites {
 		var cover []int
-		for _, u := range active {
+		for _, u := range m.order {
 			if u == v || m.medium.Prob(u, v) > 0 {
 				cover = append(cover, u)
 			}
 		}
-		if len(cover) > 0 {
-			sites = append(sites, site{remaining: m.cfg.Capacity, cover: cover})
-		}
+		m.siteCover = append(m.siteCover, cover)
+	}
+	m.fillOrderLen = len(m.order)
+	m.fillSitesLen = len(m.sites)
+}
+
+// progressiveFill implements max-min fair filling with caps: all active
+// rates grow together until a receiver neighbourhood saturates or a cap
+// binds; saturated participants freeze and filling continues. Results land
+// in fillRates; only entries of active nodes are meaningful.
+func (m *MAC) progressiveFill(active []int) {
+	rates, frozen, isActive := m.fillRates, m.fillFrozen, m.fillIsActive
+	for _, u := range active {
+		rates[u] = 0
+		frozen[u] = false
+	}
+	for i := range m.siteRemain {
+		m.siteRemain[i] = m.cfg.Capacity
 	}
 
 	for {
@@ -504,15 +634,15 @@ func (m *MAC) progressiveFill(active []int) map[int]float64 {
 				inc = room
 			}
 		}
-		for i := range sites {
+		for i, cover := range m.siteCover {
 			n := 0
-			for _, u := range sites[i].cover {
-				if !frozen[u] {
+			for _, u := range cover {
+				if isActive[u] && !frozen[u] {
 					n++
 				}
 			}
 			if n > 0 {
-				if share := sites[i].remaining / float64(n); share < inc {
+				if share := m.siteRemain[i] / float64(n); share < inc {
 					inc = share
 				}
 			}
@@ -534,46 +664,51 @@ func (m *MAC) progressiveFill(active []int) map[int]float64 {
 				rates[u] += inc
 			}
 		}
-		for i := range sites {
+		for i, cover := range m.siteCover {
 			n := 0
-			for _, u := range sites[i].cover {
-				if !frozen[u] {
+			for _, u := range cover {
+				if isActive[u] && !frozen[u] {
 					n++
 				}
 			}
-			sites[i].remaining -= inc * float64(n)
+			m.siteRemain[i] -= inc * float64(n)
 		}
 		for _, u := range active {
 			if !frozen[u] && rates[u] >= m.effectiveCap(u)-1e-12 {
 				frozen[u] = true
 			}
 		}
-		for i := range sites {
-			if sites[i].remaining <= 1e-9*m.cfg.Capacity {
-				for _, u := range sites[i].cover {
-					frozen[u] = true
+		for i, cover := range m.siteCover {
+			if m.siteRemain[i] <= 1e-9*m.cfg.Capacity {
+				for _, u := range cover {
+					if isActive[u] {
+						frozen[u] = true
+					}
 				}
 			}
 		}
 	}
-	return rates
 }
 
 // scheduleSample arms the periodic queue sampler.
 func (m *MAC) scheduleSample() {
-	m.eng.Schedule(m.cfg.QueueSampleInterval, func() {
-		dt := m.eng.Now() - m.lastSampleAt
-		for _, u := range m.order {
-			q := float64(m.tx[u].QueueLen())
-			if m.busy[u] {
-				// A frame on the air still occupies the queue's head slot.
-				q++
-			}
-			m.queueSumTime[u] += q * dt
+	m.scheduleEvent(m.cfg.QueueSampleInterval, evSample, 0)
+}
+
+// sample records one queue-size observation per transmitter and re-arms
+// itself.
+func (m *MAC) sample() {
+	dt := m.eng.Now() - m.lastSampleAt
+	for _, u := range m.order {
+		q := float64(m.tx[u].QueueLen())
+		if m.busy[u] {
+			// A frame on the air still occupies the queue's head slot.
+			q++
 		}
-		m.lastSampleAt = m.eng.Now()
-		m.scheduleSample()
-	})
+		m.queueSumTime[u] += q * dt
+	}
+	m.lastSampleAt = m.eng.Now()
+	m.scheduleSample()
 }
 
 // TimeAvgQueue returns the time-averaged queue length of node since the MAC

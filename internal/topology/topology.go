@@ -14,6 +14,7 @@
 package topology
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -59,6 +60,27 @@ type PHY struct {
 // a band width calibrated so the mean neighbour link quality is ~0.58.
 func DefaultPHY() PHY {
 	return PHY{Range: 100, Width: 0.18, Gain: 1}
+}
+
+// ErrInvalidPHY is the sentinel every PHY parameter failure matches:
+// errors.Is(err, ErrInvalidPHY) detects a rejected model regardless of which
+// parameter was at fault.
+var ErrInvalidPHY = errors.New("topology: invalid PHY")
+
+// Validate reports whether the PHY defines a usable reception-probability
+// model: positive transmission range and band width, non-negative gain (zero
+// gain means unit power). Failures wrap ErrInvalidPHY.
+func (p PHY) Validate() error {
+	if !(p.Range > 0) {
+		return fmt.Errorf("%w: non-positive range %v", ErrInvalidPHY, p.Range)
+	}
+	if !(p.Width > 0) {
+		return fmt.Errorf("%w: non-positive width %v", ErrInvalidPHY, p.Width)
+	}
+	if p.Gain < 0 || math.IsNaN(p.Gain) {
+		return fmt.Errorf("%w: negative gain %v", ErrInvalidPHY, p.Gain)
+	}
+	return nil
 }
 
 // mid returns the logistic midpoint implied by the p(Range) = 0.2 boundary
@@ -159,8 +181,10 @@ func Generate(cfg Config) (*Network, error) {
 		return nil, fmt.Errorf("topology: density %.2f must exceed 1", cfg.Density)
 	}
 	phy := cfg.PHY
-	if phy.Range <= 0 {
+	if phy == (PHY{}) {
 		phy = DefaultPHY()
+	} else if err := phy.Validate(); err != nil {
+		return nil, err
 	}
 	// Side length such that the expected disk occupancy is Density:
 	// N * pi R^2 / L^2 = Density.
@@ -180,8 +204,8 @@ func FromPositions(positions []Point, phy PHY) (*Network, error) {
 	if len(positions) < 2 {
 		return nil, fmt.Errorf("topology: need at least 2 nodes, got %d", len(positions))
 	}
-	if phy.Range <= 0 {
-		return nil, fmt.Errorf("topology: non-positive range %.2f", phy.Range)
+	if err := phy.Validate(); err != nil {
+		return nil, err
 	}
 	n := len(positions)
 	nw := &Network{

@@ -12,9 +12,11 @@
 //   - Coding: random linear network coding over GF(2^8) with progressive
 //     Gauss-Jordan decoding (NewGeneration, NewEncoder, NewRecoder,
 //     NewDecoder).
-//   - Emulation: end-to-end unicast sessions under OMNC, MORE, oldMORE and
-//     best-path ETX routing on a discrete-event wireless channel (RunOMNC,
-//     RunMORE, RunOldMORE, RunETX).
+//   - Emulation: end-to-end unicast sessions on a discrete-event wireless
+//     channel through one entry point — Run(net, src, dst, proto, cfg) —
+//     where proto is a Protocol value from the OMNC, MORE, OldMORE or ETX
+//     constructors. (RunOMNC, RunMORE, RunOldMORE and RunETX remain as
+//     deprecated wrappers.)
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for how every
 // figure of the paper is regenerated.
@@ -25,10 +27,22 @@ import (
 
 	"omnc/internal/coding"
 	"omnc/internal/core"
+	"omnc/internal/graph"
 	"omnc/internal/protocol"
 	"omnc/internal/routing"
 	"omnc/internal/topology"
 	"omnc/internal/trace"
+)
+
+// Sentinel errors, matchable with errors.Is.
+var (
+	// ErrInvalidPHY matches any rejected PHY model (NetworkFromPositions,
+	// GenerateNetwork with a partially specified PHY).
+	ErrInvalidPHY = topology.ErrInvalidPHY
+	// ErrNoRoute matches any routability failure between session endpoints,
+	// whether node selection found no forwarder subgraph (coded protocols)
+	// or Dijkstra found no path (ETX).
+	ErrNoRoute = graph.ErrNoRoute
 )
 
 // Re-exported types. The aliases keep the public API surface in one place
@@ -70,6 +84,9 @@ type (
 	SessionConfig = protocol.Config
 	// SessionStats summarizes one emulated session.
 	SessionStats = protocol.Stats
+	// Protocol is a named, runnable forwarding protocol; obtain one from the
+	// OMNC, MORE, OldMORE or ETX constructors and pass it to Run.
+	Protocol = protocol.Protocol
 )
 
 // DefaultCodingParams are the paper's evaluation parameters: generations of
@@ -95,10 +112,15 @@ func NetworkFromMatrix(prob [][]float64) (*Network, error) {
 }
 
 // NetworkFromPositions builds a network from node coordinates under the
-// given PHY; a zero-value PHY selects the default lossy model.
+// given PHY. A zero-value PHY selects the default lossy model; any other
+// PHY must pass PHY.Validate, so a partially filled model fails loudly with
+// ErrInvalidPHY instead of being silently replaced.
 func NetworkFromPositions(positions []Point, phy PHY) (*Network, error) {
-	if phy.Range == 0 {
+	if phy == (PHY{}) {
 		phy = topology.DefaultPHY()
+	}
+	if err := phy.Validate(); err != nil {
+		return nil, err
 	}
 	return topology.FromPositions(positions, phy)
 }
@@ -152,35 +174,72 @@ func NewDecoder(generation int, params CodingParams) (*Decoder, error) {
 	return coding.NewDecoder(generation, params)
 }
 
-// RunOMNC emulates one unicast session under the OMNC protocol: node
-// selection, distributed rate control, and rate-driven re-encoding
-// forwarders.
+// OMNC is the paper's protocol: node selection, distributed rate control
+// (Table 1), and rate-driven re-encoding forwarders. opts tunes the rate
+// controller; the zero value selects its defaults.
+func OMNC(opts RateOptions) Protocol {
+	return protocol.NewProtocol("omnc", protocol.OMNC(opts))
+}
+
+// MORE is the SIGCOMM'07 opportunistic-routing baseline: TX-credit
+// forwarding from the ETX heuristic, no rate control.
+func MORE() Protocol {
+	return protocol.NewProtocol("more", routing.MORE())
+}
+
+// OldMORE is the min-cost transmission-plan baseline in the spirit of Lun et
+// al.: pruned forwarders, no rate control.
+func OldMORE() Protocol {
+	return protocol.NewProtocol("oldmore", routing.OldMORE())
+}
+
+// ETX is traditional best-path routing on the ETX metric with MAC-layer
+// retransmissions — the paper's throughput-gain baseline. No coding, no
+// multipath.
+func ETX() Protocol {
+	return routing.ETXProtocol()
+}
+
+// Run emulates one unicast session from src to dst under the given protocol
+// and returns its statistics. All protocols run over the same selected
+// subgraph and channel model, so their results compare like with like.
+func Run(net *Network, src, dst int, proto Protocol, cfg SessionConfig) (*SessionStats, error) {
+	return proto.Run(net, src, dst, cfg)
+}
+
+// RunOMNC emulates one unicast session under the OMNC protocol.
+//
+// Deprecated: use Run(net, src, dst, OMNC(RateOptions{}), cfg).
 func RunOMNC(net *Network, src, dst int, cfg SessionConfig) (*SessionStats, error) {
-	return protocol.Run(net, src, dst, protocol.OMNC(core.Options{}), cfg)
+	return Run(net, src, dst, OMNC(core.Options{}), cfg)
 }
 
 // RunOMNCWithOptions is RunOMNC with explicit rate-controller options.
+//
+// Deprecated: use Run(net, src, dst, OMNC(opts), cfg).
 func RunOMNCWithOptions(net *Network, src, dst int, opts RateOptions, cfg SessionConfig) (*SessionStats, error) {
-	return protocol.Run(net, src, dst, protocol.OMNC(opts), cfg)
+	return Run(net, src, dst, OMNC(opts), cfg)
 }
 
-// RunMORE emulates one session under the MORE baseline (SIGCOMM'07
-// heuristic, TX-credit forwarding, no rate control).
+// RunMORE emulates one session under the MORE baseline.
+//
+// Deprecated: use Run(net, src, dst, MORE(), cfg).
 func RunMORE(net *Network, src, dst int, cfg SessionConfig) (*SessionStats, error) {
-	return protocol.Run(net, src, dst, routing.MORE(), cfg)
+	return Run(net, src, dst, MORE(), cfg)
 }
 
-// RunOldMORE emulates one session under the oldMORE baseline (min-cost
-// transmission plan in the spirit of Lun et al., no rate control).
+// RunOldMORE emulates one session under the oldMORE baseline.
+//
+// Deprecated: use Run(net, src, dst, OldMORE(), cfg).
 func RunOldMORE(net *Network, src, dst int, cfg SessionConfig) (*SessionStats, error) {
-	return protocol.Run(net, src, dst, routing.OldMORE(), cfg)
+	return Run(net, src, dst, OldMORE(), cfg)
 }
 
-// RunETX emulates one session under traditional best-path routing on the
-// ETX metric with MAC-layer retransmissions — the paper's throughput-gain
-// baseline.
+// RunETX emulates one session under traditional best-path ETX routing.
+//
+// Deprecated: use Run(net, src, dst, ETX(), cfg).
 func RunETX(net *Network, src, dst int, cfg SessionConfig) (*SessionStats, error) {
-	return routing.RunETX(net, src, dst, cfg)
+	return Run(net, src, dst, ETX(), cfg)
 }
 
 // Extension types (beyond the paper's single-unicast evaluation; see
