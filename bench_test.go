@@ -208,6 +208,37 @@ func BenchmarkSessionMORE(b *testing.B) { benchSession(b, 1) }
 
 func BenchmarkSessionETX(b *testing.B) { benchSession(b, 2) }
 
+// benchMultiSession measures the multi-unicast hot path: two sessions of one
+// protocol contending on a single shared engine and MAC (the scenario lives
+// in internal/sessionbench so cmd/omnc-bench records exactly this workload).
+func benchMultiSession(b *testing.B, scenario int) {
+	s := sessionbench.MultiScenarios()[scenario]
+	nw, _, _, err := sessionbench.Network()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	var tp float64
+	for i := 0; i < b.N; i++ {
+		ms, err := s.Run(nw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, st := range ms.PerSession {
+			if st.Throughput <= 0 {
+				b.Fatalf("session %d delivered nothing", j)
+			}
+		}
+		tp = ms.AggregateThroughput
+	}
+	b.ReportMetric(tp, "bytes/s")
+}
+
+func BenchmarkMultiSessionOMNC(b *testing.B) { benchMultiSession(b, 0) }
+
+func BenchmarkMultiSessionETX(b *testing.B) { benchMultiSession(b, 1) }
+
 // BenchmarkTable1RateControl measures the distributed rate-control
 // algorithm itself (Table 1) on a random selected subgraph.
 func BenchmarkTable1RateControl(b *testing.B) {

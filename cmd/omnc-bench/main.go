@@ -1,17 +1,22 @@
 // Command omnc-bench records the repo's session benchmark trajectory as a
 // machine-readable JSON report (BENCH_<n>.json at the repo root). It runs
-// the exact scenario behind `go test -bench='^BenchmarkSession'` (see
-// internal/sessionbench) and emits ns/op, allocs/op and B/op per protocol
-// next to the recorded pre-optimization baseline, so the allocation win of
-// the pooled hot path stays an auditable number instead of a claim.
+// the exact scenarios behind `go test -bench='^Benchmark(Multi)?Session'`
+// (see internal/sessionbench) — single sessions per protocol plus the
+// two-session multi-unicast workloads — and emits ns/op, allocs/op and B/op
+// next to the recorded baseline, so the allocation win of the pooled hot
+// path and the cost of the shared-engine multi path stay auditable numbers
+// instead of claims.
 //
 // Usage:
 //
-//	omnc-bench [-iters N] [-out BENCH_2.json]   record a fresh report
-//	omnc-bench -check BENCH_2.json              validate a committed report
+//	omnc-bench [-iters N] [-out BENCH_3.json]   record a fresh report
+//	omnc-bench -check BENCH_3.json              validate a committed report
 //
-// -check verifies the schema and re-asserts the headline regression gate:
-// the OMNC session must show at least 50% fewer allocs/op than baseline.
+// -check verifies the schema and re-asserts the regression gates: the OMNC
+// session must show at least 50% fewer allocs/op than the pre-pooling
+// baseline, and multi-session workloads (when present in the report, as in
+// BENCH_3.json and later) must stay within 25% of their recorded allocs/op.
+// Reports that predate the multi scenarios (BENCH_2.json) still validate.
 package main
 
 import (
@@ -63,13 +68,27 @@ var baselines = map[string]Baseline{
 	"SessionETX":  {NsPerOp: 980601, AllocsPerOp: 14319, BytesPerOp: 626320},
 }
 
+// multiBaselines freezes the first recorded measurements of the
+// multi-unicast scenarios (two contending sessions on one shared engine,
+// BENCH_3.json). Unlike the single-session baselines they are not
+// pre-optimization numbers — the multi path was born on the pooled hot path
+// — so -check holds reports near them instead of far below them.
+var multiBaselines = map[string]Baseline{
+	"MultiSessionOMNC": {NsPerOp: 21043627, AllocsPerOp: 34732, BytesPerOp: 1378872},
+	"MultiSessionETX":  {NsPerOp: 1933779, AllocsPerOp: 2713, BytesPerOp: 123209},
+}
+
 // allocGate is the acceptance threshold -check re-asserts: current
 // allocs/op must be at most this fraction of baseline on the OMNC session.
 const allocGate = 0.5
 
+// multiAllocGate bounds multi-session drift: allocs/op may exceed the
+// recorded baseline by at most this factor.
+const multiAllocGate = 1.25
+
 func main() {
 	iters := flag.Int("iters", 5, "measured session runs per benchmark (after one warmup)")
-	out := flag.String("out", "BENCH_2.json", "output path, or - for stdout")
+	out := flag.String("out", "BENCH_3.json", "output path, or - for stdout")
 	check := flag.String("check", "", "validate an existing report instead of benchmarking")
 	flag.Parse()
 
@@ -120,6 +139,13 @@ func record(iters int) (*Report, error) {
 		}
 		rep.Benchmarks = append(rep.Benchmarks, r)
 	}
+	for _, s := range sessionbench.MultiScenarios() {
+		r, err := measureMulti(s, iters)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+	}
 	return rep, nil
 }
 
@@ -157,6 +183,44 @@ func measure(s sessionbench.Scenario, iters int) (Result, error) {
 		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / n,
 		Throughput:  st.Throughput,
 		Baseline:    baselines[s.Name],
+	}, nil
+}
+
+// measureMulti is measure for a multi-unicast workload: one warmup, then
+// iters timed runs of all contending sessions on one shared engine.
+func measureMulti(s sessionbench.MultiScenario, iters int) (Result, error) {
+	nw, _, _, err := sessionbench.Network()
+	if err != nil {
+		return Result{}, err
+	}
+	ms, err := s.Run(nw)
+	if err != nil {
+		return Result{}, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if ms, err = s.Run(nw); err != nil {
+			return Result{}, err
+		}
+		for j, st := range ms.PerSession {
+			if st.Throughput <= 0 {
+				return Result{}, fmt.Errorf("session %d delivered nothing", j)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := int64(iters)
+	return Result{
+		Name:        s.Name,
+		NsPerOp:     elapsed.Nanoseconds() / n,
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / n,
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / n,
+		Throughput:  ms.AggregateThroughput,
+		Baseline:    multiBaselines[s.Name],
 	}, nil
 }
 
@@ -204,6 +268,32 @@ func checkReport(path string) error {
 	if omncRes.AllocsPerOp > limit {
 		return fmt.Errorf("SessionOMNC allocs/op %d exceeds gate %d (%.0f%% of baseline %d)",
 			omncRes.AllocsPerOp, limit, allocGate*100, omncRes.Baseline.AllocsPerOp)
+	}
+	// Multi-unicast entries appeared in BENCH_3.json; a report that carries
+	// any of them must carry all of them, with unchanged baselines and
+	// allocs/op within the drift gate. Earlier reports stay valid.
+	hasMulti := false
+	for name := range multiBaselines {
+		if _, ok := byName[name]; ok {
+			hasMulti = true
+			break
+		}
+	}
+	if hasMulti {
+		for _, s := range sessionbench.MultiScenarios() {
+			r, ok := byName[s.Name]
+			if !ok {
+				return fmt.Errorf("missing benchmark %s", s.Name)
+			}
+			if r.Baseline != multiBaselines[s.Name] {
+				return fmt.Errorf("%s: baseline %+v drifted from recorded %+v", s.Name, r.Baseline, multiBaselines[s.Name])
+			}
+			mlimit := int64(float64(r.Baseline.AllocsPerOp) * multiAllocGate)
+			if r.AllocsPerOp > mlimit {
+				return fmt.Errorf("%s allocs/op %d exceeds gate %d (%.0f%% of baseline %d)",
+					s.Name, r.AllocsPerOp, mlimit, multiAllocGate*100, r.Baseline.AllocsPerOp)
+			}
+		}
 	}
 	return nil
 }

@@ -12,7 +12,8 @@
 //	omnc-fig -fig 4        # CDFs of node and path utility ratios
 //	omnc-fig -fig lpgap    # emulated vs optimized throughput (Sec. 5)
 //	omnc-fig -fig drift    # extension: throughput under link-quality drift
-//	omnc-fig -fig all      # everything (except drift)
+//	omnc-fig -fig multi    # extension: multi-unicast scaling (aggregate + fairness)
+//	omnc-fig -fig all      # everything (except drift and multi)
 //
 // The default scale is laptop-sized (30 sessions, 200 emulated seconds,
 // payload-rank fidelity); -full selects the paper's full scale (300
@@ -90,6 +91,8 @@ func run(fig string, full bool, sessions int, duration float64, seed int64, mac,
 		return comparisonFigs(cfg, csvDir, "lpgap")
 	case "drift":
 		return driftFig(cfg)
+	case "multi":
+		return multiFig(cfg, full, csvDir)
 	case "all":
 		if err := fig1(csvDir); err != nil {
 			return err
@@ -242,6 +245,93 @@ func driftFig(cfg experiments.Config) error {
 	}
 	fmt.Println()
 	return nil
+}
+
+// multiFig runs the multi-unicast scaling extension: several unicast
+// sessions of one protocol contend on one shared engine, and the series
+// report aggregate throughput and Jain's fairness index versus the session
+// count. OMNC allocates rates jointly; the baselines contend uncoordinated.
+// -sessions caps the largest session count.
+func multiFig(cfg experiments.Config, full bool, csvDir string) error {
+	counts := []int{1, 2, 4, 6}
+	if cfg.Sessions > 0 && cfg.Sessions < counts[len(counts)-1] {
+		kept := counts[:0]
+		for _, c := range counts {
+			if c <= cfg.Sessions {
+				kept = append(kept, c)
+			}
+		}
+		counts = kept
+	}
+	if len(counts) == 0 {
+		return fmt.Errorf("-sessions %d leaves no session counts to sweep", cfg.Sessions)
+	}
+	trials := 2
+	if full {
+		trials = 3
+	}
+	mc := experiments.MultiConfig{
+		Nodes:         cfg.Nodes,
+		Density:       cfg.Density,
+		MeanQuality:   cfg.MeanQuality,
+		SessionCounts: counts,
+		Trials:        trials,
+		MinHops:       cfg.MinHops,
+		MaxHops:       cfg.MaxHops,
+		Duration:      cfg.Duration,
+		Capacity:      cfg.Capacity,
+		CBRRate:       cfg.CBRRate,
+		Coding:        cfg.Coding,
+		AirPacketSize: cfg.AirPacketSize,
+		Protocols:     cfg.Protocols,
+		MAC:           cfg.MAC,
+		RateOptions:   cfg.RateOptions,
+		Seed:          cfg.Seed,
+		Workers:       cfg.Workers,
+		Progress:      metrics.NewProgress(len(counts) * trials),
+	}
+	fmt.Printf("Running multi-unicast scaling on %d nodes (counts %v, %d trials each, MAC %s)...\n",
+		mc.Nodes, counts, trials, macLabel(mc.MAC))
+	stopTicker := startProgressTicker(mc.Progress)
+	sc, err := experiments.RunMultiScaling(mc)
+	stopTicker()
+	if err != nil {
+		return err
+	}
+
+	protos := append([]string(nil), sc.Config.Protocols...)
+	sort.Strings(protos)
+	fmt.Println("\nExtension: aggregate throughput and Jain fairness vs concurrent sessions")
+	fmt.Printf("%-10s", "sessions")
+	for _, p := range protos {
+		fmt.Printf("  %-22s", p+" (B/s, Jain)")
+	}
+	fmt.Println()
+	for _, pt := range sc.Points {
+		fmt.Printf("%-10d", pt.Sessions)
+		for _, p := range protos {
+			fmt.Printf("  %-22s", fmt.Sprintf("%.0f  %.3f",
+				pt.AggregateThroughput[p], pt.JainFairness[p]))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	if csvDir == "" {
+		return nil
+	}
+	rows := [][]string{{"protocol", "sessions", "aggregate_bytes_per_sec", "jain_fairness"}}
+	for _, p := range protos {
+		for _, pt := range sc.Points {
+			rows = append(rows, []string{
+				p,
+				strconv.Itoa(pt.Sessions),
+				fmt.Sprintf("%.5f", pt.AggregateThroughput[p]),
+				fmt.Sprintf("%.5f", pt.JainFairness[p]),
+			})
+		}
+	}
+	return writeCSV(filepath.Join(csvDir, "fig_multi.csv"), rows)
 }
 
 func minInt(a, b int) int {

@@ -53,12 +53,30 @@ func TestGoldenFig2CSV(t *testing.T) {
 	if err := run("2l", false, 2, 60, 7, "oracle", dir, 2); err != nil {
 		t.Fatal(err)
 	}
-	got, err := os.ReadFile(filepath.Join(dir, "fig2l_gains.csv"))
+	compareGolden(t, filepath.Join(dir, "fig2l_gains.csv"), "fig2l_gains.golden.csv")
+}
+
+// TestGoldenMultiCSV pins the multi-unicast scaling series for a fixed seed:
+// two session counts, two trials each, all four protocols on one shared
+// engine per cell, two workers — so the fixture also guards RunMultiScaling's
+// workers-invariant determinism at the CLI boundary.
+func TestGoldenMultiCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("multi", false, 2, 60, 7, "oracle", dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join(dir, "fig_multi.csv"), "fig_multi.golden.csv")
+}
+
+// compareGolden diffs got against testdata/<name>, rewriting the fixture
+// under -update.
+func compareGolden(t *testing.T, gotPath, name string) {
+	t.Helper()
+	got, err := os.ReadFile(gotPath)
 	if err != nil {
 		t.Fatal(err)
 	}
-
-	golden := filepath.Join("testdata", "fig2l_gains.golden.csv")
+	golden := filepath.Join("testdata", name)
 	if *update {
 		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
 			t.Fatal(err)

@@ -58,7 +58,7 @@ func run() error {
 		Duration:      300,
 		Seed:          11,
 	}
-	shared, err := omnc.RunConcurrentOMNC(nw, sessions, opts, cfg)
+	shared, err := omnc.RunMulti(nw, sessions, omnc.OMNC(opts), cfg)
 	if err != nil {
 		return err
 	}
@@ -67,12 +67,13 @@ func run() error {
 		fmt.Printf("  session %d: %.0f B/s (%d generations)\n",
 			i, st.Throughput, st.GenerationsDecoded)
 	}
-	fmt.Printf("  aggregate: %.0f B/s\n", shared.AggregateThroughput)
+	fmt.Printf("  aggregate: %.0f B/s, Jain fairness %.3f\n",
+		shared.AggregateThroughput, shared.JainFairness)
 
 	// Against each session running alone on an idle channel.
 	fmt.Println("\neach session alone on an idle channel:")
 	for i, s := range sessions {
-		solo, err := omnc.RunConcurrentOMNC(nw, []omnc.Endpoints{s}, opts, cfg)
+		solo, err := omnc.RunMulti(nw, []omnc.Endpoints{s}, omnc.OMNC(opts), cfg)
 		if err != nil {
 			return err
 		}

@@ -84,6 +84,10 @@ func (p Params) PacketSize() int { return p.GenerationSize + p.BlockSize }
 type Packet struct {
 	// Generation identifies which generation the packet codes over.
 	Generation int
+	// Session tags the packet with its unicast session in multiple-unicast
+	// emulations sharing one channel; single-session runs leave it zero. The
+	// tag is emulator-side demultiplexing state, not part of the wire format.
+	Session uint32
 	// Coeffs has length GenerationSize; Coeffs[i] multiplies source block i.
 	Coeffs []byte
 	// Payload has length BlockSize: the coded block.
@@ -100,6 +104,7 @@ type Packet struct {
 func (pk *Packet) Clone() *Packet {
 	return &Packet{
 		Generation: pk.Generation,
+		Session:    pk.Session,
 		Coeffs:     append([]byte(nil), pk.Coeffs...),
 		Payload:    append([]byte(nil), pk.Payload...),
 	}

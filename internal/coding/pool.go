@@ -113,6 +113,7 @@ func GetPacket(params Params) *Packet {
 		pk.Payload = getBuf(m)
 	}
 	pk.Generation = 0
+	pk.Session = 0
 	pk.pooled = true
 	pk.refs.Store(1)
 	return pk

@@ -40,6 +40,8 @@ const (
 	streamTrial
 	streamDriftPairs
 	streamDriftTrial
+	streamMultiPlacement
+	streamMultiTrial
 )
 
 // TrialSeed derives the deterministic protocol seed of trial idx under the

@@ -193,3 +193,26 @@ func ASCIIPlot(title, xLabel string, xMax float64, curves map[string]*CDF) strin
 	}
 	return b.String()
 }
+
+// JainIndex is Jain's fairness index over per-session rates,
+// (sum x)^2 / (n * sum x^2): 1 when every session receives the same rate,
+// 1/n when a single session takes everything. An empty sample or all-zero
+// rates yield 0 (no traffic to be fair about). Negative rates are invalid
+// and also yield 0.
+func JainIndex(rates []float64) float64 {
+	if len(rates) == 0 {
+		return 0
+	}
+	sum, sumSq := 0.0, 0.0
+	for _, x := range rates {
+		if x < 0 || math.IsNaN(x) {
+			return 0
+		}
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(rates)) * sumSq)
+}

@@ -192,3 +192,71 @@ func TestSortedInvariant(t *testing.T) {
 		t.Fatal("internal samples must stay sorted")
 	}
 }
+
+func TestJainIndexEqualRates(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 100} {
+		rates := make([]float64, n)
+		for i := range rates {
+			rates[i] = 42.5
+		}
+		if got := JainIndex(rates); math.Abs(got-1) > 1e-12 {
+			t.Fatalf("n=%d: Jain index of equal rates = %v, want 1", n, got)
+		}
+	}
+}
+
+func TestJainIndexOneHot(t *testing.T) {
+	for _, n := range []int{2, 3, 10} {
+		rates := make([]float64, n)
+		rates[n/2] = 1e4
+		if got, want := JainIndex(rates), 1/float64(n); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("n=%d: Jain index of one-hot rates = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestJainIndexEdgeCases(t *testing.T) {
+	if got := JainIndex(nil); got != 0 {
+		t.Fatalf("Jain index of no rates = %v, want 0", got)
+	}
+	if got := JainIndex([]float64{}); got != 0 {
+		t.Fatalf("Jain index of empty rates = %v, want 0", got)
+	}
+	if got := JainIndex([]float64{0, 0, 0}); got != 0 {
+		t.Fatalf("Jain index of all-zero rates = %v, want 0", got)
+	}
+	if got := JainIndex([]float64{5, -1}); got != 0 {
+		t.Fatalf("Jain index with a negative rate = %v, want 0", got)
+	}
+	if got := JainIndex([]float64{5, math.NaN()}); got != 0 {
+		t.Fatalf("Jain index with NaN = %v, want 0", got)
+	}
+}
+
+func TestPropertyJainIndexRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rates := make([]float64, 1+rng.Intn(20))
+		for i := range rates {
+			rates[i] = rng.Float64() * 1e5
+		}
+		j := JainIndex(rates)
+		// 1/n <= J <= 1 for any non-degenerate rate vector.
+		lo := 1 / float64(len(rates))
+		return j >= lo-1e-12 && j <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJainIndexScaleInvariant(t *testing.T) {
+	rates := []float64{100, 250, 75, 300}
+	scaled := make([]float64, len(rates))
+	for i, r := range rates {
+		scaled[i] = r * 7.3
+	}
+	if a, b := JainIndex(rates), JainIndex(scaled); math.Abs(a-b) > 1e-12 {
+		t.Fatalf("Jain index not scale invariant: %v vs %v", a, b)
+	}
+}

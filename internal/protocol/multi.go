@@ -1,0 +1,151 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+
+	"omnc/internal/core"
+	"omnc/internal/metrics"
+	"omnc/internal/topology"
+)
+
+// ErrInvalidSession matches any rejected multi-unicast session list:
+// out-of-range endpoints, a session whose source equals its destination, or
+// duplicated (src, dst) pairs (which would silently contend with
+// themselves). Match with errors.Is.
+var ErrInvalidSession = errors.New("protocol: invalid session")
+
+// Endpoints identifies one session of a multiple-unicast run.
+type Endpoints struct {
+	Src, Dst int
+}
+
+// MultiStats aggregates a multiple-unicast emulation.
+type MultiStats struct {
+	// PerSession holds each session's statistics, index-aligned with the
+	// input endpoints.
+	PerSession []*Stats
+	// AggregateThroughput sums the per-session throughputs.
+	AggregateThroughput float64
+	// JainFairness is Jain's fairness index over the per-session
+	// throughputs: 1 when every session gets the same rate, 1/n when one
+	// session takes everything.
+	JainFairness float64
+}
+
+// ConcurrentStats is the former name of MultiStats.
+type ConcurrentStats = MultiStats
+
+// ValidateSessions checks a multi-unicast session list against a network of
+// n nodes; failures wrap ErrInvalidSession.
+func ValidateSessions(n int, sessions []Endpoints) error {
+	if len(sessions) == 0 {
+		return fmt.Errorf("%w: no sessions", ErrInvalidSession)
+	}
+	seen := make(map[Endpoints]int, len(sessions))
+	for i, s := range sessions {
+		if s.Src < 0 || s.Src >= n || s.Dst < 0 || s.Dst >= n {
+			return fmt.Errorf("%w: session %d endpoints (%d,%d) out of range [0,%d)",
+				ErrInvalidSession, i, s.Src, s.Dst, n)
+		}
+		if s.Src == s.Dst {
+			return fmt.Errorf("%w: session %d source equals destination (%d)",
+				ErrInvalidSession, i, s.Src)
+		}
+		if j, dup := seen[s]; dup {
+			return fmt.Errorf("%w: session %d duplicates session %d (%d,%d)",
+				ErrInvalidSession, i, j, s.Src, s.Dst)
+		}
+		seen[s] = i
+	}
+	return nil
+}
+
+// RunMulti emulates several unicast sessions of one protocol sharing the
+// channel simultaneously — the multiple-unicast scenario the paper's
+// conclusion points to. All sessions attach to one Env (one event engine,
+// one MAC over the full network), so they really do contend: a node
+// forwarding for two sessions round-robins its air time between them and
+// every receiver demultiplexes the common broadcast channel by session tag.
+//
+// OMNC sessions get their rates from the joint controller
+// (core.MultiRateController), whose shared congestion prices divide each
+// neighbourhood's capacity across sessions; MORE, oldMORE and ETX run their
+// usual uncoordinated disciplines per session.
+func RunMulti(net *topology.Network, sessions []Endpoints, proto Protocol, cfg Config) (*MultiStats, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Coding.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ValidateSessions(net.Size(), sessions); err != nil {
+		return nil, err
+	}
+	specs := make([]SessionSpec, len(sessions))
+	for i, s := range sessions {
+		sg, err := core.SelectNodes(net, s.Src, s.Dst)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: session %d: %w", i, err)
+		}
+		specs[i] = SessionSpec{ID: i, Src: s.Src, Dst: s.Dst, Subgraph: sg}
+	}
+
+	env, err := NewEnv(net, cfg)
+	if err != nil {
+		return nil, err
+	}
+	runs, err := proto.sessions(env, net, specs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(runs) != len(sessions) {
+		return nil, fmt.Errorf("protocol: %s built %d sessions for %d endpoints", proto.Name(), len(runs), len(sessions))
+	}
+	for _, s := range runs {
+		s.Start()
+	}
+	env.Eng.Run(cfg.Duration)
+
+	out := &MultiStats{PerSession: make([]*Stats, len(runs))}
+	rates := make([]float64, len(runs))
+	for i, s := range runs {
+		st := s.Finish(cfg.Duration)
+		out.PerSession[i] = st
+		out.AggregateThroughput += st.Throughput
+		rates[i] = st.Throughput
+	}
+	out.JainFairness = metrics.JainIndex(rates)
+	return out, nil
+}
+
+// buildPolicySessions is the generic multi-session construction for
+// Builder-based protocols: one policy and one shared-mode coded runtime per
+// selected subgraph, with no cross-session coordination.
+func buildPolicySessions(env *Env, net *topology.Network, specs []SessionSpec, cfg Config, build Builder) ([]Session, error) {
+	out := make([]Session, len(specs))
+	for i, sp := range specs {
+		pol, err := build(sp.Subgraph, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: session %d: %w", sp.ID, err)
+		}
+		if len(pol.Caps) != sp.Subgraph.Size() || len(pol.Credit) != sp.Subgraph.Size() {
+			return nil, fmt.Errorf("protocol: policy %q sized for %d nodes, subgraph has %d",
+				pol.Name, len(pol.Caps), sp.Subgraph.Size())
+		}
+		rt, err := newSharedRuntime(env, net, sp.Subgraph, pol, cfg, uint32(sp.ID))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = rt
+	}
+	return out, nil
+}
+
+// RunConcurrentOMNC emulates several OMNC unicast sessions sharing the
+// channel, rates allocated by the joint controller.
+//
+// Deprecated: use RunMulti with an OMNC protocol value; this is a thin
+// wrapper around it.
+func RunConcurrentOMNC(net *topology.Network, sessions []Endpoints, opts core.Options, cfg Config) (*ConcurrentStats, error) {
+	proto := NewProtocol("omnc", OMNC(opts)).WithMulti(OMNCMulti(opts))
+	return RunMulti(net, sessions, proto, cfg)
+}

@@ -12,17 +12,34 @@ import (
 	"omnc/internal/trace"
 )
 
-// runtime wires one session's nodes, MAC and generation lifecycle together.
+// runtime is one coded session: it wires the session's per-role components
+// (source encoder, re-encoding forwarders, destination decoder — see node),
+// the shared Env and the generation lifecycle together, and implements
+// Session.
+//
+// A session runs in one of two placements. Exclusive (protocol.Run): the
+// session owns a private Env over its subgraph medium and nodes are
+// addressed by subgraph-local index. Shared (RunMulti): several sessions
+// attach to one Env over the full network, nodes are addressed by network
+// ID, and packets carry the session tag so each session's components filter
+// their own traffic off the common broadcast channel.
 type runtime struct {
 	net *topology.Network
 	sg  *core.Subgraph
 	pol *Policy
 	cfg Config
 
-	eng   *sim.Engine
-	mac   *sim.MAC
-	rng   *rand.Rand
-	nodes []*node
+	id     uint32 // session tag on the shared channel (0 when exclusive)
+	shared bool   // attached to a multi-session Env
+	env    *Env
+	eng    *sim.Engine
+	mac    *sim.MAC
+	rng    *rand.Rand
+	nodes  []*node
+
+	localOf map[int]int // shared: network ID -> local index (nil otherwise)
+	linkIdx map[[2]int]int
+	linkRx  []int64 // shared: per-subgraph-link session deliveries
 
 	currentGen int
 	decoded    int
@@ -52,47 +69,74 @@ func (rt *runtime) emit(t trace.EventType, node, from int) {
 	})
 }
 
+// newRuntime builds an exclusive session: a private Env over the subgraph
+// medium, nodes in local indices.
 func newRuntime(net *topology.Network, sg *core.Subgraph, pol *Policy, cfg Config) (*runtime, error) {
-	eng := sim.NewEngine()
-	mac, err := sim.NewMAC(eng, &subgraphMedium{net: net, sg: sg}, sim.Config{
-		Capacity:            cfg.Capacity,
-		Mode:                cfg.MAC,
-		Seed:                cfg.Seed,
-		QueueSampleInterval: cfg.QueueSampleInterval,
-	})
+	env, err := NewEnv(&subgraphMedium{net: net, sg: sg}, cfg)
 	if err != nil {
 		return nil, err
 	}
+	return attachRuntime(env, net, sg, pol, cfg, 0, false)
+}
+
+// newSharedRuntime attaches one session of a multi-unicast run to the shared
+// Env; the medium spans the full network, so components bind at network IDs.
+func newSharedRuntime(env *Env, net *topology.Network, sg *core.Subgraph, pol *Policy, cfg Config, id uint32) (*runtime, error) {
+	return attachRuntime(env, net, sg, pol, cfg, id, true)
+}
+
+func attachRuntime(env *Env, net *topology.Network, sg *core.Subgraph, pol *Policy, cfg Config, id uint32, shared bool) (*runtime, error) {
 	nominalBlock := cfg.AirPacketSize - cfg.Coding.GenerationSize
 	if nominalBlock <= 0 {
 		return nil, fmt.Errorf("protocol: air packet size %d cannot carry %d coefficients",
 			cfg.AirPacketSize, cfg.Coding.GenerationSize)
 	}
 	rt := &runtime{
-		net:      net,
-		sg:       sg,
-		pol:      pol,
-		cfg:      cfg,
-		eng:      eng,
-		mac:      mac,
-		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
+		net:    net,
+		sg:     sg,
+		pol:    pol,
+		cfg:    cfg,
+		id:     id,
+		shared: shared,
+		env:    env,
+		eng:    env.Eng,
+		mac:    env.MAC,
+		// Session id 0 draws the same stream as an exclusive session, so
+		// single-session behaviour is one fixed point of the multi path.
+		rng:      rand.New(rand.NewSource(cfg.Seed + 31*int64(id) + 1)),
 		ackDelay: ackLatency(sg, cfg),
 		genBytes: cfg.Coding.GenerationSize * nominalBlock,
 		genData:  make([]byte, cfg.Coding.GenerationSize*cfg.Coding.BlockSize),
 	}
+	if shared {
+		rt.localOf = make(map[int]int, sg.Size())
+		for local, nid := range sg.Nodes {
+			rt.localOf[nid] = local
+		}
+		rt.linkIdx = make(map[[2]int]int, len(sg.Links))
+		for li, l := range sg.Links {
+			rt.linkIdx[[2]int{l.From, l.To}] = li
+		}
+		rt.linkRx = make([]int64, len(sg.Links))
+	}
 	rt.nodes = make([]*node, sg.Size())
 	for i := range rt.nodes {
-		n := &node{rt: rt, local: i, isSrc: i == sg.Src, isDst: i == sg.Dst}
+		macID := i
+		if shared {
+			macID = sg.Nodes[i]
+		}
+		n := &node{rt: rt, local: i, macID: macID, isSrc: i == sg.Src, isDst: i == sg.Dst}
 		rt.nodes[i] = n
 		if !n.isSrc {
-			mac.RegisterReceiver(i, n)
+			rt.mac.AttachReceiver(macID, n)
 		}
 		excluded := pol.Exclude != nil && pol.Exclude[i]
 		if !n.isDst && !excluded {
-			mac.RegisterTransmitter(i, n, pol.Caps[i])
+			rt.mac.AttachTransmitter(macID, n, pol.Caps[i])
 		}
 		n.excluded = excluded
 	}
+	env.AddSession()
 	if err := rt.startGeneration(0); err != nil {
 		return nil, err
 	}
@@ -127,7 +171,7 @@ func (rt *runtime) generationDecoded() {
 	if rt.cfg.MaxGenerations > 0 && rt.decoded >= rt.cfg.MaxGenerations {
 		rt.done = true
 		rt.finishedAt = rt.eng.Now()
-		rt.eng.Stop()
+		rt.env.SessionDone()
 		return
 	}
 	gen := rt.currentGen + 1
@@ -138,23 +182,32 @@ func (rt *runtime) generationDecoded() {
 		}
 		for _, n := range rt.nodes {
 			if !n.isDst && !n.excluded {
-				rt.mac.Wake(n.local)
+				rt.mac.Wake(n.macID)
 			}
 		}
 	})
 }
 
+// Start implements Session: wake the source.
+func (rt *runtime) Start() { rt.mac.Wake(rt.nodes[rt.sg.Src].macID) }
+
+// run drives an exclusive session to completion.
 func (rt *runtime) run() (*Stats, error) {
-	rt.mac.Wake(rt.sg.Src)
+	rt.Start()
 	rt.eng.Run(rt.cfg.Duration)
-	// Return pooled resources (elimination slabs, queued packets) to the
-	// arena so back-to-back sessions — benchmark iterations, parameter
-	// sweeps — recycle instead of reallocating.
+	return rt.Finish(rt.cfg.Duration), nil
+}
+
+// Finish implements Session: pooled resources (elimination slabs, queued
+// packets) return to the arena so back-to-back sessions — benchmark
+// iterations, parameter sweeps — recycle instead of reallocating, and the
+// session's statistics are computed.
+func (rt *runtime) Finish(until float64) *Stats {
 	for _, n := range rt.nodes {
 		n.shutdown()
 	}
 
-	duration := rt.cfg.Duration
+	duration := until
 	if rt.done && rt.finishedAt > 0 {
 		duration = rt.finishedAt
 	}
@@ -172,6 +225,11 @@ func (rt *runtime) run() (*Stats, error) {
 		st.Throughput = float64(rt.decoded) * float64(rt.genBytes) / duration
 	}
 	st.GenerationLatencies = append([]float64(nil), rt.latencies...)
+
+	if rt.shared {
+		rt.sharedUtilities(st)
+		return st
+	}
 
 	// Queue statistics over involved nodes (Fig. 3).
 	st.QueuePerNode = make([]float64, rt.sg.Size())
@@ -205,19 +263,55 @@ func (rt *runtime) run() (*Stats, error) {
 	if total > 0 {
 		st.PathUtility = graph.CountPaths(used, rt.sg.Src, rt.sg.Dst) / total
 	}
-	return st, nil
+	return st
 }
 
-// node is one selected forwarder: a sim.Transmitter feeding re-encoded
-// packets to the MAC and a sim.Receiver absorbing coded packets.
+// sharedUtilities attributes node and path utility to this session from its
+// own counters: on a shared MAC the per-node frame and delivery statistics
+// aggregate all sessions, so each session counts the frames its own ports
+// handed to the MAC and the deliveries its components accepted. Queue
+// statistics stay zero — a physical node's queue is a property of the shared
+// channel, not of one session.
+func (rt *runtime) sharedUtilities(st *Stats) {
+	involved := 0
+	for _, n := range rt.nodes {
+		if n.frames > 0 {
+			involved++
+		}
+	}
+	if nonDst := rt.sg.Size() - 1; nonDst > 0 {
+		st.NodeUtility = float64(involved) / float64(nonDst)
+	}
+	used := graph.New(rt.sg.Size())
+	for li, l := range rt.sg.Links {
+		if rt.linkRx[li] > 0 {
+			used.AddEdge(l.From, l.To, 1)
+		}
+	}
+	if total := rt.sg.PathCount(); total > 0 {
+		st.PathUtility = graph.CountPaths(used, rt.sg.Src, rt.sg.Dst) / total
+	}
+}
+
+// FramesSent returns how many frames this session's port at local node i
+// handed to the MAC — the per-session share of the physical node's traffic.
+func (rt *runtime) FramesSent(i int) int64 { return rt.nodes[i].frames }
+
+// node binds one selected forwarder's per-role component to the medium: a
+// sim.Transmitter port feeding coded packets to the MAC and a sim.Receiver
+// port absorbing them. Exactly one role is armed per generation — the source
+// encoder (enc), the re-encoding forwarder (rec) or the destination decoder
+// (dec) — and the port methods dispatch to that role's logic.
 type node struct {
 	rt       *runtime
 	local    int
+	macID    int // node address on the Env's medium (== local when exclusive)
 	isSrc    bool
 	isDst    bool
 	excluded bool
 
 	credit  float64
+	frames  int64            // frames this session's port put on the air here
 	outq    []*coding.Packet // pre-generated packets awaiting transmission
 	enc     *coding.Encoder  // source only
 	rec     *coding.Recoder  // forwarders
@@ -268,26 +362,37 @@ func (n *node) shutdown() {
 	}
 }
 
-// Dequeue implements sim.Transmitter.
+// Dequeue implements sim.Transmitter (the component's TX port).
 func (n *node) Dequeue() *sim.Frame {
 	rt := n.rt
 	if rt.done || n.isDst || n.excluded {
 		return nil
 	}
 	if n.isSrc {
-		if !n.cbrAvailable() {
-			return nil
-		}
-		return n.frame(n.enc.Next())
+		return n.sourceDequeue()
 	}
-	// OMNC-style forwarders re-encode a fresh packet at transmission time,
-	// so the stream always spans the forwarder's current buffer ("all
-	// outgoing packets are generated by re-encoding existing innovative
-	// packets", Sec. 4). Credit-driven forwarders (MORE, oldMORE) transmit
-	// the queue of packets pre-generated when credit arrived — under
-	// congestion those age in the queue and go stale, which is exactly the
-	// failure mode Fig. 3 attributes to MORE.
-	if rt.pol.SendWhenNonEmpty {
+	return n.forwarderDequeue()
+}
+
+// sourceDequeue is the source-encoder component: emit a fresh random
+// combination whenever the CBR workload has produced the bytes for it.
+func (n *node) sourceDequeue() *sim.Frame {
+	if !n.cbrAvailable() {
+		return nil
+	}
+	return n.frame(n.enc.Next())
+}
+
+// forwarderDequeue is the forwarder component's TX side. OMNC-style
+// forwarders re-encode a fresh packet at transmission time, so the stream
+// always spans the forwarder's current buffer ("all outgoing packets are
+// generated by re-encoding existing innovative packets", Sec. 4).
+// Credit-driven forwarders (MORE, oldMORE) transmit the queue of packets
+// pre-generated when credit arrived — under congestion those age in the
+// queue and go stale, which is exactly the failure mode Fig. 3 attributes
+// to MORE.
+func (n *node) forwarderDequeue() *sim.Frame {
+	if n.rt.pol.SendWhenNonEmpty {
 		if pkt := n.rec.Next(); pkt != nil {
 			return n.frame(pkt)
 		}
@@ -312,8 +417,8 @@ func (n *node) cbrAvailable() bool {
 	if rt.eng.Now() >= ready {
 		return true
 	}
-	local := n.local
-	rt.eng.Schedule(ready-rt.eng.Now(), func() { rt.mac.Wake(local) })
+	macID := n.macID
+	rt.eng.Schedule(ready-rt.eng.Now(), func() { rt.mac.Wake(macID) })
 	return false
 }
 
@@ -323,6 +428,8 @@ func (n *node) cbrAvailable() bool {
 // previous — so the frame struct is reused across transmissions.
 func (n *node) frame(pkt *coding.Packet) *sim.Frame {
 	n.rt.emit(trace.EventTx, n.local, -1)
+	n.frames++
+	pkt.Session = n.rt.id
 	n.txFrame = sim.Frame{Size: n.rt.cfg.AirPacketSize, Broadcast: true, Payload: pkt}
 	return &n.txFrame
 }
@@ -348,55 +455,88 @@ func (n *node) earnCredit() {
 		}
 		n.outq = append(n.outq, pkt)
 	}
-	n.rt.mac.Wake(n.local)
+	n.rt.mac.Wake(n.macID)
 }
 
-// Receive implements sim.Receiver.
+// Receive implements sim.Receiver (the component's RX port): filter the
+// shared channel down to this session's downstream traffic, then dispatch
+// to the destination-decoder or forwarder role.
 func (n *node) Receive(from int, payload interface{}) {
 	rt := n.rt
 	pkt, ok := payload.(*coding.Packet)
 	if !ok || rt.done {
 		return
 	}
+	if pkt.Session != rt.id {
+		return // another session's packet on the shared channel
+	}
+	fromLocal := from
+	if rt.localOf != nil {
+		fl, ok := rt.localOf[from]
+		if !ok {
+			return // transmitter is not in this session's subgraph
+		}
+		fromLocal = fl
+	}
 	if pkt.Generation != rt.currentGen {
 		return // expired generation: discard (Sec. 4)
 	}
 	// Packets only flow downstream: a node ignores transmissions from nodes
 	// that are not farther from the destination than itself.
-	if rt.sg.ETXDist[from] <= rt.sg.ETXDist[n.local] {
+	if rt.sg.ETXDist[fromLocal] <= rt.sg.ETXDist[n.local] {
 		return
+	}
+	if rt.linkRx != nil {
+		if li, ok := rt.linkIdx[[2]int{fromLocal, n.local}]; ok {
+			rt.linkRx[li]++
+		}
 	}
 	rt.received++
-	rt.emit(trace.EventRx, n.local, from)
+	rt.emit(trace.EventRx, n.local, fromLocal)
 	if n.isDst {
-		// Add copies the packet into the decoder's preallocated rows, so the
-		// MAC's delivery reference is enough: no clone, no ownership change.
-		innovative, err := n.dec.Add(pkt)
-		if err != nil {
-			return
-		}
-		if innovative {
-			rt.innovative++
-			rt.emit(trace.EventInnovative, n.local, from)
-			if n.dec.Decoded() {
-				rt.generationDecoded()
-			}
-		} else {
-			rt.emit(trace.EventDiscard, n.local, from)
-		}
+		n.destReceive(fromLocal, pkt)
 		return
 	}
-	// Forwarder: full-rank nodes no longer accept packets (all incoming
-	// packets are necessarily non-innovative, Sec. 4) — but MORE-style
-	// forwarders still earn TX credit from hearing upstream transmissions,
-	// otherwise a filled relay would fall silent mid-generation.
+	n.forwarderReceive(fromLocal, pkt)
+}
+
+// destReceive is the destination-decoder component: progressive Gauss-Jordan
+// absorption, generation turnover on full rank.
+func (n *node) destReceive(fromLocal int, pkt *coding.Packet) {
+	rt := n.rt
+	// Add copies the packet into the decoder's preallocated rows, so the
+	// MAC's delivery reference is enough: no clone, no ownership change.
+	innovative, err := n.dec.Add(pkt)
+	if err != nil {
+		return
+	}
+	if innovative {
+		rt.innovative++
+		rt.emit(trace.EventInnovative, n.local, fromLocal)
+		if n.dec.Decoded() {
+			rt.generationDecoded()
+		}
+	} else {
+		rt.emit(trace.EventDiscard, n.local, fromLocal)
+	}
+}
+
+// forwarderReceive is the forwarder component's RX side: buffer innovative
+// packets and convert receptions into transmissions under the policy's
+// credit rules.
+func (n *node) forwarderReceive(fromLocal int, pkt *coding.Packet) {
+	rt := n.rt
+	// Full-rank nodes no longer accept packets (all incoming packets are
+	// necessarily non-innovative, Sec. 4) — but MORE-style forwarders still
+	// earn TX credit from hearing upstream transmissions, otherwise a filled
+	// relay would fall silent mid-generation.
 	if n.rec.Full() {
-		rt.emit(trace.EventDiscard, n.local, from)
+		rt.emit(trace.EventDiscard, n.local, fromLocal)
 		if rt.pol.CreditOnAnyReception {
 			n.credit += rt.pol.Credit[n.local]
 			n.earnCredit()
 		} else if rt.pol.SendWhenNonEmpty {
-			rt.mac.Wake(n.local)
+			rt.mac.Wake(n.macID)
 		}
 		return
 	}
@@ -406,12 +546,12 @@ func (n *node) Receive(from int, payload interface{}) {
 	}
 	if innovative {
 		rt.innovative++
-		rt.emit(trace.EventInnovative, n.local, from)
+		rt.emit(trace.EventInnovative, n.local, fromLocal)
 	} else {
-		rt.emit(trace.EventDiscard, n.local, from)
+		rt.emit(trace.EventDiscard, n.local, fromLocal)
 	}
 	if rt.pol.SendWhenNonEmpty {
-		rt.mac.Wake(n.local)
+		rt.mac.Wake(n.macID)
 		return
 	}
 	if innovative || rt.pol.CreditOnAnyReception {

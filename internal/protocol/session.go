@@ -1,0 +1,85 @@
+package protocol
+
+import (
+	"omnc/internal/core"
+	"omnc/internal/sim"
+	"omnc/internal/topology"
+)
+
+// Env is the shared execution environment of one emulation: one event
+// engine and one MAC model of the medium, which any number of protocol
+// sessions attach to through the sim component/port API. A single-unicast
+// run is an Env with one session; a multiple-unicast run attaches N sessions
+// whose nodes contend on the same channel.
+type Env struct {
+	// Eng is the discrete-event engine owning time and the event calendar.
+	Eng *sim.Engine
+	// MAC is the shared medium every session's components attach to.
+	MAC *sim.MAC
+
+	attached int // sessions counted via AddSession
+	finished int // sessions retired via SessionDone
+}
+
+// NewEnv builds an environment over the medium with the MAC parameters of
+// cfg. Sessions attach their components afterwards; the caller then drives
+// Eng.Run.
+func NewEnv(medium sim.Medium, cfg Config) (*Env, error) {
+	eng := sim.NewEngine()
+	mac, err := sim.NewMAC(eng, medium, sim.Config{
+		Capacity:            cfg.Capacity,
+		Mode:                cfg.MAC,
+		Seed:                cfg.Seed,
+		QueueSampleInterval: cfg.QueueSampleInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Eng: eng, MAC: mac}, nil
+}
+
+// AddSession counts a session onto the environment. Every constructor that
+// attaches components must call it exactly once, so SessionDone knows when
+// the whole emulation has finished.
+func (e *Env) AddSession() { e.attached++ }
+
+// SessionDone retires one attached session (its generation target was
+// reached). When every attached session has retired, the engine stops early
+// instead of idling out the remaining emulated time.
+func (e *Env) SessionDone() {
+	e.finished++
+	if e.finished >= e.attached {
+		e.Eng.Stop()
+	}
+}
+
+// Session is one unicast session attached to a shared Env. The coded
+// runtime (OMNC, MORE, oldMORE) and the ETX store-and-forward runtime both
+// implement it, which is what lets RunMulti emulate N contending sessions
+// of any protocol on one engine.
+type Session interface {
+	// Start wakes the session's source; call after every session is
+	// attached, before driving the engine.
+	Start()
+	// Finish releases the session's pooled resources and returns its
+	// statistics. until is the emulated time the engine ran to.
+	Finish(until float64) *Stats
+}
+
+// SessionSpec is one validated session of a multi-unicast run: its network
+// endpoints and the forwarder subgraph node selection produced for them.
+type SessionSpec struct {
+	// ID is the session's index among the run's endpoints; it doubles as
+	// the demultiplexing tag on the shared channel.
+	ID int
+	// Src and Dst are network node IDs.
+	Src, Dst int
+	// Subgraph is the session's selected forwarder set.
+	Subgraph *core.Subgraph
+}
+
+// MultiBuilder constructs all sessions of a multi-unicast run at once on a
+// shared Env. Protocols with joint rate control (OMNC) implement it to
+// coordinate allocations across sessions; protocols without one get the
+// generic per-subgraph construction from their policy Builder.
+type MultiBuilder func(env *Env, net *topology.Network, specs []SessionSpec, cfg Config) ([]Session, error)

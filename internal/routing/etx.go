@@ -14,15 +14,18 @@ import (
 // reliable-unicast attempt (an 802.11 ACK frame is 14 bytes).
 const macAckBytes = 14
 
-// etxRuntime is the traditional high-throughput single-path baseline
+// etxSession is the traditional high-throughput single-path baseline
 // (Sec. 5, "ETX routing"): Dijkstra on the ETX metric picks one path, each
 // hop forwards store-and-forward with MAC-layer retransmissions providing
 // per-hop reliability, and nodes contend for channel shares like everyone
-// else. No coding, no multipath.
-type etxRuntime struct {
+// else. No coding, no multipath. It implements protocol.Session, so it runs
+// exclusively (RunETX) or as one of N contending sessions on a shared Env
+// (protocol.RunMulti with the ETX protocol).
+type etxSession struct {
+	id       uint32 // session tag on the shared channel (0 when exclusive)
+	shared   bool
 	cfg      protocol.Config
-	eng      *sim.Engine
-	mac      *sim.MAC
+	env      *protocol.Env
 	sg       *core.Subgraph
 	path     []int       // local node indices, source first
 	nextHop  map[int]int // local index -> next local index
@@ -33,11 +36,38 @@ type etxRuntime struct {
 	target     int64 // stop after this many delivered packets (0 = none)
 	done       bool
 	finishedAt float64
+	sentAt     []int64 // shared: per-local-node frames this session sent
+	recvAt     []int64 // shared: per-local-node session deliveries
+}
+
+// etxPacket is one uncoded application packet on the shared channel, tagged
+// with its session for demultiplexing.
+type etxPacket struct {
+	session uint32
+	seq     int64
 }
 
 // ETXProtocol wraps ETX routing as a protocol.Protocol for the unified Run
-// entry point.
-func ETXProtocol() protocol.Protocol { return protocol.CustomProtocol("etx", RunETX) }
+// and RunMulti entry points.
+func ETXProtocol() protocol.Protocol {
+	return protocol.CustomProtocol("etx", RunETX).WithMulti(ETXMulti())
+}
+
+// ETXMulti returns the multi-session constructor for ETX routing: one
+// store-and-forward path per session, all contending on the shared Env.
+func ETXMulti() protocol.MultiBuilder {
+	return func(env *protocol.Env, net *topology.Network, specs []protocol.SessionSpec, cfg protocol.Config) ([]protocol.Session, error) {
+		out := make([]protocol.Session, len(specs))
+		for i, sp := range specs {
+			s, err := attachETX(env, sp.Subgraph, cfg, uint32(sp.ID), true, sp.Src, sp.Dst)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = s
+		}
+		return out, nil
+	}
+}
 
 // RunETX emulates one unicast session under ETX routing and returns its
 // statistics. The session runs over the same selected subgraph and channel
@@ -49,71 +79,121 @@ func RunETX(net *topology.Network, src, dst int, cfg protocol.Config) (*protocol
 	if err != nil {
 		return nil, err
 	}
+	env, err := protocol.NewEnv(protocol.NewMedium(net, sg), cfg)
+	if err != nil {
+		return nil, err
+	}
+	s, err := attachETX(env, sg, cfg, 0, false, src, dst)
+	if err != nil {
+		return nil, err
+	}
+	s.Start()
+	env.Eng.Run(cfg.Duration)
+	return s.Finish(cfg.Duration), nil
+}
+
+// attachETX computes the minimum-ETX path over the subgraph and attaches the
+// session's per-hop components (source, relays, sink) to the Env's medium.
+// In shared placement components bind at network IDs and filter deliveries
+// by session tag.
+func attachETX(env *protocol.Env, sg *core.Subgraph, cfg protocol.Config, id uint32, shared bool, netSrc, netDst int) (*etxSession, error) {
 	costs := make([]float64, len(sg.Links))
 	for i, l := range sg.Links {
 		costs[i] = 1 / l.Prob
 	}
 	path, _, ok := graph.ShortestPath(sg.ForwardGraph(costs), sg.Src, sg.Dst)
 	if !ok {
-		return nil, &graph.ErrNoPath{Src: src, Dst: dst}
+		return nil, &graph.ErrNoPath{Src: netSrc, Dst: netDst}
 	}
-
-	eng := sim.NewEngine()
-	mac, err := sim.NewMAC(eng, protocol.NewMedium(net, sg), sim.Config{
-		Capacity:            cfg.Capacity,
-		Mode:                cfg.MAC,
-		Seed:                cfg.Seed,
-		QueueSampleInterval: cfg.QueueSampleInterval,
-	})
-	if err != nil {
-		return nil, err
-	}
-	rt := &etxRuntime{
+	s := &etxSession{
+		id:       id,
+		shared:   shared,
 		cfg:      cfg,
-		eng:      eng,
-		mac:      mac,
+		env:      env,
 		sg:       sg,
 		path:     path,
 		nextHop:  make(map[int]int, len(path)),
 		appBytes: cfg.AirPacketSize - cfg.Coding.GenerationSize,
 	}
 	if cfg.MaxGenerations > 0 {
-		rt.target = int64(cfg.MaxGenerations) * int64(cfg.Coding.GenerationSize)
+		s.target = int64(cfg.MaxGenerations) * int64(cfg.Coding.GenerationSize)
+	}
+	if shared {
+		s.sentAt = make([]int64, sg.Size())
+		s.recvAt = make([]int64, sg.Size())
 	}
 	for h := 0; h+1 < len(path); h++ {
-		rt.nextHop[path[h]] = path[h+1]
+		s.nextHop[path[h]] = path[h+1]
 	}
 	for h, v := range path {
 		switch {
 		case h == 0:
-			mac.RegisterTransmitter(v, &etxSource{rt: rt, local: v}, math.Inf(1))
+			env.MAC.AttachTransmitter(s.macID(v), &etxSource{s: s, local: v}, math.Inf(1))
 		case h == len(path)-1:
-			mac.RegisterReceiver(v, &etxSink{rt: rt})
+			env.MAC.AttachReceiver(s.macID(v), &etxSink{s: s, local: v})
 		default:
-			relay := &etxRelay{rt: rt, local: v}
-			mac.RegisterTransmitter(v, relay, math.Inf(1))
-			mac.RegisterReceiver(v, relay)
+			relay := &etxRelay{s: s, local: v}
+			env.MAC.AttachTransmitter(s.macID(v), relay, math.Inf(1))
+			env.MAC.AttachReceiver(s.macID(v), relay)
 		}
 	}
+	env.AddSession()
+	return s, nil
+}
 
-	mac.Wake(path[0])
-	eng.Run(cfg.Duration)
+// macID maps a subgraph-local node index to its address on the Env's medium.
+func (s *etxSession) macID(local int) int {
+	if s.shared {
+		return s.sg.Nodes[local]
+	}
+	return local
+}
 
-	duration := cfg.Duration
-	if rt.done && rt.finishedAt > 0 {
-		duration = rt.finishedAt
+// Start implements protocol.Session.
+func (s *etxSession) Start() { s.env.MAC.Wake(s.macID(s.path[0])) }
+
+// Finish implements protocol.Session.
+func (s *etxSession) Finish(until float64) *protocol.Stats {
+	duration := until
+	if s.done && s.finishedAt > 0 {
+		duration = s.finishedAt
 	}
 	st := &protocol.Stats{
 		Policy:        "etx",
 		Duration:      duration,
-		SelectedNodes: sg.Size(),
+		SelectedNodes: s.sg.Size(),
 	}
 	if duration > 0 {
-		st.Throughput = float64(rt.delivered) * float64(rt.appBytes) / duration
+		st.Throughput = float64(s.delivered) * float64(s.appBytes) / duration
 	}
-	st.GenerationsDecoded = int(rt.delivered) / cfg.Coding.GenerationSize
+	st.GenerationsDecoded = int(s.delivered) / s.cfg.Coding.GenerationSize
 
-	st.QueuePerNode = make([]float64, sg.Size())
+	if s.shared {
+		// Per-session attribution from the session's own counters; queue
+		// statistics are a property of the shared channel and stay zero.
+		involved := 0
+		for _, f := range s.sentAt {
+			if f > 0 {
+				involved++
+			}
+		}
+		if nonDst := s.sg.Size() - 1; nonDst > 0 {
+			st.NodeUtility = float64(involved) / float64(nonDst)
+		}
+		used := graph.New(s.sg.Size())
+		for h := 0; h+1 < len(s.path); h++ {
+			if s.recvAt[s.path[h+1]] > 0 {
+				used.AddEdge(s.path[h], s.path[h+1], 1)
+			}
+		}
+		if total := s.sg.PathCount(); total > 0 {
+			st.PathUtility = graph.CountPaths(used, s.sg.Src, s.sg.Dst) / total
+		}
+		return st
+	}
+
+	mac := s.env.MAC
+	st.QueuePerNode = make([]float64, s.sg.Size())
 	involved, queueSum := 0, 0.0
 	for i := range st.QueuePerNode {
 		st.QueuePerNode[i] = mac.TimeAvgQueue(i)
@@ -125,19 +205,19 @@ func RunETX(net *topology.Network, src, dst int, cfg protocol.Config) (*protocol
 	if involved > 0 {
 		st.MeanQueue = queueSum / float64(involved)
 	}
-	if nonDst := sg.Size() - 1; nonDst > 0 {
+	if nonDst := s.sg.Size() - 1; nonDst > 0 {
 		st.NodeUtility = float64(involved) / float64(nonDst)
 	}
-	used := graph.New(sg.Size())
-	for _, l := range sg.Links {
+	used := graph.New(s.sg.Size())
+	for _, l := range s.sg.Links {
 		if mac.Delivered(l.From, l.To) > 0 {
 			used.AddEdge(l.From, l.To, 1)
 		}
 	}
-	if total := sg.PathCount(); total > 0 {
-		st.PathUtility = graph.CountPaths(used, sg.Src, sg.Dst) / total
+	if total := s.sg.PathCount(); total > 0 {
+		st.PathUtility = graph.CountPaths(used, s.sg.Src, s.sg.Dst) / total
 	}
-	return st, nil
+	return st
 }
 
 // applyDefaults mirrors protocol.Config defaults for the ETX runtime, which
@@ -160,30 +240,33 @@ func applyDefaults(cfg protocol.Config) protocol.Config {
 
 // etxSource emits uncoded packets paced by the CBR workload.
 type etxSource struct {
-	rt    *etxRuntime
+	s     *etxSession
 	local int
 }
 
-func (s *etxSource) Dequeue() *sim.Frame {
-	rt := s.rt
-	if rt.done {
+func (src *etxSource) Dequeue() *sim.Frame {
+	s := src.s
+	if s.done {
 		return nil
 	}
-	if rt.cfg.CBRRate > 0 {
-		ready := float64(rt.srcSent+1) * float64(rt.appBytes) / rt.cfg.CBRRate
-		if rt.eng.Now() < ready {
-			local := s.local
-			rt.eng.Schedule(ready-rt.eng.Now(), func() { rt.mac.Wake(local) })
+	if s.cfg.CBRRate > 0 {
+		ready := float64(s.srcSent+1) * float64(s.appBytes) / s.cfg.CBRRate
+		if s.env.Eng.Now() < ready {
+			macID := s.macID(src.local)
+			s.env.Eng.Schedule(ready-s.env.Eng.Now(), func() { s.env.MAC.Wake(macID) })
 			return nil
 		}
 	}
-	rt.srcSent++
+	s.srcSent++
+	if s.sentAt != nil {
+		s.sentAt[src.local]++
+	}
 	return &sim.Frame{
-		Size:     rt.appBytes,
-		Dest:     rt.nextHop[s.local],
+		Size:     s.appBytes,
+		Dest:     s.macID(s.nextHop[src.local]),
 		Reliable: true,
 		AckSize:  macAckBytes,
-		Payload:  rt.srcSent,
+		Payload:  etxPacket{session: s.id, seq: s.srcSent},
 	}
 }
 
@@ -192,32 +275,41 @@ func (s *etxSource) Dequeue() *sim.Frame {
 // encode on demand), it is not part of the broadcast-queue metric Fig. 3
 // samples, so the source reports an empty queue; relays report their real
 // store-and-forward backlog.
-func (s *etxSource) QueueLen() int { return 0 }
+func (src *etxSource) QueueLen() int { return 0 }
 
 // etxRelay stores and forwards packets hop by hop.
 type etxRelay struct {
-	rt    *etxRuntime
+	s     *etxSession
 	local int
-	queue []interface{}
+	queue []etxPacket
 }
 
 func (r *etxRelay) Receive(from int, payload interface{}) {
-	if r.rt.done {
+	s := r.s
+	p, ok := payload.(etxPacket)
+	if !ok || p.session != s.id || s.done {
 		return
 	}
-	r.queue = append(r.queue, payload)
-	r.rt.mac.Wake(r.local)
+	if s.recvAt != nil {
+		s.recvAt[r.local]++
+	}
+	r.queue = append(r.queue, p)
+	s.env.MAC.Wake(s.macID(r.local))
 }
 
 func (r *etxRelay) Dequeue() *sim.Frame {
-	if r.rt.done || len(r.queue) == 0 {
+	s := r.s
+	if s.done || len(r.queue) == 0 {
 		return nil
 	}
 	payload := r.queue[0]
 	r.queue = r.queue[1:]
+	if s.sentAt != nil {
+		s.sentAt[r.local]++
+	}
 	return &sim.Frame{
-		Size:     r.rt.appBytes,
-		Dest:     r.rt.nextHop[r.local],
+		Size:     s.appBytes,
+		Dest:     s.macID(s.nextHop[r.local]),
 		Reliable: true,
 		AckSize:  macAckBytes,
 		Payload:  payload,
@@ -228,18 +320,23 @@ func (r *etxRelay) QueueLen() int { return len(r.queue) }
 
 // etxSink counts delivered packets at the destination.
 type etxSink struct {
-	rt *etxRuntime
+	s     *etxSession
+	local int
 }
 
-func (s *etxSink) Receive(from int, payload interface{}) {
-	rt := s.rt
-	if rt.done {
+func (k *etxSink) Receive(from int, payload interface{}) {
+	s := k.s
+	p, ok := payload.(etxPacket)
+	if !ok || p.session != s.id || s.done {
 		return
 	}
-	rt.delivered++
-	if rt.target > 0 && rt.delivered >= rt.target {
-		rt.done = true
-		rt.finishedAt = rt.eng.Now()
-		rt.eng.Stop()
+	if s.recvAt != nil {
+		s.recvAt[k.local]++
+	}
+	s.delivered++
+	if s.target > 0 && s.delivered >= s.target {
+		s.done = true
+		s.finishedAt = s.env.Eng.Now()
+		s.env.SessionDone()
 	}
 }

@@ -1,0 +1,107 @@
+package routing
+
+import (
+	"testing"
+
+	"omnc/internal/core"
+	"omnc/internal/protocol"
+	"omnc/internal/topology"
+)
+
+// twoFlows hosts two sessions through shared middle relays:
+// S1(0) -> {2,3} -> T1(5), S2(1) -> {2,3} -> T2(6).
+func twoFlows(t *testing.T) *topology.Network {
+	t.Helper()
+	p := make([][]float64, 7)
+	for i := range p {
+		p[i] = make([]float64, 7)
+	}
+	set := func(a, b int, q float64) {
+		p[a][b] = q
+		p[b][a] = q
+	}
+	set(0, 2, 0.8)
+	set(0, 3, 0.6)
+	set(1, 2, 0.7)
+	set(1, 3, 0.8)
+	set(2, 5, 0.7)
+	set(3, 5, 0.6)
+	set(2, 6, 0.6)
+	set(3, 6, 0.8)
+	set(2, 3, 0.5)
+	nw, err := topology.NewExplicit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// TestRunMultiAllProtocols runs two contending sessions under each of the
+// four protocols on one shared engine; every session of every protocol must
+// deliver data. This doubles as the race-detector exercise for the shared
+// Env (CI runs the suite with -race).
+func TestRunMultiAllProtocols(t *testing.T) {
+	nw := twoFlows(t)
+	eps := []protocol.Endpoints{{Src: 0, Dst: 5}, {Src: 1, Dst: 6}}
+	protos := []protocol.Protocol{
+		protocol.NewProtocol("omnc", protocol.OMNC(core.Options{})).
+			WithMulti(protocol.OMNCMulti(core.Options{})),
+		protocol.NewProtocol("more", MORE()),
+		protocol.NewProtocol("oldmore", OldMORE()),
+		ETXProtocol(),
+	}
+	for _, proto := range protos {
+		proto := proto
+		t.Run(proto.Name(), func(t *testing.T) {
+			cfg := fastConfig(31)
+			cfg.Duration = 300
+			cs, err := protocol.RunMulti(nw, eps, proto, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cs.PerSession) != 2 {
+				t.Fatalf("sessions = %d", len(cs.PerSession))
+			}
+			for i, st := range cs.PerSession {
+				if st.Policy != proto.Name() {
+					t.Fatalf("session %d policy = %q, want %q", i, st.Policy, proto.Name())
+				}
+				if st.Throughput <= 0 {
+					t.Fatalf("session %d delivered nothing", i)
+				}
+			}
+			if cs.AggregateThroughput <= 0 {
+				t.Fatal("aggregate throughput zero")
+			}
+			if cs.JainFairness <= 0 || cs.JainFairness > 1 {
+				t.Fatalf("Jain index = %v outside (0,1]", cs.JainFairness)
+			}
+		})
+	}
+}
+
+// TestRunMultiETXMatchesSolo: a single ETX session through RunMulti contends
+// with nobody, so its throughput must match the exclusive RunETX path on the
+// same subgraph and seed within the tolerance the different RNG placement
+// allows (shared mode binds components at network IDs, so loss draws differ;
+// the long-run rate does not).
+func TestRunMultiETXSingleSession(t *testing.T) {
+	nw := twoFlows(t)
+	cfg := fastConfig(32)
+	cfg.Duration = 400
+	cs, err := protocol.RunMulti(nw, []protocol.Endpoints{{Src: 0, Dst: 5}}, ETXProtocol(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := RunETX(nw, 0, 5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := cs.PerSession[0].Throughput
+	if multi <= 0 || solo.Throughput <= 0 {
+		t.Fatalf("throughputs multi=%v solo=%v", multi, solo.Throughput)
+	}
+	if multi < 0.8*solo.Throughput || multi > 1.2*solo.Throughput {
+		t.Fatalf("lone multi session (%v) far from exclusive run (%v)", multi, solo.Throughput)
+	}
+}

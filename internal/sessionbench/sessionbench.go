@@ -37,6 +37,35 @@ func Scenarios() []Scenario {
 	}
 }
 
+// MultiScenario is one benchmarked multi-unicast workload: two sessions of
+// one protocol contending on the shared engine over the strip network.
+type MultiScenario struct {
+	// Name is the stable benchmark identifier ("MultiSessionOMNC", ...)
+	// used in BENCH_<n>.json and as the Benchmark* suffix.
+	Name string
+	// Seed feeds the shared engine and both sessions' derived RNG streams.
+	Seed  int64
+	Proto omnc.Protocol
+	// Sessions are the contending endpoint pairs.
+	Sessions []omnc.Endpoints
+}
+
+// MultiScenarios lists the benchmarked multi-session workloads in recorded
+// order. Two sessions cross the strip in opposite rows, so they share relay
+// neighbourhoods and genuinely contend.
+func MultiScenarios() []MultiScenario {
+	sessions := []omnc.Endpoints{{Src: 0, Dst: 10}, {Src: 1, Dst: 11}}
+	return []MultiScenario{
+		{Name: "MultiSessionOMNC", Seed: 51, Proto: omnc.OMNC(omnc.RateOptions{}), Sessions: sessions},
+		{Name: "MultiSessionETX", Seed: 53, Proto: omnc.ETX(), Sessions: sessions},
+	}
+}
+
+// Run executes the multi-session workload on nw.
+func (s MultiScenario) Run(nw *topology.Network) (*protocol.MultiStats, error) {
+	return omnc.RunMulti(nw, s.Sessions, s.Proto, Config(s.Seed))
+}
+
 // Network returns the fixed session-benchmark topology: a 12-node strip
 // with the paper's lossy PHY, wide enough that OMNC selects a multi-relay
 // subgraph but small enough that one session run stays cheap. Src and dst

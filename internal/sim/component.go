@@ -1,0 +1,115 @@
+package sim
+
+import "math"
+
+// Component/port attachment.
+//
+// The engine (engine.go) owns time and the event calendar; the MAC (mac.go)
+// owns the shared medium. A component — one protocol session's logic at one
+// physical node — plugs into the medium through up to two ports: a
+// Transmitter port supplying frames, and a Receiver port absorbing
+// deliveries. Attach is additive: the first port at a node binds directly
+// (so a single-tenant session pays nothing for the indirection), and any
+// further port promotes the node to a multiplexer, letting several
+// independent sessions coexist at the same physical node on one engine.
+//
+//   - Transmitter ports share the node's air time round-robin; the node's
+//     rate cap is the sum of the per-port caps (any uncapped port makes the
+//     node uncapped), mirroring how a joint rate controller budgets the sum
+//     of per-session allocations against the same neighbourhood constraint.
+//   - Receiver ports all observe every delivery, in attach order. Ports must
+//     demultiplex by payload (e.g. a session tag): the medium is a broadcast
+//     channel and does not know which session a frame belongs to.
+//
+// Register{Transmitter,Receiver} remain the low-level single-tenant binding;
+// Attach{Transmitter,Receiver} are the component API built on top of it.
+
+// txMux shares one physical node's transmitter slot among several ports.
+type txMux struct {
+	ports []Transmitter
+	caps  []float64
+	next  int
+}
+
+// Dequeue implements Transmitter: round-robin over the attached ports,
+// resuming after the last port that produced a frame.
+func (x *txMux) Dequeue() *Frame {
+	for i := 0; i < len(x.ports); i++ {
+		k := (x.next + i) % len(x.ports)
+		if f := x.ports[k].Dequeue(); f != nil {
+			x.next = (k + 1) % len(x.ports)
+			return f
+		}
+	}
+	return nil
+}
+
+// QueueLen implements Transmitter: the node's backlog is the sum over ports.
+func (x *txMux) QueueLen() int {
+	n := 0
+	for _, p := range x.ports {
+		n += p.QueueLen()
+	}
+	return n
+}
+
+// capSum is the node's aggregate rate budget: the sum of per-port caps, or
+// unbounded as soon as any port contends freely.
+func (x *txMux) capSum() float64 {
+	sum := 0.0
+	for _, c := range x.caps {
+		if math.IsInf(c, 1) {
+			return math.Inf(1)
+		}
+		sum += c
+	}
+	return sum
+}
+
+// rxFanout delivers every reception at a node to all attached receiver
+// ports, in attach order.
+type rxFanout struct {
+	ports []Receiver
+}
+
+// Receive implements Receiver.
+func (x *rxFanout) Receive(from int, payload interface{}) {
+	for _, p := range x.ports {
+		p.Receive(from, payload)
+	}
+}
+
+// AttachTransmitter adds a transmitter port to node. The first port binds
+// directly (identical to RegisterTransmitter); subsequent ports promote the
+// node to round-robin multiplexing with a summed rate cap.
+func (m *MAC) AttachTransmitter(node int, t Transmitter, rateCap float64) {
+	mux := m.txm[node]
+	if mux == nil {
+		mux = &txMux{}
+		m.txm[node] = mux
+	}
+	mux.ports = append(mux.ports, t)
+	mux.caps = append(mux.caps, rateCap)
+	if len(mux.ports) == 1 {
+		m.RegisterTransmitter(node, t, rateCap)
+		return
+	}
+	m.RegisterTransmitter(node, mux, mux.capSum())
+}
+
+// AttachReceiver adds a receiver port to node. The first port binds directly
+// (identical to RegisterReceiver); subsequent ports promote the node to
+// fan-out delivery. Ports are expected to self-filter by payload.
+func (m *MAC) AttachReceiver(node int, r Receiver) {
+	fan := m.rxm[node]
+	if fan == nil {
+		fan = &rxFanout{}
+		m.rxm[node] = fan
+	}
+	fan.ports = append(fan.ports, r)
+	if len(fan.ports) == 1 {
+		m.RegisterReceiver(node, r)
+		return
+	}
+	m.RegisterReceiver(node, fan)
+}

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"omnc/internal/topology"
+)
+
+// stubPort is a canned transmitter/receiver port for mux tests.
+type stubPort struct {
+	frames []*Frame
+	queue  int
+	got    []int // senders of received payloads
+}
+
+func (p *stubPort) Dequeue() *Frame {
+	if len(p.frames) == 0 {
+		return nil
+	}
+	f := p.frames[0]
+	p.frames = p.frames[1:]
+	return f
+}
+
+func (p *stubPort) QueueLen() int { return p.queue }
+
+func (p *stubPort) Receive(from int, payload interface{}) { p.got = append(p.got, from) }
+
+func frameOf(tag int) *Frame { return &Frame{Size: 100, Broadcast: true, Payload: tag} }
+
+func TestTxMuxRoundRobin(t *testing.T) {
+	a := &stubPort{frames: []*Frame{frameOf(1), frameOf(2)}}
+	b := &stubPort{frames: []*Frame{frameOf(10)}}
+	mux := &txMux{ports: []Transmitter{a, b}, caps: []float64{1, 1}}
+	var tags []int
+	for {
+		f := mux.Dequeue()
+		if f == nil {
+			break
+		}
+		tags = append(tags, f.Payload.(int))
+	}
+	// a, then b, then back to a: the mux resumes after the last producer.
+	want := []int{1, 10, 2}
+	if len(tags) != len(want) {
+		t.Fatalf("dequeued %v, want %v", tags, want)
+	}
+	for i := range want {
+		if tags[i] != want[i] {
+			t.Fatalf("dequeued %v, want %v", tags, want)
+		}
+	}
+}
+
+func TestTxMuxSkipsIdlePorts(t *testing.T) {
+	idle := &stubPort{}
+	busy := &stubPort{frames: []*Frame{frameOf(7)}}
+	mux := &txMux{ports: []Transmitter{idle, busy}, caps: []float64{1, 1}}
+	f := mux.Dequeue()
+	if f == nil || f.Payload.(int) != 7 {
+		t.Fatalf("mux did not skip the idle port: %+v", f)
+	}
+}
+
+func TestTxMuxQueueLenSums(t *testing.T) {
+	mux := &txMux{ports: []Transmitter{&stubPort{queue: 2}, &stubPort{queue: 3}}}
+	if got := mux.QueueLen(); got != 5 {
+		t.Fatalf("QueueLen = %d, want 5", got)
+	}
+}
+
+func TestTxMuxCapSum(t *testing.T) {
+	mux := &txMux{caps: []float64{100, 250}}
+	if got := mux.capSum(); got != 350 {
+		t.Fatalf("capSum = %v, want 350", got)
+	}
+	mux.caps = append(mux.caps, math.Inf(1))
+	if got := mux.capSum(); !math.IsInf(got, 1) {
+		t.Fatalf("capSum with an uncapped port = %v, want +Inf", got)
+	}
+}
+
+func TestRxFanoutDeliversToAllPorts(t *testing.T) {
+	a, b := &stubPort{}, &stubPort{}
+	fan := &rxFanout{ports: []Receiver{a, b}}
+	fan.Receive(4, "payload")
+	if len(a.got) != 1 || len(b.got) != 1 || a.got[0] != 4 || b.got[0] != 4 {
+		t.Fatalf("fanout delivered a=%v b=%v", a.got, b.got)
+	}
+}
+
+// TestAttachPromotesOnSecondPort checks the component API against a live
+// MAC: one port binds directly, a second port at the same node promotes to
+// multiplexing, and both ports' frames reach a fanned-out receiver pair.
+func TestAttachPromotesOnSecondPort(t *testing.T) {
+	nw, err := topology.NewExplicit([][]float64{
+		{0, 1},
+		{1, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine()
+	mac, err := NewMAC(eng, nw, Config{Capacity: 1e4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &stubPort{frames: []*Frame{frameOf(1)}}
+	b := &stubPort{frames: []*Frame{frameOf(2)}}
+	mac.AttachTransmitter(0, a, math.Inf(1))
+	mac.AttachTransmitter(0, b, math.Inf(1))
+	rx1, rx2 := &stubPort{}, &stubPort{}
+	mac.AttachReceiver(1, rx1)
+	mac.AttachReceiver(1, rx2)
+	mac.Wake(0)
+	eng.Run(10)
+	if mac.FramesSent(0) != 2 {
+		t.Fatalf("FramesSent = %d, want 2 (one per port)", mac.FramesSent(0))
+	}
+	if len(rx1.got) != 2 || len(rx2.got) != 2 {
+		t.Fatalf("fanout receptions rx1=%d rx2=%d, want 2 each", len(rx1.got), len(rx2.got))
+	}
+}

@@ -144,6 +144,11 @@ type MAC struct {
 	order    []int           // registered transmitter nodes, stable order
 	sites    []int           // registered receiver nodes (constraint sites)
 
+	// Component ports (component.go): per-node multiplexers created by
+	// Attach{Transmitter,Receiver} when several sessions share a node.
+	txm map[int]*txMux
+	rxm map[int]*rxFanout
+
 	// eventFree recycles macEvent structs: every event the MAC schedules —
 	// transmission attempts, completions, deliveries, queue samples — is one
 	// fixed struct drawn from this free list, so the steady-state per-frame
@@ -210,6 +215,8 @@ func NewMAC(eng *Engine, medium Medium, cfg Config) (*MAC, error) {
 		tokens:       make(map[int]float64),
 		tokenAt:      make(map[int]float64),
 		pending:      make(map[int]bool),
+		txm:          make(map[int]*txMux),
+		rxm:          make(map[int]*rxFanout),
 		framesSent:   make(map[int]int64),
 		bytesSent:    make(map[int]int64),
 		delivered:    make(map[[2]int]int64),

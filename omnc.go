@@ -15,8 +15,10 @@
 //   - Emulation: end-to-end unicast sessions on a discrete-event wireless
 //     channel through one entry point — Run(net, src, dst, proto, cfg) —
 //     where proto is a Protocol value from the OMNC, MORE, OldMORE or ETX
-//     constructors. (RunOMNC, RunMORE, RunOldMORE and RunETX remain as
-//     deprecated wrappers.)
+//     constructors; RunMulti(net, sessions, proto, cfg) runs several
+//     contending sessions of the same protocol on one shared channel.
+//     (RunOMNC, RunMORE, RunOldMORE and RunETX remain as deprecated
+//     wrappers.)
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for how every
 // figure of the paper is regenerated.
@@ -43,6 +45,10 @@ var (
 	// whether node selection found no forwarder subgraph (coded protocols)
 	// or Dijkstra found no path (ETX).
 	ErrNoRoute = graph.ErrNoRoute
+	// ErrInvalidSession matches any rejected multi-unicast session list:
+	// out-of-range endpoints, a session whose source equals its destination,
+	// or duplicated (src, dst) pairs.
+	ErrInvalidSession = protocol.ErrInvalidSession
 )
 
 // Re-exported types. The aliases keep the public API surface in one place
@@ -176,9 +182,12 @@ func NewDecoder(generation int, params CodingParams) (*Decoder, error) {
 
 // OMNC is the paper's protocol: node selection, distributed rate control
 // (Table 1), and rate-driven re-encoding forwarders. opts tunes the rate
-// controller; the zero value selects its defaults.
+// controller; the zero value selects its defaults. Under RunMulti the
+// protocol allocates rates jointly across sessions (congestion prices shared
+// per physical node) instead of per session.
 func OMNC(opts RateOptions) Protocol {
-	return protocol.NewProtocol("omnc", protocol.OMNC(opts))
+	return protocol.NewProtocol("omnc", protocol.OMNC(opts)).
+		WithMulti(protocol.OMNCMulti(opts))
 }
 
 // MORE is the SIGCOMM'07 opportunistic-routing baseline: TX-credit
@@ -252,7 +261,12 @@ type (
 	DriftStats = protocol.DriftStats
 	// Endpoints identifies one session of a multiple-unicast run.
 	Endpoints = protocol.Endpoints
-	// ConcurrentStats aggregates a multiple-unicast emulation.
+	// MultiStats aggregates a multiple-unicast emulation: per-session
+	// statistics plus aggregate throughput and Jain's fairness index.
+	MultiStats = protocol.MultiStats
+	// ConcurrentStats is the former name of MultiStats.
+	//
+	// Deprecated: use MultiStats.
 	ConcurrentStats = protocol.ConcurrentStats
 	// MultiSession is one session of a joint rate-control problem.
 	MultiSession = core.MultiSession
@@ -279,8 +293,20 @@ func OptimizeRatesJointly(sessions []MultiSession, opts RateOptions) (*MultiResu
 	return mc.Run()
 }
 
+// RunMulti emulates several unicast sessions of one protocol sharing the
+// channel simultaneously — the multiple-unicast scenario of the paper's
+// conclusion. All sessions attach to one event engine and one MAC over the
+// full network, so they genuinely contend for air time; invalid session
+// lists fail with ErrInvalidSession. OMNC sessions get their rates from the
+// joint controller; MORE, OldMORE and ETX contend uncoordinated.
+func RunMulti(net *Network, sessions []Endpoints, proto Protocol, cfg SessionConfig) (*MultiStats, error) {
+	return protocol.RunMulti(net, sessions, proto, cfg)
+}
+
 // RunConcurrentOMNC emulates several OMNC sessions simultaneously on one
 // shared channel, rates allocated by the joint controller.
+//
+// Deprecated: use RunMulti(net, sessions, OMNC(opts), cfg).
 func RunConcurrentOMNC(net *Network, sessions []Endpoints, opts RateOptions, cfg SessionConfig) (*ConcurrentStats, error) {
 	return protocol.RunConcurrentOMNC(net, sessions, opts, cfg)
 }

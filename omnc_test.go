@@ -2,6 +2,7 @@ package omnc
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -175,6 +176,25 @@ func TestMultiUnicastFacade(t *testing.T) {
 	}
 	if cs.AggregateThroughput <= 0 {
 		t.Fatal("concurrent facade delivered nothing")
+	}
+}
+
+func TestRunMultiFacade(t *testing.T) {
+	nw := lossyDiamond(t)
+	for _, proto := range []Protocol{OMNC(RateOptions{}), MORE(), OldMORE(), ETX()} {
+		cs, err := RunMulti(nw, []Endpoints{{Src: 0, Dst: 3}}, proto, fastSession(23))
+		if err != nil {
+			t.Fatalf("%s: %v", proto.Name(), err)
+		}
+		if cs.AggregateThroughput <= 0 {
+			t.Fatalf("%s delivered nothing", proto.Name())
+		}
+		if cs.JainFairness != 1 {
+			t.Fatalf("%s: Jain index of one session = %v", proto.Name(), cs.JainFairness)
+		}
+	}
+	if _, err := RunMulti(nw, []Endpoints{{Src: 2, Dst: 2}}, OMNC(RateOptions{}), fastSession(23)); !errors.Is(err, ErrInvalidSession) {
+		t.Fatalf("degenerate session: err = %v, want ErrInvalidSession", err)
 	}
 }
 
