@@ -13,7 +13,8 @@
 //	omnc-fig -fig lpgap    # emulated vs optimized throughput (Sec. 5)
 //	omnc-fig -fig drift    # extension: throughput under link-quality drift
 //	omnc-fig -fig multi    # extension: multi-unicast scaling (aggregate + fairness)
-//	omnc-fig -fig all      # everything (except drift and multi)
+//	omnc-fig -fig faults   # extension: throughput and recovery time under churn
+//	omnc-fig -fig all      # everything (except drift, multi and faults)
 //
 // The default scale is laptop-sized (30 sessions, 200 emulated seconds,
 // payload-rank fidelity); -full selects the paper's full scale (300
@@ -93,6 +94,8 @@ func run(fig string, full bool, sessions int, duration float64, seed int64, mac,
 		return driftFig(cfg)
 	case "multi":
 		return multiFig(cfg, full, csvDir)
+	case "faults":
+		return faultsFig(cfg, csvDir)
 	case "all":
 		if err := fig1(csvDir); err != nil {
 			return err
@@ -332,6 +335,76 @@ func multiFig(cfg experiments.Config, full bool, csvDir string) error {
 		}
 	}
 	return writeCSV(filepath.Join(csvDir, "fig_multi.csv"), rows)
+}
+
+// faultsFig runs the fault-injection extension: every protocol's throughput
+// and mean time-to-recover as node churn and link instability rise. Each
+// (session, churn rate) cell draws a randomized fault plan with the session's
+// endpoints protected; churn 0 is the exact fault-free path.
+func faultsFig(cfg experiments.Config, csvDir string) error {
+	sessions := minInt(cfg.Sessions, 4)
+	churn := []float64{0, 2, 5}
+	fc := experiments.FaultsConfig{
+		Nodes:         cfg.Nodes,
+		Density:       cfg.Density,
+		MeanQuality:   cfg.MeanQuality,
+		Sessions:      sessions,
+		MinHops:       cfg.MinHops,
+		MaxHops:       cfg.MaxHops,
+		Duration:      cfg.Duration,
+		Capacity:      cfg.Capacity,
+		CBRRate:       cfg.CBRRate,
+		Coding:        cfg.Coding,
+		AirPacketSize: cfg.AirPacketSize,
+		ChurnRates:    churn,
+		Protocols:     cfg.Protocols,
+		MAC:           cfg.MAC,
+		RateOptions:   cfg.RateOptions,
+		Seed:          cfg.Seed,
+		Workers:       cfg.Workers,
+		Progress:      metrics.NewProgress(sessions * len(churn)),
+	}
+	fmt.Printf("Running fault churn on %d nodes (%d sessions x churn %v per 100 s, MAC %s)...\n",
+		fc.Nodes, sessions, churn, macLabel(fc.MAC))
+	stopTicker := startProgressTicker(fc.Progress)
+	res, err := experiments.RunFaultChurn(fc)
+	stopTicker()
+	if err != nil {
+		return err
+	}
+
+	protos := append([]string(nil), res.Config.Protocols...)
+	sort.Strings(protos)
+	fmt.Println("\nExtension: throughput and time-to-recover vs fault churn")
+	fmt.Printf("%-12s", "churn/100s")
+	for _, p := range protos {
+		fmt.Printf("  %-24s", p+" (B/s, recover s)")
+	}
+	fmt.Println()
+	for _, pt := range res.Points {
+		fmt.Printf("%-12.0f", pt.Churn)
+		for _, p := range protos {
+			fmt.Printf("  %-24s", fmt.Sprintf("%.0f  %.2f", pt.Throughput[p], pt.Recovery[p]))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	if csvDir == "" {
+		return nil
+	}
+	rows := [][]string{{"protocol", "churn_per_100s", "throughput_bytes_per_sec", "mean_recovery_s"}}
+	for _, p := range protos {
+		for _, pt := range res.Points {
+			rows = append(rows, []string{
+				p,
+				fmt.Sprintf("%.5f", pt.Churn),
+				fmt.Sprintf("%.5f", pt.Throughput[p]),
+				fmt.Sprintf("%.5f", pt.Recovery[p]),
+			})
+		}
+	}
+	return writeCSV(filepath.Join(csvDir, "fig_faults.csv"), rows)
 }
 
 func minInt(a, b int) int {

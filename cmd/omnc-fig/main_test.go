@@ -68,6 +68,20 @@ func TestGoldenMultiCSV(t *testing.T) {
 	compareGolden(t, filepath.Join(dir, "fig_multi.csv"), "fig_multi.golden.csv")
 }
 
+// TestGoldenFaultsCSV pins the fault-churn series for a fixed seed: two
+// sessions crossed with three churn rates, all four protocols, two workers —
+// so the fixture guards both the randomized fault plans' determinism and the
+// runner's workers-invariance at the CLI boundary. The churn-0 rows double as
+// a regression check that installing the fault subsystem leaves fault-free
+// sessions bit-identical.
+func TestGoldenFaultsCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("faults", false, 2, 60, 7, "oracle", dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join(dir, "fig_faults.csv"), "fig_faults.golden.csv")
+}
+
 // compareGolden diffs got against testdata/<name>, rewriting the fixture
 // under -update.
 func compareGolden(t *testing.T, gotPath, name string) {

@@ -49,19 +49,30 @@ func main() {
 		svgPath  = flag.String("svg", "", "render the session's forwarder subgraph as SVG to this path")
 		trials   = flag.Int("trials", 1, "independent loss realizations of the same session")
 		workers  = flag.Int("workers", 0, "concurrent trials (0 = all cores); results are identical either way")
+		faultsAt = flag.String("faults", "", "JSON fault plan to inject (node crashes, link flaps, burst loss)")
 	)
 	flag.Parse()
 	if err := run(*proto, *nodes, *density, *seed, *src, *dst, *minHops, *maxHops,
-		*duration, *capacity, *cbr, *quality, *svgPath, *trials, *workers); err != nil {
+		*duration, *capacity, *cbr, *quality, *svgPath, *trials, *workers, *faultsAt); err != nil {
 		fmt.Fprintln(os.Stderr, "omnc-sim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(proto string, nodes int, density float64, seed int64, src, dst, minHops, maxHops int,
-	duration, capacity, cbr, quality float64, svgPath string, trials, workers int) error {
+	duration, capacity, cbr, quality float64, svgPath string, trials, workers int, faultsPath string) error {
 	if trials < 1 {
 		return fmt.Errorf("-trials must be at least 1, got %d", trials)
+	}
+	var plan *omnc.FaultPlan
+	if faultsPath != "" {
+		data, err := os.ReadFile(faultsPath)
+		if err != nil {
+			return err
+		}
+		if plan, err = omnc.DecodeFaultPlan(data); err != nil {
+			return fmt.Errorf("%s: %w", faultsPath, err)
+		}
 	}
 	nw, err := omnc.GenerateNetwork(nodes, density, seed)
 	if err != nil {
@@ -104,6 +115,10 @@ func run(proto string, nodes int, density float64, seed int64, src, dst, minHops
 		CBRRate:             cbr,
 		Seed:                seed,
 		QueueSampleInterval: 0.5,
+		Faults:              plan,
+	}
+	if plan != nil {
+		fmt.Printf("fault plan: %d events from %s\n", len(plan.Events), faultsPath)
 	}
 	// Rank fidelity by default: exact innovation behaviour at a fraction of
 	// the arithmetic cost; air time still models full 1 KB payloads.

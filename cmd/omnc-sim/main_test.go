@@ -8,21 +8,21 @@ import (
 )
 
 func TestRunRandomSession(t *testing.T) {
-	if err := run("omnc", 100, 6, 3, -1, -1, 3, 8, 60, 2e4, 1e4, 0, "", 1, 0); err != nil {
+	if err := run("omnc", 100, 6, 3, -1, -1, 3, 8, 60, 2e4, 1e4, 0, "", 1, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunExplicitEndpointsETX(t *testing.T) {
 	// Deterministic topology: find a pair via the random path first.
-	if err := run("etx", 100, 6, 3, -1, -1, 3, 8, 60, 2e4, 0, 0, "", 1, 0); err != nil {
+	if err := run("etx", 100, 6, 3, -1, -1, 3, 8, 60, 2e4, 0, 0, "", 1, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWritesSessionSVG(t *testing.T) {
 	svg := filepath.Join(t.TempDir(), "session.svg")
-	if err := run("more", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, svg, 1, 0); err != nil {
+	if err := run("more", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, svg, 1, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(svg)
@@ -35,25 +35,59 @@ func TestRunWritesSessionSVG(t *testing.T) {
 }
 
 func TestRunUnknownProtocol(t *testing.T) {
-	if err := run("bogus", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0); err == nil {
+	if err := run("bogus", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0, ""); err == nil {
 		t.Fatal("unknown protocol must fail")
 	}
 }
 
 func TestRunBadQuality(t *testing.T) {
-	if err := run("omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0.05, "", 1, 0); err == nil {
+	if err := run("omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0.05, "", 1, 0, ""); err == nil {
 		t.Fatal("bad quality target must fail")
 	}
 }
 
 func TestRunParallelTrials(t *testing.T) {
-	if err := run("etx", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, "", 4, 2); err != nil {
+	if err := run("etx", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, "", 4, 2, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadTrials(t *testing.T) {
-	if err := run("etx", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, "", 0, 1); err == nil {
+	if err := run("etx", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, "", 0, 1, ""); err == nil {
 		t.Fatal("zero trials must fail")
+	}
+}
+
+func TestRunWithFaultPlan(t *testing.T) {
+	plan := filepath.Join(t.TempDir(), "plan.json")
+	const doc = `{"seed": 9, "events": [
+		{"at": 5, "kind": "crash", "node": 10},
+		{"at": 8, "kind": "burst", "from": 3, "to": 4, "dur": 6, "bad_factor": 0.1},
+		{"at": 12, "kind": "recover", "node": 10}
+	]}`
+	if err := os.WriteFile(plan, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("omnc", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 1e4, 0, "", 1, 0, plan); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFaultPlan(t *testing.T) {
+	plan := filepath.Join(t.TempDir(), "plan.json")
+	// Out-of-order events: Validate must reject, and run must surface it.
+	const doc = `{"events": [
+		{"at": 10, "kind": "crash", "node": 1},
+		{"at": 5, "kind": "recover", "node": 1}
+	]}`
+	if err := os.WriteFile(plan, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0, plan); err == nil {
+		t.Fatal("invalid fault plan must fail")
+	}
+	if err := run("omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0,
+		filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing fault plan file must fail")
 	}
 }

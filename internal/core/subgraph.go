@@ -173,6 +173,56 @@ func SelectNodes(net *topology.Network, src, dst int) (*Subgraph, error) {
 	return sg, nil
 }
 
+// Masked returns a view of the subgraph with crashed nodes and severed links
+// removed from the forwarding structure. down[i] marks local node i as
+// crashed; linkDown (may be nil) reports whether the undirected link between
+// two local nodes is inside a flap episode. Crashed nodes lose their
+// interference neighbourhood too — a dead radio neither forwards nor
+// contends — but flapped links keep interfering (the radios still transmit;
+// only delivery fails), so linkDown filters Links, not neighbors.
+//
+// Nodes, Src, Dst and ETXDist are shared with the receiver (read-only by
+// convention); Links, neighbors, out and in are rebuilt. The mask never
+// re-runs node selection: the optimization re-solves over the surviving
+// structure of the original selection, which is exactly the information a
+// deployed session has mid-run.
+func (sg *Subgraph) Masked(down []bool, linkDown func(i, j int) bool) *Subgraph {
+	isDown := func(i int) bool { return down != nil && i < len(down) && down[i] }
+	out := &Subgraph{
+		Nodes:   sg.Nodes,
+		Src:     sg.Src,
+		Dst:     sg.Dst,
+		ETXDist: sg.ETXDist,
+	}
+	k := sg.Size()
+	out.neighbors = make([][]int, k)
+	out.out = make([][]int, k)
+	out.in = make([][]int, k)
+	for i := 0; i < k; i++ {
+		if isDown(i) {
+			continue
+		}
+		for _, j := range sg.neighbors[i] {
+			if !isDown(j) {
+				out.neighbors[i] = append(out.neighbors[i], j)
+			}
+		}
+	}
+	for _, l := range sg.Links {
+		if isDown(l.From) || isDown(l.To) {
+			continue
+		}
+		if linkDown != nil && linkDown(l.From, l.To) {
+			continue
+		}
+		idx := len(out.Links)
+		out.Links = append(out.Links, l)
+		out.out[l.From] = append(out.out[l.From], idx)
+		out.in[l.To] = append(out.in[l.To], idx)
+	}
+	return out
+}
+
 // Size returns the number of selected nodes.
 func (sg *Subgraph) Size() int { return len(sg.Nodes) }
 

@@ -42,6 +42,9 @@ const (
 	streamDriftTrial
 	streamMultiPlacement
 	streamMultiTrial
+	streamFaultsPlacement
+	streamFaultsPlan
+	streamFaultsTrial
 )
 
 // TrialSeed derives the deterministic protocol seed of trial idx under the

@@ -1,0 +1,384 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"omnc/internal/coding"
+	"omnc/internal/core"
+	"omnc/internal/faults"
+	"omnc/internal/metrics"
+	"omnc/internal/parallel"
+	"omnc/internal/protocol"
+	"omnc/internal/routing"
+	"omnc/internal/seedmix"
+	"omnc/internal/sim"
+	"omnc/internal/topology"
+	"omnc/internal/trace"
+)
+
+// FaultsConfig describes the fault-churn experiment: how throughput and
+// time-to-recover degrade as node churn and link instability rise, for every
+// protocol. Each churn rate spawns a random fault plan per placed session
+// (endpoints protected); rate 0 is the fault-free baseline and takes the
+// exact nil-plan path, so its numbers are bit-identical to RunComparison's.
+type FaultsConfig struct {
+	// Nodes and Density describe the random deployment.
+	Nodes   int
+	Density float64
+	// MeanQuality calibrates transmit power; 0 keeps the lossy default.
+	MeanQuality float64
+	// Sessions is how many placed (src, dst) pairs are averaged per churn
+	// rate.
+	Sessions int
+	// MinHops and MaxHops constrain endpoint placement.
+	MinHops, MaxHops int
+	// Duration, Capacity and CBRRate parameterize each emulated session.
+	Duration float64
+	Capacity float64
+	CBRRate  float64
+	// Coding parameters and on-air frame size, as in Config.
+	Coding        coding.Params
+	AirPacketSize int
+	// ChurnRates are the x-axis points in crashes (and flap/burst episodes)
+	// per 100 emulated seconds. Default {0, 2, 5}.
+	ChurnRates []float64
+	// MeanDowntime is the mean crash-to-recover delay in seconds. Default
+	// Duration/8.
+	MeanDowntime float64
+	// Protocols to run; nil means all four.
+	Protocols []string
+	// MAC selects the channel model.
+	MAC sim.Mode
+	// RateOptions tunes OMNC's rate controller.
+	RateOptions core.Options
+	// Seed makes the whole experiment reproducible.
+	Seed int64
+	// Workers bounds concurrent cell emulation; results are bit-identical
+	// for every worker count (fault plans and trial seeds derive from the
+	// cell index, and results land in index-addressed slots).
+	Workers int
+	// Progress, when non-nil, is incremented once per completed cell.
+	Progress *metrics.Progress
+}
+
+func (c FaultsConfig) withDefaults() FaultsConfig {
+	base := Config{
+		Nodes:         c.Nodes,
+		Density:       c.Density,
+		MinHops:       c.MinHops,
+		MaxHops:       c.MaxHops,
+		Duration:      c.Duration,
+		Capacity:      c.Capacity,
+		Coding:        c.Coding,
+		AirPacketSize: c.AirPacketSize,
+		Protocols:     c.Protocols,
+	}.withDefaults()
+	c.Nodes = base.Nodes
+	c.Density = base.Density
+	c.MinHops = base.MinHops
+	c.MaxHops = base.MaxHops
+	c.Duration = base.Duration
+	c.Capacity = base.Capacity
+	c.Coding = base.Coding
+	c.AirPacketSize = base.AirPacketSize
+	c.Protocols = base.Protocols
+	if c.Sessions == 0 {
+		c.Sessions = 3
+	}
+	if len(c.ChurnRates) == 0 {
+		c.ChurnRates = []float64{0, 2, 5}
+	}
+	if c.MeanDowntime == 0 {
+		c.MeanDowntime = c.Duration / 8
+	}
+	return c
+}
+
+// FaultPoint is one churn level of the experiment: per-protocol mean
+// throughput and mean time-to-recover, averaged over the placed sessions.
+type FaultPoint struct {
+	// Churn is the fault intensity in events per 100 s per process.
+	Churn float64
+	// Throughput maps protocol name to mean decoded bytes/second.
+	Throughput map[string]float64
+	// Recovery maps protocol name to the mean time in seconds from a crash
+	// inside the session's forwarder set to the next completed generation —
+	// how long re-optimization takes to restore progress. Zero when the
+	// churn level produced no crashes.
+	Recovery map[string]float64
+}
+
+// FaultChurn is the outcome of RunFaultChurn.
+type FaultChurn struct {
+	Config  FaultsConfig
+	Network *topology.Network
+	Points  []FaultPoint
+}
+
+// faultCell is one (placed session, churn level) emulation waiting to run.
+type faultCell struct {
+	pair     int // index into the placed pairs
+	churnIdx int
+	src, dst int
+	sg       *core.Subgraph
+}
+
+// faultCellResult carries one cell's per-protocol outcome.
+type faultCellResult struct {
+	throughput map[string]float64
+	recovery   map[string]float64
+	crashes    int
+}
+
+// RunFaultChurn generates one deployment, places Sessions endpoint pairs,
+// and emulates every (pair, churn rate) cell under each requested protocol
+// with a randomized fault plan of that intensity. Session endpoints never
+// crash (a dead source or destination measures the plan, not the protocol);
+// everything else in the forwarder set is fair game for crashes, and the
+// forwarder links for flap and burst episodes.
+//
+// Like the other runners it is deterministic for every Workers setting.
+func RunFaultChurn(cfg FaultsConfig) (*FaultChurn, error) {
+	cfg = cfg.withDefaults()
+	nw, err := topology.Generate(topology.Config{
+		Nodes:   cfg.Nodes,
+		Density: cfg.Density,
+		PHY:     topology.DefaultPHY(),
+		Seed:    cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MeanQuality > 0 {
+		phy, err := topology.DefaultPHY().CalibrateGain(cfg.MeanQuality)
+		if err != nil {
+			return nil, err
+		}
+		if nw, err = nw.WithPHY(phy); err != nil {
+			return nil, err
+		}
+	}
+
+	cells, err := placeFaultCells(nw, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([]faultCellResult, len(cells))
+	err = parallel.ForEach(len(cells), parallel.Workers(cfg.Workers), func(i int) error {
+		res, err := runFaultCell(nw, cells[i], cfg, i)
+		if err != nil {
+			return fmt.Errorf("experiments: session %d->%d at churn %v: %w",
+				cells[i].src, cells[i].dst, cfg.ChurnRates[cells[i].churnIdx], err)
+		}
+		results[i] = *res
+		if cfg.Progress != nil {
+			cfg.Progress.Add(1)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &FaultChurn{Config: cfg, Network: nw}
+	for ci, churn := range cfg.ChurnRates {
+		pt := FaultPoint{
+			Churn:      churn,
+			Throughput: make(map[string]float64, len(cfg.Protocols)),
+			Recovery:   make(map[string]float64, len(cfg.Protocols)),
+		}
+		pairs, crashed := 0, 0
+		for i, cell := range cells {
+			if cell.churnIdx != ci {
+				continue
+			}
+			pairs++
+			if results[i].crashes > 0 {
+				crashed++
+			}
+			for _, name := range cfg.Protocols {
+				pt.Throughput[name] += results[i].throughput[name]
+				pt.Recovery[name] += results[i].recovery[name]
+			}
+		}
+		if pairs == 0 {
+			return nil, fmt.Errorf("experiments: no cells at churn %v", churn)
+		}
+		for _, name := range cfg.Protocols {
+			pt.Throughput[name] /= float64(pairs)
+			// Recovery averages over the sessions that saw a crash; a
+			// crash-free cell contributes nothing to either side.
+			if crashed > 0 {
+				pt.Recovery[name] /= float64(crashed)
+			}
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// placeFaultCells samples the endpoint pairs serially (one RNG stream, so
+// placement is a pure function of the seed) and crosses them with the churn
+// rates.
+func placeFaultCells(nw *topology.Network, cfg FaultsConfig) ([]faultCell, error) {
+	adj := make([][]int, nw.Size())
+	for i := range adj {
+		adj[i] = nw.Neighbors(i)
+	}
+	rng := rand.New(rand.NewSource(seedmix.Derive(cfg.Seed, streamFaultsPlacement)))
+	mcfg := MultiConfig{MinHops: cfg.MinHops, MaxHops: cfg.MaxHops}
+	pairs, err := placeEndpoints(nw, adj, rng, cfg.Sessions, mcfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fault placement: %w", err)
+	}
+	var cells []faultCell
+	for pi, ep := range pairs {
+		sg, err := core.SelectNodes(nw, ep.Src, ep.Dst)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: session %d->%d: %w", ep.Src, ep.Dst, err)
+		}
+		for ci := range cfg.ChurnRates {
+			cells = append(cells, faultCell{pair: pi, churnIdx: ci, src: ep.Src, dst: ep.Dst, sg: sg})
+		}
+	}
+	return cells, nil
+}
+
+// cellPlan builds the cell's randomized fault plan: crash candidates are the
+// forwarder set minus the endpoints, episode candidates its undirected links.
+// Churn 0 returns nil — the exact fault-free path, bit-identical to a run
+// without the subsystem.
+func cellPlan(cell faultCell, cfg FaultsConfig, idx int) (*faults.Plan, error) {
+	churn := cfg.ChurnRates[cell.churnIdx]
+	if churn <= 0 {
+		return nil, nil
+	}
+	var candidates []int
+	for _, nid := range cell.sg.Nodes {
+		if nid != cell.src && nid != cell.dst {
+			candidates = append(candidates, nid)
+		}
+	}
+	seen := make(map[[2]int]bool, len(cell.sg.Links))
+	var links [][2]int
+	for _, l := range cell.sg.Links {
+		a, b := cell.sg.Nodes[l.From], cell.sg.Nodes[l.To]
+		if a > b {
+			a, b = b, a
+		}
+		if !seen[[2]int{a, b}] {
+			seen[[2]int{a, b}] = true
+			links = append(links, [2]int{a, b})
+		}
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i][0] != links[j][0] {
+			return links[i][0] < links[j][0]
+		}
+		return links[i][1] < links[j][1]
+	})
+	rate := churn / 100
+	return faults.RandomPlan(faults.RandomPlanConfig{
+		Nodes:        candidates,
+		Links:        links,
+		Horizon:      cfg.Duration,
+		CrashRate:    rate,
+		MeanDowntime: cfg.MeanDowntime,
+		FlapRate:     rate,
+		BurstRate:    rate,
+		Seed:         seedmix.Derive(cfg.Seed, streamFaultsPlan, int64(idx)),
+	})
+}
+
+// runFaultCell emulates one cell under every requested protocol.
+func runFaultCell(nw *topology.Network, cell faultCell, cfg FaultsConfig, idx int) (*faultCellResult, error) {
+	plan, err := cellPlan(cell, cfg, idx)
+	if err != nil {
+		return nil, err
+	}
+	res := &faultCellResult{
+		throughput: make(map[string]float64, len(cfg.Protocols)),
+		recovery:   make(map[string]float64, len(cfg.Protocols)),
+	}
+	if plan != nil {
+		for _, ev := range plan.Events {
+			if ev.Kind == faults.NodeCrash {
+				res.crashes++
+			}
+		}
+	}
+	for _, name := range cfg.Protocols {
+		buf := trace.NewBuffer()
+		pcfg := protocol.Config{
+			Coding:        cfg.Coding,
+			AirPacketSize: cfg.AirPacketSize,
+			Capacity:      cfg.Capacity,
+			Duration:      cfg.Duration,
+			CBRRate:       cfg.CBRRate,
+			Seed:          seedmix.Derive(cfg.Seed, streamFaultsTrial, int64(idx)),
+			MAC:           cfg.MAC,
+			Trace:         buf,
+			Faults:        plan,
+		}
+		var st *protocol.Stats
+		switch name {
+		case ProtoOMNC:
+			st, err = protocol.Run(nw, cell.src, cell.dst, protocol.OMNC(cfg.RateOptions), pcfg)
+		case ProtoMORE:
+			st, err = protocol.Run(nw, cell.src, cell.dst, routing.MORE(), pcfg)
+		case ProtoOldMORE:
+			st, err = protocol.Run(nw, cell.src, cell.dst, routing.OldMORE(), pcfg)
+		case ProtoETX:
+			st, err = routing.RunETX(nw, cell.src, cell.dst, pcfg)
+		default:
+			return nil, fmt.Errorf("unknown protocol %q", name)
+		}
+		switch {
+		case errors.Is(err, protocol.ErrDestinationDown):
+			// Endpoints are protected from crashes, so this cannot happen
+			// from the plan itself; treat it as a dead session if it does.
+			res.throughput[name] = 0
+			res.recovery[name] = cfg.Duration
+			continue
+		case err != nil:
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		res.throughput[name] = st.Throughput
+		res.recovery[name] = meanRecovery(buf.Events(), cfg.Duration)
+	}
+	return res, nil
+}
+
+// meanRecovery averages, over the crash events in the trace, the delay until
+// the next completed generation — the visible cost of losing a forwarder and
+// re-optimizing around it. A crash never followed by a decode counts the
+// remaining horizon.
+func meanRecovery(events []trace.Event, horizon float64) float64 {
+	var crashes []float64
+	var decodes []float64
+	for _, e := range events {
+		switch e.Type {
+		case trace.EventNodeCrash:
+			crashes = append(crashes, e.Time)
+		case trace.EventDecode:
+			decodes = append(decodes, e.Time)
+		}
+	}
+	if len(crashes) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, tc := range crashes {
+		i := sort.SearchFloat64s(decodes, tc)
+		if i < len(decodes) {
+			sum += decodes[i] - tc
+		} else {
+			sum += horizon - tc
+		}
+	}
+	return sum / float64(len(crashes))
+}

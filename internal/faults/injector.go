@@ -1,0 +1,272 @@
+package faults
+
+import (
+	"math/rand"
+	"sort"
+
+	"omnc/internal/seedmix"
+	"omnc/internal/sim"
+	"omnc/internal/topology"
+	"omnc/internal/trace"
+)
+
+// Injector executes a validated Plan as first-class discrete events on a
+// sim.Engine, drives the MAC-level consequences (crashed nodes' ports
+// detach, flapped links stop delivering, bursty links run their
+// Gilbert–Elliott chain as a reception-probability overlay), and notifies
+// subscribers at every topology epoch so protocols can re-optimize
+// mid-session.
+//
+// An epoch is a change of the effective topology: a crash, a recovery, or a
+// link episode starting or ending. Intra-episode Gilbert–Elliott state flips
+// do not bump the epoch — they are channel noise, not topology.
+//
+// The injector addresses plan events by network node ID; mapNode translates
+// those to the engine's MAC addresses (the identity in a full-network
+// emulation, the subgraph-local index in an exclusive session). Events whose
+// nodes fall outside the mapping still update the injector's own down/link
+// state — the plan describes the whole network — but touch no MAC port.
+type Injector struct {
+	eng     *sim.Engine
+	mac     *sim.MAC
+	rec     trace.Recorder
+	mapNode func(int) (int, bool)
+	rng     *rand.Rand // Gilbert–Elliott sojourn draws
+
+	epoch    int
+	down     map[int]bool
+	linkOut  map[[2]int]bool
+	recovers map[int][]float64 // per node: scheduled recovery times, sorted
+	subs     []func(Event)
+}
+
+// NewInjector schedules every event of the plan on the engine. The plan must
+// already be validated against the network; rec may be nil.
+func NewInjector(eng *sim.Engine, mac *sim.MAC, plan *Plan, mapNode func(int) (int, bool), rec trace.Recorder) *Injector {
+	inj := &Injector{
+		eng:      eng,
+		mac:      mac,
+		rec:      rec,
+		mapNode:  mapNode,
+		rng:      rand.New(rand.NewSource(seedmix.Derive(plan.Seed, streamGE))),
+		down:     make(map[int]bool),
+		linkOut:  make(map[[2]int]bool),
+		recovers: make(map[int][]float64),
+	}
+	for _, ev := range plan.Events {
+		if ev.Kind == NodeRecover {
+			inj.recovers[ev.Node] = append(inj.recovers[ev.Node], ev.At)
+		}
+	}
+	for n := range inj.recovers {
+		sort.Float64s(inj.recovers[n])
+	}
+	now := eng.Now()
+	for _, ev := range plan.Events {
+		ev := ev
+		delay := ev.At - now
+		if delay < 0 {
+			delay = 0
+		}
+		eng.Schedule(delay, func() { inj.fire(ev) })
+	}
+	return inj
+}
+
+// Subscribe registers fn to run after every topology epoch, in subscription
+// order, with the MAC already reflecting the new topology.
+func (inj *Injector) Subscribe(fn func(Event)) { inj.subs = append(inj.subs, fn) }
+
+// Epoch returns the number of topology changes executed so far.
+func (inj *Injector) Epoch() int { return inj.epoch }
+
+// NodeDown reports whether the node is currently crashed.
+func (inj *Injector) NodeDown(node int) bool { return inj.down[node] }
+
+// LinkDown reports whether the undirected link (a, b) is inside a flap
+// episode. Burst episodes degrade a link but do not take it down.
+func (inj *Injector) LinkDown(a, b int) bool { return inj.linkOut[linkKey(a, b)] }
+
+// WillRecover reports whether the plan schedules a recovery of node after
+// the current simulated time — the difference between a session stalling
+// through an outage and failing for good.
+func (inj *Injector) WillRecover(node int) bool {
+	times := inj.recovers[node]
+	now := inj.eng.Now()
+	i := sort.SearchFloat64s(times, now)
+	for i < len(times) {
+		if times[i] > now {
+			return true
+		}
+		i++
+	}
+	return false
+}
+
+// EffectiveNetwork returns base with the currently-crashed nodes and flapped
+// links removed — the topology a fresh route computation should see.
+func (inj *Injector) EffectiveNetwork(base *topology.Network) (*topology.Network, error) {
+	nw := base
+	if len(inj.down) > 0 {
+		failed := make([]int, 0, len(inj.down))
+		for v := range inj.down {
+			failed = append(failed, v)
+		}
+		sort.Ints(failed)
+		var err error
+		if nw, err = nw.WithoutNodes(failed...); err != nil {
+			return nil, err
+		}
+	}
+	if len(inj.linkOut) > 0 {
+		pairs := make([][2]int, 0, len(inj.linkOut))
+		for k := range inj.linkOut {
+			pairs = append(pairs, k)
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i][0] != pairs[j][0] {
+				return pairs[i][0] < pairs[j][0]
+			}
+			return pairs[i][1] < pairs[j][1]
+		})
+		var err error
+		if nw, err = nw.WithoutLinks(pairs...); err != nil {
+			return nil, err
+		}
+	}
+	return nw, nil
+}
+
+// emit records a fault event when tracing is enabled. Node carries the
+// network node ID (or the link's From endpoint), From the link's To endpoint
+// for link events, and Generation the epoch the event produced.
+func (inj *Injector) emit(t trace.EventType, node, from int) {
+	if inj.rec == nil {
+		return
+	}
+	inj.rec.Record(trace.Event{
+		Time:       inj.eng.Now(),
+		Type:       t,
+		Node:       node,
+		From:       from,
+		Generation: inj.epoch,
+	})
+}
+
+// notify bumps the epoch and runs the subscribers.
+func (inj *Injector) notify(ev Event) {
+	inj.epoch++
+	for _, fn := range inj.subs {
+		fn(ev)
+	}
+}
+
+// fire executes one plan event.
+func (inj *Injector) fire(ev Event) {
+	switch ev.Kind {
+	case NodeCrash:
+		inj.down[ev.Node] = true
+		if macID, ok := inj.mapNode(ev.Node); ok {
+			inj.mac.SetNodeDown(macID, true)
+		}
+		inj.emit(trace.EventNodeCrash, ev.Node, -1)
+		inj.notify(ev)
+	case NodeRecover:
+		delete(inj.down, ev.Node)
+		if macID, ok := inj.mapNode(ev.Node); ok {
+			inj.mac.SetNodeDown(macID, false)
+		}
+		inj.emit(trace.EventNodeRecover, ev.Node, -1)
+		inj.notify(ev)
+	case LinkFlap:
+		inj.linkOut[linkKey(ev.From, ev.To)] = true
+		inj.setLinkFactor(ev.From, ev.To, 0)
+		inj.emit(trace.EventLinkDown, ev.From, ev.To)
+		inj.notify(ev)
+		end := ev
+		end.Kind = LinkRestore
+		inj.eng.Schedule(ev.Duration, func() {
+			delete(inj.linkOut, linkKey(end.From, end.To))
+			inj.clearLinkFactor(end.From, end.To)
+			inj.emit(trace.EventLinkUp, end.From, end.To)
+			inj.notify(end)
+		})
+	case BurstLoss:
+		inj.startBurst(ev)
+	}
+}
+
+// startBurst opens a Gilbert–Elliott episode: the link starts in the Bad
+// state and alternates with exponential sojourns until the episode expires.
+func (inj *Injector) startBurst(ev Event) {
+	factor := ev.BadFactor
+	if factor <= 0 {
+		factor = 0.05
+	}
+	meanGood, meanBad := ev.MeanGood, ev.MeanBad
+	if meanGood <= 0 {
+		meanGood = 0.5
+	}
+	if meanBad <= 0 {
+		meanBad = 0.1
+	}
+	until := inj.eng.Now() + ev.Duration
+	inj.setLinkFactor(ev.From, ev.To, factor)
+	inj.emit(trace.EventBurstStart, ev.From, ev.To)
+	inj.notify(ev)
+
+	// The chain's state flips are channel noise: they adjust the overlay
+	// factor but bump no epoch.
+	var flip func(bad bool)
+	flip = func(bad bool) {
+		if inj.eng.Now() >= until {
+			inj.clearLinkFactor(ev.From, ev.To)
+			end := ev
+			end.Kind = BurstEnd
+			inj.emit(trace.EventBurstEnd, ev.From, ev.To)
+			inj.notify(end)
+			return
+		}
+		if bad {
+			inj.setLinkFactor(ev.From, ev.To, factor)
+		} else {
+			inj.clearLinkFactor(ev.From, ev.To)
+		}
+		mean := meanGood
+		if bad {
+			mean = meanBad
+		}
+		sojourn := inj.rng.ExpFloat64() * mean
+		if remaining := until - inj.eng.Now(); sojourn > remaining {
+			sojourn = remaining
+		}
+		inj.eng.Schedule(sojourn, func() { flip(!bad) })
+	}
+	sojourn := inj.rng.ExpFloat64() * meanBad
+	if sojourn > ev.Duration {
+		sojourn = ev.Duration
+	}
+	inj.eng.Schedule(sojourn, func() { flip(false) })
+}
+
+// setLinkFactor applies a reception-probability multiplier to both
+// directions of the link, mapped onto the MAC's address space.
+func (inj *Injector) setLinkFactor(a, b int, factor float64) {
+	ma, okA := inj.mapNode(a)
+	mb, okB := inj.mapNode(b)
+	if !okA || !okB {
+		return
+	}
+	inj.mac.SetLinkFactor(ma, mb, factor)
+	inj.mac.SetLinkFactor(mb, ma, factor)
+}
+
+func (inj *Injector) clearLinkFactor(a, b int) {
+	ma, okA := inj.mapNode(a)
+	mb, okB := inj.mapNode(b)
+	if !okA || !okB {
+		return
+	}
+	inj.mac.ClearLinkFactor(ma, mb)
+	inj.mac.ClearLinkFactor(mb, ma)
+}

@@ -31,6 +31,10 @@ type MultiStats struct {
 	// throughputs: 1 when every session gets the same rate, 1/n when one
 	// session takes everything.
 	JainFairness float64
+	// SessionErrors is index-aligned with PerSession; non-nil entries carry
+	// a session's abnormal termination (ErrDestinationDown when a fault plan
+	// killed its destination for good). Nil when every session ran normally.
+	SessionErrors []error
 }
 
 // ConcurrentStats is the former name of MultiStats.
@@ -93,6 +97,10 @@ func RunMulti(net *topology.Network, sessions []Endpoints, proto Protocol, cfg C
 	if err != nil {
 		return nil, err
 	}
+	// The shared medium addresses nodes by network ID — the identity mapping.
+	if err := env.InstallFaults(cfg.Faults, net.Size(), nil, cfg.Trace); err != nil {
+		return nil, err
+	}
 	runs, err := proto.sessions(env, net, specs, cfg)
 	if err != nil {
 		return nil, err
@@ -112,6 +120,12 @@ func RunMulti(net *topology.Network, sessions []Endpoints, proto Protocol, cfg C
 		out.PerSession[i] = st
 		out.AggregateThroughput += st.Throughput
 		rates[i] = st.Throughput
+		if err := s.Err(); err != nil {
+			if out.SessionErrors == nil {
+				out.SessionErrors = make([]error, len(runs))
+			}
+			out.SessionErrors[i] = err
+		}
 	}
 	out.JainFairness = metrics.JainIndex(rates)
 	return out, nil
@@ -135,6 +149,7 @@ func buildPolicySessions(env *Env, net *topology.Network, specs []SessionSpec, c
 		if err != nil {
 			return nil, err
 		}
+		rt.rebuild = build
 		out[i] = rt
 	}
 	return out, nil

@@ -1,0 +1,219 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+
+	"omnc/internal/core"
+	"omnc/internal/faults"
+	"omnc/internal/graph"
+	"omnc/internal/trace"
+)
+
+// ErrDestinationDown matches a session whose destination crashed with no
+// recovery scheduled before the horizon: the session finishes immediately
+// with this typed error instead of idling through the remaining emulated
+// time. Match with errors.Is.
+var ErrDestinationDown = errors.New("protocol: destination down")
+
+// onFault is the coded runtime's topology-epoch subscriber: it absorbs the
+// node-level consequence of the event (crashed nodes lose their volatile
+// protocol state, recovered nodes rejoin the live generation empty), then
+// re-plans the session over the surviving subgraph — the mid-session
+// re-optimization the paper calls for when "link qualities change
+// significantly" (Sec. 4), applied to topology changes.
+func (rt *runtime) onFault(ev faults.Event) {
+	if rt.done {
+		return
+	}
+	switch ev.Kind {
+	case faults.NodeCrash:
+		local, ok := rt.localOf[ev.Node]
+		if !ok {
+			break // outside this session's subgraph: capacity may shift, rates re-solve below
+		}
+		n := rt.nodes[local]
+		if n.isDst && !rt.env.Faults.WillRecover(ev.Node) {
+			rt.fail(fmt.Errorf("%w: node %d crashed with no recovery before the horizon",
+				ErrDestinationDown, ev.Node))
+			return
+		}
+		n.crashReset()
+	case faults.NodeRecover:
+		if local, ok := rt.localOf[ev.Node]; ok {
+			rt.rejoin(rt.nodes[local])
+		}
+	}
+	rt.replan()
+}
+
+// fail terminates the session abnormally with a typed cause.
+func (rt *runtime) fail(err error) {
+	if rt.done {
+		return
+	}
+	rt.done = true
+	rt.failure = err
+	rt.finishedAt = rt.eng.Now()
+	rt.env.SessionDone()
+}
+
+// crashReset models the node's power loss: credit, buffered packets and the
+// elimination state all vanish (the pooled resources return to the arena).
+// The MAC keeps the dead node off the channel; the state here just must not
+// survive into the recovery.
+func (n *node) crashReset() {
+	n.credit = 0
+	n.shutdown()
+	n.enc = nil
+}
+
+// rejoin re-arms a recovered node for the live generation with empty state —
+// a rebooted forwarder has everything it needs in the role itself, since
+// coded traffic carries no per-packet obligations.
+func (rt *runtime) rejoin(n *node) {
+	if err := n.reset(rt.gen); err != nil {
+		// Coding parameters were validated up front; a failure here is a bug.
+		panic(fmt.Sprintf("protocol: rejoin: %v", err))
+	}
+	if !n.isDst && !n.excluded {
+		rt.mac.Wake(n.macID)
+	}
+}
+
+// replan recomputes the session's policy over the subgraph that survives the
+// current faults. If the destination is unreachable the session stalls (all
+// transmitters go quiet) until a later epoch restores a path; if the
+// protocol has a policy builder it re-solves — OMNC re-runs the Lagrangian
+// rate allocation, MORE/oldMORE recompute their credits — and the new caps
+// land on the MAC without disturbing in-flight frames.
+func (rt *runtime) replan() {
+	inj := rt.env.Faults
+	down := make([]bool, rt.sg.Size())
+	for i, nid := range rt.sg.Nodes {
+		down[i] = inj.NodeDown(nid)
+	}
+	linkDown := func(i, j int) bool {
+		return inj.LinkDown(rt.sg.Nodes[i], rt.sg.Nodes[j])
+	}
+	masked := rt.sg.Masked(down, linkDown)
+	rt.emit(trace.EventReplan, rt.sg.Src, -1)
+	if _, _, ok := graph.ShortestPath(masked.ForwardGraph(nil), masked.Src, masked.Dst); !ok {
+		rt.stall()
+		return
+	}
+	pol := rt.pol
+	if rt.rebuild != nil {
+		p, err := rt.rebuild(masked, rt.cfg)
+		if err != nil {
+			// The masked subgraph can be degenerate in ways node selection
+			// would never produce; waiting for the next epoch is the only
+			// sound reaction.
+			rt.stall()
+			return
+		}
+		pol = p
+	}
+	rt.applyPolicy(pol, down)
+}
+
+// stall silences every transmitter of the session until a later epoch
+// re-plans successfully. Received state is kept: a stall is an outage, not a
+// crash.
+func (rt *runtime) stall() {
+	for _, n := range rt.nodes {
+		n.excluded = true
+	}
+}
+
+// applyPolicy installs a re-solved policy mid-run: exclusion flags merge the
+// optimizer's choices with the currently-crashed set, caps update in place
+// on the MAC (preserving token-bucket and carrier-sense state), and nodes
+// re-included after an earlier exclusion attach their port on first use.
+func (rt *runtime) applyPolicy(pol *Policy, down []bool) {
+	rt.pol = pol
+	for i, n := range rt.nodes {
+		excluded := down[i] || (pol.Exclude != nil && pol.Exclude[i])
+		n.excluded = excluded
+		if n.isDst || excluded {
+			continue
+		}
+		if !n.txAttached {
+			rt.mac.AttachTransmitter(n.macID, n, pol.Caps[i])
+			n.txAttached = true
+		} else {
+			rt.mac.SetPortCap(n.macID, n, pol.Caps[i])
+		}
+		rt.mac.Wake(n.macID)
+	}
+}
+
+// jointReplan is OMNCMulti's additional epoch subscriber: where each
+// session's own onFault handles state loss and reachability, this handler
+// re-runs the joint rate controller across every live, reachable session so
+// the shared congestion prices keep dividing each neighbourhood's surviving
+// capacity. It subscribes after the per-session handlers, so it observes
+// their crash/rejoin effects. On controller failure the old rates stand.
+func jointReplan(env *Env, rts []*runtime, opts core.Options, utilization float64) func(faults.Event) {
+	return func(faults.Event) {
+		inj := env.Faults
+		type liveSession struct {
+			rt     *runtime
+			masked *core.Subgraph
+			down   []bool
+		}
+		var live []liveSession
+		for _, rt := range rts {
+			if rt.done {
+				continue
+			}
+			down := make([]bool, rt.sg.Size())
+			for i, nid := range rt.sg.Nodes {
+				down[i] = inj.NodeDown(nid)
+			}
+			linkDown := func(i, j int) bool {
+				return inj.LinkDown(rt.sg.Nodes[i], rt.sg.Nodes[j])
+			}
+			masked := rt.sg.Masked(down, linkDown)
+			if _, _, ok := graph.ShortestPath(masked.ForwardGraph(nil), masked.Src, masked.Dst); !ok {
+				continue // the session's own handler has stalled it
+			}
+			live = append(live, liveSession{rt: rt, masked: masked, down: down})
+		}
+		if len(live) == 0 {
+			return
+		}
+		multi := make([]core.MultiSession, len(live))
+		for i, l := range live {
+			multi[i] = core.MultiSession{Subgraph: l.masked}
+		}
+		mc, err := core.NewMultiRateController(multi, opts)
+		if err != nil {
+			return
+		}
+		joint, err := mc.Run()
+		if err != nil {
+			return
+		}
+		minRate := 1e-4 * opts.Capacity
+		for i, l := range live {
+			sg := l.masked
+			rates := joint.PerSession[i].SupportingRates(sg)
+			caps, _ := core.RescaleFeasible(sg, rates, utilization*opts.Capacity)
+			exclude := make([]bool, sg.Size())
+			for j, b := range caps {
+				if j != sg.Src && b < minRate {
+					exclude[j] = true
+				}
+			}
+			l.rt.applyPolicy(&Policy{
+				Name:             l.rt.pol.Name,
+				Caps:             caps,
+				Credit:           make([]float64, sg.Size()),
+				SendWhenNonEmpty: true,
+				Exclude:          exclude,
+				Gamma:            joint.PerSession[i].Gamma,
+			}, l.down)
+		}
+	}
+}

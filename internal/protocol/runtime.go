@@ -37,9 +37,17 @@ type runtime struct {
 	rng    *rand.Rand
 	nodes  []*node
 
-	localOf map[int]int // shared: network ID -> local index (nil otherwise)
+	localOf map[int]int // network ID -> local index (shared or faulted runs)
 	linkIdx map[[2]int]int
 	linkRx  []int64 // shared: per-subgraph-link session deliveries
+
+	// Fault handling (rtfaults.go): rebuild re-solves the policy over the
+	// surviving subgraph on every topology epoch; failure carries the typed
+	// abnormal-termination cause; gen is the live generation, so recovered
+	// nodes can rejoin it with fresh state.
+	rebuild Builder
+	failure error
+	gen     *coding.Generation
 
 	currentGen int
 	decoded    int
@@ -76,6 +84,21 @@ func newRuntime(net *topology.Network, sg *core.Subgraph, pol *Policy, cfg Confi
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Faults != nil {
+		// The exclusive medium addresses nodes by subgraph-local index, so
+		// the injector maps the plan's network IDs through the selection.
+		localOf := make(map[int]int, sg.Size())
+		for local, nid := range sg.Nodes {
+			localOf[nid] = local
+		}
+		mapNode := func(id int) (int, bool) {
+			l, ok := localOf[id]
+			return l, ok
+		}
+		if err := env.InstallFaults(cfg.Faults, net.Size(), mapNode, cfg.Trace); err != nil {
+			return nil, err
+		}
+	}
 	return attachRuntime(env, net, sg, pol, cfg, 0, false)
 }
 
@@ -108,11 +131,13 @@ func attachRuntime(env *Env, net *topology.Network, sg *core.Subgraph, pol *Poli
 		genBytes: cfg.Coding.GenerationSize * nominalBlock,
 		genData:  make([]byte, cfg.Coding.GenerationSize*cfg.Coding.BlockSize),
 	}
-	if shared {
+	if shared || env.Faults != nil {
 		rt.localOf = make(map[int]int, sg.Size())
 		for local, nid := range sg.Nodes {
 			rt.localOf[nid] = local
 		}
+	}
+	if shared {
 		rt.linkIdx = make(map[[2]int]int, len(sg.Links))
 		for li, l := range sg.Links {
 			rt.linkIdx[[2]int{l.From, l.To}] = li
@@ -133,8 +158,12 @@ func attachRuntime(env *Env, net *topology.Network, sg *core.Subgraph, pol *Poli
 		excluded := pol.Exclude != nil && pol.Exclude[i]
 		if !n.isDst && !excluded {
 			rt.mac.AttachTransmitter(macID, n, pol.Caps[i])
+			n.txAttached = true
 		}
 		n.excluded = excluded
+	}
+	if env.Faults != nil {
+		env.Faults.Subscribe(rt.onFault)
 	}
 	env.AddSession()
 	if err := rt.startGeneration(0); err != nil {
@@ -153,6 +182,7 @@ func (rt *runtime) startGeneration(gen int) error {
 	if err != nil {
 		return err
 	}
+	rt.gen = g
 	for _, n := range rt.nodes {
 		if err := n.reset(g); err != nil {
 			return err
@@ -195,8 +225,15 @@ func (rt *runtime) Start() { rt.mac.Wake(rt.nodes[rt.sg.Src].macID) }
 func (rt *runtime) run() (*Stats, error) {
 	rt.Start()
 	rt.eng.Run(rt.cfg.Duration)
-	return rt.Finish(rt.cfg.Duration), nil
+	st := rt.Finish(rt.cfg.Duration)
+	if rt.failure != nil {
+		return nil, rt.failure
+	}
+	return st, nil
 }
+
+// Err implements Session.
+func (rt *runtime) Err() error { return rt.failure }
 
 // Finish implements Session: pooled resources (elimination slabs, queued
 // packets) return to the arena so back-to-back sessions — benchmark
@@ -303,12 +340,13 @@ func (rt *runtime) FramesSent(i int) int64 { return rt.nodes[i].frames }
 // encoder (enc), the re-encoding forwarder (rec) or the destination decoder
 // (dec) — and the port methods dispatch to that role's logic.
 type node struct {
-	rt       *runtime
-	local    int
-	macID    int // node address on the Env's medium (== local when exclusive)
-	isSrc    bool
-	isDst    bool
-	excluded bool
+	rt         *runtime
+	local      int
+	macID      int // node address on the Env's medium (== local when exclusive)
+	isSrc      bool
+	isDst      bool
+	excluded   bool
+	txAttached bool // a transmitter port exists at the MAC for this node
 
 	credit  float64
 	frames  int64            // frames this session's port put on the air here
@@ -377,8 +415,8 @@ func (n *node) Dequeue() *sim.Frame {
 // sourceDequeue is the source-encoder component: emit a fresh random
 // combination whenever the CBR workload has produced the bytes for it.
 func (n *node) sourceDequeue() *sim.Frame {
-	if !n.cbrAvailable() {
-		return nil
+	if n.enc == nil || !n.cbrAvailable() {
+		return nil // enc is nil while the source is crashed
 	}
 	return n.frame(n.enc.Next())
 }
@@ -392,6 +430,9 @@ func (n *node) sourceDequeue() *sim.Frame {
 // queue and go stale, which is exactly the failure mode Fig. 3 attributes
 // to MORE.
 func (n *node) forwarderDequeue() *sim.Frame {
+	if n.rec == nil {
+		return nil // crashed forwarder: volatile state is gone
+	}
 	if n.rt.pol.SendWhenNonEmpty {
 		if pkt := n.rec.Next(); pkt != nil {
 			return n.frame(pkt)
@@ -471,7 +512,9 @@ func (n *node) Receive(from int, payload interface{}) {
 		return // another session's packet on the shared channel
 	}
 	fromLocal := from
-	if rt.localOf != nil {
+	if rt.shared {
+		// On the shared channel `from` is a network ID; an exclusive MAC
+		// already speaks local indices (localOf may still exist for faults).
 		fl, ok := rt.localOf[from]
 		if !ok {
 			return // transmitter is not in this session's subgraph
@@ -504,6 +547,9 @@ func (n *node) Receive(from int, payload interface{}) {
 // absorption, generation turnover on full rank.
 func (n *node) destReceive(fromLocal int, pkt *coding.Packet) {
 	rt := n.rt
+	if n.dec == nil {
+		return // crashed destination: nothing to absorb into
+	}
 	// Add copies the packet into the decoder's preallocated rows, so the
 	// MAC's delivery reference is enough: no clone, no ownership change.
 	innovative, err := n.dec.Add(pkt)
@@ -526,6 +572,9 @@ func (n *node) destReceive(fromLocal int, pkt *coding.Packet) {
 // credit rules.
 func (n *node) forwarderReceive(fromLocal int, pkt *coding.Packet) {
 	rt := n.rt
+	if n.rec == nil {
+		return // crashed forwarder: volatile state is gone
+	}
 	// Full-rank nodes no longer accept packets (all incoming packets are
 	// necessarily non-innovative, Sec. 4) — but MORE-style forwarders still
 	// earn TX credit from hearing upstream transmissions, otherwise a filled

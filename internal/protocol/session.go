@@ -1,9 +1,13 @@
 package protocol
 
 import (
+	"fmt"
+
 	"omnc/internal/core"
+	"omnc/internal/faults"
 	"omnc/internal/sim"
 	"omnc/internal/topology"
+	"omnc/internal/trace"
 )
 
 // Env is the shared execution environment of one emulation: one event
@@ -16,6 +20,10 @@ type Env struct {
 	Eng *sim.Engine
 	// MAC is the shared medium every session's components attach to.
 	MAC *sim.MAC
+	// Faults is the environment's fault injector, nil unless a fault plan
+	// was installed. Sessions subscribe to its topology epochs to
+	// re-optimize mid-run.
+	Faults *faults.Injector
 
 	attached int // sessions counted via AddSession
 	finished int // sessions retired via SessionDone
@@ -36,6 +44,29 @@ func NewEnv(medium sim.Medium, cfg Config) (*Env, error) {
 		return nil, err
 	}
 	return &Env{Eng: eng, MAC: mac}, nil
+}
+
+// InstallFaults validates the fault plan against a network of n nodes and
+// arms an injector on the environment's engine. mapNode translates network
+// node IDs to MAC addresses (nil means identity — the full-network medium);
+// rec receives fault events when non-nil. A nil plan is a no-op, so callers
+// can pass Config.Faults through unconditionally. Must run before sessions
+// attach, so their constructors can observe Faults and subscribe.
+func (e *Env) InstallFaults(plan *faults.Plan, nodes int, mapNode func(int) (int, bool), rec trace.Recorder) error {
+	if plan == nil {
+		return nil
+	}
+	if e.Faults != nil {
+		return fmt.Errorf("protocol: fault plan already installed")
+	}
+	if err := plan.Validate(nodes); err != nil {
+		return err
+	}
+	if mapNode == nil {
+		mapNode = func(id int) (int, bool) { return id, true }
+	}
+	e.Faults = faults.NewInjector(e.Eng, e.MAC, plan, mapNode, rec)
+	return nil
 }
 
 // AddSession counts a session onto the environment. Every constructor that
@@ -64,6 +95,10 @@ type Session interface {
 	// Finish releases the session's pooled resources and returns its
 	// statistics. until is the emulated time the engine ran to.
 	Finish(until float64) *Stats
+	// Err reports why the session terminated abnormally — in particular
+	// ErrDestinationDown when a fault plan killed the destination for good —
+	// or nil for a normal run.
+	Err() error
 }
 
 // SessionSpec is one validated session of a multi-unicast run: its network

@@ -1,13 +1,17 @@
 package routing
 
 import (
+	"fmt"
 	"math"
+	"sort"
 
 	"omnc/internal/core"
+	"omnc/internal/faults"
 	"omnc/internal/graph"
 	"omnc/internal/protocol"
 	"omnc/internal/sim"
 	"omnc/internal/topology"
+	"omnc/internal/trace"
 )
 
 // macAckBytes is the link-layer acknowledgement size charged to every
@@ -30,6 +34,18 @@ type etxSession struct {
 	path     []int       // local node indices, source first
 	nextHop  map[int]int // local index -> next local index
 	appBytes int
+
+	// Fault handling: localOf maps network IDs to subgraph-local indices
+	// for injector events; relays and the attached sets let a re-route
+	// reuse or lazily attach per-hop components; stalled silences the
+	// session while no route survives; failure carries the typed
+	// abnormal-termination cause.
+	localOf    map[int]int
+	relays     map[int]*etxRelay
+	attachedTx map[int]bool
+	attachedRx map[int]bool
+	stalled    bool
+	failure    error
 
 	srcSent    int64
 	delivered  int64
@@ -83,13 +99,31 @@ func RunETX(net *topology.Network, src, dst int, cfg protocol.Config) (*protocol
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Faults != nil {
+		// The exclusive medium addresses nodes by subgraph-local index.
+		localOf := make(map[int]int, len(sg.Nodes))
+		for local, nid := range sg.Nodes {
+			localOf[nid] = local
+		}
+		mapNode := func(id int) (int, bool) {
+			l, ok := localOf[id]
+			return l, ok
+		}
+		if err := env.InstallFaults(cfg.Faults, net.Size(), mapNode, cfg.Trace); err != nil {
+			return nil, err
+		}
+	}
 	s, err := attachETX(env, sg, cfg, 0, false, src, dst)
 	if err != nil {
 		return nil, err
 	}
 	s.Start()
 	env.Eng.Run(cfg.Duration)
-	return s.Finish(cfg.Duration), nil
+	st := s.Finish(cfg.Duration)
+	if s.failure != nil {
+		return nil, s.failure
+	}
+	return st, nil
 }
 
 // attachETX computes the minimum-ETX path over the subgraph and attaches the
@@ -125,20 +159,140 @@ func attachETX(env *protocol.Env, sg *core.Subgraph, cfg protocol.Config, id uin
 	for h := 0; h+1 < len(path); h++ {
 		s.nextHop[path[h]] = path[h+1]
 	}
-	for h, v := range path {
-		switch {
-		case h == 0:
-			env.MAC.AttachTransmitter(s.macID(v), &etxSource{s: s, local: v}, math.Inf(1))
-		case h == len(path)-1:
-			env.MAC.AttachReceiver(s.macID(v), &etxSink{s: s, local: v})
-		default:
-			relay := &etxRelay{s: s, local: v}
-			env.MAC.AttachTransmitter(s.macID(v), relay, math.Inf(1))
-			env.MAC.AttachReceiver(s.macID(v), relay)
-		}
+	s.relays = make(map[int]*etxRelay)
+	s.attachedTx = make(map[int]bool)
+	s.attachedRx = make(map[int]bool)
+	s.localOf = make(map[int]int, len(sg.Nodes))
+	for local, nid := range sg.Nodes {
+		s.localOf[nid] = local
+	}
+	s.attachPath()
+	if env.Faults != nil {
+		env.Faults.Subscribe(s.onFault)
 	}
 	env.AddSession()
 	return s, nil
+}
+
+// attachPath makes sure every hop of the current path has its components on
+// the medium; ports attach at most once per node (a re-route revives the
+// existing relay rather than stacking a second port).
+func (s *etxSession) attachPath() {
+	for h, v := range s.path {
+		switch {
+		case h == 0:
+			if !s.attachedTx[v] {
+				s.env.MAC.AttachTransmitter(s.macID(v), &etxSource{s: s, local: v}, math.Inf(1))
+				s.attachedTx[v] = true
+			}
+		case h == len(s.path)-1:
+			if !s.attachedRx[v] {
+				s.env.MAC.AttachReceiver(s.macID(v), &etxSink{s: s, local: v})
+				s.attachedRx[v] = true
+			}
+		default:
+			r := s.relays[v]
+			if r == nil {
+				r = &etxRelay{s: s, local: v}
+				s.relays[v] = r
+			}
+			if !s.attachedTx[v] {
+				s.env.MAC.AttachTransmitter(s.macID(v), r, math.Inf(1))
+				s.attachedTx[v] = true
+			}
+			if !s.attachedRx[v] {
+				s.env.MAC.AttachReceiver(s.macID(v), r)
+				s.attachedRx[v] = true
+			}
+		}
+	}
+}
+
+// onFault is ETX's topology-epoch subscriber: a crashed relay loses its
+// store-and-forward buffer, a destination crash with no scheduled recovery
+// fails the session, and any connectivity change re-runs Dijkstra over the
+// surviving links.
+func (s *etxSession) onFault(ev faults.Event) {
+	if s.done {
+		return
+	}
+	switch ev.Kind {
+	case faults.NodeCrash:
+		if local, ok := s.localOf[ev.Node]; ok {
+			if local == s.sg.Dst && !s.env.Faults.WillRecover(ev.Node) {
+				s.fail(fmt.Errorf("%w: node %d crashed with no recovery before the horizon",
+					protocol.ErrDestinationDown, ev.Node))
+				return
+			}
+			if r := s.relays[local]; r != nil {
+				r.queue = r.queue[:0] // the relay's buffer died with it
+			}
+		}
+	case faults.BurstLoss, faults.BurstEnd:
+		return // degraded, not disconnected: the route stands, MAC retries cope
+	}
+	s.reroute()
+}
+
+// fail terminates the session abnormally with a typed cause.
+func (s *etxSession) fail(err error) {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.failure = err
+	s.finishedAt = s.env.Eng.Now()
+	s.env.SessionDone()
+}
+
+// reroute re-runs the minimum-ETX path computation over the links that
+// survive the current faults. No surviving route stalls the session until a
+// later epoch restores one; a new route drops the old relays' buffers (ETX
+// has no end-to-end recovery — per-hop MAC retries are its only reliability)
+// and wakes the hops that have work.
+func (s *etxSession) reroute() {
+	inj := s.env.Faults
+	g := graph.New(s.sg.Size())
+	for _, l := range s.sg.Links {
+		a, b := s.sg.Nodes[l.From], s.sg.Nodes[l.To]
+		if inj.NodeDown(a) || inj.NodeDown(b) || inj.LinkDown(a, b) {
+			continue
+		}
+		g.AddEdge(l.From, l.To, 1/l.Prob)
+	}
+	path, _, ok := graph.ShortestPath(g, s.sg.Src, s.sg.Dst)
+	if !ok {
+		s.stalled = true
+		return
+	}
+	s.stalled = false
+	s.path = path
+	for k := range s.nextHop {
+		delete(s.nextHop, k)
+	}
+	for h := 0; h+1 < len(path); h++ {
+		s.nextHop[path[h]] = path[h+1]
+	}
+	s.attachPath()
+	for local, r := range s.relays {
+		if _, on := s.nextHop[local]; !on {
+			r.queue = r.queue[:0] // off the new path: buffered packets are orphaned
+		}
+	}
+	s.env.MAC.Wake(s.macID(path[0]))
+	// Wake in sorted order: these calls schedule MAC events, and same-time
+	// ties resolve in insertion order, so map iteration here would leak
+	// scheduling nondeterminism into the run.
+	locals := make([]int, 0, len(s.relays))
+	for local := range s.relays {
+		locals = append(locals, local)
+	}
+	sort.Ints(locals)
+	for _, local := range locals {
+		if _, on := s.nextHop[local]; on && len(s.relays[local].queue) > 0 {
+			s.env.MAC.Wake(s.macID(local))
+		}
+	}
 }
 
 // macID maps a subgraph-local node index to its address on the Env's medium.
@@ -151,6 +305,9 @@ func (s *etxSession) macID(local int) int {
 
 // Start implements protocol.Session.
 func (s *etxSession) Start() { s.env.MAC.Wake(s.macID(s.path[0])) }
+
+// Err implements protocol.Session.
+func (s *etxSession) Err() error { return s.failure }
 
 // Finish implements protocol.Session.
 func (s *etxSession) Finish(until float64) *protocol.Stats {
@@ -246,7 +403,7 @@ type etxSource struct {
 
 func (src *etxSource) Dequeue() *sim.Frame {
 	s := src.s
-	if s.done {
+	if s.done || s.stalled {
 		return nil
 	}
 	if s.cfg.CBRRate > 0 {
@@ -290,6 +447,9 @@ func (r *etxRelay) Receive(from int, payload interface{}) {
 	if !ok || p.session != s.id || s.done {
 		return
 	}
+	if _, on := s.nextHop[r.local]; !on {
+		return // a stale in-flight frame reached a relay the route left behind
+	}
 	if s.recvAt != nil {
 		s.recvAt[r.local]++
 	}
@@ -299,8 +459,11 @@ func (r *etxRelay) Receive(from int, payload interface{}) {
 
 func (r *etxRelay) Dequeue() *sim.Frame {
 	s := r.s
-	if s.done || len(r.queue) == 0 {
+	if s.done || s.stalled || len(r.queue) == 0 {
 		return nil
+	}
+	if _, on := s.nextHop[r.local]; !on {
+		return nil // off the current path: nowhere to forward
 	}
 	payload := r.queue[0]
 	r.queue = r.queue[1:]
@@ -334,6 +497,18 @@ func (k *etxSink) Receive(from int, payload interface{}) {
 		s.recvAt[k.local]++
 	}
 	s.delivered++
+	// A generation's worth of delivered packets is ETX's analogue of a
+	// decode: it keeps trace-derived metrics (time-to-recover under faults)
+	// comparable across the four protocols.
+	if gs := int64(s.cfg.Coding.GenerationSize); s.cfg.Trace != nil && s.delivered%gs == 0 {
+		s.cfg.Trace.Record(trace.Event{
+			Time:       s.env.Eng.Now(),
+			Type:       trace.EventDecode,
+			Node:       k.local,
+			From:       -1,
+			Generation: int(s.delivered/gs) - 1,
+		})
+	}
 	if s.target > 0 && s.delivered >= s.target {
 		s.done = true
 		s.finishedAt = s.env.Eng.Now()

@@ -97,6 +97,32 @@ func (m *MAC) AttachTransmitter(node int, t Transmitter, rateCap float64) {
 	m.RegisterTransmitter(node, mux, mux.capSum())
 }
 
+// SetPortCap updates the rate cap of an already-attached transmitter port
+// without re-registering it — RegisterTransmitter resets the node's token
+// bucket and carrier-sense history, which must survive a mid-run rate change
+// (fault-driven re-optimization adjusts caps while frames are in flight).
+// No-op if the port was never attached at node.
+func (m *MAC) SetPortCap(node int, port Transmitter, rateCap float64) {
+	mux := m.txm[node]
+	if mux == nil {
+		if m.tx[node] == port {
+			m.caps[node] = rateCap
+		}
+		return
+	}
+	for i, p := range mux.ports {
+		if p == port {
+			mux.caps[i] = rateCap
+			if len(mux.ports) == 1 {
+				m.caps[node] = rateCap
+			} else {
+				m.caps[node] = mux.capSum()
+			}
+			return
+		}
+	}
+}
+
 // AttachReceiver adds a receiver port to node. The first port binds directly
 // (identical to RegisterReceiver); subsequent ports promote the node to
 // fan-out delivery. Ports are expected to self-filter by payload.

@@ -1,0 +1,69 @@
+package sim
+
+// Fault-injection hooks. The MAC keeps two overlays that internal/faults
+// drives: downNodes marks crashed nodes (their ports stay registered but are
+// detached from the channel — no transmissions, no receptions, no presence in
+// the oracle allocation), and linkMod multiplies directed links' reception
+// probabilities (link flaps pin a link to zero; Gilbert–Elliott bursts swing
+// it between nominal and degraded).
+//
+// Both maps stay nil until the first fault fires, so fault-free runs pay only
+// nil-map lookups — which allocate nothing and consume no randomness — and
+// remain bit-identical to a MAC without the feature.
+
+// isDown reports whether node is currently crashed.
+func (m *MAC) isDown(node int) bool {
+	return m.downNodes != nil && m.downNodes[node]
+}
+
+// probNow is the effective reception probability of directed link (i, j):
+// the medium's PHY probability times the fault overlay's factor, if any.
+func (m *MAC) probNow(i, j int) float64 {
+	p := m.medium.Prob(i, j)
+	if m.linkMod != nil {
+		if f, ok := m.linkMod[[2]int{i, j}]; ok {
+			p *= f
+		}
+	}
+	return p
+}
+
+// SetNodeDown crashes or recovers node. Crashing detaches the node's ports
+// from the channel: an in-flight frame falls silent (its completion event
+// observes the down state and retires the payload without delivery), a parked
+// retransmission frame is released immediately, and the node neither receives
+// nor participates in the oracle's rate allocation. Recovering re-attaches the
+// ports and wakes the node's transmitter.
+func (m *MAC) SetNodeDown(node int, down bool) {
+	if down {
+		if m.downNodes == nil {
+			m.downNodes = make(map[int]bool)
+		}
+		m.downNodes[node] = true
+		// A frame parked for retransmission (current set, not on the air) is
+		// never completed, so its payload reference must be dropped here; a
+		// busy frame's completion handler does its own down-aware cleanup.
+		if !m.busy[node] && m.current[node] != nil {
+			retire(m.current[node])
+			m.current[node] = nil
+		}
+		return
+	}
+	delete(m.downNodes, node)
+	m.Wake(node)
+}
+
+// SetLinkFactor installs a reception-probability multiplier on directed link
+// (i, j). Factor 0 silences the link; factors in (0, 1) degrade it.
+func (m *MAC) SetLinkFactor(i, j int, factor float64) {
+	if m.linkMod == nil {
+		m.linkMod = make(map[[2]int]float64)
+	}
+	m.linkMod[[2]int{i, j}] = factor
+}
+
+// ClearLinkFactor restores the nominal PHY probability of directed link
+// (i, j).
+func (m *MAC) ClearLinkFactor(i, j int) {
+	delete(m.linkMod, [2]int{i, j})
+}

@@ -149,6 +149,14 @@ type MAC struct {
 	txm map[int]*txMux
 	rxm map[int]*rxFanout
 
+	// Fault-injection overlays (faults.go): crashed nodes whose ports are
+	// detached from the channel, and per-directed-link reception-probability
+	// multipliers (flaps and Gilbert–Elliott bursts). Both stay nil until
+	// the first fault fires, so fault-free runs take the nil fast path
+	// everywhere and remain bit-identical to a MAC without the feature.
+	downNodes map[int]bool
+	linkMod   map[[2]int]float64
+
 	// eventFree recycles macEvent structs: every event the MAC schedules —
 	// transmission attempts, completions, deliveries, queue samples — is one
 	// fixed struct drawn from this free list, so the steady-state per-frame
@@ -267,7 +275,12 @@ func (e *macEvent) Fire() {
 	case evComplete:
 		m.complete(node)
 	case evDeliver:
-		m.rx[node].Receive(from, payload)
+		// The receiver may have crashed between the reception draw and this
+		// zero-delay hand-off (fault events at the same timestamp fire
+		// first): the payload is dropped, not delivered to a dead node.
+		if !m.isDown(node) {
+			m.rx[node].Receive(from, payload)
+		}
 		if rel, ok := payload.(Releasable); ok {
 			rel.Release()
 		}
@@ -333,8 +346,12 @@ func (m *MAC) RegisterReceiver(node int, r Receiver) {
 }
 
 // Wake notifies the MAC that node may have frames pending. Idempotent;
-// cheap when the node is already transmitting or scheduled.
+// cheap when the node is already transmitting or scheduled. Crashed nodes
+// stay silent.
 func (m *MAC) Wake(node int) {
+	if m.isDown(node) {
+		return
+	}
 	if m.cfg.Mode == ModeCSMA {
 		m.scheduleTry(node, 0)
 		return
@@ -370,7 +387,7 @@ func (m *MAC) slotTime() float64 {
 // scheduleTry arms a single CSMA tryStart for node after base plus random
 // jitter.
 func (m *MAC) scheduleTry(node int, base float64) {
-	if m.pending[node] || m.busy[node] || m.tx[node] == nil {
+	if m.pending[node] || m.busy[node] || m.tx[node] == nil || m.isDown(node) {
 		return
 	}
 	m.pending[node] = true
@@ -382,7 +399,7 @@ func (m *MAC) scheduleTry(node int, base float64) {
 // allow one.
 func (m *MAC) tryStart(node int) {
 	t := m.tx[node]
-	if t == nil || m.busy[node] {
+	if t == nil || m.busy[node] || m.isDown(node) {
 		return
 	}
 	frame := m.current[node]
@@ -455,20 +472,34 @@ func (m *MAC) complete(node int) {
 	csma := m.cfg.Mode == ModeCSMA
 	start, end := m.txStart[node], m.txEnd[node]
 	m.busy[node] = false
+	if m.isDown(node) {
+		// The transmitter crashed mid-frame: the transmission falls silent.
+		// Nothing was delivered, nothing is counted, and the frame's payload
+		// ownership returns to the pool. Neighbours that deferred to us under
+		// CSMA still need re-arming — the channel just went quiet.
+		retire(frame)
+		m.current[node] = nil
+		if csma {
+			for _, v := range m.medium.Neighbors(node) {
+				m.scheduleTry(v, 0)
+			}
+		}
+		return
+	}
 	m.framesSent[node]++
 	m.bytesSent[node] += int64(airBytes(frame))
 	m.attempts[node]++
 
 	if frame.Broadcast {
 		for _, j := range m.medium.Neighbors(node) {
-			if m.rx[j] == nil {
+			if m.rx[j] == nil || m.isDown(j) {
 				continue
 			}
 			if csma && m.interfered(j, node, start, end) {
 				m.collided[j]++
 				continue
 			}
-			if m.rng.Float64() < m.medium.Prob(node, j) {
+			if m.rng.Float64() < m.probNow(node, j) {
 				m.deliver(node, j, frame.Payload)
 			} else {
 				m.lost[j]++
@@ -479,9 +510,11 @@ func (m *MAC) complete(node int) {
 	} else {
 		dest := frame.Dest
 		success := false
-		if csma && m.interfered(dest, node, start, end) {
+		if m.isDown(dest) {
+			m.lost[dest]++
+		} else if csma && m.interfered(dest, node, start, end) {
 			m.collided[dest]++
-		} else if m.rng.Float64() < m.medium.Prob(node, dest) {
+		} else if m.rng.Float64() < m.probNow(node, dest) {
 			success = true
 		} else {
 			m.lost[dest]++
@@ -491,7 +524,7 @@ func (m *MAC) complete(node int) {
 			// ACK; a lost ACK forces a retransmission even though the data
 			// arrived (duplicates are suppressed upstream; the delivery
 			// counts once, on the attempt whose ACK returns).
-			success = m.rng.Float64() < m.medium.Prob(dest, node)
+			success = m.rng.Float64() < m.probNow(dest, node)
 		}
 		switch {
 		case success && m.rx[dest] != nil:
@@ -567,6 +600,9 @@ func (m *MAC) allocate(node int) float64 {
 	m.ensureFillScratch()
 	active := m.fillActive[:0]
 	for _, u := range m.order {
+		if m.isDown(u) {
+			continue
+		}
 		if u == node || m.busy[u] || m.current[u] != nil || m.tx[u].QueueLen() > 0 {
 			active = append(active, u)
 			m.fillIsActive[u] = true

@@ -31,6 +31,27 @@ const (
 	EventGeneration EventType = "generation"
 )
 
+// Event types emitted by the fault injector (internal/faults) and the
+// protocols' mid-session re-optimization. For these, Node carries the
+// network node ID (or a link's From endpoint), From the link's To endpoint
+// (-1 for node events), and Generation the injector's topology epoch.
+const (
+	// EventNodeCrash: a node crashed; its ports detached from the MAC.
+	EventNodeCrash EventType = "crash"
+	// EventNodeRecover: a crashed node came back with empty state.
+	EventNodeRecover EventType = "recover"
+	// EventLinkDown / EventLinkUp: a link-flap episode started / ended.
+	EventLinkDown EventType = "linkdown"
+	EventLinkUp   EventType = "linkup"
+	// EventBurstStart / EventBurstEnd: a Gilbert–Elliott bursty-loss
+	// episode opened / closed on a link.
+	EventBurstStart EventType = "burststart"
+	EventBurstEnd   EventType = "burstend"
+	// EventReplan: a session re-optimized (rates, credits, or route) in
+	// response to a topology epoch.
+	EventReplan EventType = "replan"
+)
+
 // Event is one protocol occurrence.
 type Event struct {
 	// Time is the simulation time in seconds.

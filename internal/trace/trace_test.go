@@ -124,3 +124,88 @@ func TestJSONLWriterCountsErrors(t *testing.T) {
 		t.Fatalf("errors = %d", w.Errors())
 	}
 }
+
+// TestBufferConcurrentOrderPreserved: interleaving across concurrent
+// recorders is arbitrary, but each recorder's own emission order must
+// survive into the buffer — the property the fault injector and the
+// per-session runtimes rely on when several components share one Recorder.
+func TestBufferConcurrentOrderPreserved(t *testing.T) {
+	const goroutines, events = 8, 200
+	b := NewBuffer()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				b.Record(Event{Type: EventTx, Node: g, Generation: i})
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Len() != goroutines*events {
+		t.Fatalf("Len = %d, want %d", b.Len(), goroutines*events)
+	}
+	next := make([]int, goroutines)
+	for _, e := range b.Events() {
+		if e.Generation != next[e.Node] {
+			t.Fatalf("recorder %d emitted %d but buffer holds %d next",
+				e.Node, next[e.Node], e.Generation)
+		}
+		next[e.Node]++
+	}
+	for g, n := range next {
+		if n != events {
+			t.Fatalf("recorder %d: %d of %d events survived", g, n, events)
+		}
+	}
+}
+
+// TestJSONLWriterConcurrentLines: concurrent Record calls may interleave
+// lines in any order, but every line must be a complete, parseable event —
+// no torn writes.
+func TestJSONLWriterConcurrentLines(t *testing.T) {
+	const goroutines, events = 4, 100
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	w := NewJSONLWriter(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	}))
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				w.Record(Event{Type: EventRx, Node: g, Generation: i})
+			}
+		}()
+	}
+	wg.Wait()
+	if w.Errors() != 0 {
+		t.Fatalf("%d write errors", w.Errors())
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != goroutines*events {
+		t.Fatalf("%d lines, want %d", len(lines), goroutines*events)
+	}
+	next := make([]int, goroutines)
+	for _, line := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("torn line %q: %v", line, err)
+		}
+		if e.Generation != next[e.Node] {
+			t.Fatalf("recorder %d: line order broken at %d", e.Node, e.Generation)
+		}
+		next[e.Node]++
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

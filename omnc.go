@@ -29,6 +29,7 @@ import (
 
 	"omnc/internal/coding"
 	"omnc/internal/core"
+	"omnc/internal/faults"
 	"omnc/internal/graph"
 	"omnc/internal/protocol"
 	"omnc/internal/routing"
@@ -49,6 +50,12 @@ var (
 	// out-of-range endpoints, a session whose source equals its destination,
 	// or duplicated (src, dst) pairs.
 	ErrInvalidSession = protocol.ErrInvalidSession
+	// ErrInvalidFaultPlan matches any rejected fault plan: unordered or
+	// overlapping events, out-of-range nodes, malformed episodes.
+	ErrInvalidFaultPlan = faults.ErrInvalidPlan
+	// ErrDestinationDown matches a session whose destination crashed with no
+	// recovery scheduled before the horizon.
+	ErrDestinationDown = protocol.ErrDestinationDown
 )
 
 // Re-exported types. The aliases keep the public API surface in one place
@@ -336,3 +343,36 @@ const (
 
 // NewTraceBuffer returns an empty in-memory trace recorder.
 func NewTraceBuffer() *TraceBuffer { return trace.NewBuffer() }
+
+// Fault injection types: attach a FaultPlan to SessionConfig.Faults to
+// schedule node crashes, link flaps and Gilbert-Elliott burst-loss episodes
+// against an emulated session. The protocols re-optimize at each topology
+// change; a session whose destination crashes for good fails with
+// ErrDestinationDown.
+type (
+	// FaultPlan is an ordered schedule of fault events, JSON-encodable.
+	FaultPlan = faults.Plan
+	// FaultEvent is one timed fault.
+	FaultEvent = faults.Event
+	// FaultKind classifies fault events.
+	FaultKind = faults.Kind
+	// RandomFaultPlanConfig parameterizes RandomFaultPlan.
+	RandomFaultPlanConfig = faults.RandomPlanConfig
+)
+
+// Fault event kinds.
+const (
+	FaultNodeCrash   = faults.NodeCrash
+	FaultNodeRecover = faults.NodeRecover
+	FaultLinkFlap    = faults.LinkFlap
+	FaultBurstLoss   = faults.BurstLoss
+)
+
+// DecodeFaultPlan parses a JSON fault plan and validates it; failures wrap
+// ErrInvalidFaultPlan. It never panics on malformed input.
+func DecodeFaultPlan(data []byte) (*FaultPlan, error) { return faults.DecodePlan(data) }
+
+// RandomFaultPlan samples a valid randomized fault plan — Poisson arrivals
+// per fault process, episodes that never overlap on a link — reproducible
+// from its seed.
+func RandomFaultPlan(cfg RandomFaultPlanConfig) (*FaultPlan, error) { return faults.RandomPlan(cfg) }
