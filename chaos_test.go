@@ -180,6 +180,13 @@ func TestChaosRandomPlans(t *testing.T) {
 					t.Fatalf("plan %d: faulted throughput %.0f exceeds the fault-free bound %.0f",
 						i, st.Throughput, limit)
 				}
+				// NodeUtility is the fraction of selected nodes that carried
+				// traffic; with the destination (which never transmits)
+				// excluded from the denominator it is a true ratio in [0, 1]
+				// no matter which forwarders a fault plan silences.
+				if st.NodeUtility < 0 || st.NodeUtility > 1 {
+					t.Fatalf("plan %d: NodeUtility %v outside [0, 1]", i, st.NodeUtility)
+				}
 				if i%10 == 0 {
 					again, err := omnc.Run(cs.nw, cs.src, cs.dst, proto, chaosConfig(11, plan))
 					if err != nil {

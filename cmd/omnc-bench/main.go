@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"time"
 
+	"omnc/internal/profiling"
 	"omnc/internal/sessionbench"
 )
 
@@ -90,7 +91,19 @@ func main() {
 	iters := flag.Int("iters", 5, "measured session runs per benchmark (after one warmup)")
 	out := flag.String("out", "BENCH_3.json", "output path, or - for stdout")
 	check := flag.String("check", "", "validate an existing report instead of benchmarking")
+	prof := profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omnc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "omnc-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}()
 
 	if *check != "" {
 		if err := checkReport(*check); err != nil {

@@ -22,6 +22,7 @@ import (
 	"omnc/internal/core"
 	"omnc/internal/drift"
 	"omnc/internal/parallel"
+	"omnc/internal/profiling"
 	"omnc/internal/seedmix"
 )
 
@@ -39,8 +40,18 @@ func main() {
 		trials   = flag.Int("trials", 1, "independent loopback sessions to run")
 		workers  = flag.Int("workers", 0, "concurrent sessions (0 = all cores); each owns its own sockets")
 	)
+	prof := profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
-	if err := run(*duration, *rate, *genSize, *block, *seed, *trials, *workers); err != nil {
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "omnc-drift:", err)
+		os.Exit(1)
+	}
+	err = run(*duration, *rate, *genSize, *block, *seed, *trials, *workers)
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "omnc-drift:", err)
 		os.Exit(1)
 	}

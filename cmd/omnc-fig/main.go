@@ -33,6 +33,7 @@ import (
 
 	"omnc/internal/experiments"
 	"omnc/internal/metrics"
+	"omnc/internal/profiling"
 	"omnc/internal/sim"
 )
 
@@ -46,15 +47,26 @@ func main() {
 		mac      = flag.String("mac", "oracle", "channel model: oracle or csma")
 		csvDir   = flag.String("csv", "", "directory to write CSV series into")
 		workers  = flag.Int("workers", 0, "concurrent session emulations (0 = all cores, 1 = serial); results are identical either way")
+		report   = flag.Bool("report", false, "collect per-session observability reports and print per-figure totals")
 	)
+	prof := profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
-	if err := run(*fig, *full, *sessions, *duration, *seed, *mac, *csvDir, *workers); err != nil {
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "omnc-fig:", err)
+		os.Exit(1)
+	}
+	err = run(*fig, *full, *sessions, *duration, *seed, *mac, *csvDir, *workers, *report)
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "omnc-fig:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, full bool, sessions int, duration float64, seed int64, mac, csvDir string, workers int) error {
+func run(fig string, full bool, sessions int, duration float64, seed int64, mac, csvDir string, workers int, report bool) error {
 	cfg := experiments.QuickConfig(seed)
 	if full {
 		cfg = experiments.PaperConfig(seed)
@@ -66,6 +78,7 @@ func run(fig string, full bool, sessions int, duration float64, seed int64, mac,
 		cfg.Duration = duration
 	}
 	cfg.Workers = workers
+	cfg.Report = report
 	switch mac {
 	case "oracle", "":
 		cfg.MAC = sim.ModeOracle
@@ -220,7 +233,31 @@ func comparisonFigs(cfg experiments.Config, csvDir string, figs ...string) error
 			fmt.Printf("Emulated OMNC / optimized sUnicast throughput: %s\n\n", c.LPGapSummary())
 		}
 	}
+	printReportTotals(c)
 	return nil
+}
+
+// printReportTotals summarizes the per-session observability reports per
+// protocol; it prints nothing when the comparison ran without Config.Report.
+func printReportTotals(c *experiments.Comparison) {
+	totals := c.ReportTotals()
+	if len(totals) == 0 {
+		return
+	}
+	protos := make([]string, 0, len(totals))
+	for p := range totals {
+		protos = append(protos, p)
+	}
+	sort.Strings(protos)
+	fmt.Println("Report totals (summed over sessions):")
+	fmt.Printf("%-10s %-10s %-12s %-12s %-12s %-12s %-12s %s\n",
+		"protocol", "sessions", "tx frames", "rx packets", "innovative", "discarded", "airtime (s)", "replans")
+	for _, p := range protos {
+		t := totals[p]
+		fmt.Printf("%-10s %-10d %-12d %-12d %-12d %-12d %-12.1f %d\n",
+			p, t.Sessions, t.TxFrames, t.RxPackets, t.Innovative, t.Discarded, t.AirtimeSeconds, t.Replans)
+	}
+	fmt.Println()
 }
 
 // driftFig runs the link-dynamics extension: OMNC throughput as per-epoch

@@ -8,9 +8,12 @@
 //	omnc-sim -proto more -seed 7         # same session, MORE
 //	omnc-sim -src 12 -dst 91 -proto etx  # explicit endpoints
 //	omnc-sim -trials 16 -workers 4       # 16 loss realizations, 4 at a time
+//	omnc-sim -report out.json            # per-node/per-link observability report
+//	omnc-sim -cpuprofile cpu.prof        # profile the run (also -memprofile, -pprof-http)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -20,6 +23,7 @@ import (
 	"omnc/internal/graph"
 	"omnc/internal/metrics"
 	"omnc/internal/parallel"
+	"omnc/internal/profiling"
 	"omnc/internal/seedmix"
 	"omnc/internal/topology"
 )
@@ -50,19 +54,34 @@ func main() {
 		trials   = flag.Int("trials", 1, "independent loss realizations of the same session")
 		workers  = flag.Int("workers", 0, "concurrent trials (0 = all cores); results are identical either way")
 		faultsAt = flag.String("faults", "", "JSON fault plan to inject (node crashes, link flaps, burst loss)")
+		reportAt = flag.String("report", "", "write the session's observability report as JSON to this path")
 	)
+	prof := profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
-	if err := run(*proto, *nodes, *density, *seed, *src, *dst, *minHops, *maxHops,
-		*duration, *capacity, *cbr, *quality, *svgPath, *trials, *workers, *faultsAt); err != nil {
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "omnc-sim:", err)
+		os.Exit(1)
+	}
+	err = run(*proto, *nodes, *density, *seed, *src, *dst, *minHops, *maxHops,
+		*duration, *capacity, *cbr, *quality, *svgPath, *trials, *workers, *faultsAt, *reportAt)
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "omnc-sim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(proto string, nodes int, density float64, seed int64, src, dst, minHops, maxHops int,
-	duration, capacity, cbr, quality float64, svgPath string, trials, workers int, faultsPath string) error {
+	duration, capacity, cbr, quality float64, svgPath string, trials, workers int,
+	faultsPath, reportPath string) error {
 	if trials < 1 {
 		return fmt.Errorf("-trials must be at least 1, got %d", trials)
+	}
+	if reportPath != "" && trials > 1 {
+		return fmt.Errorf("-report captures a single session; it cannot be combined with -trials %d", trials)
 	}
 	var plan *omnc.FaultPlan
 	if faultsPath != "" {
@@ -116,6 +135,7 @@ func run(proto string, nodes int, density float64, seed int64, src, dst, minHops
 		Seed:                seed,
 		QueueSampleInterval: 0.5,
 		Faults:              plan,
+		Report:              reportPath != "",
 	}
 	if plan != nil {
 		fmt.Printf("fault plan: %d events from %s\n", len(plan.Events), faultsPath)
@@ -165,6 +185,21 @@ func run(proto string, nodes int, density float64, seed int64, src, dst, minHops
 	fmt.Printf("mean queue:          %.2f packets\n", st.MeanQueue)
 	fmt.Printf("node utility:        %.2f\n", st.NodeUtility)
 	fmt.Printf("path utility:        %.2f\n", st.PathUtility)
+	if reportPath != "" {
+		if st.Report == nil {
+			return fmt.Errorf("reporting was requested but the session produced no report")
+		}
+		buf, err := json.MarshalIndent(st.Report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(reportPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report:              %d tx frames, %d rx, %d innovative, %d discarded, %.1f s airtime -> %s\n",
+			st.Report.TotalTx(), st.Report.TotalRx(), st.Report.TotalInnovative(),
+			st.Report.TotalDiscarded(), st.Report.MAC.AirtimeSeconds, reportPath)
+	}
 	return nil
 }
 

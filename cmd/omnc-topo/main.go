@@ -18,6 +18,7 @@ import (
 	"omnc"
 	"omnc/internal/graph"
 	"omnc/internal/metrics"
+	"omnc/internal/profiling"
 	"omnc/internal/topology"
 )
 
@@ -30,8 +31,18 @@ func main() {
 		links   = flag.String("links", "", "write the directed link set as CSV to this path")
 		svg     = flag.String("svg", "", "render the deployment as SVG to this path")
 	)
+	prof := profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
-	if err := run(*nodes, *density, *seed, *quality, *links, *svg); err != nil {
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "omnc-topo:", err)
+		os.Exit(1)
+	}
+	err = run(*nodes, *density, *seed, *quality, *links, *svg)
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "omnc-topo:", err)
 		os.Exit(1)
 	}

@@ -111,6 +111,9 @@ type Config struct {
 	// Progress, when non-nil, is incremented once per completed session so
 	// callers can report sweep progress from another goroutine.
 	Progress *metrics.Progress
+	// Report enables per-session observability reports (protocol.Config
+	// Report); each Stats in SessionResult.ByProtocol then carries one.
+	Report bool
 }
 
 // PaperConfig returns the full-scale evaluation settings of Sec. 5.
@@ -311,6 +314,7 @@ func runSession(nw *topology.Network, sg *core.Subgraph, src, dst int, cfg Confi
 		Seed:                TrialSeed(cfg.Seed, idx),
 		QueueSampleInterval: cfg.QueueSampleInterval,
 		MAC:                 cfg.MAC,
+		Report:              cfg.Report,
 	}
 	res := &SessionResult{Src: src, Dst: dst, ByProtocol: make(map[string]*protocol.Stats, len(cfg.Protocols))}
 	for _, name := range cfg.Protocols {
@@ -357,13 +361,23 @@ func (c *Comparison) throughputs(name string) []float64 {
 }
 
 // GainCDFs returns Fig. 2's series: the CDF of throughput gain over ETX
-// routing for every coded protocol that was run.
+// routing for every coded protocol that was run. Gains are paired per
+// session — only sessions where both the coded protocol and the ETX
+// baseline ran contribute — so the slices handed to metrics.Gains are
+// parallel by construction.
 func (c *Comparison) GainCDFs() map[string]*metrics.CDF {
-	base := c.throughputs(ProtoETX)
 	out := make(map[string]*metrics.CDF)
 	for _, name := range []string{ProtoOMNC, ProtoMORE, ProtoOldMORE} {
-		tp := c.throughputs(name)
-		if len(tp) > 0 && len(base) > 0 {
+		var tp, base []float64
+		for _, s := range c.Sessions {
+			st, ok := s.ByProtocol[name]
+			bst, bok := s.ByProtocol[ProtoETX]
+			if ok && bok {
+				tp = append(tp, st.Throughput)
+				base = append(base, bst.Throughput)
+			}
+		}
+		if len(tp) > 0 {
 			out[name] = metrics.NewCDF(metrics.Gains(tp, base))
 		}
 	}
@@ -409,6 +423,41 @@ func (c *Comparison) utilityCDFs(metric func(*protocol.Stats) float64) map[strin
 		}
 		if len(samples) > 0 {
 			out[name] = metrics.NewCDF(samples)
+		}
+	}
+	return out
+}
+
+// ReportTotals aggregates one protocol's per-session reports across the
+// comparison (Config.Report runs only).
+type ReportTotals struct {
+	Sessions       int
+	TxFrames       int64
+	RxPackets      int64
+	Innovative     int64
+	Discarded      int64
+	AirtimeSeconds float64
+	Replans        int
+}
+
+// ReportTotals sums the session reports per protocol. The map is empty when
+// the comparison ran without Config.Report.
+func (c *Comparison) ReportTotals() map[string]ReportTotals {
+	out := make(map[string]ReportTotals)
+	for _, s := range c.Sessions {
+		for name, st := range s.ByProtocol {
+			if st.Report == nil {
+				continue
+			}
+			t := out[name]
+			t.Sessions++
+			t.TxFrames += st.Report.TotalTx()
+			t.RxPackets += st.Report.TotalRx()
+			t.Innovative += st.Report.TotalInnovative()
+			t.Discarded += st.Report.TotalDiscarded()
+			t.AirtimeSeconds += st.Report.MAC.AirtimeSeconds
+			t.Replans += st.Report.Faults.Replans
+			out[name] = t
 		}
 	}
 	return out

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -231,6 +232,46 @@ func TestRunComparisonProgress(t *testing.T) {
 	}
 	if cfg.Progress.Fraction() != 1 {
 		t.Fatalf("fraction = %v", cfg.Progress.Fraction())
+	}
+}
+
+// TestRunComparisonProgressNeverOvercounts watches the counter while the
+// parallel runner is live: Done must never pass Total mid-sweep (Fraction no
+// longer clamps, so an over-count would surface as a fraction above 1) and
+// must land exactly on Total at the end.
+func TestRunComparisonProgressNeverOvercounts(t *testing.T) {
+	cfg := tinyConfig(13)
+	cfg.Sessions = 4
+	cfg.Protocols = []string{ProtoETX}
+	cfg.Workers = 4
+	p := metrics.NewProgress(cfg.Sessions)
+	cfg.Progress = p
+	stop := make(chan struct{})
+	watched := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				watched <- nil
+				return
+			default:
+				if p.Done() > p.Total() {
+					watched <- fmt.Errorf("mid-sweep progress %s over-counted (fraction %v)", p, p.Fraction())
+					return
+				}
+			}
+		}
+	}()
+	_, err := RunComparison(cfg)
+	close(stop)
+	if werr := <-watched; werr != nil {
+		t.Fatal(werr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Done() != p.Total() || p.Fraction() != 1 {
+		t.Fatalf("final progress = %s (fraction %v), want exactly total", p, p.Fraction())
 	}
 }
 

@@ -135,14 +135,17 @@ func (s Summary) String() string {
 
 // Gains divides each protocol throughput by the matching baseline
 // throughput, skipping pairs where the baseline is not positive (the
-// paper's throughput-gain metric is undefined there).
+// paper's throughput-gain metric is undefined there). The slices must be
+// parallel — element i of both describes the same session — so mismatched
+// lengths are a caller bug and panic rather than silently truncating the
+// gain distribution.
 func Gains(protocol, baseline []float64) []float64 {
-	n := len(protocol)
-	if len(baseline) < n {
-		n = len(baseline)
+	if len(protocol) != len(baseline) {
+		panic(fmt.Sprintf("metrics: Gains sample mismatch: len(protocol)=%d len(baseline)=%d",
+			len(protocol), len(baseline)))
 	}
 	var out []float64
-	for i := 0; i < n; i++ {
+	for i := range protocol {
 		if baseline[i] > 0 {
 			out = append(out, protocol[i]/baseline[i])
 		}
@@ -187,7 +190,14 @@ func ASCIIPlot(title, xLabel string, xMax float64, curves map[string]*CDF) strin
 		fmt.Fprintf(&b, "%4.2f |%s|\n", y, string(row))
 	}
 	fmt.Fprintf(&b, "      %s\n", strings.Repeat("-", width))
-	fmt.Fprintf(&b, "      0%s%.2f  (%s)\n", strings.Repeat(" ", width-12), xMax, xLabel)
+	// Right-align the xMax label with the axis end: the padding depends on
+	// the rendered width of the label, not a fixed guess.
+	xMaxLabel := fmt.Sprintf("%.2f", xMax)
+	pad := width - 1 - len(xMaxLabel)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "      0%s%s  (%s)\n", strings.Repeat(" ", pad), xMaxLabel, xLabel)
 	for ci, name := range names {
 		fmt.Fprintf(&b, "      %c = %s (%s)\n", markers[ci%len(markers)], name, Summarize(curves[name].sorted))
 	}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -93,6 +94,21 @@ func TestPoints(t *testing.T) {
 	}
 }
 
+func TestPointsSingleSample(t *testing.T) {
+	// One sample collapses the range (lo == hi): every point sits at the
+	// sample with F = 1, and nothing divides by the zero span.
+	c := NewCDF([]float64{7})
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i, p := range pts {
+		if p.X != 7 || p.F != 1 {
+			t.Fatalf("point %d = %+v, want X=7 F=1", i, p)
+		}
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	s := Summarize([]float64{1, 2, 3, 4})
 	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
@@ -115,11 +131,20 @@ func TestGains(t *testing.T) {
 	if Gains(nil, nil) != nil {
 		t.Fatal("empty gains must be nil")
 	}
-	// Length mismatch: use the shorter prefix.
-	got = Gains([]float64{10, 20}, []float64{5})
-	if len(got) != 1 || got[0] != 2 {
-		t.Fatalf("gains = %v", got)
-	}
+}
+
+func TestGainsMismatchedLengthsPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("mismatched lengths must panic, not silently truncate")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "Gains sample mismatch") {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	Gains([]float64{10, 20}, []float64{5})
 }
 
 func TestASCIIPlot(t *testing.T) {
@@ -137,6 +162,34 @@ func TestASCIIPlot(t *testing.T) {
 	lines := strings.Split(out, "\n")
 	if len(lines) < 18 {
 		t.Fatalf("plot has %d lines", len(lines))
+	}
+}
+
+func TestASCIIPlotXAxisAlignment(t *testing.T) {
+	// The xMax label must end under the last column of the axis for any
+	// rendered width — 4 chars ("4.00"), 6 ("123.45"), 9 ("123456.78").
+	for _, xMax := range []float64{4, 123.45, 123456.78} {
+		out := ASCIIPlot("t", "x", xMax, map[string]*CDF{"c": NewCDF([]float64{1})})
+		lines := strings.Split(out, "\n")
+		var axis, labels string
+		for i, line := range lines {
+			if strings.Contains(line, "----") {
+				axis, labels = line, lines[i+1]
+				break
+			}
+		}
+		if axis == "" {
+			t.Fatalf("xMax=%v: no axis line in plot:\n%s", xMax, out)
+		}
+		label := strings.Split(strings.TrimPrefix(labels, "      0"), "  (")[0]
+		want := fmt.Sprintf("%.2f", xMax)
+		if strings.TrimLeft(label, " ") != want {
+			t.Fatalf("xMax=%v: label = %q, want %q", xMax, label, want)
+		}
+		// "      0" + padding + label spans exactly the axis width.
+		if got, wantLen := 7+len(label), len(axis); got != wantLen {
+			t.Fatalf("xMax=%v: label line width %d != axis width %d\n%s", xMax, got, wantLen, out)
+		}
 	}
 }
 

@@ -31,16 +31,14 @@ func (p *Progress) Done() int { return int(p.done.Load()) }
 // Total returns the expected number of trials (0 if unknown).
 func (p *Progress) Total() int { return int(p.total) }
 
-// Fraction returns completion in [0, 1], or 0 when the total is unknown.
+// Fraction returns done/total, or 0 when the total is unknown. A value
+// above 1 means a worker over-counted — a bug the reader should see, not
+// have clamped away.
 func (p *Progress) Fraction() float64 {
 	if p.total <= 0 {
 		return 0
 	}
-	f := float64(p.done.Load()) / float64(p.total)
-	if f > 1 {
-		return 1
-	}
-	return f
+	return float64(p.done.Load()) / float64(p.total)
 }
 
 // String renders "done/total" (or just the count when the total is

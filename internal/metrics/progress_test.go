@@ -34,11 +34,13 @@ func TestProgressUnknownTotal(t *testing.T) {
 	}
 }
 
-func TestProgressFractionClamped(t *testing.T) {
+func TestProgressFractionReportsOvercount(t *testing.T) {
+	// Over-counting past the total is a worker bug; Fraction must surface
+	// it rather than clamp it to 1.
 	p := NewProgress(2)
 	p.Add(5)
-	if p.Fraction() != 1 {
-		t.Fatalf("fraction = %v, want clamp to 1", p.Fraction())
+	if p.Fraction() != 2.5 {
+		t.Fatalf("fraction = %v, want the true 2.5", p.Fraction())
 	}
 }
 

@@ -1,0 +1,96 @@
+// Package profiling wires the standard pprof profilers into the CLIs with a
+// shared flag vocabulary: -cpuprofile and -memprofile write profiles the way
+// `go test` does, and -pprof-http serves the live net/http/pprof endpoints
+// for long experiment sweeps. Everything here is stdlib; a binary that never
+// sets the flags pays nothing.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers on DefaultServeMux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profiling destinations a CLI registered.
+type Flags struct {
+	// CPUProfile is a path to write a CPU profile to (empty = off).
+	CPUProfile string
+	// MemProfile is a path to write a heap profile to at stop (empty = off).
+	MemProfile string
+	// HTTPAddr is a listen address for the net/http/pprof endpoints
+	// (empty = off).
+	HTTPAddr string
+}
+
+// RegisterFlags registers the three profiling flags on fs (use
+// flag.CommandLine in a main) and returns the struct they fill after
+// fs.Parse.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this path")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this path on exit")
+	fs.StringVar(&f.HTTPAddr, "pprof-http", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	return f
+}
+
+// Start begins whatever the parsed flags requested and returns a stop
+// function that must run before process exit: it finishes the CPU profile
+// and captures the heap profile. With no flags set, Start and the returned
+// stop are no-ops. Failures to open a requested destination are returned
+// immediately — a profile the user asked for must not vanish silently.
+func (f *Flags) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if f.CPUProfile != "" {
+		cpuFile, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	if f.HTTPAddr != "" {
+		ln, err := net.Listen("tcp", f.HTTPAddr)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, fmt.Errorf("pprof-http: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: serving http://%s/debug/pprof/\n", ln.Addr())
+		// The listener lives for the rest of the process; Serve only returns
+		// on listener failure, which there is no caller to report to.
+		go http.Serve(ln, nil) //nolint:errcheck
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpuprofile: %w", err)
+			}
+			cpuFile = nil
+		}
+		if f.MemProfile != "" {
+			mf, err := os.Create(f.MemProfile)
+			if err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				mf.Close()
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			if err := mf.Close(); err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -26,6 +26,9 @@ func (rt *runtime) onFault(ev faults.Event) {
 	if rt.done {
 		return
 	}
+	if rt.obs != nil {
+		rt.obs.observeFault(ev.Kind)
+	}
 	switch ev.Kind {
 	case faults.NodeCrash:
 		local, ok := rt.localOf[ev.Node]
@@ -98,6 +101,9 @@ func (rt *runtime) replan() {
 	}
 	masked := rt.sg.Masked(down, linkDown)
 	rt.emit(trace.EventReplan, rt.sg.Src, -1)
+	if rt.obs != nil {
+		rt.obs.faults.Replans++
+	}
 	if _, _, ok := graph.ShortestPath(masked.ForwardGraph(nil), masked.Src, masked.Dst); !ok {
 		rt.stall()
 		return

@@ -7,6 +7,7 @@ import (
 	"omnc/internal/coding"
 	"omnc/internal/core"
 	"omnc/internal/graph"
+	"omnc/internal/report"
 	"omnc/internal/sim"
 	"omnc/internal/topology"
 	"omnc/internal/trace"
@@ -61,6 +62,10 @@ type runtime struct {
 	latencies  []float64
 	innovative int64
 	received   int64
+
+	// obs is the report collector (rtreport.go), nil unless Config.Report
+	// is set — the same nil-until-enabled contract as the fault overlays.
+	obs *sessionObs
 }
 
 // emit records a protocol event when tracing is enabled.
@@ -130,6 +135,9 @@ func attachRuntime(env *Env, net *topology.Network, sg *core.Subgraph, pol *Poli
 		ackDelay: ackLatency(sg, cfg),
 		genBytes: cfg.Coding.GenerationSize * nominalBlock,
 		genData:  make([]byte, cfg.Coding.GenerationSize*cfg.Coding.BlockSize),
+	}
+	if cfg.Report {
+		rt.obs = newSessionObs(sg.Size())
 	}
 	if shared || env.Faults != nil {
 		rt.localOf = make(map[int]int, sg.Size())
@@ -265,15 +273,23 @@ func (rt *runtime) Finish(until float64) *Stats {
 
 	if rt.shared {
 		rt.sharedUtilities(st)
+		if rt.obs != nil {
+			st.Report = rt.buildReport(st)
+		}
 		return st
 	}
 
-	// Queue statistics over involved nodes (Fig. 3).
+	// Queue statistics over involved nodes (Fig. 3). The destination never
+	// transmits, so it cannot be involved — skipping it keeps the utility
+	// numerator consistent with the non-destination denominator below.
 	st.QueuePerNode = make([]float64, rt.sg.Size())
 	involved := 0
 	queueSum := 0.0
 	for i := range rt.nodes {
 		st.QueuePerNode[i] = rt.mac.TimeAvgQueue(i)
+		if i == rt.sg.Dst {
+			continue
+		}
 		if rt.mac.FramesSent(i) > 0 {
 			involved++
 			queueSum += st.QueuePerNode[i]
@@ -300,6 +316,9 @@ func (rt *runtime) Finish(until float64) *Stats {
 	if total > 0 {
 		st.PathUtility = graph.CountPaths(used, rt.sg.Src, rt.sg.Dst) / total
 	}
+	if rt.obs != nil {
+		st.Report = rt.buildReport(st)
+	}
 	return st
 }
 
@@ -310,9 +329,11 @@ func (rt *runtime) Finish(until float64) *Stats {
 // statistics stay zero — a physical node's queue is a property of the shared
 // channel, not of one session.
 func (rt *runtime) sharedUtilities(st *Stats) {
+	// The destination is excluded from the denominator, so a (hypothetically)
+	// transmitting destination must not count as involved either.
 	involved := 0
 	for _, n := range rt.nodes {
-		if n.frames > 0 {
+		if !n.isDst && n.frames > 0 {
 			involved++
 		}
 	}
@@ -536,6 +557,9 @@ func (n *node) Receive(from int, payload interface{}) {
 	}
 	rt.received++
 	rt.emit(trace.EventRx, n.local, fromLocal)
+	if rt.obs != nil {
+		rt.obs.rx[n.local]++
+	}
 	if n.isDst {
 		n.destReceive(fromLocal, pkt)
 		return
@@ -559,11 +583,22 @@ func (n *node) destReceive(fromLocal int, pkt *coding.Packet) {
 	if innovative {
 		rt.innovative++
 		rt.emit(trace.EventInnovative, n.local, fromLocal)
+		if rt.obs != nil {
+			rt.obs.innov[n.local]++
+			rt.obs.rank = append(rt.obs.rank, report.RankPoint{
+				Time:       rt.eng.Now(),
+				Generation: rt.currentGen,
+				Rank:       n.dec.Rank(),
+			})
+		}
 		if n.dec.Decoded() {
 			rt.generationDecoded()
 		}
 	} else {
 		rt.emit(trace.EventDiscard, n.local, fromLocal)
+		if rt.obs != nil {
+			rt.obs.discard[n.local]++
+		}
 	}
 }
 
@@ -581,6 +616,9 @@ func (n *node) forwarderReceive(fromLocal int, pkt *coding.Packet) {
 	// relay would fall silent mid-generation.
 	if n.rec.Full() {
 		rt.emit(trace.EventDiscard, n.local, fromLocal)
+		if rt.obs != nil {
+			rt.obs.discard[n.local]++
+		}
 		if rt.pol.CreditOnAnyReception {
 			n.credit += rt.pol.Credit[n.local]
 			n.earnCredit()
@@ -596,8 +634,14 @@ func (n *node) forwarderReceive(fromLocal int, pkt *coding.Packet) {
 	if innovative {
 		rt.innovative++
 		rt.emit(trace.EventInnovative, n.local, fromLocal)
+		if rt.obs != nil {
+			rt.obs.innov[n.local]++
+		}
 	} else {
 		rt.emit(trace.EventDiscard, n.local, fromLocal)
+		if rt.obs != nil {
+			rt.obs.discard[n.local]++
+		}
 	}
 	if rt.pol.SendWhenNonEmpty {
 		rt.mac.Wake(n.macID)

@@ -43,6 +43,11 @@ func NewEnv(medium sim.Medium, cfg Config) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Report {
+		// The measurement overlay only allocates counters; enabling it does
+		// not perturb event timing or RNG draws.
+		mac.EnableObservation()
+	}
 	return &Env{Eng: eng, MAC: mac}, nil
 }
 

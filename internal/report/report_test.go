@@ -1,0 +1,147 @@
+package report
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 9} {
+		h.Observe(v)
+	}
+	// v <= 1 -> bucket 0; 1 < v <= 2 -> bucket 1; 2 < v <= 4 -> bucket 2;
+	// v > 4 -> overflow.
+	want := []int64{2, 2, 2, 1}
+	if !reflect.DeepEqual(h.Counts, want) {
+		t.Fatalf("counts = %v, want %v", h.Counts, want)
+	}
+	if h.N != 7 {
+		t.Fatalf("N = %d", h.N)
+	}
+	if h.Min != 0.5 || h.Max != 9 {
+		t.Fatalf("min/max = %v/%v", h.Min, h.Max)
+	}
+	if got, want := h.Mean(), (0.5+1+1.5+2+3+4+9)/7; got != want {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(1, 2)
+	if h.Mean() != 0 || h.N != 0 {
+		t.Fatalf("empty histogram = %+v", h)
+	}
+	if len(h.Counts) != 3 {
+		t.Fatalf("counts len = %d, want len(bounds)+1", len(h.Counts))
+	}
+}
+
+func TestHistogramNegativeSamples(t *testing.T) {
+	// The queue histogram's first bound is 0; negative values (never produced
+	// by the MAC, but the type must not misbehave) land in bucket 0 and set
+	// Min below zero.
+	h := NewHistogram(0, 1)
+	h.Observe(-2)
+	h.Observe(0)
+	if h.Counts[0] != 2 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.Min != -2 || h.Max != 0 {
+		t.Fatalf("min/max = %v/%v", h.Min, h.Max)
+	}
+}
+
+func TestHistogramDoesNotAliasBounds(t *testing.T) {
+	bounds := []float64{1, 2}
+	h := NewHistogram(bounds...)
+	bounds[0] = 100
+	h.Observe(1.5)
+	if h.Counts[1] != 1 {
+		t.Fatal("histogram must copy its bounds")
+	}
+}
+
+func TestObserveDoesNotAllocate(t *testing.T) {
+	h := NewHistogram(DefaultQueueBounds...)
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]float64, 64)
+	for i := range samples {
+		samples[i] = rng.Float64() * 200
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, v := range samples {
+			h.Observe(v)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestReportTotals(t *testing.T) {
+	r := &Report{Nodes: []NodeCounters{
+		{Node: 0, TxFrames: 10, RxPackets: 0, Innovative: 0, Discarded: 0},
+		{Node: 1, TxFrames: 5, RxPackets: 9, Innovative: 7, Discarded: 2},
+		{Node: 2, TxFrames: 0, RxPackets: 12, Innovative: 8, Discarded: 4},
+	}}
+	if r.TotalTx() != 15 || r.TotalRx() != 21 || r.TotalInnovative() != 15 || r.TotalDiscarded() != 6 {
+		t.Fatalf("totals = %d/%d/%d/%d", r.TotalTx(), r.TotalRx(), r.TotalInnovative(), r.TotalDiscarded())
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBounds...)
+	h.Observe(0.7)
+	h.Observe(3)
+	in := &Report{
+		Protocol:           "omnc",
+		Seed:               7,
+		Duration:           60,
+		GenerationsDecoded: 4,
+		Throughput:         1234.5,
+		Nodes: []NodeCounters{
+			{Node: 0, TxFrames: 100, AirtimeSeconds: 1.5},
+			{Node: 1, RxPackets: 90, Innovative: 80, Discarded: 10, MeanQueue: 2.25},
+		},
+		Links:             []LinkDelivery{{From: 0, To: 1, Delivered: 90}},
+		MAC:               MACStats{FramesSent: 100, BytesSent: 104800, AirtimeSeconds: 1.5, MeanTokenOccupancy: 0.4},
+		GenerationLatency: h,
+		RankTimeline:      []RankPoint{{Time: 1.5, Generation: 0, Rank: 1}},
+		Faults:            FaultSummary{Epochs: 2, Crashes: 1, Replans: 2},
+	}
+	buf, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Report
+	if err := json.Unmarshal(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, &out) {
+		t.Fatalf("round trip drifted:\n in=%+v\nout=%+v", in, &out)
+	}
+}
+
+func TestReportJSONOmitsEmptySections(t *testing.T) {
+	buf, err := json.Marshal(&Report{Protocol: "etx"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"links", "generation_latency", "queue_length", "rank_timeline"} {
+		if jsonHasKey(buf, key) {
+			t.Fatalf("empty report must omit %q: %s", key, buf)
+		}
+	}
+}
+
+func jsonHasKey(buf []byte, key string) bool {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return false
+	}
+	_, ok := m[key]
+	return ok
+}

@@ -52,8 +52,12 @@ type etxSession struct {
 	target     int64 // stop after this many delivered packets (0 = none)
 	done       bool
 	finishedAt float64
-	sentAt     []int64 // shared: per-local-node frames this session sent
-	recvAt     []int64 // shared: per-local-node session deliveries
+	sentAt     []int64 // per-local-node frames this session sent (shared or reporting runs)
+	recvAt     []int64 // per-local-node session deliveries (shared or reporting runs)
+
+	// obs is the report collector (etxreport.go), nil unless Config.Report
+	// is set — the same nil-until-enabled contract as the fault overlays.
+	obs *etxObs
 }
 
 // etxPacket is one uncoded application packet on the shared channel, tagged
@@ -152,9 +156,12 @@ func attachETX(env *protocol.Env, sg *core.Subgraph, cfg protocol.Config, id uin
 	if cfg.MaxGenerations > 0 {
 		s.target = int64(cfg.MaxGenerations) * int64(cfg.Coding.GenerationSize)
 	}
-	if shared {
+	if shared || cfg.Report {
 		s.sentAt = make([]int64, sg.Size())
 		s.recvAt = make([]int64, sg.Size())
+	}
+	if cfg.Report {
+		s.obs = &etxObs{}
 	}
 	for h := 0; h+1 < len(path); h++ {
 		s.nextHop[path[h]] = path[h+1]
@@ -216,6 +223,9 @@ func (s *etxSession) onFault(ev faults.Event) {
 	if s.done {
 		return
 	}
+	if s.obs != nil {
+		s.obs.observeFault(ev.Kind)
+	}
 	switch ev.Kind {
 	case faults.NodeCrash:
 		if local, ok := s.localOf[ev.Node]; ok {
@@ -251,6 +261,19 @@ func (s *etxSession) fail(err error) {
 // has no end-to-end recovery — per-hop MAC retries are its only reliability)
 // and wakes the hops that have work.
 func (s *etxSession) reroute() {
+	// Emit and count in lockstep with the coded runtime's replan() so trace
+	// and report stay reconcilable across all four protocols.
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.Record(trace.Event{
+			Time: s.env.Eng.Now(),
+			Type: trace.EventReplan,
+			Node: s.sg.Src,
+			From: -1,
+		})
+	}
+	if s.obs != nil {
+		s.obs.faults.Replans++
+	}
 	inj := s.env.Faults
 	g := graph.New(s.sg.Size())
 	for _, l := range s.sg.Links {
@@ -327,9 +350,14 @@ func (s *etxSession) Finish(until float64) *protocol.Stats {
 
 	if s.shared {
 		// Per-session attribution from the session's own counters; queue
-		// statistics are a property of the shared channel and stay zero.
+		// statistics are a property of the shared channel and stay zero. The
+		// destination is excluded from the utility denominator, so it must
+		// not count as involved either.
 		involved := 0
-		for _, f := range s.sentAt {
+		for i, f := range s.sentAt {
+			if i == s.sg.Dst {
+				continue
+			}
 			if f > 0 {
 				involved++
 			}
@@ -346,6 +374,9 @@ func (s *etxSession) Finish(until float64) *protocol.Stats {
 		if total := s.sg.PathCount(); total > 0 {
 			st.PathUtility = graph.CountPaths(used, s.sg.Src, s.sg.Dst) / total
 		}
+		if s.obs != nil {
+			st.Report = s.buildReport(st)
+		}
 		return st
 	}
 
@@ -354,6 +385,9 @@ func (s *etxSession) Finish(until float64) *protocol.Stats {
 	involved, queueSum := 0, 0.0
 	for i := range st.QueuePerNode {
 		st.QueuePerNode[i] = mac.TimeAvgQueue(i)
+		if i == s.sg.Dst {
+			continue // the destination never transmits and sits outside the denominator
+		}
 		if mac.FramesSent(i) > 0 {
 			involved++
 			queueSum += st.QueuePerNode[i]
@@ -373,6 +407,9 @@ func (s *etxSession) Finish(until float64) *protocol.Stats {
 	}
 	if total := s.sg.PathCount(); total > 0 {
 		st.PathUtility = graph.CountPaths(used, s.sg.Src, s.sg.Dst) / total
+	}
+	if s.obs != nil {
+		st.Report = s.buildReport(st)
 	}
 	return st
 }

@@ -157,6 +157,11 @@ type MAC struct {
 	downNodes map[int]bool
 	linkMod   map[[2]int]float64
 
+	// Measurement overlay (observe.go): airtime, token-occupancy and
+	// queue-length accumulators behind EnableObservation. Same nil-until-
+	// enabled contract as the fault overlays above.
+	obs *Observation
+
 	// eventFree recycles macEvent structs: every event the MAC schedules —
 	// transmission attempts, completions, deliveries, queue samples — is one
 	// fixed struct drawn from this free list, so the steady-state per-frame
@@ -425,6 +430,10 @@ func (m *MAC) tryStart(node int) {
 			if m.tokens[node] > need {
 				m.tokens[node] = need // burst of one frame
 			}
+			if m.obs != nil {
+				m.obs.tokenSum[node] += m.tokens[node]
+				m.obs.tokenN[node]++
+			}
 			if m.tokens[node] < need {
 				// Randomize the pacing interval (mean-preserving, +/-50%):
 				// deterministic waits phase-lock transmitters that share a
@@ -449,6 +458,9 @@ func (m *MAC) tryStart(node int) {
 		m.txStart[node] = m.eng.Now()
 		m.txEnd[node] = m.eng.Now() + need/m.cfg.Capacity
 		m.scheduleEvent(need/m.cfg.Capacity, evComplete, node)
+		if m.obs != nil {
+			m.obs.airtime[node] += need / m.cfg.Capacity
+		}
 		return
 	}
 
@@ -463,6 +475,9 @@ func (m *MAC) tryStart(node int) {
 	}
 	m.busy[node] = true
 	m.scheduleEvent(need/rate, evComplete, node)
+	if m.obs != nil {
+		m.obs.airtime[node] += need / rate
+	}
 }
 
 // complete finishes node's in-flight frame: draws receptions, handles
@@ -749,6 +764,9 @@ func (m *MAC) sample() {
 			q++
 		}
 		m.queueSumTime[u] += q * dt
+		if m.obs != nil {
+			m.obs.queue.Observe(q)
+		}
 	}
 	m.lastSampleAt = m.eng.Now()
 	m.scheduleSample()

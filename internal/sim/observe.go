@@ -1,0 +1,60 @@
+package sim
+
+import "omnc/internal/report"
+
+// Observation is the MAC's opt-in measurement overlay. Like the fault
+// overlays it is nil until enabled, so the default run pays one pointer
+// nil-check per hook and nothing else — no allocation, no RNG draw, no
+// change to event timing. Enabled, every hook is a slice-indexed add.
+type Observation struct {
+	airtime  []float64 // per node: scheduled air occupancy in seconds
+	tokenSum []float64 // per node: token-bucket fill summed at attempts
+	tokenN   []int64   // per node: attempts observed with a token bucket
+	queue    *report.Histogram
+}
+
+// EnableObservation arms the measurement overlay. Call before driving the
+// engine; idempotent. It only allocates counters — a run with observation
+// enabled is bit-identical to one without.
+func (m *MAC) EnableObservation() {
+	if m.obs != nil {
+		return
+	}
+	n := m.medium.Size()
+	m.obs = &Observation{
+		airtime:  make([]float64, n),
+		tokenSum: make([]float64, n),
+		tokenN:   make([]int64, n),
+		queue:    report.NewHistogram(report.DefaultQueueBounds...),
+	}
+}
+
+// Airtime returns node's accumulated scheduled air occupancy in seconds, or
+// 0 when observation is disabled. Oracle-mode frames occupy the channel for
+// Size/rate at their allocated share; CSMA frames for Size/Capacity.
+func (m *MAC) Airtime(node int) float64 {
+	if m.obs == nil {
+		return 0
+	}
+	return m.obs.airtime[node]
+}
+
+// TokenObservations returns the sum and count of token-bucket fill samples
+// observed at node's transmission attempts (CSMA rate-capped nodes only;
+// zero otherwise or when observation is disabled).
+func (m *MAC) TokenObservations(node int) (sum float64, n int64) {
+	if m.obs == nil {
+		return 0, 0
+	}
+	return m.obs.tokenSum[node], m.obs.tokenN[node]
+}
+
+// QueueHistogram returns the histogram of per-transmitter queue lengths
+// accumulated by the periodic sampler, or nil when observation is disabled
+// (or sampling is off).
+func (m *MAC) QueueHistogram() *report.Histogram {
+	if m.obs == nil {
+		return nil
+	}
+	return m.obs.queue
+}

@@ -123,6 +123,66 @@ func TestJSONLWriterCountsErrors(t *testing.T) {
 	if w.Errors() != 1 {
 		t.Fatalf("errors = %d", w.Errors())
 	}
+	// Every failed write counts; the writer never gives up after the first.
+	for i := 0; i < 9; i++ {
+		w.Record(Event{Type: EventRx})
+	}
+	if w.Errors() != 10 {
+		t.Fatalf("errors = %d, want 10", w.Errors())
+	}
+}
+
+// TestJSONLWriterIntermittentErrors: a destination that fails every other
+// write loses exactly the failed events — the surviving lines stay complete
+// and the error count matches the losses.
+func TestJSONLWriterIntermittentErrors(t *testing.T) {
+	var buf bytes.Buffer
+	calls := 0
+	w := NewJSONLWriter(writerFunc(func(p []byte) (int, error) {
+		calls++
+		if calls%2 == 0 {
+			return 0, bytes.ErrTooLarge
+		}
+		return buf.Write(p)
+	}))
+	const total = 10
+	for i := 0; i < total; i++ {
+		w.Record(Event{Type: EventTx, Generation: i})
+	}
+	if w.Errors() != total/2 {
+		t.Fatalf("errors = %d, want %d", w.Errors(), total/2)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != total/2 {
+		t.Fatalf("%d lines survived, want %d", len(lines), total/2)
+	}
+	for _, line := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("surviving line %q is torn: %v", line, err)
+		}
+	}
+}
+
+// TestJSONLWriterConcurrentErrors: the error counter must stay exact under
+// concurrent Record calls against a failing destination (run with -race).
+func TestJSONLWriterConcurrentErrors(t *testing.T) {
+	const goroutines, events = 8, 50
+	w := NewJSONLWriter(failWriter{})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				w.Record(Event{Type: EventRx})
+			}
+		}()
+	}
+	wg.Wait()
+	if w.Errors() != goroutines*events {
+		t.Fatalf("errors = %d, want %d", w.Errors(), goroutines*events)
+	}
 }
 
 // TestBufferConcurrentOrderPreserved: interleaving across concurrent

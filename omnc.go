@@ -32,6 +32,7 @@ import (
 	"omnc/internal/faults"
 	"omnc/internal/graph"
 	"omnc/internal/protocol"
+	"omnc/internal/report"
 	"omnc/internal/routing"
 	"omnc/internal/topology"
 	"omnc/internal/trace"
@@ -343,6 +344,22 @@ const (
 
 // NewTraceBuffer returns an empty in-memory trace recorder.
 func NewTraceBuffer() *TraceBuffer { return trace.NewBuffer() }
+
+// Observability report types: set SessionConfig.Report and a session fills
+// SessionStats.Report with per-node counters, the per-link delivery matrix,
+// MAC airtime, latency/queue histograms, the destination's rank-progress
+// timeline and a fault/replan summary. The hooks follow the fault overlay's
+// nil-until-enabled contract, so runs with Report unset stay bit-identical
+// and allocation-free (see DESIGN.md).
+type (
+	// Report is one session's observability report, JSON-encodable
+	// (`omnc-sim -report out.json` writes exactly this).
+	Report = report.Report
+	// ReportNodeCounters is one node's packet counters within a Report.
+	ReportNodeCounters = report.NodeCounters
+	// ReportHistogram is a fixed-bucket histogram within a Report.
+	ReportHistogram = report.Histogram
+)
 
 // Fault injection types: attach a FaultPlan to SessionConfig.Faults to
 // schedule node crashes, link flaps and Gilbert-Elliott burst-loss episodes

@@ -1,0 +1,186 @@
+package omnc_test
+
+import (
+	"reflect"
+	"testing"
+
+	"omnc"
+	"omnc/internal/seedmix"
+	"omnc/internal/trace"
+)
+
+// reportPlan draws a random fault plan for the chaos session that leaves the
+// destination alive, so every protocol finishes normally with a report.
+func reportPlan(t *testing.T, cs *chaosSession) *omnc.FaultPlan {
+	t.Helper()
+	for i := int64(0); i < 50; i++ {
+		plan, err := omnc.RandomFaultPlan(omnc.RandomFaultPlanConfig{
+			Nodes:        cs.nodes,
+			Links:        cs.links,
+			Horizon:      10,
+			CrashRate:    0.15,
+			MeanDowntime: 3,
+			FlapRate:     0.1,
+			BurstRate:    0.1,
+			BadFactor:    0.1,
+			Seed:         seedmix.Derive(4000, i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan.Events) > 0 && !planKillsDst(plan, cs.dst) {
+			return plan
+		}
+	}
+	t.Fatal("no survivable non-empty plan in 50 draws")
+	return nil
+}
+
+// TestReportReconcilesWithTrace is the tentpole's accounting property: a
+// session run with both the raw trace and the aggregated report enabled must
+// tell the same story — every report total equals the count of the matching
+// trace events, with no hook site missed or double-counted.
+func TestReportReconcilesWithTrace(t *testing.T) {
+	cs := newChaosSession(t, 5)
+	plan := reportPlan(t, cs)
+	for name, proto := range chaosProtocols() {
+		t.Run(name, func(t *testing.T) {
+			buf := omnc.NewTraceBuffer()
+			cfg := chaosConfig(11, plan)
+			cfg.Trace = buf
+			cfg.Report = true
+			st, err := omnc.Run(cs.nw, cs.src, cs.dst, proto, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := st.Report
+			if rep == nil {
+				t.Fatal("Config.Report set but Stats.Report is nil")
+			}
+			if rep.Protocol != st.Policy || rep.Throughput != st.Throughput ||
+				rep.GenerationsDecoded != st.GenerationsDecoded {
+				t.Fatalf("report header disagrees with stats: %+v vs %+v", rep, st)
+			}
+			if rep.Faults.Replans != buf.Count(trace.EventReplan) {
+				t.Errorf("replans: report %d, trace %d", rep.Faults.Replans, buf.Count(trace.EventReplan))
+			}
+			if name == "etx" {
+				// ETX traces only decode and replan events; the packet-level
+				// totals have no trace counterpart to reconcile against.
+				if rep.TotalTx() == 0 || rep.TotalRx() == 0 {
+					t.Errorf("etx report counted no traffic: %+v", rep.Nodes)
+				}
+				return
+			}
+			if got, want := rep.TotalTx(), int64(buf.Count(trace.EventTx)); got != want {
+				t.Errorf("tx frames: report %d, trace %d", got, want)
+			}
+			if got, want := rep.TotalRx(), int64(buf.Count(trace.EventRx)); got != want {
+				t.Errorf("rx packets: report %d, trace %d", got, want)
+			}
+			if got, want := rep.TotalInnovative(), int64(buf.Count(trace.EventInnovative)); got != want {
+				t.Errorf("innovative: report %d, trace %d", got, want)
+			}
+			if got, want := rep.TotalDiscarded(), int64(buf.Count(trace.EventDiscard)); got != want {
+				t.Errorf("discarded: report %d, trace %d", got, want)
+			}
+			// Every reception is either innovative or discarded.
+			if rep.TotalRx() != rep.TotalInnovative()+rep.TotalDiscarded() {
+				t.Errorf("rx %d != innovative %d + discarded %d",
+					rep.TotalRx(), rep.TotalInnovative(), rep.TotalDiscarded())
+			}
+			if rep.GenerationLatency == nil || rep.GenerationLatency.N != int64(buf.Count(trace.EventDecode)) {
+				t.Errorf("generation latency histogram disagrees with decode events: %+v vs %d",
+					rep.GenerationLatency, buf.Count(trace.EventDecode))
+			}
+			// The rank timeline is the destination's innovative-reception
+			// series: nonempty, time-ordered, rank nondecreasing per
+			// generation.
+			if len(rep.RankTimeline) == 0 {
+				t.Fatal("empty rank timeline on a decoding session")
+			}
+			lastT := 0.0
+			lastRank := map[int]int{}
+			for _, pt := range rep.RankTimeline {
+				if pt.Time < lastT {
+					t.Fatalf("rank timeline out of order at t=%v", pt.Time)
+				}
+				lastT = pt.Time
+				if pt.Rank < lastRank[pt.Generation] {
+					t.Fatalf("rank regressed in generation %d: %d -> %d",
+						pt.Generation, lastRank[pt.Generation], pt.Rank)
+				}
+				lastRank[pt.Generation] = pt.Rank
+			}
+		})
+	}
+}
+
+// TestReportDisabledIsInvisible pins the zero-cost contract at the Stats
+// level: enabling reporting must change nothing but the Report field itself,
+// fault plan or not.
+func TestReportDisabledIsInvisible(t *testing.T) {
+	cs := newChaosSession(t, 5)
+	plans := map[string]*omnc.FaultPlan{"faultfree": nil, "faulted": reportPlan(t, cs)}
+	for name, proto := range chaosProtocols() {
+		for planName, plan := range plans {
+			off, err := omnc.Run(cs.nw, cs.src, cs.dst, proto, chaosConfig(13, plan))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, planName, err)
+			}
+			if off.Report != nil {
+				t.Fatalf("%s/%s: Report non-nil without Config.Report", name, planName)
+			}
+			cfg := chaosConfig(13, plan)
+			cfg.Report = true
+			on, err := omnc.Run(cs.nw, cs.src, cs.dst, proto, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s with report: %v", name, planName, err)
+			}
+			if on.Report == nil {
+				t.Fatalf("%s/%s: Config.Report set but Report is nil", name, planName)
+			}
+			stripped := *on
+			stripped.Report = nil
+			if !reflect.DeepEqual(off, &stripped) {
+				t.Errorf("%s/%s: reporting perturbed the run:\n off: %+v\n on:  %+v",
+					name, planName, off, &stripped)
+			}
+		}
+	}
+}
+
+// TestReportMultiSession exercises the shared-engine placement: every session
+// of a multi-unicast run carries its own report, and per-session counters stay
+// separated (each destination's innovative count is its own, not the union).
+func TestReportMultiSession(t *testing.T) {
+	nw, err := omnc.GenerateNetwork(40, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := findMultiSessions(t, nw, 2)
+	cfg := chaosConfig(19, nil)
+	cfg.Report = true
+	ms, err := omnc.RunMulti(nw, sessions, omnc.OMNC(omnc.RateOptions{}), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range ms.PerSession {
+		rep := st.Report
+		if rep == nil {
+			t.Fatalf("session %d: no report", i)
+		}
+		if rep.TotalRx() != rep.TotalInnovative()+rep.TotalDiscarded() {
+			t.Errorf("session %d: rx %d != innovative %d + discarded %d",
+				i, rep.TotalRx(), rep.TotalInnovative(), rep.TotalDiscarded())
+		}
+		if int64(st.InnovativeReceived) < rep.Nodes[len(rep.Nodes)-1].Innovative {
+			// Nodes are subgraph-local; the destination is one of them. Its
+			// innovative count can never exceed the session-wide stat.
+			t.Errorf("session %d: report innovative exceeds session stat", i)
+		}
+		if rep.MAC.FramesSent == 0 || rep.Duration <= 0 {
+			t.Errorf("session %d: report missing MAC/duration: %+v", i, rep.MAC)
+		}
+	}
+}
