@@ -239,6 +239,44 @@ func BenchmarkMultiSessionOMNC(b *testing.B) { benchMultiSession(b, 0) }
 
 func BenchmarkMultiSessionETX(b *testing.B) { benchMultiSession(b, 1) }
 
+// benchMultiSessionScaled measures the parallel-engine scaling workload:
+// sixteen sessions on radio-isolated strips with full-size 1 KB blocks,
+// identical emulated work at every worker count (the scenario lives in
+// internal/sessionbench so cmd/omnc-bench records exactly this workload in
+// BENCH_4.json). Compare the ns/op across the scenario ladder for the
+// serial-vs-parallel speedup; the reported bytes/s must not move.
+func benchMultiSessionScaled(b *testing.B, scenario int) {
+	s := sessionbench.ScaledMultiScenarios()[scenario]
+	nw, sessions, err := sessionbench.ScaledNetwork()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	var tp float64
+	for i := 0; i < b.N; i++ {
+		ms, err := s.Run(nw, sessions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, st := range ms.PerSession {
+			if st.Throughput <= 0 {
+				b.Fatalf("session %d delivered nothing", j)
+			}
+		}
+		tp = ms.AggregateThroughput
+	}
+	b.ReportMetric(tp, "bytes/s")
+}
+
+func BenchmarkMultiSessionScaledSerial(b *testing.B) { benchMultiSessionScaled(b, 0) }
+
+func BenchmarkMultiSessionScaledWorkers2(b *testing.B) { benchMultiSessionScaled(b, 1) }
+
+func BenchmarkMultiSessionScaledWorkers4(b *testing.B) { benchMultiSessionScaled(b, 2) }
+
+func BenchmarkMultiSessionScaledWorkers8(b *testing.B) { benchMultiSessionScaled(b, 3) }
+
 // BenchmarkTable1RateControl measures the distributed rate-control
 // algorithm itself (Table 1) on a random selected subgraph.
 func BenchmarkTable1RateControl(b *testing.B) {

@@ -9,14 +9,23 @@
 //
 // Usage:
 //
-//	omnc-bench [-iters N] [-out BENCH_3.json]   record a fresh report
-//	omnc-bench -check BENCH_3.json              validate a committed report
+//	omnc-bench [-iters N] [-out BENCH_4.json]   record a fresh report
+//	omnc-bench -check BENCH_4.json              validate a committed report
+//	omnc-bench -engine-workers N                spot-measure the scaled
+//	                                            workload at N workers
 //
 // -check verifies the schema and re-asserts the regression gates: the OMNC
 // session must show at least 50% fewer allocs/op than the pre-pooling
 // baseline, and multi-session workloads (when present in the report, as in
 // BENCH_3.json and later) must stay within 25% of their recorded allocs/op.
-// Reports that predate the multi scenarios (BENCH_2.json) still validate.
+// Reports that carry the parallel-engine scaling ladder (BENCH_4.json and
+// later) must additionally show identical emulated throughput across every
+// worker count — the engines are required to be bit-identical, so any drift
+// is a determinism bug, not noise — and, when the recording machine had at
+// least four CPUs, at least a 2x ns/op speedup at four workers over the
+// serial engine. Reports recorded on fewer CPUs (where no wall-clock
+// speedup is physically available) still gate on determinism. Reports that
+// predate the multi scenarios (BENCH_2.json) still validate.
 package main
 
 import (
@@ -37,8 +46,12 @@ const schemaVersion = "omnc-bench/v1"
 
 // Report is the top-level BENCH_<n>.json document.
 type Report struct {
-	Schema     string   `json:"schema"`
-	GoVersion  string   `json:"go_version"`
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	// CPUs is runtime.NumCPU() on the recording machine. The parallel-engine
+	// speedup gate only binds when this is >= 4; the determinism gate binds
+	// regardless. Absent (0) in reports recorded before BENCH_4.json.
+	CPUs       int      `json:"cpus,omitempty"`
 	Iterations int      `json:"iterations"`
 	Benchmarks []Result `json:"benchmarks"`
 }
@@ -87,10 +100,17 @@ const allocGate = 0.5
 // recorded baseline by at most this factor.
 const multiAllocGate = 1.25
 
+// speedupGate is the minimum serial-ns/op over four-worker-ns/op ratio the
+// scaled scenario must show, enforced only for reports recorded on a
+// machine with at least four CPUs (a single-CPU recorder cannot exhibit
+// wall-clock parallel speedup no matter how parallel the round structure).
+const speedupGate = 2.0
+
 func main() {
 	iters := flag.Int("iters", 5, "measured session runs per benchmark (after one warmup)")
-	out := flag.String("out", "BENCH_3.json", "output path, or - for stdout")
+	out := flag.String("out", "BENCH_4.json", "output path, or - for stdout")
 	check := flag.String("check", "", "validate an existing report instead of benchmarking")
+	engWork := flag.Int("engine-workers", -1, "spot-measure the scaled multi-session workload at this engine worker count (0 = serial) instead of recording a report")
 	prof := profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	stopProf, err := prof.Start()
@@ -110,7 +130,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "omnc-bench: %s: %v\n", *check, err)
 			os.Exit(1)
 		}
-		fmt.Printf("%s: schema %s ok, alloc gate held\n", *check, schemaVersion)
+		fmt.Printf("%s: schema %s ok, gates held\n", *check, schemaVersion)
+		return
+	}
+
+	if *engWork >= 0 {
+		s := sessionbench.ScaledMultiScenario{
+			Name:          fmt.Sprintf("MultiSessionScaled/workers=%d", *engWork),
+			EngineWorkers: *engWork,
+		}
+		if *engWork == 0 {
+			s.Name = "MultiSessionScaled/serial"
+		}
+		r, err := measureScaled(s, *iters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omnc-bench: %s: %v\n", s.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d ns/op %d allocs/op %d B/op %.0f bytes/s (cpus=%d)\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.Throughput, runtime.NumCPU())
 		return
 	}
 
@@ -144,7 +182,12 @@ func record(iters int) (*Report, error) {
 	if iters < 1 {
 		return nil, fmt.Errorf("need at least 1 iteration, got %d", iters)
 	}
-	rep := &Report{Schema: schemaVersion, GoVersion: runtime.Version(), Iterations: iters}
+	rep := &Report{
+		Schema:     schemaVersion,
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		Iterations: iters,
+	}
 	for _, s := range sessionbench.Scenarios() {
 		r, err := measure(s, iters)
 		if err != nil {
@@ -154,6 +197,13 @@ func record(iters int) (*Report, error) {
 	}
 	for _, s := range sessionbench.MultiScenarios() {
 		r, err := measureMulti(s, iters)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+	}
+	for _, s := range sessionbench.ScaledMultiScenarios() {
+		r, err := measureScaled(s, iters)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", s.Name, err)
 		}
@@ -237,6 +287,45 @@ func measureMulti(s sessionbench.MultiScenario, iters int) (Result, error) {
 	}, nil
 }
 
+// measureScaled is measureMulti for the parallel-engine scaling workload:
+// sixteen sessions on radio-isolated strips with the scenario's engine
+// worker count. The emulated throughput must come out identical for every
+// worker count — checkReport enforces that.
+func measureScaled(s sessionbench.ScaledMultiScenario, iters int) (Result, error) {
+	nw, sessions, err := sessionbench.ScaledNetwork()
+	if err != nil {
+		return Result{}, err
+	}
+	ms, err := s.Run(nw, sessions)
+	if err != nil {
+		return Result{}, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if ms, err = s.Run(nw, sessions); err != nil {
+			return Result{}, err
+		}
+		for j, st := range ms.PerSession {
+			if st.Throughput <= 0 {
+				return Result{}, fmt.Errorf("session %d delivered nothing", j)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := int64(iters)
+	return Result{
+		Name:        s.Name,
+		NsPerOp:     elapsed.Nanoseconds() / n,
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / n,
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / n,
+		Throughput:  ms.AggregateThroughput,
+	}, nil
+}
+
 // checkReport validates a committed report: schema identity, one entry per
 // scenario with sane fields, and the OMNC allocation gate.
 func checkReport(path string) error {
@@ -305,6 +394,53 @@ func checkReport(path string) error {
 			if r.AllocsPerOp > mlimit {
 				return fmt.Errorf("%s allocs/op %d exceeds gate %d (%.0f%% of baseline %d)",
 					s.Name, r.AllocsPerOp, mlimit, multiAllocGate*100, r.Baseline.AllocsPerOp)
+			}
+		}
+	}
+	// The parallel-engine scaling ladder appeared in BENCH_4.json. A report
+	// carrying any rung must carry all of them with identical emulated
+	// throughput (the engines are bit-identical by contract — divergence is
+	// a determinism bug, never noise), must declare the recording machine's
+	// CPU count, and — when that machine could actually run rounds in
+	// parallel (cpus >= 4) — must show the speedup the parallel engine
+	// exists for.
+	scaled := sessionbench.ScaledMultiScenarios()
+	hasScaled := false
+	for _, s := range scaled {
+		if _, ok := byName[s.Name]; ok {
+			hasScaled = true
+			break
+		}
+	}
+	if hasScaled {
+		var serial, four Result
+		var tp float64
+		for i, s := range scaled {
+			r, ok := byName[s.Name]
+			if !ok {
+				return fmt.Errorf("missing benchmark %s", s.Name)
+			}
+			if i == 0 {
+				tp = r.Throughput
+			} else if r.Throughput != tp {
+				return fmt.Errorf("%s: emulated throughput %v differs from %s's %v — parallel engine diverged from serial",
+					s.Name, r.Throughput, scaled[0].Name, tp)
+			}
+			switch s.EngineWorkers {
+			case 0:
+				serial = r
+			case 4:
+				four = r
+			}
+		}
+		if rep.CPUs < 1 {
+			return fmt.Errorf("report carries the scaling ladder but no cpus field")
+		}
+		if rep.CPUs >= 4 {
+			ratio := float64(serial.NsPerOp) / float64(four.NsPerOp)
+			if ratio < speedupGate {
+				return fmt.Errorf("scaled speedup %.2fx at 4 workers below gate %.1fx (serial %d ns/op, workers=4 %d ns/op, cpus=%d)",
+					ratio, speedupGate, serial.NsPerOp, four.NsPerOp, rep.CPUs)
 			}
 		}
 	}

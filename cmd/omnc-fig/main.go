@@ -47,6 +47,7 @@ func main() {
 		mac      = flag.String("mac", "oracle", "channel model: oracle or csma")
 		csvDir   = flag.String("csv", "", "directory to write CSV series into")
 		workers  = flag.Int("workers", 0, "concurrent session emulations (0 = all cores, 1 = serial); results are identical either way")
+		engWork  = flag.Int("engine-workers", 0, "parallel event-engine workers per session (0 = serial engine); results are identical either way")
 		report   = flag.Bool("report", false, "collect per-session observability reports and print per-figure totals")
 	)
 	prof := profiling.RegisterFlags(flag.CommandLine)
@@ -56,7 +57,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "omnc-fig:", err)
 		os.Exit(1)
 	}
-	err = run(*fig, *full, *sessions, *duration, *seed, *mac, *csvDir, *workers, *report)
+	err = run(*fig, *full, *sessions, *duration, *seed, *mac, *csvDir, *workers, *engWork, *report)
 	if perr := stopProf(); perr != nil && err == nil {
 		err = perr
 	}
@@ -66,7 +67,7 @@ func main() {
 	}
 }
 
-func run(fig string, full bool, sessions int, duration float64, seed int64, mac, csvDir string, workers int, report bool) error {
+func run(fig string, full bool, sessions int, duration float64, seed int64, mac, csvDir string, workers, engineWorkers int, report bool) error {
 	cfg := experiments.QuickConfig(seed)
 	if full {
 		cfg = experiments.PaperConfig(seed)
@@ -78,6 +79,7 @@ func run(fig string, full bool, sessions int, duration float64, seed int64, mac,
 		cfg.Duration = duration
 	}
 	cfg.Workers = workers
+	cfg.EngineWorkers = engineWorkers
 	cfg.Report = report
 	switch mac {
 	case "oracle", "":
@@ -328,6 +330,7 @@ func multiFig(cfg experiments.Config, full bool, csvDir string) error {
 		RateOptions:   cfg.RateOptions,
 		Seed:          cfg.Seed,
 		Workers:       cfg.Workers,
+		EngineWorkers: cfg.EngineWorkers,
 		Progress:      metrics.NewProgress(len(counts) * trials),
 	}
 	fmt.Printf("Running multi-unicast scaling on %d nodes (counts %v, %d trials each, MAC %s)...\n",
@@ -399,6 +402,7 @@ func faultsFig(cfg experiments.Config, csvDir string) error {
 		RateOptions:   cfg.RateOptions,
 		Seed:          cfg.Seed,
 		Workers:       cfg.Workers,
+		EngineWorkers: cfg.EngineWorkers,
 		Progress:      metrics.NewProgress(sessions * len(churn)),
 	}
 	fmt.Printf("Running fault churn on %d nodes (%d sessions x churn %v per 100 s, MAC %s)...\n",

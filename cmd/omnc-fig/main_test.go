@@ -16,7 +16,7 @@ var update = flag.Bool("update", false, "rewrite golden files under testdata/")
 
 func TestRunFig1WritesCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("1", false, 0, 0, 1, "oracle", dir, 0, false); err != nil {
+	if err := run("1", false, 0, 0, 1, "oracle", dir, 0, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig1_convergence.csv")); err != nil {
@@ -26,7 +26,7 @@ func TestRunFig1WritesCSV(t *testing.T) {
 
 func TestRunFig2SmallSession(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("2l", false, 1, 60, 7, "oracle", dir, 0, false); err != nil {
+	if err := run("2l", false, 1, 60, 7, "oracle", dir, 0, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig2l_gains.csv")); err != nil {
@@ -35,10 +35,10 @@ func TestRunFig2SmallSession(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run("nope", false, 1, 10, 1, "oracle", "", 0, false); err == nil {
+	if err := run("nope", false, 1, 10, 1, "oracle", "", 0, 0, false); err == nil {
 		t.Fatal("unknown figure must fail")
 	}
-	if err := run("2l", false, 1, 10, 1, "token-ring", "", 0, false); err == nil {
+	if err := run("2l", false, 1, 10, 1, "token-ring", "", 0, 0, false); err == nil {
 		t.Fatal("unknown MAC must fail")
 	}
 }
@@ -50,7 +50,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 // intentional behaviour change.
 func TestGoldenFig2CSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("2l", false, 2, 60, 7, "oracle", dir, 2, false); err != nil {
+	if err := run("2l", false, 2, 60, 7, "oracle", dir, 2, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	compareGolden(t, filepath.Join(dir, "fig2l_gains.csv"), "fig2l_gains.golden.csv")
@@ -64,7 +64,7 @@ func TestGoldenFig2CSVWithReport(t *testing.T) {
 		t.Skip("fixture is owned by TestGoldenFig2CSV")
 	}
 	dir := t.TempDir()
-	if err := run("2l", false, 2, 60, 7, "oracle", dir, 2, true); err != nil {
+	if err := run("2l", false, 2, 60, 7, "oracle", dir, 2, 0, true); err != nil {
 		t.Fatal(err)
 	}
 	compareGolden(t, filepath.Join(dir, "fig2l_gains.csv"), "fig2l_gains.golden.csv")
@@ -76,7 +76,19 @@ func TestGoldenFig2CSVWithReport(t *testing.T) {
 // workers-invariant determinism at the CLI boundary.
 func TestGoldenMultiCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("multi", false, 2, 60, 7, "oracle", dir, 2, false); err != nil {
+	if err := run("multi", false, 2, 60, 7, "oracle", dir, 2, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join(dir, "fig_multi.csv"), "fig_multi.golden.csv")
+}
+
+// TestGoldenMultiCSVParallelEngine re-runs the multi figure on the parallel
+// event engine (-engine-workers 2) against the SAME golden fixture: the
+// conservative engine's contract is byte-identical output at any worker
+// count, so the serial fixture must match without regeneration.
+func TestGoldenMultiCSVParallelEngine(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("multi", false, 2, 60, 7, "oracle", dir, 2, 2, false); err != nil {
 		t.Fatal(err)
 	}
 	compareGolden(t, filepath.Join(dir, "fig_multi.csv"), "fig_multi.golden.csv")
@@ -90,7 +102,7 @@ func TestGoldenMultiCSV(t *testing.T) {
 // sessions bit-identical.
 func TestGoldenFaultsCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("faults", false, 2, 60, 7, "oracle", dir, 2, false); err != nil {
+	if err := run("faults", false, 2, 60, 7, "oracle", dir, 2, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	compareGolden(t, filepath.Join(dir, "fig_faults.csv"), "fig_faults.golden.csv")

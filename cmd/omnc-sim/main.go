@@ -53,6 +53,7 @@ func main() {
 		svgPath  = flag.String("svg", "", "render the session's forwarder subgraph as SVG to this path")
 		trials   = flag.Int("trials", 1, "independent loss realizations of the same session")
 		workers  = flag.Int("workers", 0, "concurrent trials (0 = all cores); results are identical either way")
+		engWork  = flag.Int("engine-workers", 0, "parallel event-engine workers per session (0 = serial engine); results are identical either way")
 		faultsAt = flag.String("faults", "", "JSON fault plan to inject (node crashes, link flaps, burst loss)")
 		reportAt = flag.String("report", "", "write the session's observability report as JSON to this path")
 	)
@@ -64,7 +65,7 @@ func main() {
 		os.Exit(1)
 	}
 	err = run(*proto, *nodes, *density, *seed, *src, *dst, *minHops, *maxHops,
-		*duration, *capacity, *cbr, *quality, *svgPath, *trials, *workers, *faultsAt, *reportAt)
+		*duration, *capacity, *cbr, *quality, *svgPath, *trials, *workers, *engWork, *faultsAt, *reportAt)
 	if perr := stopProf(); perr != nil && err == nil {
 		err = perr
 	}
@@ -75,7 +76,7 @@ func main() {
 }
 
 func run(proto string, nodes int, density float64, seed int64, src, dst, minHops, maxHops int,
-	duration, capacity, cbr, quality float64, svgPath string, trials, workers int,
+	duration, capacity, cbr, quality float64, svgPath string, trials, workers, engineWorkers int,
 	faultsPath, reportPath string) error {
 	if trials < 1 {
 		return fmt.Errorf("-trials must be at least 1, got %d", trials)
@@ -136,6 +137,7 @@ func run(proto string, nodes int, density float64, seed int64, src, dst, minHops
 		QueueSampleInterval: 0.5,
 		Faults:              plan,
 		Report:              reportPath != "",
+		EngineWorkers:       engineWorkers,
 	}
 	if plan != nil {
 		fmt.Printf("fault plan: %d events from %s\n", len(plan.Events), faultsPath)

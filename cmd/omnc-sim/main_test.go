@@ -11,21 +11,21 @@ import (
 )
 
 func TestRunRandomSession(t *testing.T) {
-	if err := run("omnc", 100, 6, 3, -1, -1, 3, 8, 60, 2e4, 1e4, 0, "", 1, 0, "", ""); err != nil {
+	if err := run("omnc", 100, 6, 3, -1, -1, 3, 8, 60, 2e4, 1e4, 0, "", 1, 0, 0, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunExplicitEndpointsETX(t *testing.T) {
 	// Deterministic topology: find a pair via the random path first.
-	if err := run("etx", 100, 6, 3, -1, -1, 3, 8, 60, 2e4, 0, 0, "", 1, 0, "", ""); err != nil {
+	if err := run("etx", 100, 6, 3, -1, -1, 3, 8, 60, 2e4, 0, 0, "", 1, 0, 0, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWritesSessionSVG(t *testing.T) {
 	svg := filepath.Join(t.TempDir(), "session.svg")
-	if err := run("more", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, svg, 1, 0, "", ""); err != nil {
+	if err := run("more", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, svg, 1, 0, 0, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(svg)
@@ -38,25 +38,31 @@ func TestRunWritesSessionSVG(t *testing.T) {
 }
 
 func TestRunUnknownProtocol(t *testing.T) {
-	if err := run("bogus", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0, "", ""); err == nil {
+	if err := run("bogus", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0, 0, "", ""); err == nil {
 		t.Fatal("unknown protocol must fail")
 	}
 }
 
 func TestRunBadQuality(t *testing.T) {
-	if err := run("omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0.05, "", 1, 0, "", ""); err == nil {
+	if err := run("omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0.05, "", 1, 0, 0, "", ""); err == nil {
 		t.Fatal("bad quality target must fail")
 	}
 }
 
 func TestRunParallelTrials(t *testing.T) {
-	if err := run("etx", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, "", 4, 2, "", ""); err != nil {
+	if err := run("etx", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, "", 4, 2, 0, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunParallelEngine(t *testing.T) {
+	if err := run("omnc", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 1e4, 0, "", 1, 0, 2, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadTrials(t *testing.T) {
-	if err := run("etx", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, "", 0, 1, "", ""); err == nil {
+	if err := run("etx", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, "", 0, 1, 0, "", ""); err == nil {
 		t.Fatal("zero trials must fail")
 	}
 }
@@ -71,7 +77,7 @@ func TestRunWithFaultPlan(t *testing.T) {
 	if err := os.WriteFile(plan, []byte(doc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("omnc", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 1e4, 0, "", 1, 0, plan, ""); err != nil {
+	if err := run("omnc", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 1e4, 0, "", 1, 0, 0, plan, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -86,10 +92,10 @@ func TestRunRejectsBadFaultPlan(t *testing.T) {
 	if err := os.WriteFile(plan, []byte(doc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0, plan, ""); err == nil {
+	if err := run("omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0, 0, plan, ""); err == nil {
 		t.Fatal("invalid fault plan must fail")
 	}
-	if err := run("omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0,
+	if err := run("omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0, 0,
 		filepath.Join(t.TempDir(), "missing.json"), ""); err == nil {
 		t.Fatal("missing fault plan file must fail")
 	}
@@ -97,7 +103,7 @@ func TestRunRejectsBadFaultPlan(t *testing.T) {
 
 func TestRunWritesReport(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "report.json")
-	if err := run("omnc", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 1e4, 0, "", 1, 0, "", out); err != nil {
+	if err := run("omnc", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 1e4, 0, "", 1, 0, 0, "", out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -115,7 +121,7 @@ func TestRunWritesReport(t *testing.T) {
 
 func TestRunRejectsReportWithTrials(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "report.json")
-	if err := run("etx", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, "", 4, 2, "", out); err == nil {
+	if err := run("etx", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, "", 4, 2, 0, "", out); err == nil {
 		t.Fatal("-report with -trials > 1 must fail")
 	}
 }

@@ -99,6 +99,11 @@ type Packet struct {
 	refs   atomic.Int32
 }
 
+// SessionTag implements the emulator's sim.Tagged interface, letting the
+// MAC route the packet straight to its session's receiver port (and shard
+// same-time deliveries by session on the parallel engine).
+func (pk *Packet) SessionTag() uint32 { return pk.Session }
+
 // Clone returns a deep, unpooled copy of the packet; Release on the clone
 // is a no-op.
 func (pk *Packet) Clone() *Packet {

@@ -107,6 +107,7 @@ func DriftSweep(cfg DriftSweepConfig) (*DriftSweepResult, error) {
 			CBRRate:       base.CBRRate,
 			MAC:           base.MAC,
 			Seed:          TrialSeed(base.Seed, si),
+			EngineWorkers: base.EngineWorkers,
 		}
 		ds, err := protocol.RunWithDrift(nw, p.src, p.dst,
 			protocol.OMNC(base.RateOptions), pcfg, protocol.DriftConfig{

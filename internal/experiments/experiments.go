@@ -108,6 +108,12 @@ type Config struct {
 	// derived from (Seed, trial index) and lands in a slice slot addressed
 	// by its trial index.
 	Workers int
+	// EngineWorkers selects each session's event engine: 0 the serial
+	// engine, N >= 1 the conservative parallel engine with N workers
+	// (protocol.Config EngineWorkers). Orthogonal to Workers — that fans
+	// sessions out, this parallelizes inside one session — and results are
+	// bit-identical for every value.
+	EngineWorkers int
 	// Progress, when non-nil, is incremented once per completed session so
 	// callers can report sweep progress from another goroutine.
 	Progress *metrics.Progress
@@ -315,6 +321,7 @@ func runSession(nw *topology.Network, sg *core.Subgraph, src, dst int, cfg Confi
 		QueueSampleInterval: cfg.QueueSampleInterval,
 		MAC:                 cfg.MAC,
 		Report:              cfg.Report,
+		EngineWorkers:       cfg.EngineWorkers,
 	}
 	res := &SessionResult{Src: src, Dst: dst, ByProtocol: make(map[string]*protocol.Stats, len(cfg.Protocols))}
 	for _, name := range cfg.Protocols {

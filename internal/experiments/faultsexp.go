@@ -60,6 +60,10 @@ type FaultsConfig struct {
 	// for every worker count (fault plans and trial seeds derive from the
 	// cell index, and results land in index-addressed slots).
 	Workers int
+	// EngineWorkers selects each cell's event engine (protocol.Config
+	// EngineWorkers): 0 serial, N >= 1 the parallel engine with N workers.
+	// Results are bit-identical for every value.
+	EngineWorkers int
 	// Progress, when non-nil, is incremented once per completed cell.
 	Progress *metrics.Progress
 }
@@ -323,6 +327,7 @@ func runFaultCell(nw *topology.Network, cell faultCell, cfg FaultsConfig, idx in
 			MAC:           cfg.MAC,
 			Trace:         buf,
 			Faults:        plan,
+			EngineWorkers: cfg.EngineWorkers,
 		}
 		var st *protocol.Stats
 		switch name {

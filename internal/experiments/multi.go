@@ -54,6 +54,10 @@ type MultiConfig struct {
 	// for every worker count (each cell is seeded from (Seed, cell index)
 	// and lands in a slice slot addressed by that index).
 	Workers int
+	// EngineWorkers selects each cell's event engine (protocol.Config
+	// EngineWorkers): 0 serial, N >= 1 the parallel engine with N workers.
+	// Results are bit-identical for every value.
+	EngineWorkers int
 	// Progress, when non-nil, is incremented once per completed cell.
 	Progress *metrics.Progress
 }
@@ -271,6 +275,7 @@ func runMultiCell(nw *topology.Network, cell multiCell, cfg MultiConfig, idx int
 		CBRRate:       cfg.CBRRate,
 		Seed:          seedmix.Derive(cfg.Seed, streamMultiTrial, int64(idx)),
 		MAC:           cfg.MAC,
+		EngineWorkers: cfg.EngineWorkers,
 	}
 	res := &multiCellResult{
 		aggregate: make(map[string]float64, len(cfg.Protocols)),

@@ -27,7 +27,7 @@ import (
 // nodes fall outside the mapping still update the injector's own down/link
 // state — the plan describes the whole network — but touch no MAC port.
 type Injector struct {
-	eng     *sim.Engine
+	eng     sim.Engine
 	mac     *sim.MAC
 	rec     trace.Recorder
 	mapNode func(int) (int, bool)
@@ -42,7 +42,7 @@ type Injector struct {
 
 // NewInjector schedules every event of the plan on the engine. The plan must
 // already be validated against the network; rec may be nil.
-func NewInjector(eng *sim.Engine, mac *sim.MAC, plan *Plan, mapNode func(int) (int, bool), rec trace.Recorder) *Injector {
+func NewInjector(eng sim.Engine, mac *sim.MAC, plan *Plan, mapNode func(int) (int, bool), rec trace.Recorder) *Injector {
 	inj := &Injector{
 		eng:      eng,
 		mac:      mac,

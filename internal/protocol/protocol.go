@@ -66,6 +66,20 @@ type Config struct {
 	// extra RNG draws — so a run with Report false is bit-identical to a
 	// build without the feature.
 	Report bool
+	// EngineWorkers selects the discrete-event engine driving the run: 0
+	// (the default) runs the proven serial engine; N >= 1 runs the
+	// conservative time-bucketed parallel engine with N workers, which
+	// executes same-timestamp deliveries of different sessions
+	// concurrently. Any value produces bit-identical SessionStats, traces
+	// and Reports — the worker count only changes wall-clock time.
+	EngineWorkers int
+	// TimeQuantum, when positive, rounds MAC frame-completion times up to
+	// this grid (sim.Config TimeQuantum). Concurrent transmitters then
+	// complete in shared calendar buckets, which is what gives the parallel
+	// engine multi-session rounds to run concurrently. A timing-model
+	// parameter: results stay deterministic and engine-independent for any
+	// fixed value but differ from the continuous-time default of 0.
+	TimeQuantum float64
 }
 
 func (c Config) withDefaults() Config {

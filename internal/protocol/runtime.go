@@ -33,10 +33,17 @@ type runtime struct {
 	id     uint32 // session tag on the shared channel (0 when exclusive)
 	shared bool   // attached to a multi-session Env
 	env    *Env
-	eng    *sim.Engine
+	eng    sim.Engine // the session's engine view (Env.SessionEngine)
 	mac    *sim.MAC
 	rng    *rand.Rand
 	nodes  []*node
+
+	// traceFree recycles deferred rx-side trace handlers (see emitDeferred);
+	// a plain slice suffices because pops (receive path) and pushes (the
+	// handler's Fire) always run on the goroutine currently owning this
+	// session — the engine goroutine serially, the session's shard worker
+	// inside a parallel round — with a barrier between the two.
+	traceFree []*traceEvent
 
 	localOf map[int]int // network ID -> local index (shared or faulted runs)
 	linkIdx map[[2]int]int
@@ -68,7 +75,9 @@ type runtime struct {
 	obs *sessionObs
 }
 
-// emit records a protocol event when tracing is enabled.
+// emit records a protocol event when tracing is enabled. Only for call
+// sites that run in serial engine context (Dequeue side, generation
+// restarts, fault reactions); receive-path sites must use emitDeferred.
 func (rt *runtime) emit(t trace.EventType, node, from int) {
 	if rt.cfg.Trace == nil {
 		return
@@ -80,6 +89,46 @@ func (rt *runtime) emit(t trace.EventType, node, from int) {
 		From:       from,
 		Generation: rt.currentGen,
 	})
+}
+
+// traceEvent defers one trace record to serial engine context: the event is
+// captured (with its timestamp) where it happened and recorded when the
+// handler fires at delay zero. Receive callbacks run concurrently with
+// other sessions' on the parallel engine, and the trace Recorder — though
+// mutex-safe — would interleave their records nondeterministically;
+// deferring through the calendar restores a deterministic record order on
+// both engines.
+type traceEvent struct {
+	rt *runtime
+	ev trace.Event
+}
+
+// Fire implements sim.Handler.
+func (h *traceEvent) Fire() {
+	h.rt.cfg.Trace.Record(h.ev)
+	h.rt.traceFree = append(h.rt.traceFree, h)
+}
+
+// emitDeferred records a protocol event from the session's receive path.
+func (rt *runtime) emitDeferred(t trace.EventType, node, from int) {
+	if rt.cfg.Trace == nil {
+		return
+	}
+	var h *traceEvent
+	if n := len(rt.traceFree); n > 0 {
+		h = rt.traceFree[n-1]
+		rt.traceFree = rt.traceFree[:n-1]
+	} else {
+		h = &traceEvent{rt: rt}
+	}
+	h.ev = trace.Event{
+		Time:       rt.eng.Now(),
+		Type:       t,
+		Node:       node,
+		From:       from,
+		Generation: rt.currentGen,
+	}
+	rt.eng.ScheduleHandler(0, h)
 }
 
 // newRuntime builds an exclusive session: a private Env over the subgraph
@@ -127,7 +176,7 @@ func attachRuntime(env *Env, net *topology.Network, sg *core.Subgraph, pol *Poli
 		id:     id,
 		shared: shared,
 		env:    env,
-		eng:    env.Eng,
+		eng:    env.SessionEngine(id),
 		mac:    env.MAC,
 		// Session id 0 draws the same stream as an exclusive session, so
 		// single-session behaviour is one fixed point of the multi path.
@@ -159,9 +208,10 @@ func attachRuntime(env *Env, net *topology.Network, sg *core.Subgraph, pol *Poli
 			macID = sg.Nodes[i]
 		}
 		n := &node{rt: rt, local: i, macID: macID, isSrc: i == sg.Src, isDst: i == sg.Dst}
+		n.wake.n = n
 		rt.nodes[i] = n
 		if !n.isSrc {
-			rt.mac.AttachReceiver(macID, n)
+			rt.mac.AttachSessionReceiver(macID, n, id)
 		}
 		excluded := pol.Exclude != nil && pol.Exclude[i]
 		if !n.isDst && !excluded {
@@ -205,11 +255,13 @@ func (rt *runtime) startGeneration(gen int) error {
 func (rt *runtime) generationDecoded() {
 	rt.decoded++
 	rt.latencies = append(rt.latencies, rt.eng.Now()-rt.genStart)
-	rt.emit(trace.EventDecode, rt.sg.Dst, -1)
+	rt.emitDeferred(trace.EventDecode, rt.sg.Dst, -1)
 	if rt.cfg.MaxGenerations > 0 && rt.decoded >= rt.cfg.MaxGenerations {
 		rt.done = true
 		rt.finishedAt = rt.eng.Now()
-		rt.env.SessionDone()
+		// SessionDone touches the Env's shared finished counter and may
+		// Stop the engine; both must happen in serial engine context.
+		rt.eng.Schedule(0, rt.env.SessionDone)
 		return
 	}
 	gen := rt.currentGen + 1
@@ -376,6 +428,33 @@ type node struct {
 	rec     *coding.Recoder  // forwarders
 	dec     *coding.Decoder  // destination
 	txFrame sim.Frame        // reused: at most one frame of n is in flight
+	wake    wakeEvent        // deferred MAC wake-up, coalesced per bucket
+}
+
+// wakeEvent defers a MAC.Wake from the node's receive path to serial engine
+// context. Waking the MAC mutates shared channel state (and can draw from
+// the MAC's RNG), which a session's Receive callback must not do while
+// other sessions' callbacks run concurrently in the same parallel round.
+// The queued flag coalesces multiple wake-ups of one node in one bucket —
+// Wake is idempotent, so a single deferred call is equivalent.
+type wakeEvent struct {
+	n      *node
+	queued bool
+}
+
+// Fire implements sim.Handler.
+func (w *wakeEvent) Fire() {
+	w.queued = false
+	w.n.rt.mac.Wake(w.n.macID)
+}
+
+// deferWake schedules the node's coalesced wake-up at delay zero.
+func (n *node) deferWake() {
+	if n.wake.queued {
+		return
+	}
+	n.wake.queued = true
+	n.rt.eng.ScheduleHandler(0, &n.wake)
 }
 
 // reset re-arms the node for a new generation; pending credit from the
@@ -517,7 +596,7 @@ func (n *node) earnCredit() {
 		}
 		n.outq = append(n.outq, pkt)
 	}
-	n.rt.mac.Wake(n.macID)
+	n.deferWake()
 }
 
 // Receive implements sim.Receiver (the component's RX port): filter the
@@ -556,7 +635,7 @@ func (n *node) Receive(from int, payload interface{}) {
 		}
 	}
 	rt.received++
-	rt.emit(trace.EventRx, n.local, fromLocal)
+	rt.emitDeferred(trace.EventRx, n.local, fromLocal)
 	if rt.obs != nil {
 		rt.obs.rx[n.local]++
 	}
@@ -582,7 +661,7 @@ func (n *node) destReceive(fromLocal int, pkt *coding.Packet) {
 	}
 	if innovative {
 		rt.innovative++
-		rt.emit(trace.EventInnovative, n.local, fromLocal)
+		rt.emitDeferred(trace.EventInnovative, n.local, fromLocal)
 		if rt.obs != nil {
 			rt.obs.innov[n.local]++
 			rt.obs.rank = append(rt.obs.rank, report.RankPoint{
@@ -595,7 +674,7 @@ func (n *node) destReceive(fromLocal int, pkt *coding.Packet) {
 			rt.generationDecoded()
 		}
 	} else {
-		rt.emit(trace.EventDiscard, n.local, fromLocal)
+		rt.emitDeferred(trace.EventDiscard, n.local, fromLocal)
 		if rt.obs != nil {
 			rt.obs.discard[n.local]++
 		}
@@ -615,7 +694,7 @@ func (n *node) forwarderReceive(fromLocal int, pkt *coding.Packet) {
 	// earn TX credit from hearing upstream transmissions, otherwise a filled
 	// relay would fall silent mid-generation.
 	if n.rec.Full() {
-		rt.emit(trace.EventDiscard, n.local, fromLocal)
+		rt.emitDeferred(trace.EventDiscard, n.local, fromLocal)
 		if rt.obs != nil {
 			rt.obs.discard[n.local]++
 		}
@@ -623,7 +702,7 @@ func (n *node) forwarderReceive(fromLocal int, pkt *coding.Packet) {
 			n.credit += rt.pol.Credit[n.local]
 			n.earnCredit()
 		} else if rt.pol.SendWhenNonEmpty {
-			rt.mac.Wake(n.macID)
+			n.deferWake()
 		}
 		return
 	}
@@ -633,18 +712,18 @@ func (n *node) forwarderReceive(fromLocal int, pkt *coding.Packet) {
 	}
 	if innovative {
 		rt.innovative++
-		rt.emit(trace.EventInnovative, n.local, fromLocal)
+		rt.emitDeferred(trace.EventInnovative, n.local, fromLocal)
 		if rt.obs != nil {
 			rt.obs.innov[n.local]++
 		}
 	} else {
-		rt.emit(trace.EventDiscard, n.local, fromLocal)
+		rt.emitDeferred(trace.EventDiscard, n.local, fromLocal)
 		if rt.obs != nil {
 			rt.obs.discard[n.local]++
 		}
 	}
 	if rt.pol.SendWhenNonEmpty {
-		rt.mac.Wake(n.macID)
+		n.deferWake()
 		return
 	}
 	if innovative || rt.pol.CreditOnAnyReception {

@@ -16,8 +16,10 @@ import (
 // run is an Env with one session; a multiple-unicast run attaches N sessions
 // whose nodes contend on the same channel.
 type Env struct {
-	// Eng is the discrete-event engine owning time and the event calendar.
-	Eng *sim.Engine
+	// Eng is the discrete-event engine owning time and the event calendar:
+	// a serial engine by default, or a conservative parallel engine when
+	// Config.EngineWorkers asks for one.
+	Eng sim.Engine
 	// MAC is the shared medium every session's components attach to.
 	MAC *sim.MAC
 	// Faults is the environment's fault injector, nil unless a fault plan
@@ -33,12 +35,18 @@ type Env struct {
 // cfg. Sessions attach their components afterwards; the caller then drives
 // Eng.Run.
 func NewEnv(medium sim.Medium, cfg Config) (*Env, error) {
-	eng := sim.NewEngine()
+	var eng sim.Engine
+	if cfg.EngineWorkers > 0 {
+		eng = sim.NewParallelEngine(cfg.EngineWorkers)
+	} else {
+		eng = sim.NewEngine()
+	}
 	mac, err := sim.NewMAC(eng, medium, sim.Config{
 		Capacity:            cfg.Capacity,
 		Mode:                cfg.MAC,
 		Seed:                cfg.Seed,
 		QueueSampleInterval: cfg.QueueSampleInterval,
+		TimeQuantum:         cfg.TimeQuantum,
 	})
 	if err != nil {
 		return nil, err
@@ -78,6 +86,13 @@ func (e *Env) InstallFaults(plan *faults.Plan, nodes int, mapNode func(int) (int
 // attaches components must call it exactly once, so SessionDone knows when
 // the whole emulation has finished.
 func (e *Env) AddSession() { e.attached++ }
+
+// SessionEngine returns the engine a session tagged id should schedule
+// through: a per-shard buffering view when Eng is the parallel engine, Eng
+// itself otherwise. Sessions must use their view for every Schedule and
+// ScheduleHandler issued from a Receive callback — that is what lets the
+// parallel engine merge same-bucket effects deterministically.
+func (e *Env) SessionEngine(id uint32) sim.Engine { return sim.ViewFor(e.Eng, id) }
 
 // SessionDone retires one attached session (its generation target was
 // reached). When every attached session has retired, the engine stops early

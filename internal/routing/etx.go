@@ -30,6 +30,7 @@ type etxSession struct {
 	shared   bool
 	cfg      protocol.Config
 	env      *protocol.Env
+	eng      sim.Engine // the session's engine view (Env.SessionEngine)
 	sg       *core.Subgraph
 	path     []int       // local node indices, source first
 	nextHop  map[int]int // local index -> next local index
@@ -65,6 +66,37 @@ type etxSession struct {
 type etxPacket struct {
 	session uint32
 	seq     int64
+}
+
+// SessionTag implements sim.Tagged: the MAC routes the packet straight to
+// its session's port and shards same-time deliveries by session.
+func (p etxPacket) SessionTag() uint32 { return p.session }
+
+// etxWake defers a MAC wake-up from a receive callback to serial engine
+// context, coalesced per bucket: waking the MAC mutates shared channel
+// state, which a Receive callback must not do while other sessions'
+// callbacks run concurrently in a parallel round. Wake is idempotent, so
+// one deferred call per bucket is equivalent to several inline ones.
+type etxWake struct {
+	s      *etxSession
+	local  int
+	queued bool
+}
+
+// Fire implements sim.Handler.
+func (w *etxWake) Fire() {
+	w.queued = false
+	w.s.env.MAC.Wake(w.s.macID(w.local))
+}
+
+// deferWake schedules the coalesced wake-up at delay zero on the session's
+// engine view.
+func (s *etxSession) deferWake(w *etxWake) {
+	if w.queued {
+		return
+	}
+	w.queued = true
+	s.eng.ScheduleHandler(0, w)
 }
 
 // ETXProtocol wraps ETX routing as a protocol.Protocol for the unified Run
@@ -173,6 +205,7 @@ func attachETX(env *protocol.Env, sg *core.Subgraph, cfg protocol.Config, id uin
 	for local, nid := range sg.Nodes {
 		s.localOf[nid] = local
 	}
+	s.eng = env.SessionEngine(id)
 	s.attachPath()
 	if env.Faults != nil {
 		env.Faults.Subscribe(s.onFault)
@@ -194,13 +227,14 @@ func (s *etxSession) attachPath() {
 			}
 		case h == len(s.path)-1:
 			if !s.attachedRx[v] {
-				s.env.MAC.AttachReceiver(s.macID(v), &etxSink{s: s, local: v})
+				s.env.MAC.AttachSessionReceiver(s.macID(v), &etxSink{s: s, local: v}, s.id)
 				s.attachedRx[v] = true
 			}
 		default:
 			r := s.relays[v]
 			if r == nil {
 				r = &etxRelay{s: s, local: v}
+				r.wake = etxWake{s: s, local: v}
 				s.relays[v] = r
 			}
 			if !s.attachedTx[v] {
@@ -208,7 +242,7 @@ func (s *etxSession) attachPath() {
 				s.attachedTx[v] = true
 			}
 			if !s.attachedRx[v] {
-				s.env.MAC.AttachReceiver(s.macID(v), r)
+				s.env.MAC.AttachSessionReceiver(s.macID(v), r, s.id)
 				s.attachedRx[v] = true
 			}
 		}
@@ -476,6 +510,7 @@ type etxRelay struct {
 	s     *etxSession
 	local int
 	queue []etxPacket
+	wake  etxWake // deferred MAC wake-up, coalesced per bucket
 }
 
 func (r *etxRelay) Receive(from int, payload interface{}) {
@@ -491,7 +526,7 @@ func (r *etxRelay) Receive(from int, payload interface{}) {
 		s.recvAt[r.local]++
 	}
 	r.queue = append(r.queue, p)
-	s.env.MAC.Wake(s.macID(r.local))
+	s.deferWake(&r.wake)
 }
 
 func (r *etxRelay) Dequeue() *sim.Frame {
@@ -538,17 +573,23 @@ func (k *etxSink) Receive(from int, payload interface{}) {
 	// decode: it keeps trace-derived metrics (time-to-recover under faults)
 	// comparable across the four protocols.
 	if gs := int64(s.cfg.Coding.GenerationSize); s.cfg.Trace != nil && s.delivered%gs == 0 {
-		s.cfg.Trace.Record(trace.Event{
+		// Receive runs in shard context on the parallel engine: capture the
+		// event here, record it in serial context at the bucket barrier.
+		ev := trace.Event{
 			Time:       s.env.Eng.Now(),
 			Type:       trace.EventDecode,
 			Node:       k.local,
 			From:       -1,
 			Generation: int(s.delivered/gs) - 1,
-		})
+		}
+		rec := s.cfg.Trace
+		s.eng.Schedule(0, func() { rec.Record(ev) })
 	}
 	if s.target > 0 && s.delivered >= s.target {
 		s.done = true
 		s.finishedAt = s.env.Eng.Now()
-		s.env.SessionDone()
+		// SessionDone touches the Env's shared finished counter and may
+		// Stop the engine; both must happen in serial engine context.
+		s.eng.Schedule(0, s.env.SessionDone)
 	}
 }

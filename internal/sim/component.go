@@ -67,9 +67,14 @@ func (x *txMux) capSum() float64 {
 }
 
 // rxFanout delivers every reception at a node to all attached receiver
-// ports, in attach order.
+// ports, in attach order. When every port declared a session tag
+// (AttachSessionReceiver), the MAC instead resolves the single matching
+// port at schedule time — see MAC.deliver — which both skips the fan-out
+// and gives the parallel engine a shard to run the delivery on.
 type rxFanout struct {
 	ports []Receiver
+	tags  []uint32
+	mixed bool // true if any port attached without a tag
 }
 
 // Receive implements Receiver.
@@ -77,6 +82,17 @@ func (x *rxFanout) Receive(from int, payload interface{}) {
 	for _, p := range x.ports {
 		p.Receive(from, payload)
 	}
+}
+
+// portFor returns the receiver port registered under tag, or nil if no
+// port at this node claims it. Only meaningful when !mixed.
+func (x *rxFanout) portFor(tag uint32) Receiver {
+	for i, t := range x.tags {
+		if t == tag {
+			return x.ports[i]
+		}
+	}
+	return nil
 }
 
 // AttachTransmitter adds a transmitter port to node. The first port binds
@@ -127,12 +143,31 @@ func (m *MAC) SetPortCap(node int, port Transmitter, rateCap float64) {
 // (identical to RegisterReceiver); subsequent ports promote the node to
 // fan-out delivery. Ports are expected to self-filter by payload.
 func (m *MAC) AttachReceiver(node int, r Receiver) {
+	m.attachReceiver(node, r, 0, false)
+}
+
+// AttachSessionReceiver adds a receiver port that only wants payloads whose
+// SessionTag matches tag. The MAC routes Tagged payloads straight to the
+// matching port (dropping deliveries no port claims — behaviourally
+// identical to the ports' own filters, which have no side effects on a
+// mismatch) and marks the hand-off event with the tag as its shard, letting
+// the parallel engine run deliveries of different sessions concurrently.
+// A node mixing tagged and untagged ports falls back to full fan-out.
+func (m *MAC) AttachSessionReceiver(node int, r Receiver, tag uint32) {
+	m.attachReceiver(node, r, tag, true)
+}
+
+func (m *MAC) attachReceiver(node int, r Receiver, tag uint32, tagged bool) {
 	fan := m.rxm[node]
 	if fan == nil {
 		fan = &rxFanout{}
 		m.rxm[node] = fan
 	}
 	fan.ports = append(fan.ports, r)
+	fan.tags = append(fan.tags, tag)
+	if !tagged {
+		fan.mixed = true
+	}
 	if len(fan.ports) == 1 {
 		m.RegisterReceiver(node, r)
 		return

@@ -21,6 +21,51 @@ type Handler interface {
 	Fire()
 }
 
+// Sharded marks a handler as safe to run concurrently with handlers of
+// other shards at the same timestamp. Handlers with equal Shard() values
+// always execute in scheduling order on a single worker; handlers with
+// different shards may interleave arbitrarily, so a sharded Fire must only
+// touch state owned by its shard, plus concurrency-safe infrastructure
+// (atomics, sync.Pool). Side effects on shared state — MAC wake-ups, trace
+// recording, run termination — must instead be deferred through the shard's
+// engine view (Schedule/ScheduleHandler at delay 0), which the parallel
+// engine merges deterministically at the bucket barrier. Sharded handlers
+// must never call Engine.Stop directly; the parallel engine panics if one
+// does.
+type Sharded interface {
+	Handler
+	// Shard returns the handler's ownership domain (session tag).
+	Shard() uint32
+}
+
+// Engine is a discrete-event scheduler. Time is in seconds, starting at 0.
+// Two implementations exist: SerialEngine runs everything on the calling
+// goroutine (how Drift serializes its model computations), and
+// ParallelEngine drains same-timestamp buckets with a worker pool while
+// preserving the exact serial execution order per shard. Both produce
+// bit-identical simulations for workloads that follow the Sharded contract.
+type Engine interface {
+	// Now returns the current simulation time in seconds.
+	Now() float64
+	// Schedule runs fn after delay seconds of simulated time. Negative
+	// delays panic: they would reorder causality.
+	Schedule(delay float64, fn func())
+	// ScheduleHandler runs h.Fire after delay seconds of simulated time.
+	// The handler may be recycled from inside Fire; the engine keeps no
+	// reference after firing.
+	ScheduleHandler(delay float64, h Handler)
+	// Run executes events in timestamp order until the calendar empties,
+	// the next event lies beyond until, or Stop is called from inside an
+	// event; the clock finishes at min(until, last event time) unless
+	// stopped. It returns the number of events executed.
+	Run(until float64) int
+	// Stop halts the run loop; pending events stay queued and the clock
+	// stays at the stopping event's time.
+	Stop()
+	// Pending returns the number of queued events.
+	Pending() int
+}
+
 // Event is a scheduled callback: either a typed handler or a plain closure.
 type event struct {
 	at  float64
@@ -39,52 +84,26 @@ func (e event) before(o event) bool {
 	return e.seq < o.seq
 }
 
-// Engine is a discrete-event scheduler. Time is in seconds, starting at 0.
-// Engines are not safe for concurrent use; the whole simulation runs on one
-// goroutine, which is also how Drift serializes its model computations.
-//
-// The calendar is a hand-rolled binary heap of event values: unlike
-// container/heap, pushing and popping moves no events through interface{},
-// so scheduling allocates only when the backing array grows.
-type Engine struct {
-	now     float64
-	seq     uint64
-	stopped bool
-	queue   []event
+// calendar is the event queue shared by both engines: a hand-rolled binary
+// heap of event values. Unlike container/heap, pushing and popping moves no
+// events through interface{}, so scheduling allocates only when the backing
+// array grows.
+type calendar struct {
+	now   float64
+	seq   uint64
+	queue []event
 }
 
-// NewEngine returns an engine at time zero with an empty calendar.
-func NewEngine() *Engine {
-	return &Engine{}
-}
-
-// Now returns the current simulation time in seconds.
-func (e *Engine) Now() float64 { return e.now }
-
-// Schedule runs fn after delay seconds of simulated time. Negative delays
-// panic: they would reorder causality. Each call allocates the closure; on
-// hot paths prefer ScheduleHandler with a recycled Handler.
-func (e *Engine) Schedule(delay float64, fn func()) {
-	e.push(delay, event{fn: fn})
-}
-
-// ScheduleHandler runs h.Fire after delay seconds of simulated time. The
-// handler may be recycled from inside Fire; the engine keeps no reference
-// after firing.
-func (e *Engine) ScheduleHandler(delay float64, h Handler) {
-	e.push(delay, event{h: h})
-}
-
-func (e *Engine) push(delay float64, ev event) {
+func (c *calendar) push(delay float64, ev event) {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
-	e.seq++
-	ev.at = e.now + delay
-	ev.seq = e.seq
-	e.queue = append(e.queue, ev)
+	c.seq++
+	ev.at = c.now + delay
+	ev.seq = c.seq
+	c.queue = append(c.queue, ev)
 	// Sift up.
-	q := e.queue
+	q := c.queue
 	i := len(q) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -97,14 +116,14 @@ func (e *Engine) push(delay float64, ev event) {
 }
 
 // pop removes and returns the earliest event. The queue must be non-empty.
-func (e *Engine) pop() event {
-	q := e.queue
+func (c *calendar) pop() event {
+	q := c.queue
 	top := q[0]
 	n := len(q) - 1
 	q[0] = q[n]
 	q[n] = event{} // drop handler/closure references for the GC
-	e.queue = q[:n]
-	q = e.queue
+	c.queue = q[:n]
+	q = c.queue
 	// Sift down.
 	i := 0
 	for {
@@ -125,18 +144,49 @@ func (e *Engine) pop() event {
 	return top
 }
 
+// SerialEngine executes the whole simulation on one goroutine. It is not
+// safe for concurrent use.
+type SerialEngine struct {
+	cal     calendar
+	stopped bool
+}
+
+var _ Engine = (*SerialEngine)(nil)
+
+// NewEngine returns a serial engine at time zero with an empty calendar.
+func NewEngine() *SerialEngine {
+	return &SerialEngine{}
+}
+
+// Now returns the current simulation time in seconds.
+func (e *SerialEngine) Now() float64 { return e.cal.now }
+
+// Schedule runs fn after delay seconds of simulated time. Negative delays
+// panic: they would reorder causality. Each call allocates the closure; on
+// hot paths prefer ScheduleHandler with a recycled Handler.
+func (e *SerialEngine) Schedule(delay float64, fn func()) {
+	e.cal.push(delay, event{fn: fn})
+}
+
+// ScheduleHandler runs h.Fire after delay seconds of simulated time. The
+// handler may be recycled from inside Fire; the engine keeps no reference
+// after firing.
+func (e *SerialEngine) ScheduleHandler(delay float64, h Handler) {
+	e.cal.push(delay, event{h: h})
+}
+
 // Run executes events in timestamp order until the calendar empties, the
 // next event lies beyond until, or Stop is called from inside an event; the
 // clock finishes at min(until, last event time) unless stopped. It returns
 // the number of events executed.
-func (e *Engine) Run(until float64) int {
+func (e *SerialEngine) Run(until float64) int {
 	executed := 0
-	for len(e.queue) > 0 && !e.stopped {
-		if e.queue[0].at > until {
+	for len(e.cal.queue) > 0 && !e.stopped {
+		if e.cal.queue[0].at > until {
 			break
 		}
-		ev := e.pop()
-		e.now = ev.at
+		ev := e.cal.pop()
+		e.cal.now = ev.at
 		if ev.h != nil {
 			ev.h.Fire()
 		} else {
@@ -144,8 +194,8 @@ func (e *Engine) Run(until float64) int {
 		}
 		executed++
 	}
-	if e.now < until && !e.stopped {
-		e.now = until
+	if e.cal.now < until && !e.stopped {
+		e.cal.now = until
 	}
 	return executed
 }
@@ -153,7 +203,7 @@ func (e *Engine) Run(until float64) int {
 // Stop halts the run loop after the current event; pending events stay
 // queued and the clock stays at the stopping event's time. Used when a
 // session reaches its goal before the wall-clock horizon.
-func (e *Engine) Stop() { e.stopped = true }
+func (e *SerialEngine) Stop() { e.stopped = true }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *SerialEngine) Pending() int { return len(e.cal.queue) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Medium exposes the lossy-link structure the MAC operates over. Both
@@ -58,6 +59,15 @@ type Releasable interface {
 	Release()
 }
 
+// Tagged is a payload that knows which session it belongs to. When every
+// receiver port at a node attached with AttachSessionReceiver, the MAC
+// routes Tagged payloads straight to the matching port and shards the
+// hand-off event by the tag, enabling the parallel engine to run
+// deliveries of different sessions concurrently.
+type Tagged interface {
+	SessionTag() uint32
+}
+
 // Transmitter supplies frames to the MAC. Implementations must call
 // MAC.Wake after enqueueing work while idle.
 type Transmitter interface {
@@ -107,6 +117,15 @@ type Config struct {
 	// QueueSampleInterval is the period of queue-size sampling in seconds;
 	// 0 disables sampling. Fig. 3 samples broadcast queue sizes.
 	QueueSampleInterval float64
+	// TimeQuantum, when positive, rounds every frame-completion time up to
+	// the next multiple of this many seconds. Completions of concurrently
+	// active transmitters then share calendar buckets, which is what lets
+	// the parallel engine batch their deliveries into multi-shard rounds —
+	// the conservative-DES analogue of choosing a barrier window. It is a
+	// timing-model parameter like SlotBytes: results remain deterministic
+	// and engine-independent for any fixed value, but differ from the
+	// continuous-time default (0 = off; all paper experiments keep 0).
+	TimeQuantum float64
 	// SlotBytes sets the CSMA contention-jitter scale: before
 	// (re)attempting a transmission a node waits a uniform random time of
 	// up to SlotBytes/Capacity seconds. Default 64.
@@ -125,7 +144,7 @@ type LinkStat struct {
 // Per-node rate caps carry OMNC's allocated broadcast rates; uncapped nodes
 // (MORE, oldMORE, ETX) take whatever the channel gives them.
 type MAC struct {
-	eng    *Engine
+	eng    Engine
 	medium Medium
 	cfg    Config
 	rng    *rand.Rand
@@ -178,8 +197,11 @@ type MAC struct {
 	fillFrozen   []bool
 	fillIsActive []bool
 	siteCover    [][]int
+	siteCoverOf  [][]int // transmitter -> indices of sites covering it
 	siteRemain   []float64
-	fillOrderLen int // registrations seen when siteCover was built
+	siteActiveN  []int // per-site count of active, unfrozen members
+	fillTouched  []int // sites covering >= 1 active node this allocation
+	fillOrderLen int   // registrations seen when siteCover was built
 	fillSitesLen int
 
 	// statistics
@@ -196,7 +218,7 @@ type MAC struct {
 
 // NewMAC builds a MAC over the medium. Register transmitters and receivers,
 // then drive the engine.
-func NewMAC(eng *Engine, medium Medium, cfg Config) (*MAC, error) {
+func NewMAC(eng Engine, medium Medium, cfg Config) (*MAC, error) {
 	if cfg.Capacity <= 0 {
 		return nil, fmt.Errorf("sim: non-positive capacity %v", cfg.Capacity)
 	}
@@ -457,7 +479,7 @@ func (m *MAC) tryStart(node int) {
 		m.busy[node] = true
 		m.txStart[node] = m.eng.Now()
 		m.txEnd[node] = m.eng.Now() + need/m.cfg.Capacity
-		m.scheduleEvent(need/m.cfg.Capacity, evComplete, node)
+		m.scheduleEvent(m.quantize(need/m.cfg.Capacity), evComplete, node)
 		if m.obs != nil {
 			m.obs.airtime[node] += need / m.cfg.Capacity
 		}
@@ -474,10 +496,25 @@ func (m *MAC) tryStart(node int) {
 		return
 	}
 	m.busy[node] = true
-	m.scheduleEvent(need/rate, evComplete, node)
+	m.scheduleEvent(m.quantize(need/rate), evComplete, node)
 	if m.obs != nil {
 		m.obs.airtime[node] += need / rate
 	}
+}
+
+// quantize rounds a completion delay so the absolute completion time lands
+// on the TimeQuantum grid (no-op when the quantum is 0, the default).
+func (m *MAC) quantize(delay float64) float64 {
+	q := m.cfg.TimeQuantum
+	if q <= 0 {
+		return delay
+	}
+	now := m.eng.Now()
+	t := math.Ceil((now+delay)/q) * q
+	if t < now+delay {
+		t = now + delay // guard against float rounding shrinking the delay
+	}
+	return t - now
 }
 
 // complete finishes node's in-flight frame: draws receptions, handles
@@ -570,8 +607,67 @@ func (m *MAC) complete(node int) {
 	m.tryStart(node)
 }
 
+// deliverEvent hands one payload to a session-tagged receiver port. Unlike
+// the untagged evDeliver (a *macEvent from the MAC's free list, recycled on
+// the engine goroutine only), deliverEvent implements Sharded: the parallel
+// engine fires it on the shard's worker, so the struct recycles through a
+// sync.Pool, which is safe from any goroutine.
+type deliverEvent struct {
+	m       *MAC
+	rcv     Receiver
+	node    int
+	from    int
+	shard   uint32
+	payload interface{}
+}
+
+var deliverEventPool = sync.Pool{New: func() interface{} { return new(deliverEvent) }}
+
+// Shard implements Sharded: deliveries of different sessions at the same
+// timestamp may run concurrently.
+func (e *deliverEvent) Shard() uint32 { return e.shard }
+
+// Fire implements Handler. The struct is recycled before the callback runs,
+// mirroring macEvent.Fire; Pool puts/gets of distinct objects are safe even
+// while other shards fire concurrently.
+func (e *deliverEvent) Fire() {
+	m, rcv, node, from, payload := e.m, e.rcv, e.node, e.from, e.payload
+	e.m, e.rcv, e.payload = nil, nil, nil
+	deliverEventPool.Put(e)
+	// The receiver may have crashed between the reception draw and this
+	// zero-delay hand-off (fault events at the same timestamp fire first):
+	// the payload is dropped, not delivered to a dead node.
+	if !m.isDown(node) {
+		rcv.Receive(from, payload)
+	}
+	if rel, ok := payload.(Releasable); ok {
+		rel.Release()
+	}
+}
+
 func (m *MAC) deliver(from, to int, payload interface{}) {
 	m.delivered[[2]int{from, to}]++
+	if tp, ok := payload.(Tagged); ok {
+		if fan := m.rxm[to]; fan != nil && !fan.mixed {
+			port := fan.portFor(tp.SessionTag())
+			if port == nil {
+				// No session at this node wants the frame. The ports'
+				// own filters would have dropped it without side
+				// effects, so skipping the event entirely is
+				// behaviourally identical (the link delivery above is
+				// still counted).
+				return
+			}
+			if rel, ok := payload.(Releasable); ok {
+				rel.Retain() // held until the Receive callback returns
+			}
+			e := deliverEventPool.Get().(*deliverEvent)
+			e.m, e.rcv, e.node, e.from, e.shard, e.payload =
+				m, port, to, from, tp.SessionTag(), payload
+			m.eng.ScheduleHandler(0, e)
+			return
+		}
+	}
 	if rel, ok := payload.(Releasable); ok {
 		rel.Retain() // held until the Receive callback returns
 	}
@@ -645,12 +741,16 @@ func (m *MAC) ensureFillScratch() {
 	m.fillIsActive = make([]bool, n)
 	m.fillActive = make([]int, 0, len(m.order))
 	m.siteRemain = make([]float64, len(m.sites))
+	m.siteActiveN = make([]int, len(m.sites))
+	m.fillTouched = make([]int, 0, len(m.sites))
 	m.siteCover = m.siteCover[:0]
-	for _, v := range m.sites {
+	m.siteCoverOf = make([][]int, n)
+	for si, v := range m.sites {
 		var cover []int
 		for _, u := range m.order {
 			if u == v || m.medium.Prob(u, v) > 0 {
 				cover = append(cover, u)
+				m.siteCoverOf[u] = append(m.siteCoverOf[u], si)
 			}
 		}
 		m.siteCover = append(m.siteCover, cover)
@@ -673,16 +773,33 @@ func (m *MAC) progressiveFill(active []int) {
 		m.siteRemain[i] = m.cfg.Capacity
 	}
 
-	for {
-		unfrozen := 0
-		for _, u := range active {
-			if !frozen[u] {
-				unfrozen++
+	// Each site's active-and-unfrozen membership count is maintained
+	// incrementally as nodes freeze, and the fill rounds visit only the
+	// sites covering at least one active transmitter; sites outside every
+	// active neighbourhood keep n = 0 and remain = Capacity throughout, so
+	// skipping them leaves the filled rates bit-identical while the cost
+	// tracks the active set instead of the whole network.
+	touched := m.fillTouched[:0]
+	for _, u := range active {
+		for _, si := range m.siteCoverOf[u] {
+			if m.siteActiveN[si] == 0 {
+				touched = append(touched, si)
 			}
+			m.siteActiveN[si]++
 		}
-		if unfrozen == 0 {
-			break
+	}
+	m.fillTouched = touched
+
+	unfrozen := len(active)
+	freeze := func(u int) {
+		frozen[u] = true
+		unfrozen--
+		for _, si := range m.siteCoverOf[u] {
+			m.siteActiveN[si]--
 		}
+	}
+
+	for unfrozen > 0 {
 		inc := math.Inf(1)
 		for _, u := range active {
 			if frozen[u] {
@@ -692,15 +809,9 @@ func (m *MAC) progressiveFill(active []int) {
 				inc = room
 			}
 		}
-		for i, cover := range m.siteCover {
-			n := 0
-			for _, u := range cover {
-				if isActive[u] && !frozen[u] {
-					n++
-				}
-			}
-			if n > 0 {
-				if share := m.siteRemain[i] / float64(n); share < inc {
+		for _, si := range touched {
+			if n := m.siteActiveN[si]; n > 0 {
+				if share := m.siteRemain[si] / float64(n); share < inc {
 					inc = share
 				}
 			}
@@ -722,29 +833,28 @@ func (m *MAC) progressiveFill(active []int) {
 				rates[u] += inc
 			}
 		}
-		for i, cover := range m.siteCover {
-			n := 0
-			for _, u := range cover {
-				if isActive[u] && !frozen[u] {
-					n++
-				}
-			}
-			m.siteRemain[i] -= inc * float64(n)
+		for _, si := range touched {
+			m.siteRemain[si] -= inc * float64(m.siteActiveN[si])
 		}
 		for _, u := range active {
 			if !frozen[u] && rates[u] >= m.effectiveCap(u)-1e-12 {
-				frozen[u] = true
+				freeze(u)
 			}
 		}
-		for i, cover := range m.siteCover {
-			if m.siteRemain[i] <= 1e-9*m.cfg.Capacity {
-				for _, u := range cover {
-					if isActive[u] {
-						frozen[u] = true
+		for _, si := range touched {
+			if m.siteRemain[si] <= 1e-9*m.cfg.Capacity {
+				for _, u := range m.siteCover[si] {
+					if isActive[u] && !frozen[u] {
+						freeze(u)
 					}
 				}
 			}
 		}
+	}
+
+	// Leave the counts zeroed for the next allocation.
+	for _, si := range touched {
+		m.siteActiveN[si] = 0
 	}
 }
 

@@ -1,0 +1,357 @@
+// Conservative time-bucketed parallel engine. Events at distinct
+// timestamps stay strictly ordered; events at the SAME timestamp that
+// implement Sharded run concurrently on a bounded worker pool, one worker
+// per shard, with a barrier before the clock moves on. The design follows
+// Akita's parallel engine (same-time events between barriers) but adds a
+// determinism contract strong enough for bit-identical replay:
+//
+//   - The calendar orders events by (time, sequence number), exactly like
+//     SerialEngine. A "round" is the maximal run of CONSECUTIVE sharded
+//     events at the head of the current bucket; unsharded events between
+//     or after them run inline on the engine goroutine, so mixed buckets
+//     preserve the serial interleaving of serial-only handlers.
+//   - Within a round, events are grouped by shard preserving calendar
+//     order; each group executes in order on one worker. Events of
+//     different shards may interleave in wall-clock time, but by the
+//     Sharded contract they touch disjoint state, so the interleaving is
+//     unobservable.
+//   - Side effects a sharded handler wants to have on the calendar
+//     (Schedule, ScheduleHandler) are buffered per EVENT in its shard's
+//     engine view, then merged at the barrier in (event calendar position,
+//     call order) — which is precisely the order the serial engine would
+//     have assigned sequence numbers in. Same seed, any worker count, and
+//     the calendar evolves identically to SerialEngine's, so the whole
+//     simulation is bit-identical.
+//
+// Conservative, not optimistic: handlers here are arbitrary Go closures
+// over shared pools, RNGs, and GF(256) scratch — there is no way to
+// checkpoint and roll them back, so a Time-Warp style optimistic scheduler
+// cannot be retrofitted. The conservative barrier costs only the bucket
+// synchronization, and lossy-MAC workloads put hundreds of same-time
+// deliveries in each bucket, which is where the parallelism lives.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// deferredOp is one buffered calendar mutation from a sharded handler.
+type deferredOp struct {
+	delay float64
+	h     Handler
+	fn    func()
+}
+
+// shardView is the Engine handed to one shard's handlers. Outside a
+// parallel round it forwards straight to the engine; while its shard's
+// events execute inside a round it buffers Schedule/ScheduleHandler into
+// the current event's effect list for the deterministic barrier merge.
+// A view is only ever used by the goroutine currently running its shard
+// (the engine goroutine between rounds, the shard's worker during one).
+type shardView struct {
+	eng *ParallelEngine
+	cur *[]deferredOp // non-nil only while this shard executes in a round
+}
+
+var _ Engine = (*shardView)(nil)
+
+func (v *shardView) Now() float64 { return v.eng.cal.now }
+
+func (v *shardView) Schedule(delay float64, fn func()) {
+	if v.cur != nil {
+		if delay < 0 {
+			panic(fmt.Sprintf("sim: negative delay %v", delay))
+		}
+		*v.cur = append(*v.cur, deferredOp{delay: delay, fn: fn})
+		return
+	}
+	v.eng.Schedule(delay, fn)
+}
+
+func (v *shardView) ScheduleHandler(delay float64, h Handler) {
+	if v.cur != nil {
+		if delay < 0 {
+			panic(fmt.Sprintf("sim: negative delay %v", delay))
+		}
+		*v.cur = append(*v.cur, deferredOp{delay: delay, h: h})
+		return
+	}
+	v.eng.ScheduleHandler(delay, h)
+}
+
+func (v *shardView) Run(until float64) int { return v.eng.Run(until) }
+
+func (v *shardView) Stop() {
+	if v.cur != nil {
+		// A deferred Stop would diverge from SerialEngine (which halts
+		// immediately); refusing loudly keeps the contract honest. Route
+		// termination through Schedule(0, eng.Stop) instead, which both
+		// engines order identically.
+		panic("sim: Stop called from a sharded handler; defer it via Schedule(0, ...)")
+	}
+	v.eng.Stop()
+}
+
+func (v *shardView) Pending() int { return v.eng.Pending() }
+
+// ViewFor returns the Engine a shard's handlers should schedule through:
+// a buffering view on a ParallelEngine, the engine itself otherwise.
+func ViewFor(e Engine, shard uint32) Engine {
+	if pe, ok := e.(*ParallelEngine); ok {
+		return pe.View(shard)
+	}
+	return e
+}
+
+// roundTask is one shard's slice of the current round, sent to a worker.
+type roundTask struct {
+	shard uint32
+	idxs  []int
+}
+
+// ParallelEngine is a conservative time-bucketed scheduler with the same
+// observable behaviour as SerialEngine for workloads that follow the
+// Sharded contract. All Engine methods must be called from the engine
+// goroutine (or through shard views); only views are worker-safe.
+type ParallelEngine struct {
+	cal     calendar
+	stopped bool
+	workers int
+
+	views map[uint32]*shardView
+
+	// Round scratch, reused across rounds.
+	round    []event
+	effects  [][]deferredOp
+	groupIdx map[uint32]int
+	groups   []roundTask
+	idxPool  [][]int
+
+	inRound bool // set while workers own the round scratch
+
+	tasks chan roundTask
+	wg    sync.WaitGroup
+
+	panicMu  sync.Mutex
+	panicVal any
+}
+
+var _ Engine = (*ParallelEngine)(nil)
+
+// NewParallelEngine returns a parallel engine at time zero. workers bounds
+// the goroutines draining each round; values < 1 mean GOMAXPROCS.
+func NewParallelEngine(workers int) *ParallelEngine {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &ParallelEngine{
+		workers:  workers,
+		views:    make(map[uint32]*shardView),
+		groupIdx: make(map[uint32]int),
+	}
+}
+
+// Workers returns the worker-pool bound.
+func (e *ParallelEngine) Workers() int { return e.workers }
+
+// View returns the buffering Engine view for shard, creating it on first
+// use. Views must be created before Run (they are registered in a map the
+// workers read concurrently).
+func (e *ParallelEngine) View(shard uint32) Engine {
+	if v, ok := e.views[shard]; ok {
+		return v
+	}
+	v := &shardView{eng: e}
+	e.views[shard] = v
+	return v
+}
+
+// Now returns the current simulation time in seconds.
+func (e *ParallelEngine) Now() float64 { return e.cal.now }
+
+// Schedule runs fn after delay seconds. Calling it from inside a parallel
+// round (i.e. from a sharded handler that bypassed its view) panics: such
+// a call would race on the calendar and break the determinism contract.
+func (e *ParallelEngine) Schedule(delay float64, fn func()) {
+	if e.inRound {
+		panic("sim: Schedule on ParallelEngine from a parallel round; use the shard's view")
+	}
+	e.cal.push(delay, event{fn: fn})
+}
+
+// ScheduleHandler runs h.Fire after delay seconds. Same round restriction
+// as Schedule.
+func (e *ParallelEngine) ScheduleHandler(delay float64, h Handler) {
+	if e.inRound {
+		panic("sim: ScheduleHandler on ParallelEngine from a parallel round; use the shard's view")
+	}
+	e.cal.push(delay, event{h: h})
+}
+
+// Run executes events until the calendar empties, the next event lies
+// beyond until, or Stop is called; identical semantics to
+// SerialEngine.Run, including the executed-event count and final clock.
+func (e *ParallelEngine) Run(until float64) int {
+	executed := 0
+	for len(e.cal.queue) > 0 && !e.stopped {
+		t := e.cal.queue[0].at
+		if t > until {
+			break
+		}
+		// Drain the bucket at time t. Consecutive sharded events form
+		// parallel rounds; everything else runs inline in calendar order.
+		for len(e.cal.queue) > 0 && !e.stopped && e.cal.queue[0].at == t {
+			if _, ok := e.cal.queue[0].h.(Sharded); ok {
+				executed += e.runRound(t)
+				continue
+			}
+			ev := e.cal.pop()
+			e.cal.now = ev.at
+			if ev.h != nil {
+				ev.h.Fire()
+			} else {
+				ev.fn()
+			}
+			executed++
+		}
+	}
+	if e.cal.now < until && !e.stopped {
+		e.cal.now = until
+	}
+	e.stopPool()
+	if p := e.panicVal; p != nil {
+		e.panicVal = nil
+		panic(p)
+	}
+	return executed
+}
+
+// runRound pops the maximal run of consecutive sharded events at time t,
+// executes them grouped by shard, and merges their buffered effects back
+// into the calendar in serial order.
+func (e *ParallelEngine) runRound(t float64) int {
+	e.cal.now = t
+	e.round = e.round[:0]
+	for len(e.cal.queue) > 0 && e.cal.queue[0].at == t {
+		if _, ok := e.cal.queue[0].h.(Sharded); !ok {
+			break
+		}
+		e.round = append(e.round, e.cal.pop())
+	}
+	n := len(e.round)
+	for len(e.effects) < n {
+		e.effects = append(e.effects, nil)
+	}
+
+	// Group calendar positions by shard, preserving order within each.
+	clear(e.groupIdx)
+	e.groups = e.groups[:0]
+	for i := 0; i < n; i++ {
+		shard := e.round[i].h.(Sharded).Shard()
+		gi, ok := e.groupIdx[shard]
+		if !ok {
+			gi = len(e.groups)
+			e.groupIdx[shard] = gi
+			var idxs []int
+			if len(e.idxPool) > 0 {
+				idxs = e.idxPool[len(e.idxPool)-1][:0]
+				e.idxPool = e.idxPool[:len(e.idxPool)-1]
+			}
+			e.groups = append(e.groups, roundTask{shard: shard, idxs: idxs})
+		}
+		e.groups[gi].idxs = append(e.groups[gi].idxs, i)
+	}
+
+	e.inRound = true
+	if e.workers == 1 || len(e.groups) == 1 {
+		for _, g := range e.groups {
+			e.runGroupLocked(g)
+		}
+	} else {
+		e.startPool()
+		e.wg.Add(len(e.groups))
+		for _, g := range e.groups {
+			e.tasks <- g
+		}
+		e.wg.Wait()
+	}
+	e.inRound = false
+
+	if p := e.panicVal; p != nil {
+		e.stopPool()
+		e.panicVal = nil
+		panic(p)
+	}
+
+	// Barrier merge: replay buffered effects in (calendar position, call
+	// order) — the exact order SerialEngine would have pushed them in.
+	for i := 0; i < n; i++ {
+		for _, op := range e.effects[i] {
+			e.cal.push(op.delay, event{h: op.h, fn: op.fn})
+		}
+		e.effects[i] = e.effects[i][:0]
+		e.round[i] = event{} // drop handler references for the GC
+	}
+	for _, g := range e.groups {
+		e.idxPool = append(e.idxPool, g.idxs)
+	}
+	return n
+}
+
+// runGroupLocked executes one shard's events in calendar order, routing
+// each event's calendar mutations into its own effect buffer. Runs on a
+// worker goroutine (or inline when the round is trivially serial).
+func (e *ParallelEngine) runGroupLocked(g roundTask) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panicMu.Lock()
+			if e.panicVal == nil {
+				e.panicVal = r
+			}
+			e.panicMu.Unlock()
+		}
+	}()
+	v := e.views[g.shard]
+	for _, i := range g.idxs {
+		if v != nil {
+			v.cur = &e.effects[i]
+		}
+		e.round[i].h.Fire()
+		if v != nil {
+			v.cur = nil
+		}
+	}
+}
+
+func (e *ParallelEngine) startPool() {
+	if e.tasks != nil {
+		return
+	}
+	ch := make(chan roundTask)
+	e.tasks = ch
+	for i := 0; i < e.workers; i++ {
+		go func() {
+			for g := range ch {
+				e.runGroupLocked(g)
+				e.wg.Done()
+			}
+		}()
+	}
+}
+
+func (e *ParallelEngine) stopPool() {
+	if e.tasks != nil {
+		close(e.tasks)
+		e.tasks = nil
+	}
+}
+
+// Stop halts the run loop; pending events stay queued and the clock stays
+// at the stopping event's time. Must be called from the engine goroutine
+// (serial-context events); sharded handlers defer it via their view.
+func (e *ParallelEngine) Stop() { e.stopped = true }
+
+// Pending returns the number of queued events.
+func (e *ParallelEngine) Pending() int { return len(e.cal.queue) }

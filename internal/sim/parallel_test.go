@@ -1,0 +1,334 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The parallel engine's correctness claim is behavioural equivalence with
+// the serial engine for programs that follow the Sharded contract. The
+// tests here run the same scheduling program on both engines and demand
+// identical observations: per-shard execution order, executed counts,
+// clocks, pending counts, Stop semantics and panic behaviour. The fuzz
+// target generalizes the fixed programs to randomized schedules with
+// duplicate timestamps, nested same-time scheduling and mid-bucket stops.
+
+// fuzzSpec is one event of a generated scheduling program: fire at delay
+// (relative to its scheduling time), optionally schedule children from
+// inside the event, optionally stop the engine (unsharded events only).
+type fuzzSpec struct {
+	id       int
+	delay    float64
+	shard    int // 0..fuzzShards-1, or -1 for unsharded
+	stop     bool
+	children []*fuzzSpec
+}
+
+const fuzzShards = 4
+
+// decodeSpecs turns fuzz bytes into a program: a forest of event specs.
+// Each spec consumes three bytes; children nest up to depth 3.
+func decodeSpecs(data []byte, nextID *int, depth int) []*fuzzSpec {
+	var out []*fuzzSpec
+	for len(data) >= 3 {
+		sp := &fuzzSpec{id: *nextID}
+		*nextID++
+		sp.delay = float64(data[0]%4) * 0.25 // duplicate timestamps by design
+		shard := int(data[1] % (fuzzShards + 1))
+		if shard == fuzzShards {
+			sp.shard = -1
+			sp.stop = data[2]&1 == 1 && depth == 0 // stop only from top-level serial events
+		} else {
+			sp.shard = shard
+		}
+		nChildren := 0
+		if depth < 3 {
+			nChildren = int(data[2]>>1) % 3
+		}
+		data = data[3:]
+		for c := 0; c < nChildren && len(data) >= 3; c++ {
+			consumed := 3 * specSize(data, depth+1)
+			sp.children = decodeSpecs(data[:consumed], nextID, depth+1)
+			data = data[consumed:]
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// specSize reports how many 3-byte records the first spec of data consumes
+// (itself plus its nested children).
+func specSize(data []byte, depth int) int {
+	if len(data) < 3 {
+		return 0
+	}
+	n := 1
+	nChildren := 0
+	if depth < 3 {
+		nChildren = int(data[2]>>1) % 3
+	}
+	rest := data[3:]
+	for c := 0; c < nChildren && len(rest) >= 3; c++ {
+		k := specSize(rest, depth+1)
+		n += k
+		rest = rest[3*k:]
+	}
+	return n
+}
+
+// fuzzRun executes one program on one engine and logs execution order per
+// shard (index fuzzShards holds the unsharded/serial log). Sharded events
+// only append to their own shard's log, which is exactly the state-ownership
+// discipline the Sharded contract demands.
+type fuzzRun struct {
+	eng   Engine
+	views [fuzzShards]Engine
+	logs  [fuzzShards + 1][]int
+}
+
+type fuzzSerialEvent struct {
+	r  *fuzzRun
+	sp *fuzzSpec
+}
+
+func (h *fuzzSerialEvent) Fire() {
+	h.r.logs[fuzzShards] = append(h.r.logs[fuzzShards], h.sp.id)
+	for _, c := range h.sp.children {
+		h.r.schedule(h.r.eng, c)
+	}
+	if h.sp.stop {
+		h.r.eng.Stop()
+	}
+}
+
+type fuzzShardedEvent struct {
+	r  *fuzzRun
+	sp *fuzzSpec
+}
+
+func (h *fuzzShardedEvent) Shard() uint32 { return uint32(h.sp.shard) }
+
+func (h *fuzzShardedEvent) Fire() {
+	h.r.logs[h.sp.shard] = append(h.r.logs[h.sp.shard], h.sp.id)
+	// Children are scheduled through the shard's view — the contract for
+	// calendar access from a sharded handler (nested same-time Schedule
+	// calls land in the event's effect buffer on the parallel engine).
+	for _, c := range h.sp.children {
+		h.r.schedule(h.r.views[h.sp.shard], c)
+	}
+}
+
+// schedule arms sp on the given engine handle, alternating between the
+// closure and handler forms so both Schedule paths are exercised.
+func (r *fuzzRun) schedule(eng Engine, sp *fuzzSpec) {
+	if sp.shard < 0 {
+		h := &fuzzSerialEvent{r: r, sp: sp}
+		if sp.id%2 == 0 {
+			eng.ScheduleHandler(sp.delay, h)
+		} else {
+			eng.Schedule(sp.delay, h.Fire)
+		}
+		return
+	}
+	eng.ScheduleHandler(sp.delay, &fuzzShardedEvent{r: r, sp: sp})
+}
+
+// runProgram executes the program on eng until the horizon and returns the
+// observations to compare.
+func runProgram(eng Engine, specs []*fuzzSpec, until float64) (r *fuzzRun, executed, pending int, now float64) {
+	r = &fuzzRun{eng: eng}
+	for s := 0; s < fuzzShards; s++ {
+		r.views[s] = ViewFor(eng, uint32(s))
+	}
+	for _, sp := range specs {
+		r.schedule(eng, sp)
+	}
+	executed = eng.Run(until)
+	return r, executed, eng.Pending(), eng.Now()
+}
+
+// diffEngines runs the program on the serial engine and on parallel engines
+// at several worker counts and reports the first divergence.
+func diffEngines(t *testing.T, data []byte, until float64) {
+	t.Helper()
+	nextID := 0
+	specs := decodeSpecs(data, &nextID, 0)
+	ref, refExec, refPend, refNow := runProgram(NewEngine(), specs, until)
+	for _, workers := range []int{1, 2, 8} {
+		nextID = 0
+		specs := decodeSpecs(data, &nextID, 0)
+		got, exec, pend, now := runProgram(NewParallelEngine(workers), specs, until)
+		label := fmt.Sprintf("workers=%d", workers)
+		if exec != refExec {
+			t.Errorf("%s: executed %d events, serial executed %d", label, exec, refExec)
+		}
+		if pend != refPend {
+			t.Errorf("%s: %d pending events, serial left %d", label, pend, refPend)
+		}
+		if now != refNow {
+			t.Errorf("%s: clock at %v, serial at %v", label, now, refNow)
+		}
+		for s := 0; s <= fuzzShards; s++ {
+			if !reflect.DeepEqual(ref.logs[s], got.logs[s]) {
+				t.Errorf("%s: shard %d execution order diverged:\nserial:   %v\nparallel: %v",
+					label, s, ref.logs[s], got.logs[s])
+			}
+		}
+	}
+}
+
+func TestParallelEngineMatchesSerial(t *testing.T) {
+	// A handcrafted program: duplicate timestamps across shards, nested
+	// same-time scheduling, serial events interleaved between sharded runs,
+	// and a tail beyond the horizon.
+	progs := map[string][]byte{
+		"same-bucket-shards": {0, 0, 4, 0, 1, 4, 0, 2, 4, 0, 0, 4},
+		"nested-zero-delay":  {0, 0, 6, 0, 1, 2, 0, 4, 0, 1, 2, 4, 0, 3, 4},
+		"serial-interleaved": {1, 0, 0, 1, 4, 0, 1, 1, 0, 1, 4, 0, 1, 2, 0},
+		"stop-mid-bucket":    {2, 0, 0, 2, 4, 1, 2, 1, 0, 2, 4, 1, 2, 3, 0},
+		"beyond-horizon":     {3, 0, 0, 200, 1, 0, 3, 2, 0},
+		"deep-nesting":       {0, 0, 6, 0, 1, 6, 0, 2, 6, 0, 3, 4, 1, 0, 2, 2, 1, 0},
+		"all-serial":         {0, 4, 0, 1, 4, 2, 0, 4, 0, 2, 4, 0},
+		"single-shard-storm": {0, 1, 6, 0, 1, 6, 0, 1, 6, 0, 1, 0, 0, 1, 4, 0, 1, 2},
+	}
+	for name, prog := range progs {
+		prog := prog
+		t.Run(name, func(t *testing.T) { diffEngines(t, prog, 10) })
+	}
+}
+
+func TestParallelEngineNegativeDelayPanics(t *testing.T) {
+	recovered := func(fn func()) (msg string) {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = fmt.Sprint(r)
+			}
+		}()
+		fn()
+		return ""
+	}
+
+	serialMsg := recovered(func() { NewEngine().Schedule(-1, func() {}) })
+	parallelMsg := recovered(func() { NewParallelEngine(2).Schedule(-1, func() {}) })
+	if serialMsg == "" || serialMsg != parallelMsg {
+		t.Fatalf("negative-delay panics differ: serial %q, parallel %q", serialMsg, parallelMsg)
+	}
+
+	// From inside a parallel round, via the shard view: the panic must
+	// carry the same message and propagate out of Run.
+	eng := NewParallelEngine(2)
+	view := eng.View(0)
+	eng.ScheduleHandler(0, &hookSharded{shard: 0, fn: func() { view.Schedule(-0.5, func() {}) }})
+	// A second shard keeps the round genuinely parallel.
+	eng.ScheduleHandler(0, &hookSharded{shard: 1, fn: func() {}})
+	roundMsg := recovered(func() { eng.Run(1) })
+	wantMsg := recovered(func() { NewEngine().Schedule(-0.5, func() {}) })
+	if roundMsg != wantMsg {
+		t.Fatalf("in-round negative delay: got panic %q, serial panics %q", roundMsg, wantMsg)
+	}
+}
+
+func TestParallelEngineShardedStopPanics(t *testing.T) {
+	eng := NewParallelEngine(2)
+	view := eng.View(0)
+	eng.ScheduleHandler(0, &hookSharded{shard: 0, fn: view.Stop})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Stop from a sharded handler did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "Stop") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	eng.Run(1)
+}
+
+func TestParallelEngineRawScheduleFromRoundPanics(t *testing.T) {
+	eng := NewParallelEngine(2)
+	eng.ScheduleHandler(0, &hookSharded{shard: 0, fn: func() {
+		eng.Schedule(0, func() {}) // bypassing the view: contract violation
+	}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("raw Schedule from a parallel round did not panic")
+		}
+	}()
+	eng.Run(1)
+}
+
+func TestParallelEngineDeferredStopViaSchedule(t *testing.T) {
+	// The sanctioned termination pattern: a sharded handler defers Stop
+	// through Schedule(0, ...). Both engines must execute the same events.
+	prog := func(eng Engine) (fired []string) {
+		view := ViewFor(eng, 0)
+		eng.ScheduleHandler(0, &hookSharded{shard: 0, fn: func() {
+			fired = append(fired, "sharded")
+			view.Schedule(0, func() {
+				fired = append(fired, "stop")
+				eng.Stop()
+			})
+		}})
+		eng.Schedule(1, func() { fired = append(fired, "late") })
+		eng.Run(10)
+		return fired
+	}
+	serial := prog(NewEngine())
+	parallel := prog(NewParallelEngine(4))
+	want := []string{"sharded", "stop"}
+	if !reflect.DeepEqual(serial, want) || !reflect.DeepEqual(parallel, serial) {
+		t.Fatalf("deferred stop: serial %v, parallel %v, want %v", serial, parallel, want)
+	}
+}
+
+func TestParallelEngineRunResumes(t *testing.T) {
+	// Run can be called repeatedly with an advancing horizon; the pool is
+	// torn down and rebuilt between calls.
+	eng := NewParallelEngine(2)
+	var fired []int
+	for i := 0; i < 4; i++ {
+		i := i
+		eng.ScheduleHandler(float64(i), &hookSharded{shard: uint32(i % 2), fn: func() {
+			fired = append(fired, i)
+		}})
+	}
+	if n := eng.Run(1.5); n != 2 {
+		t.Fatalf("first horizon executed %d events, want 2", n)
+	}
+	if n := eng.Run(10); n != 2 {
+		t.Fatalf("second horizon executed %d events, want 2", n)
+	}
+	if !reflect.DeepEqual(fired, []int{0, 1, 2, 3}) {
+		t.Fatalf("events fired %v", fired)
+	}
+}
+
+// hookSharded is a minimal Sharded handler for the contract tests.
+type hookSharded struct {
+	shard uint32
+	fn    func()
+}
+
+func (h *hookSharded) Shard() uint32 { return h.shard }
+func (h *hookSharded) Fire()         { h.fn() }
+
+// FuzzEngineOrder feeds randomized scheduling programs — duplicate
+// timestamps, nested same-time Schedule calls, Stop mid-bucket — into both
+// engines and demands identical execution order (per shard), executed
+// counts, clocks and leftover calendars. CI runs this target in the fuzz
+// smoke step.
+func FuzzEngineOrder(f *testing.F) {
+	f.Add([]byte{0, 0, 4, 0, 1, 4, 0, 2, 4})                            // one bucket, three shards
+	f.Add([]byte{0, 0, 6, 0, 1, 2, 0, 4, 0, 1, 2, 4, 0, 3, 4})          // nested zero-delay
+	f.Add([]byte{2, 0, 0, 2, 4, 1, 2, 1, 0, 2, 4, 1})                   // stop mid-bucket
+	f.Add([]byte{1, 0, 0, 1, 4, 0, 1, 1, 0, 1, 4, 0, 1, 2, 0})          // serial interleaved
+	f.Add([]byte{0, 1, 6, 0, 1, 6, 0, 1, 0, 0, 1, 4, 3, 2, 2, 0, 4, 1}) // shard storm + stop
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			data = data[:512] // bound program size, not coverage
+		}
+		diffEngines(t, data, 5)
+	})
+}
