@@ -208,6 +208,37 @@ func BenchmarkSessionMORE(b *testing.B) { benchSession(b, 1) }
 
 func BenchmarkSessionETX(b *testing.B) { benchSession(b, 2) }
 
+// benchSessionScheme measures one coding-scheme session (the scenario lives
+// in internal/sessionbench so cmd/omnc-bench records exactly this workload);
+// the allocs/op numbers prove the strategy layer rides the pooled arena.
+func benchSessionScheme(b *testing.B, scenario int) {
+	s := sessionbench.SchemeScenarios()[scenario]
+	nw, src, dst, err := sessionbench.Network()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	var tp float64
+	for i := 0; i < b.N; i++ {
+		st, err := s.Run(nw, src, dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.GenerationsDecoded == 0 {
+			b.Fatal("session decoded nothing")
+		}
+		tp = st.Throughput
+	}
+	b.ReportMetric(tp, "bytes/s")
+}
+
+func BenchmarkSessionSchemeRLNC(b *testing.B) { benchSessionScheme(b, 0) }
+
+func BenchmarkSessionSchemeRLNCE2E(b *testing.B) { benchSessionScheme(b, 1) }
+
+func BenchmarkSessionSchemeRS(b *testing.B) { benchSessionScheme(b, 2) }
+
 // benchMultiSession measures the multi-unicast hot path: two sessions of one
 // protocol contending on a single shared engine and MAC (the scenario lives
 // in internal/sessionbench so cmd/omnc-bench records exactly this workload).
@@ -347,7 +378,7 @@ func benchCodingStrategy(b *testing.B, s gf256.Strategy) {
 			b.Fatal(err)
 		}
 		for !dec.Decoded() {
-			if _, err := dec.Add(enc.Packet()); err != nil {
+			if _, err := dec.Add(enc.Next()); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -225,6 +225,61 @@ func TestChaosFaultFreeBitIdentity(t *testing.T) {
 	}
 }
 
+// TestChaosSchemes extends the chaos coverage across the coding-scheme
+// strategy layer: every scheme endures random fault plans (at least one
+// each, several in full mode) under the same invariants as
+// TestChaosRandomPlans — termination, typed destination-death errors, and
+// bit-identical replay. Crash-released ForwardBuffer stores and RS shard
+// emissions thus meet node churn, not just clean sessions.
+func TestChaosSchemes(t *testing.T) {
+	cs := newChaosSession(t, 5)
+	plans := 2
+	if !testing.Short() {
+		plans = 8
+	}
+	proto := omnc.OMNC(omnc.RateOptions{})
+	for _, scheme := range []omnc.Scheme{omnc.SchemeRLNC, omnc.SchemeRLNCE2E, omnc.SchemeRS} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			for i := 0; i < plans; i++ {
+				plan, err := omnc.RandomFaultPlan(omnc.RandomFaultPlanConfig{
+					Nodes:        cs.nodes,
+					Links:        cs.links,
+					Horizon:      10,
+					CrashRate:    0.15,
+					MeanDowntime: 3,
+					FlapRate:     0.1,
+					BurstRate:    0.1,
+					BadFactor:    0.1,
+					Seed:         seedmix.Derive(2000, int64(int(scheme)*plans+i)),
+				})
+				if err != nil {
+					t.Fatalf("plan %d: %v", i, err)
+				}
+				cfg := chaosConfig(13, plan)
+				cfg.Scheme = scheme
+				cfg.Redundancy = 2.5
+				st, err := omnc.Run(cs.nw, cs.src, cs.dst, proto, cfg)
+				if planKillsDst(plan, cs.dst) {
+					if !errors.Is(err, omnc.ErrDestinationDown) {
+						t.Fatalf("plan %d kills the destination but err = %v", i, err)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("plan %d: %v", i, err)
+				}
+				again, err := omnc.Run(cs.nw, cs.src, cs.dst, proto, cfg)
+				if err != nil {
+					t.Fatalf("plan %d replay: %v", i, err)
+				}
+				if !reflect.DeepEqual(st, again) {
+					t.Fatalf("plan %d: replay drifted:\n got %+v\nwant %+v", i, again, st)
+				}
+			}
+		})
+	}
+}
+
 // TestChaosWorkersInvariant re-runs a small fault-churn experiment serially
 // and with four workers: the aggregated points must match exactly, because
 // every cell's plan and trial seed derive from its index, not from

@@ -9,15 +9,21 @@
 //
 // Usage:
 //
-//	omnc-bench [-iters N] [-out BENCH_4.json]   record a fresh report
-//	omnc-bench -check BENCH_4.json              validate a committed report
+//	omnc-bench [-iters N] [-out BENCH_5.json]   record a fresh report
+//	omnc-bench -check BENCH_5.json              validate a committed report
 //	omnc-bench -engine-workers N                spot-measure the scaled
 //	                                            workload at N workers
+//	omnc-bench -scheme rs [-redundancy R]       spot-measure one coding
+//	                                            scheme session
 //
 // -check verifies the schema and re-asserts the regression gates: the OMNC
 // session must show at least 50% fewer allocs/op than the pre-pooling
 // baseline, and multi-session workloads (when present in the report, as in
 // BENCH_3.json and later) must stay within 25% of their recorded allocs/op.
+// Coding-scheme sessions (BENCH_5.json and later) must keep the end-to-end
+// RLNC and Reed-Solomon strategies within 2x of the default full-recoding
+// session's allocs/op — the proof that the strategy layer rides the same
+// pooled arena instead of allocating per packet.
 // Reports that carry the parallel-engine scaling ladder (BENCH_4.json and
 // later) must additionally show identical emulated throughput across every
 // worker count — the engines are required to be bit-identical, so any drift
@@ -36,6 +42,7 @@ import (
 	"runtime"
 	"time"
 
+	"omnc/internal/coding"
 	"omnc/internal/profiling"
 	"omnc/internal/sessionbench"
 )
@@ -106,11 +113,20 @@ const multiAllocGate = 1.25
 // wall-clock parallel speedup no matter how parallel the round structure).
 const speedupGate = 2.0
 
+// schemeAllocGate bounds the non-default coding schemes: their session
+// allocs/op may exceed the in-report default-RLNC scheme entry by at most
+// this factor. The non-recoding relays queue pooled packets instead of
+// re-encoding, and the RS encoder writes into arena packets — neither may
+// cost per-packet allocations.
+const schemeAllocGate = 2.0
+
 func main() {
 	iters := flag.Int("iters", 5, "measured session runs per benchmark (after one warmup)")
-	out := flag.String("out", "BENCH_4.json", "output path, or - for stdout")
+	out := flag.String("out", "BENCH_5.json", "output path, or - for stdout")
 	check := flag.String("check", "", "validate an existing report instead of benchmarking")
 	engWork := flag.Int("engine-workers", -1, "spot-measure the scaled multi-session workload at this engine worker count (0 = serial) instead of recording a report")
+	scheme := flag.String("scheme", "rlnc", "with -redundancy, the coding scheme to spot-measure; non-default values skip report recording")
+	redund := flag.Float64("redundancy", 0, "source emission cap for the -scheme spot measurement (0 = rateless)")
 	prof := profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	stopProf, err := prof.Start()
@@ -131,6 +147,30 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("%s: schema %s ok, gates held\n", *check, schemaVersion)
+		return
+	}
+
+	if *scheme != "rlnc" || *redund != 0 {
+		schemeVal, err := coding.ParseScheme(*scheme)
+		if err == nil {
+			err = coding.ValidateRedundancy(*redund)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omnc-bench: %v\n", err)
+			os.Exit(1)
+		}
+		s := sessionbench.SchemeScenario{
+			Name:       fmt.Sprintf("SessionScheme/%s", schemeVal),
+			Scheme:     schemeVal,
+			Redundancy: *redund,
+		}
+		r, err := measureScheme(s, *iters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omnc-bench: %s: %v\n", s.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s (redundancy %g): %d ns/op %d allocs/op %d B/op %.0f bytes/s\n",
+			r.Name, *redund, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.Throughput)
 		return
 	}
 
@@ -209,7 +249,50 @@ func record(iters int) (*Report, error) {
 		}
 		rep.Benchmarks = append(rep.Benchmarks, r)
 	}
+	for _, s := range sessionbench.SchemeScenarios() {
+		r, err := measureScheme(s, iters)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+	}
 	return rep, nil
+}
+
+// measureScheme is measure for one coding-scheme session; scheme entries
+// carry no frozen baseline — checkReport gates them against the in-report
+// default-RLNC entry instead.
+func measureScheme(s sessionbench.SchemeScenario, iters int) (Result, error) {
+	nw, src, dst, err := sessionbench.Network()
+	if err != nil {
+		return Result{}, err
+	}
+	st, err := s.Run(nw, src, dst)
+	if err != nil {
+		return Result{}, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if st, err = s.Run(nw, src, dst); err != nil {
+			return Result{}, err
+		}
+		if st.GenerationsDecoded == 0 {
+			return Result{}, fmt.Errorf("session decoded nothing")
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := int64(iters)
+	return Result{
+		Name:        s.Name,
+		NsPerOp:     elapsed.Nanoseconds() / n,
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / n,
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / n,
+		Throughput:  st.Throughput,
+	}, nil
 }
 
 // measure runs one warmup session (arena fill, lazy tables) and then iters
@@ -441,6 +524,35 @@ func checkReport(path string) error {
 			if ratio < speedupGate {
 				return fmt.Errorf("scaled speedup %.2fx at 4 workers below gate %.1fx (serial %d ns/op, workers=4 %d ns/op, cpus=%d)",
 					ratio, speedupGate, serial.NsPerOp, four.NsPerOp, rep.CPUs)
+			}
+		}
+	}
+	// Coding-scheme entries appeared in BENCH_5.json: a report carrying any
+	// of them must carry all of them, and the non-recoding strategies must
+	// stay within schemeAllocGate of the in-report default-RLNC session —
+	// the arena-use proof for the strategy layer. Earlier reports stay valid.
+	schemes := sessionbench.SchemeScenarios()
+	hasSchemes := false
+	for _, s := range schemes {
+		if _, ok := byName[s.Name]; ok {
+			hasSchemes = true
+			break
+		}
+	}
+	if hasSchemes {
+		ref, ok := byName["SessionScheme/rlnc"]
+		if !ok {
+			return fmt.Errorf("scheme entries present but the SessionScheme/rlnc reference is missing")
+		}
+		for _, s := range schemes {
+			r, ok := byName[s.Name]
+			if !ok {
+				return fmt.Errorf("missing benchmark %s", s.Name)
+			}
+			slimit := int64(float64(ref.AllocsPerOp) * schemeAllocGate)
+			if r.AllocsPerOp > slimit {
+				return fmt.Errorf("%s allocs/op %d exceeds gate %d (%.0f%% of SessionScheme/rlnc's %d)",
+					s.Name, r.AllocsPerOp, slimit, schemeAllocGate*100, ref.AllocsPerOp)
 			}
 		}
 	}

@@ -39,6 +39,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "loss-process seed")
 		trials   = flag.Int("trials", 1, "independent loopback sessions to run")
 		workers  = flag.Int("workers", 0, "concurrent sessions (0 = all cores); each owns its own sockets")
+		scheme   = flag.String("scheme", "rlnc", "coding scheme: rlnc (full recoding), rlnc-e2e (no recoding), rs (source-only Reed-Solomon)")
+		redund   = flag.Float64("redundancy", 0, "coded packets per generation as a factor of the generation size (0 = rateless)")
 	)
 	prof := profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -47,7 +49,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "omnc-drift:", err)
 		os.Exit(1)
 	}
-	err = run(*duration, *rate, *genSize, *block, *seed, *trials, *workers)
+	err = run(*duration, *rate, *genSize, *block, *seed, *trials, *workers, *scheme, *redund)
 	if perr := stopProf(); perr != nil && err == nil {
 		err = perr
 	}
@@ -57,9 +59,14 @@ func main() {
 	}
 }
 
-func run(duration time.Duration, rate float64, genSize, block int, seed int64, trials, workers int) error {
+func run(duration time.Duration, rate float64, genSize, block int, seed int64, trials, workers int,
+	schemeName string, redundancy float64) error {
 	if trials < 1 {
 		return fmt.Errorf("-trials must be at least 1, got %d", trials)
+	}
+	schemeVal, err := coding.ParseScheme(schemeName)
+	if err != nil {
+		return err
 	}
 	nw, err := omnc.NetworkFromMatrix([][]float64{
 		{0, 0.8, 0.6, 0},
@@ -80,8 +87,8 @@ func run(duration time.Duration, rate float64, genSize, block int, seed int64, t
 	}
 	rates[sg.Dst] = 0
 
-	fmt.Printf("running OMNC over loopback UDP: %d nodes, generation %dx%dB, %v wall time, %d session(s)\n",
-		sg.Size(), genSize, block, duration, trials)
+	fmt.Printf("running OMNC over loopback UDP: %d nodes, generation %dx%dB, scheme %s, %v wall time, %d session(s)\n",
+		sg.Size(), genSize, block, schemeVal, duration, trials)
 
 	// Each trial is a full loopback session with its own sockets and a
 	// loss-process seed derived from (seed, trial); concurrent sessions
@@ -93,10 +100,12 @@ func run(duration time.Duration, rate float64, genSize, block int, seed int64, t
 			trialSeed = seedmix.Derive(seed, streamDriftTrial, int64(i))
 		}
 		res, err := drift.RunSession(nw, sg, drift.Config{
-			Coding:   coding.Params{GenerationSize: genSize, BlockSize: block},
-			Rates:    rates,
-			Duration: duration,
-			Seed:     trialSeed,
+			Coding:     coding.Params{GenerationSize: genSize, BlockSize: block},
+			Scheme:     schemeVal,
+			Redundancy: redundancy,
+			Rates:      rates,
+			Duration:   duration,
+			Seed:       trialSeed,
 		})
 		if err != nil {
 			return fmt.Errorf("trial %d: %w", i, err)

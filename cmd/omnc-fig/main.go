@@ -14,7 +14,8 @@
 //	omnc-fig -fig drift    # extension: throughput under link-quality drift
 //	omnc-fig -fig multi    # extension: multi-unicast scaling (aggregate + fairness)
 //	omnc-fig -fig faults   # extension: throughput and recovery time under churn
-//	omnc-fig -fig all      # everything (except drift, multi and faults)
+//	omnc-fig -fig schemes  # extension: coding schemes x redundancy on a lossy chain
+//	omnc-fig -fig all      # everything (except drift, multi, faults and schemes)
 //
 // The default scale is laptop-sized (30 sessions, 200 emulated seconds,
 // payload-rank fidelity); -full selects the paper's full scale (300
@@ -31,6 +32,7 @@ import (
 	"strconv"
 	"time"
 
+	"omnc/internal/coding"
 	"omnc/internal/experiments"
 	"omnc/internal/metrics"
 	"omnc/internal/profiling"
@@ -49,6 +51,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent session emulations (0 = all cores, 1 = serial); results are identical either way")
 		engWork  = flag.Int("engine-workers", 0, "parallel event-engine workers per session (0 = serial engine); results are identical either way")
 		report   = flag.Bool("report", false, "collect per-session observability reports and print per-figure totals")
+		scheme   = flag.String("scheme", "rlnc", "coding scheme for the comparison figures: rlnc, rlnc-e2e or rs (-fig schemes sweeps all three)")
+		redund   = flag.Float64("redundancy", 0, "source emission cap as a factor of the generation size (0 = rateless)")
 	)
 	prof := profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -57,7 +61,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "omnc-fig:", err)
 		os.Exit(1)
 	}
-	err = run(*fig, *full, *sessions, *duration, *seed, *mac, *csvDir, *workers, *engWork, *report)
+	err = run(*fig, *full, *sessions, *duration, *seed, *mac, *csvDir, *workers, *engWork, *report, *scheme, *redund)
 	if perr := stopProf(); perr != nil && err == nil {
 		err = perr
 	}
@@ -67,7 +71,8 @@ func main() {
 	}
 }
 
-func run(fig string, full bool, sessions int, duration float64, seed int64, mac, csvDir string, workers, engineWorkers int, report bool) error {
+func run(fig string, full bool, sessions int, duration float64, seed int64, mac, csvDir string, workers, engineWorkers int, report bool,
+	schemeName string, redundancy float64) error {
 	cfg := experiments.QuickConfig(seed)
 	if full {
 		cfg = experiments.PaperConfig(seed)
@@ -81,6 +86,15 @@ func run(fig string, full bool, sessions int, duration float64, seed int64, mac,
 	cfg.Workers = workers
 	cfg.EngineWorkers = engineWorkers
 	cfg.Report = report
+	schemeVal, err := coding.ParseScheme(schemeName)
+	if err != nil {
+		return err
+	}
+	if err := coding.ValidateRedundancy(redundancy); err != nil {
+		return err
+	}
+	cfg.Scheme = schemeVal
+	cfg.Redundancy = redundancy
 	switch mac {
 	case "oracle", "":
 		cfg.MAC = sim.ModeOracle
@@ -111,6 +125,8 @@ func run(fig string, full bool, sessions int, duration float64, seed int64, mac,
 		return multiFig(cfg, full, csvDir)
 	case "faults":
 		return faultsFig(cfg, csvDir)
+	case "schemes":
+		return schemesFig(cfg, csvDir)
 	case "all":
 		if err := fig1(csvDir); err != nil {
 			return err
@@ -446,6 +462,78 @@ func faultsFig(cfg experiments.Config, csvDir string) error {
 		}
 	}
 	return writeCSV(filepath.Join(csvDir, "fig_faults.csv"), rows)
+}
+
+// schemesFig runs the coding-scheme extension: OMNC throughput on an explicit
+// lossy relay chain as the coding scheme (full-recoding RLNC, end-to-end RLNC,
+// source-only Reed-Solomon), the source redundancy factor, and the chain
+// length vary. The chain makes the strategy difference visible: every
+// delivered byte crossed every hop, so relays that can only repeat stored
+// packets fall behind in-network recoding as hops accumulate.
+func schemesFig(cfg experiments.Config, csvDir string) error {
+	sc := experiments.SchemesConfig{
+		Duration:      cfg.Duration,
+		Capacity:      cfg.Capacity,
+		CBRRate:       cfg.CBRRate,
+		MAC:           cfg.MAC,
+		RateOptions:   cfg.RateOptions,
+		Seed:          cfg.Seed,
+		Workers:       cfg.Workers,
+		EngineWorkers: cfg.EngineWorkers,
+	}
+	sc.Progress = metrics.NewProgress(sc.CellCount())
+	fmt.Printf("Running coding schemes on lossy chains (%d cells, MAC %s)...\n",
+		sc.CellCount(), macLabel(sc.MAC))
+	stopTicker := startProgressTicker(sc.Progress)
+	res, err := experiments.RunSchemesSweep(sc)
+	stopTicker()
+	if err != nil {
+		return err
+	}
+
+	schemes := res.Config.Schemes
+	fmt.Println("\nExtension: OMNC throughput by coding scheme, redundancy and chain length")
+	fmt.Printf("(per-hop delivery %.2f; redundancy 0 = rateless source)\n", res.Config.PerHopQuality)
+	for _, red := range res.Config.Redundancies {
+		fmt.Printf("\nredundancy %s\n", redundancyLabel(red))
+		fmt.Printf("%-8s", "hops")
+		for _, s := range schemes {
+			fmt.Printf("  %-14s", s.String()+" (B/s)")
+		}
+		fmt.Println()
+		for _, hops := range res.Config.Hops {
+			fmt.Printf("%-8d", hops)
+			for _, s := range schemes {
+				pt := res.Point(s, red, hops)
+				fmt.Printf("  %-14.0f", pt.Throughput)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println()
+
+	if csvDir == "" {
+		return nil
+	}
+	rows := [][]string{{"scheme", "redundancy", "hops", "throughput_bytes_per_sec", "generations_decoded"}}
+	for _, p := range res.Points {
+		rows = append(rows, []string{
+			p.Scheme.String(),
+			fmt.Sprintf("%.2f", p.Redundancy),
+			strconv.Itoa(p.Hops),
+			fmt.Sprintf("%.5f", p.Throughput),
+			fmt.Sprintf("%.5f", p.GenerationsDecoded),
+		})
+	}
+	return writeCSV(filepath.Join(csvDir, "fig_schemes.csv"), rows)
+}
+
+// redundancyLabel formats a source emission cap for humans.
+func redundancyLabel(r float64) string {
+	if r == 0 {
+		return "rateless"
+	}
+	return fmt.Sprintf("%.2fx", r)
 }
 
 func minInt(a, b int) int {

@@ -2,9 +2,11 @@ package main
 
 import (
 	"bytes"
+	"encoding/csv"
 	"flag"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 )
 
@@ -16,7 +18,7 @@ var update = flag.Bool("update", false, "rewrite golden files under testdata/")
 
 func TestRunFig1WritesCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("1", false, 0, 0, 1, "oracle", dir, 0, 0, false); err != nil {
+	if err := run("1", false, 0, 0, 1, "oracle", dir, 0, 0, false, "rlnc", 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig1_convergence.csv")); err != nil {
@@ -26,7 +28,7 @@ func TestRunFig1WritesCSV(t *testing.T) {
 
 func TestRunFig2SmallSession(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("2l", false, 1, 60, 7, "oracle", dir, 0, 0, false); err != nil {
+	if err := run("2l", false, 1, 60, 7, "oracle", dir, 0, 0, false, "rlnc", 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig2l_gains.csv")); err != nil {
@@ -35,11 +37,17 @@ func TestRunFig2SmallSession(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run("nope", false, 1, 10, 1, "oracle", "", 0, 0, false); err == nil {
+	if err := run("nope", false, 1, 10, 1, "oracle", "", 0, 0, false, "rlnc", 0); err == nil {
 		t.Fatal("unknown figure must fail")
 	}
-	if err := run("2l", false, 1, 10, 1, "token-ring", "", 0, 0, false); err == nil {
+	if err := run("2l", false, 1, 10, 1, "token-ring", "", 0, 0, false, "rlnc", 0); err == nil {
 		t.Fatal("unknown MAC must fail")
+	}
+	if err := run("2l", false, 1, 10, 1, "oracle", "", 0, 0, false, "fountain", 0); err == nil {
+		t.Fatal("unknown scheme must fail")
+	}
+	if err := run("2l", false, 1, 10, 1, "oracle", "", 0, 0, false, "rlnc", 0.5); err == nil {
+		t.Fatal("sub-unit redundancy must fail")
 	}
 }
 
@@ -50,7 +58,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 // intentional behaviour change.
 func TestGoldenFig2CSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("2l", false, 2, 60, 7, "oracle", dir, 2, 0, false); err != nil {
+	if err := run("2l", false, 2, 60, 7, "oracle", dir, 2, 0, false, "rlnc", 0); err != nil {
 		t.Fatal(err)
 	}
 	compareGolden(t, filepath.Join(dir, "fig2l_gains.csv"), "fig2l_gains.golden.csv")
@@ -64,7 +72,7 @@ func TestGoldenFig2CSVWithReport(t *testing.T) {
 		t.Skip("fixture is owned by TestGoldenFig2CSV")
 	}
 	dir := t.TempDir()
-	if err := run("2l", false, 2, 60, 7, "oracle", dir, 2, 0, true); err != nil {
+	if err := run("2l", false, 2, 60, 7, "oracle", dir, 2, 0, true, "rlnc", 0); err != nil {
 		t.Fatal(err)
 	}
 	compareGolden(t, filepath.Join(dir, "fig2l_gains.csv"), "fig2l_gains.golden.csv")
@@ -76,7 +84,7 @@ func TestGoldenFig2CSVWithReport(t *testing.T) {
 // workers-invariant determinism at the CLI boundary.
 func TestGoldenMultiCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("multi", false, 2, 60, 7, "oracle", dir, 2, 0, false); err != nil {
+	if err := run("multi", false, 2, 60, 7, "oracle", dir, 2, 0, false, "rlnc", 0); err != nil {
 		t.Fatal(err)
 	}
 	compareGolden(t, filepath.Join(dir, "fig_multi.csv"), "fig_multi.golden.csv")
@@ -88,7 +96,7 @@ func TestGoldenMultiCSV(t *testing.T) {
 // count, so the serial fixture must match without regeneration.
 func TestGoldenMultiCSVParallelEngine(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("multi", false, 2, 60, 7, "oracle", dir, 2, 2, false); err != nil {
+	if err := run("multi", false, 2, 60, 7, "oracle", dir, 2, 2, false, "rlnc", 0); err != nil {
 		t.Fatal(err)
 	}
 	compareGolden(t, filepath.Join(dir, "fig_multi.csv"), "fig_multi.golden.csv")
@@ -102,10 +110,68 @@ func TestGoldenMultiCSVParallelEngine(t *testing.T) {
 // sessions bit-identical.
 func TestGoldenFaultsCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("faults", false, 2, 60, 7, "oracle", dir, 2, 0, false); err != nil {
+	if err := run("faults", false, 2, 60, 7, "oracle", dir, 2, 0, false, "rlnc", 0); err != nil {
 		t.Fatal(err)
 	}
 	compareGolden(t, filepath.Join(dir, "fig_faults.csv"), "fig_faults.golden.csv")
+}
+
+// TestGoldenSchemesCSV pins the coding-scheme sweep for a fixed seed: three
+// schemes crossed with three redundancy levels and four chain lengths, two
+// workers — so the fixture guards the strategy layer's determinism at the CLI
+// boundary. TestSchemesGoldenRecodingGain separately asserts the headline
+// ordering inside the fixture.
+func TestGoldenSchemesCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("schemes", false, 0, 60, 7, "oracle", dir, 2, 0, false, "rlnc", 0); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join(dir, "fig_schemes.csv"), "fig_schemes.golden.csv")
+}
+
+// TestSchemesGoldenRecodingGain reads the committed schemes fixture and
+// asserts the claim the figure exists to demonstrate: on every chain of 3 or
+// more hops, rateless full-recoding RLNC strictly out-delivers source-only
+// Reed-Solomon.
+func TestSchemesGoldenRecodingGain(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "fig_schemes.golden.csv"))
+	if err != nil {
+		t.Fatalf("%v (run TestGoldenSchemesCSV with -update first)", err)
+	}
+	rows, err := csv.NewReader(bytes.NewReader(data)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// throughput by (scheme, redundancy, hops)
+	tp := make(map[[3]string]float64)
+	hopSet := make(map[string]bool)
+	for _, row := range rows[1:] {
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp[[3]string{row[0], row[1], row[2]}] = v
+		hopSet[row[2]] = true
+	}
+	checked := 0
+	for hops := range hopSet {
+		h, _ := strconv.Atoi(hops)
+		if h < 3 {
+			continue
+		}
+		rlnc, ok := tp[[3]string{"rlnc", "0.00", hops}]
+		rs, rsOK := tp[[3]string{"rs", "0.00", hops}]
+		if !ok || !rsOK {
+			t.Fatalf("fixture is missing rateless cells at %s hops", hops)
+		}
+		if rlnc <= rs {
+			t.Fatalf("at %s hops full-recoding RLNC (%v B/s) does not beat source-only RS (%v B/s)", hops, rlnc, rs)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("fixture has no chains of 3 or more hops")
+	}
 }
 
 // compareGolden diffs got against testdata/<name>, rewriting the fixture

@@ -56,6 +56,8 @@ func main() {
 		engWork  = flag.Int("engine-workers", 0, "parallel event-engine workers per session (0 = serial engine); results are identical either way")
 		faultsAt = flag.String("faults", "", "JSON fault plan to inject (node crashes, link flaps, burst loss)")
 		reportAt = flag.String("report", "", "write the session's observability report as JSON to this path")
+		scheme   = flag.String("scheme", "rlnc", "coding scheme: rlnc (full recoding), rlnc-e2e (no recoding), rs (source-only Reed-Solomon)")
+		redund   = flag.Float64("redundancy", 0, "coded packets per generation as a factor of the generation size (0 = rateless)")
 	)
 	prof := profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -65,7 +67,8 @@ func main() {
 		os.Exit(1)
 	}
 	err = run(*proto, *nodes, *density, *seed, *src, *dst, *minHops, *maxHops,
-		*duration, *capacity, *cbr, *quality, *svgPath, *trials, *workers, *engWork, *faultsAt, *reportAt)
+		*duration, *capacity, *cbr, *quality, *svgPath, *trials, *workers, *engWork, *faultsAt, *reportAt,
+		*scheme, *redund)
 	if perr := stopProf(); perr != nil && err == nil {
 		err = perr
 	}
@@ -77,9 +80,13 @@ func main() {
 
 func run(proto string, nodes int, density float64, seed int64, src, dst, minHops, maxHops int,
 	duration, capacity, cbr, quality float64, svgPath string, trials, workers, engineWorkers int,
-	faultsPath, reportPath string) error {
+	faultsPath, reportPath, schemeName string, redundancy float64) error {
 	if trials < 1 {
 		return fmt.Errorf("-trials must be at least 1, got %d", trials)
+	}
+	scheme, err := omnc.ParseScheme(schemeName)
+	if err != nil {
+		return err
 	}
 	if reportPath != "" && trials > 1 {
 		return fmt.Errorf("-report captures a single session; it cannot be combined with -trials %d", trials)
@@ -130,6 +137,8 @@ func run(proto string, nodes int, density float64, seed int64, src, dst, minHops
 	}
 
 	cfg := omnc.SessionConfig{
+		Scheme:              scheme,
+		Redundancy:          redundancy,
 		Capacity:            capacity,
 		Duration:            duration,
 		CBRRate:             cbr,
@@ -148,19 +157,24 @@ func run(proto string, nodes int, density float64, seed int64, src, dst, minHops
 	cfg.Coding.BlockSize = 8
 	cfg.AirPacketSize = cfg.Coding.GenerationSize + 1024
 
+	var protoVal omnc.Protocol
+	switch proto {
+	case "omnc":
+		protoVal = omnc.OMNC(omnc.RateOptions{})
+	case "more":
+		protoVal = omnc.MORE()
+	case "oldmore":
+		protoVal = omnc.OldMORE()
+	case "etx":
+		protoVal = omnc.ETX()
+	default:
+		return fmt.Errorf("unknown protocol %q", proto)
+	}
+	if scheme != omnc.SchemeRLNC || redundancy != 0 {
+		fmt.Printf("coding scheme: %s, redundancy %s\n", scheme, redundancyLabel(redundancy))
+	}
 	runProto := func(cfg omnc.SessionConfig) (*omnc.SessionStats, error) {
-		switch proto {
-		case "omnc":
-			return omnc.RunOMNC(nw, src, dst, cfg)
-		case "more":
-			return omnc.RunMORE(nw, src, dst, cfg)
-		case "oldmore":
-			return omnc.RunOldMORE(nw, src, dst, cfg)
-		case "etx":
-			return omnc.RunETX(nw, src, dst, cfg)
-		default:
-			return nil, fmt.Errorf("unknown protocol %q", proto)
-		}
+		return omnc.Run(nw, src, dst, protoVal, cfg)
 	}
 
 	if trials > 1 {
@@ -235,6 +249,15 @@ func runTrials(runProto func(omnc.SessionConfig) (*omnc.SessionStats, error),
 	}
 	fmt.Printf("\nthroughput summary:  %s\n", metrics.Summarize(tps))
 	return nil
+}
+
+// redundancyLabel prints a redundancy factor, spelling out the rateless
+// default.
+func redundancyLabel(r float64) string {
+	if r <= 0 {
+		return "rateless"
+	}
+	return fmt.Sprintf("%.2fx", r)
 }
 
 // renderSessionSVG draws the deployment with the selected forwarders

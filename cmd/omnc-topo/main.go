@@ -16,6 +16,7 @@ import (
 	"strconv"
 
 	"omnc"
+	"omnc/internal/coding"
 	"omnc/internal/graph"
 	"omnc/internal/metrics"
 	"omnc/internal/profiling"
@@ -30,6 +31,8 @@ func main() {
 		quality = flag.Float64("quality", 0, "target mean link quality (0 = default lossy)")
 		links   = flag.String("links", "", "write the directed link set as CSV to this path")
 		svg     = flag.String("svg", "", "render the deployment as SVG to this path")
+		scheme  = flag.String("scheme", "rlnc", "coding scheme the deployment is inspected for: rlnc, rlnc-e2e or rs (validated and echoed)")
+		redund  = flag.Float64("redundancy", 0, "source emission cap as a factor of the generation size (0 = rateless; validated and echoed)")
 	)
 	prof := profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -38,7 +41,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "omnc-topo:", err)
 		os.Exit(1)
 	}
-	err = run(*nodes, *density, *seed, *quality, *links, *svg)
+	err = run(*nodes, *density, *seed, *quality, *links, *svg, *scheme, *redund)
 	if perr := stopProf(); perr != nil && err == nil {
 		err = perr
 	}
@@ -48,7 +51,16 @@ func main() {
 	}
 }
 
-func run(nodes int, density float64, seed int64, quality float64, linksPath, svgPath string) error {
+func run(nodes int, density float64, seed int64, quality float64, linksPath, svgPath, schemeName string, redundancy float64) error {
+	// Validate the coding flags with the same parser every tool shares, so a
+	// sweep script can vet its whole flag set against the cheapest command.
+	schemeVal, err := omnc.ParseScheme(schemeName)
+	if err != nil {
+		return err
+	}
+	if err := coding.ValidateRedundancy(redundancy); err != nil {
+		return err
+	}
 	nw, err := omnc.GenerateNetwork(nodes, density, seed)
 	if err != nil {
 		return err
@@ -95,6 +107,15 @@ func run(nodes int, density float64, seed int64, quality float64, linksPath, svg
 	fmt.Printf("degree:              %s\n", metrics.Summarize(degrees))
 	fmt.Printf("link quality:        %s\n", metrics.Summarize(qualities))
 	fmt.Printf("reachable from 0:    %d/%d (max %d hops)\n", reachable, nw.Size(), maxHops)
+	relays := "relays re-encode"
+	if !schemeVal.Recodes() {
+		relays = "relays forward verbatim"
+	}
+	redLabel := "rateless"
+	if redundancy > 0 {
+		redLabel = fmt.Sprintf("%.2fx", redundancy)
+	}
+	fmt.Printf("coding scheme:       %s (%s), redundancy %s\n", schemeVal, relays, redLabel)
 
 	if svgPath != "" {
 		f, err := os.Create(svgPath)

@@ -110,13 +110,16 @@ func TestEngineDeterminismSingleSession(t *testing.T) {
 	eps := findMultiSessions(t, nw, 1)[0]
 	plan := detFaultPlan(t, nw, map[int]bool{eps.Src: true, eps.Dst: true}, 7101)
 
-	runners := map[string]func(*omnc.Network, int, int, omnc.SessionConfig) (*omnc.SessionStats, error){
-		"omnc":    omnc.RunOMNC,
-		"more":    omnc.RunMORE,
-		"oldmore": omnc.RunOldMORE,
-		"etx":     omnc.RunETX,
+	runners := map[string]omnc.Protocol{
+		"omnc":    omnc.OMNC(omnc.RateOptions{}),
+		"more":    omnc.MORE(),
+		"oldmore": omnc.OldMORE(),
+		"etx":     omnc.ETX(),
 	}
-	for name, run := range runners {
+	for name, proto := range runners {
+		run := func(nw *omnc.Network, src, dst int, cfg omnc.SessionConfig) (*omnc.SessionStats, error) {
+			return omnc.Run(nw, src, dst, proto, cfg)
+		}
 		for _, withFaults := range []bool{false, true} {
 			name, run, withFaults := name, run, withFaults
 			label := name + "/fault-free"

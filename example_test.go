@@ -26,7 +26,7 @@ func ExampleNewDecoder() {
 	}
 	packets := 0
 	for !dec.Decoded() {
-		if _, err := dec.Add(enc.Packet()); err != nil {
+		if _, err := dec.Add(enc.Next()); err != nil {
 			log.Fatal(err)
 		}
 		packets++
@@ -83,16 +83,16 @@ func ExampleSolveOptimalRates() {
 	// gamma* = 49000 bytes/s
 }
 
-// ExampleRunOMNC emulates one OMNC session end to end. (Throughput varies
+// ExampleRun emulates one OMNC session end to end. (Throughput varies
 // with the seed, so the example only reports that data flowed.)
-func ExampleRunOMNC() {
+func ExampleRun() {
 	nw, _ := omnc.NetworkFromMatrix([][]float64{
 		{0, 0.5, 0.5, 0},
 		{0.5, 0, 0, 0.5},
 		{0.5, 0, 0, 0.5},
 		{0, 0.5, 0.5, 0},
 	})
-	st, err := omnc.RunOMNC(nw, 0, 3, omnc.SessionConfig{
+	st, err := omnc.Run(nw, 0, 3, omnc.OMNC(omnc.RateOptions{}), omnc.SessionConfig{
 		Coding:        omnc.CodingParams{GenerationSize: 8, BlockSize: 16},
 		AirPacketSize: 8 + 1024,
 		Capacity:      2e4,

@@ -58,7 +58,7 @@ func run() error {
 		}
 		for !sink.Decoded() {
 			// Source broadcast, serialized over the wire format.
-			buf, err := coding.MarshalData(1, enc.Packet())
+			buf, err := coding.MarshalData(1, enc.Next())
 			if err != nil {
 				return err
 			}
@@ -79,7 +79,7 @@ func run() error {
 				relay *omnc.Recoder
 				p     float64
 			}{{relayU, puT}, {relayV, pvT}} {
-				pkt := hop.relay.Packet()
+				pkt := hop.relay.Next()
 				if pkt == nil {
 					continue
 				}

@@ -52,7 +52,7 @@ func run() error {
 	broadcasts, deliveries := 0, 0
 	for !sink.Decoded() {
 		// One broadcast from the source: u and v draw independent losses.
-		pkt := source.Packet()
+		pkt := source.Next()
 		broadcasts++
 		if rng.Float64() < pSu {
 			if _, err := relayU.Add(pkt.Clone()); err != nil {
@@ -69,7 +69,7 @@ func run() error {
 			relay *omnc.Recoder
 			p     float64
 		}{{relayU, puT}, {relayV, pvT}} {
-			out := hop.relay.Packet()
+			out := hop.relay.Next()
 			if out == nil {
 				continue // the relay has heard nothing yet
 			}

@@ -50,11 +50,11 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		etx, err := omnc.RunETX(nw, src, dst, cfg)
+		etx, err := omnc.Run(nw, src, dst, omnc.ETX(), cfg)
 		if err != nil {
 			return err
 		}
-		coded, err := omnc.RunOMNC(nw, src, dst, cfg)
+		coded, err := omnc.Run(nw, src, dst, omnc.OMNC(omnc.RateOptions{}), cfg)
 		if err != nil {
 			return err
 		}

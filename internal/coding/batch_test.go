@@ -20,15 +20,15 @@ func TestBatchDecoderRoundTrip(t *testing.T) {
 		t.Fatal("empty decoder cannot decode")
 	}
 	for i := 0; i < 8; i++ {
-		if err := dec.Add(enc.Packet()); err != nil {
+		if err := dec.Add(enc.Next()); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if !dec.TryDecode() {
 		// With 8 random packets over GF(256) failure probability is ~2^-60;
 		// add a couple more just in case and retry.
-		dec.Add(enc.Packet())
-		dec.Add(enc.Packet())
+		dec.Add(enc.Next())
+		dec.Add(enc.Next())
 		if !dec.TryDecode() {
 			t.Fatal("batch decode failed with surplus packets")
 		}
@@ -54,7 +54,7 @@ func TestBatchDecoderMatchesProgressive(t *testing.T) {
 	prog, _ := NewDecoder(0, p)
 	batch, _ := NewBatchDecoder(0, p)
 	for !prog.Decoded() {
-		pkt := enc.Packet()
+		pkt := enc.Next()
 		batch.Add(pkt.Clone())
 		prog.Add(pkt)
 	}
@@ -74,7 +74,7 @@ func TestBatchDecoderBuffersDuplicates(t *testing.T) {
 	gen, _ := NewGeneration(0, p, nil)
 	enc := NewEncoder(gen, rng)
 	batch, _ := NewBatchDecoder(0, p)
-	pkt := enc.Packet()
+	pkt := enc.Next()
 	for i := 0; i < 5; i++ {
 		batch.Add(pkt.Clone())
 	}
@@ -119,12 +119,12 @@ func benchDecode(b *testing.B, progressive bool) {
 		if progressive {
 			dec, _ := NewDecoder(0, p)
 			for !dec.Decoded() {
-				dec.Add(enc.Packet())
+				dec.Add(enc.Next())
 			}
 		} else {
 			dec, _ := NewBatchDecoder(0, p)
 			for !dec.TryDecode() {
-				dec.Add(enc.Packet())
+				dec.Add(enc.Next())
 			}
 		}
 	}

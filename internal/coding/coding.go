@@ -171,6 +171,10 @@ type Encoder struct {
 	gen    *Generation
 	rng    *rand.Rand
 	kernel gf256.Kernel
+	// budget caps emissions per generation (the redundancy knob, set by
+	// NewSource); 0 means unlimited — the rateless default.
+	budget  int
+	emitted int
 }
 
 // NewEncoder returns an encoder drawing coefficients from rng. The rng must
@@ -181,19 +185,18 @@ func NewEncoder(gen *Generation, rng *rand.Rand) *Encoder {
 
 // Next emits a fresh coded packet over the whole generation, drawn from the
 // packet arena: the caller owns one reference and releases it when done
-// (see the package ownership contract).
+// (see the package ownership contract). Once the emission budget (if any)
+// is exhausted, Next returns nil without consuming randomness.
 func (e *Encoder) Next() *Packet {
+	if e.budget > 0 && e.emitted >= e.budget {
+		return nil
+	}
+	e.emitted++
 	pk := GetPacket(e.gen.params)
 	pk.Generation = e.gen.ID
 	e.fill(pk)
 	return pk
 }
-
-// Packet emits a fresh coded packet.
-//
-// Deprecated: use Next, which documents that the emitted packet is pooled;
-// Packet is retained so existing callers keep compiling.
-func (e *Encoder) Packet() *Packet { return e.Next() }
 
 // fill overwrites pk with a fresh random combination of the generation.
 func (e *Encoder) fill(pk *Packet) {

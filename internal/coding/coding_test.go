@@ -106,7 +106,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 				if sent > 3*n+16 {
 					t.Fatalf("n=%d m=%d: not decoded after %d packets", n, m, sent)
 				}
-				if _, err := dec.Add(enc.Packet()); err != nil {
+				if _, err := dec.Add(enc.Next()); err != nil {
 					t.Fatal(err)
 				}
 				sent++
@@ -145,7 +145,7 @@ func TestNonInnovativePacketDiscarded(t *testing.T) {
 	enc := NewEncoder(gen, rng)
 	dec, _ := NewDecoder(0, p)
 
-	pk := enc.Packet()
+	pk := enc.Next()
 	dup := pk.Clone()
 	if inn, _ := dec.Add(pk); !inn {
 		t.Fatal("first packet must be innovative")
@@ -158,7 +158,7 @@ func TestNonInnovativePacketDiscarded(t *testing.T) {
 	}
 
 	// A scaled copy is also non-innovative.
-	pk2 := enc.Packet()
+	pk2 := enc.Next()
 	scaled := pk2.Clone()
 	gf256.ScaleSlice(gf256.StrategyAccel, scaled.Coeffs, 7)
 	gf256.ScaleSlice(gf256.StrategyAccel, scaled.Payload, 7)
@@ -232,7 +232,7 @@ func TestRecoderEndToEnd(t *testing.T) {
 	dec, _ := NewDecoder(3, p)
 
 	for i := 0; i < 8; i++ {
-		if _, err := relay.Add(enc.Packet()); err != nil {
+		if _, err := relay.Add(enc.Next()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -244,7 +244,7 @@ func TestRecoderEndToEnd(t *testing.T) {
 		if sent > 40 {
 			t.Fatal("destination cannot decode from recoded packets")
 		}
-		if _, err := dec.Add(relay.Packet()); err != nil {
+		if _, err := dec.Add(relay.Next()); err != nil {
 			t.Fatal(err)
 		}
 		sent++
@@ -266,13 +266,13 @@ func TestRecoderPartialRankStillInnovative(t *testing.T) {
 	relayV, _ := NewRecoder(0, p, rng)
 
 	for i := 0; i < 3; i++ {
-		relayU.Add(enc.Packet())
-		relayV.Add(enc.Packet())
+		relayU.Add(enc.Next())
+		relayV.Add(enc.Next())
 	}
 	dec, _ := NewDecoder(0, p)
 	for i := 0; i < 3; i++ {
-		dec.Add(relayU.Packet())
-		dec.Add(relayV.Packet())
+		dec.Add(relayU.Next())
+		dec.Add(relayV.Next())
 	}
 	// relayU and relayV received independent random packets, so with high
 	// probability their spans differ and the union has rank 6.
@@ -284,7 +284,7 @@ func TestRecoderPartialRankStillInnovative(t *testing.T) {
 func TestRecoderEmptyEmitsNil(t *testing.T) {
 	p := testParams(4, 4)
 	rec, _ := NewRecoder(0, p, rand.New(rand.NewSource(1)))
-	if rec.Packet() != nil {
+	if rec.Next() != nil {
 		t.Fatal("empty recoder must emit nil")
 	}
 	if rec.Full() || rec.Rank() != 0 {
@@ -313,10 +313,10 @@ func TestIsInnovativeDoesNotMutate(t *testing.T) {
 	enc := NewEncoder(gen, rng)
 	m := newRREF(p)
 
-	pk := enc.Packet()
+	pk := enc.Next()
 	m.add(pk.Coeffs, pk.Payload)
 
-	probe := enc.Packet()
+	probe := enc.Next()
 	before := append([]byte(nil), probe.Coeffs...)
 	_ = m.isInnovative(probe.Coeffs)
 	if !bytes.Equal(probe.Coeffs, before) {
@@ -330,7 +330,7 @@ func TestIsInnovativeDoesNotMutate(t *testing.T) {
 	if m.isInnovative(dup.Coeffs) {
 		t.Fatal("duplicate must not be innovative")
 	}
-	fresh := enc.Packet()
+	fresh := enc.Next()
 	if !m.isInnovative(fresh.Coeffs) {
 		// With 4 blocks a random packet is innovative w.p. ~1-2^-24.
 		t.Fatal("fresh random packet should be innovative")
@@ -350,7 +350,7 @@ func TestDecoderExpectedOverheadSmall(t *testing.T) {
 		enc := NewEncoder(gen, rng)
 		dec, _ := NewDecoder(trial, p)
 		for !dec.Decoded() {
-			dec.Add(enc.Packet())
+			dec.Add(enc.Next())
 			total++
 		}
 	}
@@ -401,7 +401,7 @@ func TestStrategiesProduceSameDecoding(t *testing.T) {
 		enc := NewEncoder(gen, rng)
 		dec, _ := NewDecoder(0, p)
 		for !dec.Decoded() {
-			dec.Add(enc.Packet())
+			dec.Add(enc.Next())
 		}
 		outputs = append(outputs, dec.Data())
 	}

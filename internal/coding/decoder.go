@@ -336,9 +336,3 @@ func (r *Recoder) Next() *Packet {
 	}
 	return pk
 }
-
-// Packet emits one re-encoded packet, or nil when nothing has been buffered.
-//
-// Deprecated: use Next, which documents that the emitted packet is pooled;
-// Packet is retained so existing callers keep compiling.
-func (r *Recoder) Packet() *Packet { return r.Next() }

@@ -1,0 +1,116 @@
+package coding
+
+import "fmt"
+
+// ForwardBuffer is the non-recoding relay: it stores innovative packets and
+// transmits them verbatim, cycling through the store, for the schemes whose
+// relays must not combine (SchemeRLNCE2E, SchemeRS). Innovation is judged
+// with the same progressive Gauss-Jordan filter the Recoder uses, but over
+// the coefficient vectors only — payload row storage is degenerate
+// (BlockSize 0), so the filter costs O(n^2) bytes regardless of block size.
+//
+// Cycling matters on lossy paths: a relay buffers at most GenerationSize
+// innovative packets per generation, so forwarding each exactly once could
+// never complete a generation through downstream loss. Like the Recoder —
+// whose re-encoded stream is endless — a ForwardBuffer keeps retransmitting
+// its stored packets round-robin at whatever rate the policy grants, the
+// difference being purely informational: a repeated verbatim packet is only
+// useful to a receiver that missed that exact packet, where a fresh random
+// recombination is innovative with high probability.
+//
+// Ownership: Add retains one reference on packets it stores (the caller
+// keeps its own, per the package contract that Add never takes ownership),
+// Next retains one more for the caller — the store keeps holding its own —
+// and Close releases the store. Stored packets are never mutated, so a
+// packet held by several ForwardBuffers at once (one broadcast, many
+// receivers) is safe to share, even while in flight again.
+//
+// ForwardBuffer implements Relay.
+type ForwardBuffer struct {
+	gen    int
+	params Params
+	filter *rref
+	queue  []*Packet
+	head   int
+}
+
+// NewForwardBuffer returns a verbatim-forwarding relay for the identified
+// generation; Close releases its filter storage and stored packets.
+func NewForwardBuffer(generation int, params Params) (*ForwardBuffer, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	// The filter only eliminates coefficient vectors; a zero BlockSize
+	// makes its payload rows empty slices and every payload MulAdd a no-op.
+	fp := params
+	fp.BlockSize = 0
+	return &ForwardBuffer{gen: generation, params: params, filter: newRREF(fp)}, nil
+}
+
+// Generation returns the generation ID this relay accepts.
+func (f *ForwardBuffer) Generation() int { return f.gen }
+
+// Add stores the packet for forwarding if it is innovative and reports
+// whether it was. The caller keeps its own reference: Add retains one more
+// for the store.
+func (f *ForwardBuffer) Add(p *Packet) (innovative bool, err error) {
+	if p.Generation != f.gen {
+		return false, fmt.Errorf("coding: packet generation %d, relay generation %d", p.Generation, f.gen)
+	}
+	if len(p.Coeffs) != f.params.GenerationSize || len(p.Payload) != f.params.BlockSize {
+		return false, fmt.Errorf("coding: malformed packet (%d coeffs, %d payload)", len(p.Coeffs), len(p.Payload))
+	}
+	if !f.filter.add(p.Coeffs, nil) {
+		return false, nil
+	}
+	p.Retain()
+	f.queue = append(f.queue, p)
+	return true, nil
+}
+
+// Rank returns the dimension of the subspace seen so far.
+func (f *ForwardBuffer) Rank() int { return f.filter.rank() }
+
+// Full reports whether the relay has seen the entire generation; further
+// arrivals are necessarily non-innovative.
+func (f *ForwardBuffer) Full() bool { return f.filter.full() }
+
+// Queued returns the number of distinct packets in the forwarding store.
+func (f *ForwardBuffer) Queued() int { return len(f.queue) - f.head }
+
+// Next returns the least-recently-sent stored packet and moves it to the
+// back of the rotation, retaining a reference for the caller (the store
+// keeps its own). It returns nil only while the store is empty — before the
+// first innovative arrival, or after Close.
+func (f *ForwardBuffer) Next() *Packet {
+	if f.head >= len(f.queue) {
+		return nil
+	}
+	p := f.queue[f.head]
+	f.queue[f.head] = nil
+	f.head++
+	f.queue = append(f.queue, p)
+	// The live window [head, len) holds at most GenerationSize packets;
+	// compacting once the dead prefix outgrows it bounds the slice at
+	// roughly twice the store size.
+	if f.head > len(f.queue)-f.head {
+		n := copy(f.queue, f.queue[f.head:])
+		for i := n; i < len(f.queue); i++ {
+			f.queue[i] = nil
+		}
+		f.queue, f.head = f.queue[:n], 0
+	}
+	p.Retain()
+	return p
+}
+
+// Close releases the filter's row storage and every stored packet.
+// The relay must not be used afterwards.
+func (f *ForwardBuffer) Close() {
+	for ; f.head < len(f.queue); f.head++ {
+		f.queue[f.head].Release()
+		f.queue[f.head] = nil
+	}
+	f.queue, f.head = nil, 0
+	f.filter.release()
+}

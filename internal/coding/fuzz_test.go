@@ -17,7 +17,7 @@ func fuzzSeedBuffers(tb testing.TB) [][]byte {
 		if err != nil {
 			tb.Fatal(err)
 		}
-		buf, err := MarshalData(1, NewEncoder(gen, rng).Packet())
+		buf, err := MarshalData(1, NewEncoder(gen, rng).Next())
 		if err != nil {
 			tb.Fatal(err)
 		}
@@ -104,7 +104,7 @@ func FuzzEncodeDecodeRoundTrip(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	pkt := NewEncoder(gen, rng).Packet()
+	pkt := NewEncoder(gen, rng).Next()
 	f.Add(uint32(12345), uint32(7), []byte(pkt.Coeffs), []byte(pkt.Payload), byte(0))
 	f.Add(uint32(0), uint32(0), []byte{1}, []byte{0}, byte(3))
 	f.Add(uint32(1), uint32(1<<31), []byte{0, 0, 255}, []byte{9, 9}, byte(0))

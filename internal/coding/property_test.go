@@ -27,7 +27,7 @@ func TestPropertyRoundTrip(t *testing.T) {
 		enc := NewEncoder(gen, rng)
 		dec, _ := NewDecoder(0, p)
 		for i := 0; i < 4*n+16 && !dec.Decoded(); i++ {
-			dec.Add(enc.Packet())
+			dec.Add(enc.Next())
 		}
 		if !dec.Decoded() {
 			return false
@@ -53,12 +53,12 @@ func TestPropertyRankMonotone(t *testing.T) {
 		for i := 0; i < 2*n; i++ {
 			var pk *Packet
 			if i%3 == 2 {
-				pk = enc.Packet()
+				pk = enc.Next()
 				pk2 := pk.Clone()
 				dec.Add(pk)
 				pk = pk2 // resend a duplicate
 			} else {
-				pk = enc.Packet()
+				pk = enc.Next()
 			}
 			dec.Add(pk)
 			r := dec.Rank()
@@ -88,13 +88,13 @@ func TestPropertyRecodingPreservesSubspace(t *testing.T) {
 		relay, _ := NewRecoder(0, p, rng)
 		shadow := newRREF(p) // tracks exactly what the relay received
 		for i := 0; i < k; i++ {
-			pk := enc.Packet()
+			pk := enc.Next()
 			shadowPk := pk.Clone()
 			relay.Add(pk)
 			shadow.add(shadowPk.Coeffs, shadowPk.Payload)
 		}
 		for i := 0; i < 5; i++ {
-			out := relay.Packet()
+			out := relay.Next()
 			if out == nil {
 				return false
 			}
@@ -121,7 +121,7 @@ func TestPropertyRREFInvariant(t *testing.T) {
 		enc := NewEncoder(gen, rng)
 		m := newRREF(p)
 		for i := 0; i < n+3; i++ {
-			pk := enc.Packet()
+			pk := enc.Next()
 			m.add(pk.Coeffs, pk.Payload)
 			if !isRREF(m) {
 				return false
@@ -176,7 +176,7 @@ func TestPropertyEncoderLinearity(t *testing.T) {
 		rng.Read(data)
 		gen, _ := NewGeneration(0, p, data)
 		enc := NewEncoder(gen, rng)
-		pk := enc.Packet()
+		pk := enc.Next()
 		for col := 0; col < m; col++ {
 			var want byte
 			for row := 0; row < n; row++ {

@@ -1,0 +1,171 @@
+package coding
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Scheme selects the coding strategy a session runs: who codes, and whether
+// intermediate forwarders re-encode. The zero value is SchemeRLNC, the
+// paper's full-recoding scheme, so existing configurations are unchanged.
+type Scheme int
+
+const (
+	// SchemeRLNC is the paper's scheme: the source emits random GF(2^8)
+	// combinations and every forwarder re-encodes over its buffered
+	// subspace, refreshing redundancy at each hop (Sec. 3.1).
+	SchemeRLNC Scheme = iota
+	// SchemeRLNCE2E is end-to-end RLNC: the source codes exactly as in
+	// SchemeRLNC, but forwarders queue innovative packets verbatim and
+	// never re-encode, so loss accumulates multiplicatively along the path.
+	SchemeRLNCE2E
+	// SchemeRS is source-only systematic Reed-Solomon over GF(2^8): the
+	// source emits the n data shards followed by deterministic Cauchy
+	// parity shards, cycling over the at most 256 distinct shards; relays
+	// forward verbatim as in SchemeRLNCE2E. Repeated shards are exact
+	// duplicates — the destination can use each shard index only once —
+	// which is precisely why the scheme trails end-to-end RLNC on lossy
+	// paths.
+	SchemeRS
+
+	schemeCount
+)
+
+// ErrInvalidScheme reports a scheme value or name outside the supported set.
+var ErrInvalidScheme = errors.New("coding: invalid scheme")
+
+// ErrInvalidRedundancy reports a redundancy factor outside [1, inf) (0 keeps
+// the rateless default).
+var ErrInvalidRedundancy = errors.New("coding: invalid redundancy")
+
+// schemeNames are the canonical flag spellings, indexed by Scheme.
+var schemeNames = [schemeCount]string{
+	SchemeRLNC:    "rlnc",
+	SchemeRLNCE2E: "rlnc-e2e",
+	SchemeRS:      "rs",
+}
+
+// String returns the canonical name ("rlnc", "rlnc-e2e", "rs"), round-trips
+// through ParseScheme, and is what the CLI -scheme flags print and accept.
+func (s Scheme) String() string {
+	if s >= 0 && s < schemeCount {
+		return schemeNames[s]
+	}
+	return fmt.Sprintf("scheme(%d)", int(s))
+}
+
+// Valid reports whether s is one of the defined schemes.
+func (s Scheme) Valid() bool { return s >= 0 && s < schemeCount }
+
+// Recodes reports whether forwarders re-encode under this scheme; when
+// false, relays queue innovative packets verbatim (ForwardBuffer) instead
+// of combining them (Recoder).
+func (s Scheme) Recodes() bool { return s == SchemeRLNC }
+
+// ParseScheme maps a canonical scheme name back to its value; unknown names
+// return an error satisfying errors.Is(err, ErrInvalidScheme).
+func ParseScheme(name string) (Scheme, error) {
+	for s, n := range schemeNames {
+		if n == name {
+			return Scheme(s), nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q (want rlnc, rlnc-e2e or rs)", ErrInvalidScheme, name)
+}
+
+// ValidateRedundancy reports whether the redundancy factor is usable: 0
+// keeps the rateless default (the source emits until the generation is
+// acknowledged), and any factor >= 1 caps the source at
+// ceil(redundancy * GenerationSize) emissions per generation. Factors in
+// (0, 1) could never deliver a decodable generation and NaN is meaningless,
+// so both are rejected with ErrInvalidRedundancy.
+func ValidateRedundancy(r float64) error {
+	if r == 0 {
+		return nil
+	}
+	if math.IsNaN(r) || math.IsInf(r, 0) || r < 1 {
+		return fmt.Errorf("%w: %v (want 0 for rateless, or a factor >= 1)", ErrInvalidRedundancy, r)
+	}
+	return nil
+}
+
+// EmissionBudget converts a redundancy factor into the number of coded
+// packets a source may emit per generation: ceil(redundancy * n), or 0
+// (unlimited) for the rateless default. Any factor >= 1 yields a budget of
+// at least n, so a budget of 0 is unambiguously "no cap".
+func EmissionBudget(redundancy float64, generationSize int) int {
+	if redundancy <= 0 {
+		return 0
+	}
+	return int(math.Ceil(redundancy * float64(generationSize)))
+}
+
+// Source is a per-generation packet producer at the session source. Next
+// returns the next coded packet — the caller owns one pooled reference, per
+// the package ownership contract — or nil once the generation's emission
+// budget is exhausted (a fresh Source resets the budget).
+//
+// *Encoder (RLNC) and *RSEncoder implement Source.
+type Source interface {
+	Next() *Packet
+}
+
+// Relay is the per-generation forwarding component at an intermediate node:
+// it absorbs innovative arrivals and emits packets for the next hop. Add
+// never takes ownership of its argument (it copies, or retains, what it
+// needs); Next transfers one reference of the returned packet to the
+// caller, or returns nil when the relay has nothing to send.
+//
+// *Recoder (re-encoding, SchemeRLNC) and *ForwardBuffer (verbatim
+// forwarding, SchemeRLNCE2E/SchemeRS) implement Relay.
+type Relay interface {
+	Generation() int
+	Add(*Packet) (bool, error)
+	Rank() int
+	Full() bool
+	Next() *Packet
+	Close()
+}
+
+// NewSource returns the scheme's source-side packet producer for one
+// generation, capped at EmissionBudget(redundancy, n) emissions (0 =
+// rateless). Under the default SchemeRLNC with redundancy 0 the returned
+// Source is exactly NewEncoder's encoder — same RNG draw sequence,
+// bit-identical emissions.
+func NewSource(scheme Scheme, gen *Generation, rng *rand.Rand, redundancy float64) (Source, error) {
+	if !scheme.Valid() {
+		return nil, fmt.Errorf("%w: %d", ErrInvalidScheme, int(scheme))
+	}
+	if err := ValidateRedundancy(redundancy); err != nil {
+		return nil, err
+	}
+	budget := EmissionBudget(redundancy, gen.params.GenerationSize)
+	switch scheme {
+	case SchemeRS:
+		rs, err := NewRSEncoder(gen)
+		if err != nil {
+			return nil, err
+		}
+		rs.budget = budget
+		return rs, nil
+	default: // SchemeRLNC, SchemeRLNCE2E: the source side is identical.
+		enc := NewEncoder(gen, rng)
+		enc.budget = budget
+		return enc, nil
+	}
+}
+
+// NewRelay returns the scheme's forwarder-side component for one
+// generation: a re-encoding Recoder under SchemeRLNC, a verbatim
+// ForwardBuffer otherwise. rng is only consumed by the recoding scheme.
+func NewRelay(scheme Scheme, generation int, params Params, rng *rand.Rand) (Relay, error) {
+	if !scheme.Valid() {
+		return nil, fmt.Errorf("%w: %d", ErrInvalidScheme, int(scheme))
+	}
+	if scheme.Recodes() {
+		return NewRecoder(generation, params, rng)
+	}
+	return NewForwardBuffer(generation, params)
+}

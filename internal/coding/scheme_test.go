@@ -1,0 +1,582 @@
+package coding
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSchemeStringParseRoundTrip(t *testing.T) {
+	for s := Scheme(0); s < schemeCount; s++ {
+		got, err := ParseScheme(s.String())
+		if err != nil {
+			t.Fatalf("ParseScheme(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Fatalf("ParseScheme(%q) = %v, want %v", s.String(), got, s)
+		}
+	}
+	for _, name := range []string{"", "RLNC", "rlnc ", "fountain", "rs256", "scheme(1)"} {
+		if _, err := ParseScheme(name); !errors.Is(err, ErrInvalidScheme) {
+			t.Errorf("ParseScheme(%q) = %v, want ErrInvalidScheme", name, err)
+		}
+	}
+}
+
+func TestSchemeValidRecodes(t *testing.T) {
+	cases := []struct {
+		scheme  Scheme
+		valid   bool
+		recodes bool
+	}{
+		{SchemeRLNC, true, true},
+		{SchemeRLNCE2E, true, false},
+		{SchemeRS, true, false},
+		{Scheme(-1), false, false},
+		{schemeCount, false, false},
+	}
+	for _, c := range cases {
+		if got := c.scheme.Valid(); got != c.valid {
+			t.Errorf("%v.Valid() = %v, want %v", c.scheme, got, c.valid)
+		}
+		if got := c.scheme.Recodes(); got != c.recodes {
+			t.Errorf("%v.Recodes() = %v, want %v", c.scheme, got, c.recodes)
+		}
+	}
+}
+
+func TestValidateRedundancy(t *testing.T) {
+	for _, ok := range []float64{0, 1, 1.5, 2.5, 100} {
+		if err := ValidateRedundancy(ok); err != nil {
+			t.Errorf("ValidateRedundancy(%v) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []float64{0.5, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := ValidateRedundancy(bad); !errors.Is(err, ErrInvalidRedundancy) {
+			t.Errorf("ValidateRedundancy(%v) = %v, want ErrInvalidRedundancy", bad, err)
+		}
+	}
+}
+
+func TestEmissionBudget(t *testing.T) {
+	cases := []struct {
+		redundancy float64
+		n, want    int
+	}{
+		{0, 16, 0},     // rateless: no cap
+		{1, 16, 16},    // exactly one generation's worth
+		{1.5, 16, 24},  // exact product
+		{2.01, 16, 33}, // rounds up, never starves the decoder
+		{1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := EmissionBudget(c.redundancy, c.n); got != c.want {
+			t.Errorf("EmissionBudget(%v, %d) = %d, want %d", c.redundancy, c.n, got, c.want)
+		}
+	}
+}
+
+// TestNewSourceMatchesEncoder pins the bit-identity contract behind the
+// default configuration: the rateless RLNC Source is exactly NewEncoder's
+// encoder — same RNG draw sequence, byte-identical emissions.
+func TestNewSourceMatchesEncoder(t *testing.T) {
+	p := testParams(8, 16)
+	data := randomData(rand.New(rand.NewSource(9)), p.GenerationSize*p.BlockSize)
+	mk := func() *Generation {
+		gen, err := NewGeneration(0, p, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gen
+	}
+	src, err := NewSource(SchemeRLNC, mk(), rand.New(rand.NewSource(21)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewEncoder(mk(), rand.New(rand.NewSource(21)))
+	for i := 0; i < 3*p.GenerationSize; i++ {
+		a, b := src.Next(), enc.Next()
+		if !bytes.Equal(a.Coeffs, b.Coeffs) || !bytes.Equal(a.Payload, b.Payload) {
+			t.Fatalf("emission %d differs between NewSource(SchemeRLNC) and NewEncoder", i)
+		}
+		a.Release()
+		b.Release()
+	}
+}
+
+// TestNewSourceBudget checks the redundancy knob on every scheme: a factor-r
+// source emits exactly ceil(r*n) packets and then returns nil forever, and a
+// fresh Source for the next generation starts with a full budget again.
+func TestNewSourceBudget(t *testing.T) {
+	p := testParams(8, 16)
+	const redundancy = 1.5
+	want := EmissionBudget(redundancy, p.GenerationSize)
+	for s := Scheme(0); s < schemeCount; s++ {
+		for round := 0; round < 2; round++ { // fresh Source = fresh budget
+			gen, err := NewGeneration(round, p, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src, err := NewSource(s, gen, rand.New(rand.NewSource(5)), redundancy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < want; i++ {
+				pk := src.Next()
+				if pk == nil {
+					t.Fatalf("%v round %d: source dried up after %d of %d emissions", s, round, i, want)
+				}
+				pk.Release()
+			}
+			for i := 0; i < 3; i++ {
+				if pk := src.Next(); pk != nil {
+					pk.Release()
+					t.Fatalf("%v round %d: emission past the budget of %d", s, round, want)
+				}
+			}
+		}
+	}
+}
+
+func TestNewSourceNewRelayValidation(t *testing.T) {
+	p := testParams(8, 16)
+	gen, err := NewGeneration(0, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewSource(schemeCount, gen, rng, 0); !errors.Is(err, ErrInvalidScheme) {
+		t.Errorf("NewSource(out of range) = %v, want ErrInvalidScheme", err)
+	}
+	if _, err := NewSource(SchemeRS, gen, rng, 0.5); !errors.Is(err, ErrInvalidRedundancy) {
+		t.Errorf("NewSource(redundancy 0.5) = %v, want ErrInvalidRedundancy", err)
+	}
+	if _, err := NewRelay(Scheme(-1), 0, p, rng); !errors.Is(err, ErrInvalidScheme) {
+		t.Errorf("NewRelay(out of range) = %v, want ErrInvalidScheme", err)
+	}
+}
+
+// TestRSSystematicPrefix checks the systematic half of the code: the first n
+// shards are the source blocks verbatim under unit coefficient vectors.
+func TestRSSystematicPrefix(t *testing.T) {
+	p := testParams(8, 32)
+	rng := rand.New(rand.NewSource(31))
+	gen, err := NewGeneration(0, p, randomData(rng, p.GenerationSize*p.BlockSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewRSEncoder(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < p.GenerationSize; j++ {
+		pk := rs.Next()
+		for c, w := range pk.Coeffs {
+			want := byte(0)
+			if c == j {
+				want = 1
+			}
+			if w != want {
+				t.Fatalf("shard %d coeff %d = %d, want %d", j, c, w, want)
+			}
+		}
+		if !bytes.Equal(pk.Payload, gen.Block(j)) {
+			t.Fatalf("shard %d payload is not source block %d", j, j)
+		}
+		pk.Release()
+	}
+}
+
+// TestRSCycleRepeatsExactly checks the rateless extension: emission
+// maxRSShards+k is byte-identical to emission k — the code has exactly
+// maxRSShards distinct shards and repeats them verbatim, which is the
+// structural reason SchemeRS trails RLNC on lossy paths.
+func TestRSCycleRepeatsExactly(t *testing.T) {
+	p := testParams(4, 8)
+	rng := rand.New(rand.NewSource(33))
+	gen, err := NewGeneration(0, p, randomData(rng, p.GenerationSize*p.BlockSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewRSEncoder(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Shards() != maxRSShards {
+		t.Fatalf("Shards() = %d, want %d", rs.Shards(), maxRSShards)
+	}
+	first := make([]*Packet, 3)
+	for i := range first {
+		first[i] = rs.Next()
+	}
+	for i := 3; i < maxRSShards; i++ {
+		rs.Next().Release()
+	}
+	for i := range first {
+		again := rs.Next()
+		if !bytes.Equal(again.Coeffs, first[i].Coeffs) || !bytes.Equal(again.Payload, first[i].Payload) {
+			t.Fatalf("emission %d is not a verbatim repeat of emission %d", maxRSShards+i, i)
+		}
+		again.Release()
+		first[i].Release()
+	}
+}
+
+// TestRSMDSDecodesFromAnyShards is the MDS property the Cauchy construction
+// guarantees: ANY n distinct shards — random subsets mixing data and parity
+// rows — decode the generation exactly.
+func TestRSMDSDecodesFromAnyShards(t *testing.T) {
+	p := testParams(8, 32)
+	rng := rand.New(rand.NewSource(37))
+	gen, err := NewGeneration(0, p, randomData(rng, p.GenerationSize*p.BlockSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewRSEncoder(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]*Packet, maxRSShards)
+	for i := range shards {
+		shards[i] = rs.Next()
+	}
+	defer func() {
+		for _, pk := range shards {
+			pk.Release()
+		}
+	}()
+	for trial := 0; trial < 25; trial++ {
+		subset := rng.Perm(maxRSShards)[:p.GenerationSize]
+		dec, err := NewDecoder(0, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, idx := range subset {
+			innovative, err := dec.Add(shards[idx])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !innovative {
+				t.Fatalf("trial %d: shard %d of subset %v is dependent — generator is not MDS", trial, idx, subset)
+			}
+		}
+		if !dec.Decoded() {
+			t.Fatalf("trial %d: %d distinct shards did not decode", trial, p.GenerationSize)
+		}
+		if !bytes.Equal(dec.Data(), gen.Data()) {
+			t.Fatalf("trial %d: decoded data differs from source", trial)
+		}
+		dec.Close()
+	}
+}
+
+// TestRSShardCoeffsMatchesEmission checks the test hook against the real
+// emissions and its argument validation.
+func TestRSShardCoeffsMatchesEmission(t *testing.T) {
+	p := testParams(8, 16)
+	gen, err := NewGeneration(0, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewRSEncoder(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, p.GenerationSize)
+	for shard := 0; shard < maxRSShards; shard++ {
+		pk := rs.Next()
+		if err := rs.ShardCoeffs(dst, shard); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dst, pk.Coeffs) {
+			t.Fatalf("ShardCoeffs(%d) differs from the emitted vector", shard)
+		}
+		pk.Release()
+	}
+	if err := rs.ShardCoeffs(dst, -1); err == nil {
+		t.Error("negative shard index accepted")
+	}
+	if err := rs.ShardCoeffs(dst, maxRSShards); err == nil {
+		t.Error("out-of-range shard index accepted")
+	}
+	if err := rs.ShardCoeffs(dst[:3], 0); err == nil {
+		t.Error("short destination accepted")
+	}
+}
+
+// TestForwardBufferCycles checks the store rotation: with k stored packets,
+// every run of k consecutive Next calls returns each exactly once, and the
+// stream never dries up — the property that lets a non-recoding relay push a
+// generation through arbitrary downstream loss.
+func TestForwardBufferCycles(t *testing.T) {
+	p := testParams(8, 16)
+	rng := rand.New(rand.NewSource(41))
+	gen, err := NewGeneration(0, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewEncoder(gen, rng)
+	fb, err := NewForwardBuffer(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	if fb.Next() != nil {
+		t.Fatal("empty store emitted a packet")
+	}
+	const k = 5
+	stored := make(map[*Packet]bool, k)
+	for i := 0; i < k; i++ {
+		pk := enc.Next()
+		innovative, err := fb.Add(pk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !innovative {
+			t.Fatalf("random packet %d not innovative", i)
+		}
+		stored[pk] = true
+		pk.Release()
+	}
+	if fb.Queued() != k {
+		t.Fatalf("Queued() = %d, want %d", fb.Queued(), k)
+	}
+	for round := 0; round < 4; round++ {
+		seen := make(map[*Packet]bool, k)
+		for i := 0; i < k; i++ {
+			pk := fb.Next()
+			if pk == nil {
+				t.Fatalf("round %d: store dried up at packet %d", round, i)
+			}
+			if !stored[pk] {
+				t.Fatalf("round %d: emitted a packet that was never stored", round)
+			}
+			if seen[pk] {
+				t.Fatalf("round %d: packet repeated before the rotation completed", round)
+			}
+			seen[pk] = true
+			pk.Release()
+		}
+	}
+}
+
+// TestForwardBufferRejects checks the relay's input filtering: wrong
+// generation and malformed packets error, dependent packets are dropped as
+// non-innovative, and a full relay stops absorbing.
+func TestForwardBufferRejects(t *testing.T) {
+	p := testParams(4, 8)
+	rng := rand.New(rand.NewSource(43))
+	gen, err := NewGeneration(7, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewEncoder(gen, rng)
+	fb, err := NewForwardBuffer(7, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	if fb.Generation() != 7 {
+		t.Fatalf("Generation() = %d, want 7", fb.Generation())
+	}
+	pk := enc.Next()
+	wrongGen := pk.Clone()
+	wrongGen.Generation = 8
+	if _, err := fb.Add(wrongGen); err == nil {
+		t.Error("wrong-generation packet accepted")
+	}
+	short := &Packet{Generation: 7, Coeffs: make([]byte, 2), Payload: make([]byte, p.BlockSize)}
+	if _, err := fb.Add(short); err == nil {
+		t.Error("malformed packet accepted")
+	}
+	if innovative, err := fb.Add(pk); err != nil || !innovative {
+		t.Fatalf("first packet: innovative=%v err=%v", innovative, err)
+	}
+	if innovative, err := fb.Add(pk); err != nil || innovative {
+		t.Fatalf("exact duplicate: innovative=%v err=%v, want false nil", innovative, err)
+	}
+	if fb.Queued() != 1 {
+		t.Fatalf("duplicate changed the store: Queued() = %d", fb.Queued())
+	}
+	pk.Release()
+	for fb.Rank() < p.GenerationSize {
+		pk := enc.Next()
+		if _, err := fb.Add(pk); err != nil {
+			t.Fatal(err)
+		}
+		pk.Release()
+	}
+	if !fb.Full() {
+		t.Fatal("rank n but not Full")
+	}
+}
+
+// TestForwardBufferRefcounts pins the ownership contract on the pooled
+// arena: Add retains for the store, Next retains one more for the caller,
+// Close releases the store — after which every reference the test holds is
+// the only one left.
+func TestForwardBufferRefcounts(t *testing.T) {
+	p := testParams(4, 8)
+	rng := rand.New(rand.NewSource(47))
+	gen, err := NewGeneration(0, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewEncoder(gen, rng)
+	fb, err := NewForwardBuffer(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := enc.Next() // caller ref: 1
+	if got := pk.refcount(); got != 1 {
+		t.Fatalf("fresh emission refcount = %d, want 1", got)
+	}
+	if _, err := fb.Add(pk); err != nil { // store ref: 2
+		t.Fatal(err)
+	}
+	if got := pk.refcount(); got != 2 {
+		t.Fatalf("after Add refcount = %d, want 2", got)
+	}
+	out := fb.Next() // caller's forwarding ref: 3
+	if out != pk {
+		t.Fatal("Next returned a different packet than was stored")
+	}
+	if got := pk.refcount(); got != 3 {
+		t.Fatalf("after Next refcount = %d, want 3", got)
+	}
+	fb.Close() // store drops its ref: 2
+	if got := pk.refcount(); got != 2 {
+		t.Fatalf("after Close refcount = %d, want 2", got)
+	}
+	out.Release()
+	pk.Release()
+	if got := pk.refcount(); got != 0 {
+		t.Fatalf("after releasing all handles refcount = %d, want 0", got)
+	}
+}
+
+// FuzzParseScheme hammers the -scheme flag parser: it must never panic, an
+// accepted name must round-trip through String, and a rejected one must fail
+// with the typed sentinel.
+func FuzzParseScheme(f *testing.F) {
+	for s := Scheme(0); s < schemeCount; s++ {
+		f.Add(s.String())
+	}
+	f.Add("")
+	f.Add("fountain")
+	f.Add("RLNC")
+	f.Add("rlnc-e2e ")
+	f.Fuzz(func(t *testing.T, name string) {
+		s, err := ParseScheme(name)
+		if err != nil {
+			if !errors.Is(err, ErrInvalidScheme) {
+				t.Fatalf("rejection is not ErrInvalidScheme: %v", err)
+			}
+			return
+		}
+		if !s.Valid() {
+			t.Fatalf("ParseScheme(%q) accepted invalid scheme %d", name, int(s))
+		}
+		if s.String() != name {
+			t.Fatalf("ParseScheme(%q) = %v does not round-trip", name, s)
+		}
+	})
+}
+
+// TestAllocsRSEncoderNext gates the Reed-Solomon source hot path: emitting
+// and releasing a shard — systematic and parity alike — must not allocate
+// once the arena is warm. This is the scheme layer's half of the pooled-arena
+// contract the ISSUE's bench gate enforces end to end.
+func TestAllocsRSEncoderNext(t *testing.T) {
+	skipIfRace(t)
+	p := testParams(16, 64)
+	gen, err := NewGeneration(0, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewRSEncoder(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmArena(p)
+	rs.Next().Release()
+	avg := testing.AllocsPerRun(300, func() {
+		rs.Next().Release()
+	})
+	if avg > allocTolerance {
+		t.Errorf("RSEncoder.Next allocates %.2f objects per shard, want 0", avg)
+	}
+}
+
+// TestAllocsRSDecode gates the destination under SchemeRS: absorbing a
+// Reed-Solomon shard into the progressive decoder must not allocate.
+func TestAllocsRSDecode(t *testing.T) {
+	skipIfRace(t)
+	p := testParams(16, 64)
+	gen, err := NewGeneration(0, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewRSEncoder(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dec.Close()
+	warmArena(p)
+	rs.Next().Release()
+	avg := testing.AllocsPerRun(200, func() {
+		pk := rs.Next()
+		if _, err := dec.Add(pk); err != nil {
+			t.Fatal(err)
+		}
+		pk.Release()
+	})
+	if avg > allocTolerance {
+		t.Errorf("RSEncoder.Next + Decoder.Add allocates %.2f objects per shard, want 0", avg)
+	}
+	if !dec.Decoded() {
+		t.Fatal("decoder did not reach full rank")
+	}
+}
+
+// TestAllocsForwardBufferNext gates the non-recoding relay hot path: cycling
+// a stored packet out of the buffer must not allocate in the steady state
+// (the rotation appends into capacity the compaction already created).
+func TestAllocsForwardBufferNext(t *testing.T) {
+	skipIfRace(t)
+	p := testParams(16, 64)
+	rng := rand.New(rand.NewSource(53))
+	gen, err := NewGeneration(0, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewEncoder(gen, rng)
+	fb, err := NewForwardBuffer(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	for i := 0; i < 8; i++ {
+		pk := enc.Next()
+		if _, err := fb.Add(pk); err != nil {
+			t.Fatal(err)
+		}
+		pk.Release()
+	}
+	// A full rotation plus one settles the queue's capacity.
+	for i := 0; i < 9; i++ {
+		fb.Next().Release()
+	}
+	avg := testing.AllocsPerRun(300, func() {
+		fb.Next().Release()
+	})
+	if avg > allocTolerance {
+		t.Errorf("ForwardBuffer.Next allocates %.2f objects per packet, want 0", avg)
+	}
+}

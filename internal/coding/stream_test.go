@@ -52,7 +52,7 @@ func TestStreamRoundTripThroughCoding(t *testing.T) {
 		enc := NewEncoder(g, rng)
 		dec, _ := NewDecoder(g.ID, p)
 		for !dec.Decoded() {
-			dec.Add(enc.Packet())
+			dec.Add(enc.Next())
 		}
 		decoded[i] = dec.Data()
 	}

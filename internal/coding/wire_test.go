@@ -12,7 +12,7 @@ func TestWireDataRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(71))
 	p := testParams(40, 1024)
 	gen, _ := NewGeneration(7, p, randomData(rng, 100))
-	pkt := NewEncoder(gen, rng).Packet()
+	pkt := NewEncoder(gen, rng).Next()
 
 	buf, err := MarshalData(12345, pkt)
 	if err != nil {
@@ -81,7 +81,7 @@ func wireWith(t *testing.T, mutate func([]byte)) []byte {
 	rng := rand.New(rand.NewSource(72))
 	p := testParams(8, 32)
 	gen, _ := NewGeneration(0, p, nil)
-	buf, err := MarshalData(1, NewEncoder(gen, rng).Packet())
+	buf, err := MarshalData(1, NewEncoder(gen, rng).Next())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestWireEndToEnd(t *testing.T) {
 	enc := NewEncoder(gen, rng)
 	dec, _ := NewDecoder(3, p)
 	for !dec.Decoded() {
-		buf, err := MarshalData(5, enc.Packet())
+		buf, err := MarshalData(5, enc.Next())
 		if err != nil {
 			t.Fatal(err)
 		}

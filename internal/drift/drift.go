@@ -29,6 +29,13 @@ type Config struct {
 	// Coding are the RLC parameters; keep generations small (the session
 	// runs in wall-clock time).
 	Coding coding.Params
+	// Scheme selects the coding strategy (full-recoding RLNC by default);
+	// non-recoding schemes make relays forward innovative packets verbatim
+	// over the real sockets.
+	Scheme coding.Scheme
+	// Redundancy caps the source at ceil(Redundancy * GenerationSize)
+	// packets per generation; 0 is rateless.
+	Redundancy float64
 	// Rates[i] is the broadcast pacing rate of local node i in
 	// bytes/second (from the rate controller; destination ignored).
 	Rates []float64
@@ -58,6 +65,12 @@ type Result struct {
 // forwarders, and a verified progressive decoder at the destination.
 func RunSession(net_ *topology.Network, sg *core.Subgraph, cfg Config) (*Result, error) {
 	if err := cfg.Coding.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Scheme.Valid() {
+		return nil, fmt.Errorf("%w: %d", coding.ErrInvalidScheme, int(cfg.Scheme))
+	}
+	if err := coding.ValidateRedundancy(cfg.Redundancy); err != nil {
 		return nil, err
 	}
 	if len(cfg.Rates) != sg.Size() {

@@ -26,8 +26,8 @@ type emuNode struct {
 	mu         sync.Mutex
 	currentGen int
 	gen        *coding.Generation
-	enc        *coding.Encoder
-	rec        *coding.Recoder
+	enc        coding.Source
+	rec        coding.Relay
 	dec        *coding.Decoder
 	expect     []byte // destination: the source data to verify against
 
@@ -79,7 +79,11 @@ func (n *emuNode) resetGeneration(gen int) error {
 			return err
 		}
 		n.gen = g
-		n.enc = coding.NewEncoder(g, n.rng)
+		enc, err := coding.NewSource(n.cfg.Scheme, g, n.rng, n.cfg.Redundancy)
+		if err != nil {
+			return err
+		}
+		n.enc = enc
 	case n.isDst():
 		dec, err := coding.NewDecoder(gen, n.cfg.Coding)
 		if err != nil {
@@ -88,7 +92,10 @@ func (n *emuNode) resetGeneration(gen int) error {
 		n.dec = dec
 		n.expect = generationData(n.cfg, gen)
 	default:
-		rec, err := coding.NewRecoder(gen, n.cfg.Coding, n.rng)
+		if n.rec != nil {
+			n.rec.Close() // the expired generation's slabs and queue return to the arena
+		}
+		rec, err := coding.NewRelay(n.cfg.Scheme, gen, n.cfg.Coding, n.rng)
 		if err != nil {
 			return err
 		}
@@ -136,6 +143,7 @@ func (n *emuNode) paceLoop(stop <-chan struct{}) {
 			continue
 		}
 		wire, err := coding.MarshalData(0, pkt)
+		pkt.Release() // marshalled onto the wire; the pooled reference is done
 		if err != nil {
 			continue
 		}
@@ -148,12 +156,12 @@ func (n *emuNode) nextPacket() *coding.Packet {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.isSrc() {
-		return n.enc.Packet()
+		return n.enc.Next()
 	}
 	if n.rec == nil {
 		return nil
 	}
-	return n.rec.Packet()
+	return n.rec.Next()
 }
 
 // receiveLoop absorbs datagrams from the channel emulator.

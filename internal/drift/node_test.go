@@ -79,14 +79,14 @@ func TestHandleDataFillsRelayAndIgnoresWrongGeneration(t *testing.T) {
 	src := nodeUnderTest(t, sg.Src)
 
 	// A current-generation packet lands in the recoder.
-	pkt := src.enc.Packet()
+	pkt := src.enc.Next()
 	relay.handle(&coding.Message{Type: coding.MessageData, Generation: 0, Packet: pkt})
 	if relay.nextPacket() == nil {
 		t.Fatal("relay cannot re-encode after an innovative reception")
 	}
 
 	// A wrong-generation packet is dropped before touching the recoder.
-	stale := src.enc.Packet()
+	stale := src.enc.Next()
 	stale.Generation = 7
 	before := relay.rec
 	relay.handle(&coding.Message{Type: coding.MessageData, Generation: 7, Packet: stale})
@@ -110,7 +110,7 @@ func TestDestinationDecodesAndVerifies(t *testing.T) {
 	// verifies the payload against the deterministic source data and moves
 	// both counters and the generation forward.
 	for i := 0; i < 32 && dst.decoded == 0; i++ {
-		dst.handle(&coding.Message{Type: coding.MessageData, Generation: 0, Packet: src.enc.Packet()})
+		dst.handle(&coding.Message{Type: coding.MessageData, Generation: 0, Packet: src.enc.Next()})
 	}
 	if dst.decoded != 1 || dst.corrupted != 0 {
 		t.Fatalf("decoded=%d corrupted=%d", dst.decoded, dst.corrupted)

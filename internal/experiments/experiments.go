@@ -45,6 +45,7 @@ const (
 	streamFaultsPlacement
 	streamFaultsPlan
 	streamFaultsTrial
+	streamSchemesTrial
 )
 
 // TrialSeed derives the deterministic protocol seed of trial idx under the
@@ -88,6 +89,11 @@ type Config struct {
 	// BlockSize is shrunk for speed.
 	Coding        coding.Params
 	AirPacketSize int
+	// Scheme selects the coding strategy for every emulated session
+	// (default: full-recoding RLNC); Redundancy caps source emissions per
+	// generation (0 = rateless). See coding.Scheme.
+	Scheme     coding.Scheme
+	Redundancy float64
 	// QueueSampleInterval enables Fig. 3's queue sampling when positive.
 	QueueSampleInterval float64
 	// Protocols to run; nil means all four.
@@ -313,6 +319,8 @@ func placeSessions(nw *topology.Network, cfg Config) ([]trial, error) {
 func runSession(nw *topology.Network, sg *core.Subgraph, src, dst int, cfg Config, idx int) (*SessionResult, error) {
 	pcfg := protocol.Config{
 		Coding:              cfg.Coding,
+		Scheme:              cfg.Scheme,
+		Redundancy:          cfg.Redundancy,
 		AirPacketSize:       cfg.AirPacketSize,
 		Capacity:            cfg.Capacity,
 		Duration:            cfg.Duration,

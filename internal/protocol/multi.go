@@ -37,9 +37,6 @@ type MultiStats struct {
 	SessionErrors []error
 }
 
-// ConcurrentStats is the former name of MultiStats.
-type ConcurrentStats = MultiStats
-
 // ValidateSessions checks a multi-unicast session list against a network of
 // n nodes; failures wrap ErrInvalidSession.
 func ValidateSessions(n int, sessions []Endpoints) error {
@@ -78,7 +75,7 @@ func ValidateSessions(n int, sessions []Endpoints) error {
 // usual uncoordinated disciplines per session.
 func RunMulti(net *topology.Network, sessions []Endpoints, proto Protocol, cfg Config) (*MultiStats, error) {
 	cfg = cfg.withDefaults()
-	if err := cfg.Coding.Validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if err := ValidateSessions(net.Size(), sessions); err != nil {
@@ -153,14 +150,4 @@ func buildPolicySessions(env *Env, net *topology.Network, specs []SessionSpec, c
 		out[i] = rt
 	}
 	return out, nil
-}
-
-// RunConcurrentOMNC emulates several OMNC unicast sessions sharing the
-// channel, rates allocated by the joint controller.
-//
-// Deprecated: use RunMulti with an OMNC protocol value; this is a thin
-// wrapper around it.
-func RunConcurrentOMNC(net *topology.Network, sessions []Endpoints, opts core.Options, cfg Config) (*ConcurrentStats, error) {
-	proto := NewProtocol("omnc", OMNC(opts)).WithMulti(OMNCMulti(opts))
-	return RunMulti(net, sessions, proto, cfg)
 }

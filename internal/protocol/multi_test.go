@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"omnc/internal/coding"
 	"omnc/internal/core"
 	"omnc/internal/topology"
 )
@@ -232,23 +233,40 @@ func TestRunMultiMaxGenerations(t *testing.T) {
 	}
 }
 
-func TestRunConcurrentOMNCWrapper(t *testing.T) {
+// TestRunMultiValidatesSchemeConfig: RunMulti rejects bad scheme/redundancy
+// configurations through Config.Validate with the typed coding sentinels.
+func TestRunMultiValidatesSchemeConfig(t *testing.T) {
 	nw := crossroads(t)
+	eps := []Endpoints{{Src: 0, Dst: 5}}
+
 	cfg := fastConfig(97)
-	cfg.Duration = 200
+	cfg.Scheme = coding.Scheme(99)
+	if _, err := RunMulti(nw, eps, omncProto(), cfg); !errors.Is(err, coding.ErrInvalidScheme) {
+		t.Fatalf("bad scheme: err = %v, want ErrInvalidScheme", err)
+	}
+
+	cfg = fastConfig(97)
+	cfg.Redundancy = 0.5
+	if _, err := RunMulti(nw, eps, omncProto(), cfg); !errors.Is(err, coding.ErrInvalidRedundancy) {
+		t.Fatalf("sub-unit redundancy: err = %v, want ErrInvalidRedundancy", err)
+	}
+}
+
+// TestRunMultiSchemes: every coding scheme carries multi-unicast traffic on
+// the shared channel.
+func TestRunMultiSchemes(t *testing.T) {
+	nw := crossroads(t)
 	eps := []Endpoints{{Src: 0, Dst: 5}, {Src: 1, Dst: 6}}
-	wrapped, err := RunConcurrentOMNC(nw, eps, core.Options{}, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	direct, err := RunMulti(nw, eps, omncProto(), cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range wrapped.PerSession {
-		if wrapped.PerSession[i].Throughput != direct.PerSession[i].Throughput {
-			t.Fatalf("session %d: wrapper (%v) diverges from RunMulti (%v)",
-				i, wrapped.PerSession[i].Throughput, direct.PerSession[i].Throughput)
+	for _, scheme := range []coding.Scheme{coding.SchemeRLNC, coding.SchemeRLNCE2E, coding.SchemeRS} {
+		cfg := fastConfig(98)
+		cfg.Duration = 200
+		cfg.Scheme = scheme
+		cs, err := RunMulti(nw, eps, omncProto(), cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if cs.AggregateThroughput <= 0 {
+			t.Fatalf("%s: delivered nothing", scheme)
 		}
 	}
 }

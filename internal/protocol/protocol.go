@@ -27,6 +27,16 @@ import (
 type Config struct {
 	// Coding are the RLC parameters (the paper: 40 blocks of 1 KB).
 	Coding coding.Params
+	// Scheme selects the coding strategy: full-recoding RLNC (the zero
+	// value, the paper's scheme), end-to-end RLNC (relays forward
+	// innovative packets verbatim), or source-only Reed-Solomon. See
+	// coding.Scheme.
+	Scheme coding.Scheme
+	// Redundancy caps the source at ceil(Redundancy * GenerationSize)
+	// coded packets per generation. 0 (the default) is rateless: the
+	// source keeps emitting until the generation is acknowledged. Values
+	// in (0, 1) are rejected by Validate.
+	Redundancy float64
 	// AirPacketSize overrides the on-air frame size in bytes; 0 means
 	// Coding.PacketSize(). Experiments that shrink BlockSize for speed pass
 	// the full-fidelity size here so air times stay faithful.
@@ -99,6 +109,21 @@ func (c Config) withDefaults() Config {
 		c.AckSize = 64
 	}
 	return c
+}
+
+// Validate checks the session configuration's coding parameters, scheme and
+// redundancy factor. Scheme and redundancy failures are matchable with
+// errors.Is against coding.ErrInvalidScheme and coding.ErrInvalidRedundancy,
+// consistent with the other typed sentinels (ErrInvalidSession,
+// topology.ErrInvalidPHY).
+func (c Config) Validate() error {
+	if err := c.Coding.Validate(); err != nil {
+		return err
+	}
+	if !c.Scheme.Valid() {
+		return fmt.Errorf("%w: %d", coding.ErrInvalidScheme, int(c.Scheme))
+	}
+	return coding.ValidateRedundancy(c.Redundancy)
 }
 
 // Policy is a forwarding discipline over a selected subgraph: it fixes who
@@ -269,7 +294,7 @@ func NewMedium(net *topology.Network, sg *core.Subgraph) sim.Medium {
 // by build, and returns its statistics.
 func Run(net *topology.Network, src, dst int, build Builder, cfg Config) (*Stats, error) {
 	cfg = cfg.withDefaults()
-	if err := cfg.Coding.Validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	sg, err := core.SelectNodes(net, src, dst)

@@ -424,8 +424,8 @@ type node struct {
 	credit  float64
 	frames  int64            // frames this session's port put on the air here
 	outq    []*coding.Packet // pre-generated packets awaiting transmission
-	enc     *coding.Encoder  // source only
-	rec     *coding.Recoder  // forwarders
+	enc     coding.Source    // source only (scheme-selected via NewSource)
+	rec     coding.Relay     // forwarders (Recoder or ForwardBuffer per scheme)
 	dec     *coding.Decoder  // destination
 	txFrame sim.Frame        // reused: at most one frame of n is in flight
 	wake    wakeEvent        // deferred MAC wake-up, coalesced per bucket
@@ -466,7 +466,12 @@ func (n *node) reset(g *coding.Generation) error {
 	cfg := n.rt.cfg
 	switch {
 	case n.isSrc:
-		n.enc = coding.NewEncoder(g, n.rt.rng)
+		// A fresh Source per generation also resets the emission budget.
+		enc, err := coding.NewSource(cfg.Scheme, g, n.rt.rng, cfg.Redundancy)
+		if err != nil {
+			return err
+		}
+		n.enc = enc
 	case n.isDst:
 		dec, err := coding.NewDecoder(g.ID, cfg.Coding)
 		if err != nil {
@@ -474,7 +479,9 @@ func (n *node) reset(g *coding.Generation) error {
 		}
 		n.dec = dec
 	default:
-		rec, err := coding.NewRecoder(g.ID, cfg.Coding, n.rt.rng)
+		// The scheme decides whether this relay re-encodes (Recoder) or
+		// forwards innovative packets verbatim (ForwardBuffer).
+		rec, err := coding.NewRelay(cfg.Scheme, g.ID, cfg.Coding, n.rt.rng)
 		if err != nil {
 			return err
 		}
@@ -518,7 +525,13 @@ func (n *node) sourceDequeue() *sim.Frame {
 	if n.enc == nil || !n.cbrAvailable() {
 		return nil // enc is nil while the source is crashed
 	}
-	return n.frame(n.enc.Next())
+	pkt := n.enc.Next()
+	if pkt == nil {
+		// Emission budget exhausted (Config.Redundancy): the source sits
+		// out the rest of the generation; turnover arms a fresh Source.
+		return nil
+	}
+	return n.frame(pkt)
 }
 
 // forwarderDequeue is the forwarder component's TX side. OMNC-style

@@ -37,6 +37,47 @@ func Scenarios() []Scenario {
 	}
 }
 
+// SchemeScenario is one benchmarked coding-scheme session: the OMNC protocol
+// on the strip network under a non-default coding strategy. The entries
+// prove the strategy layer rides the pooled arena — their allocs/op must
+// stay close to the default RLNC session's even though the Reed-Solomon
+// encoder and the verbatim ForwardBuffer replace the random encoder and the
+// Recoder on the hot path.
+type SchemeScenario struct {
+	// Name is the stable benchmark identifier ("SessionScheme/rs", ...)
+	// used in BENCH_<n>.json and as the Benchmark* suffix.
+	Name       string
+	Scheme     coding.Scheme
+	Redundancy float64
+}
+
+// schemeSeed keeps every SchemeScenario on the same placement and loss
+// process, so the entries differ only by strategy.
+const schemeSeed = 71
+
+// SchemeScenarios lists the benchmarked coding schemes in recorded order;
+// the rlnc entry is the in-report reference the others gate against.
+func SchemeScenarios() []SchemeScenario {
+	return []SchemeScenario{
+		{Name: "SessionScheme/rlnc", Scheme: coding.SchemeRLNC},
+		{Name: "SessionScheme/rlnc-e2e", Scheme: coding.SchemeRLNCE2E},
+		{Name: "SessionScheme/rs", Scheme: coding.SchemeRS},
+	}
+}
+
+// SchemeConfig is Config under an explicit coding scheme and redundancy.
+func SchemeConfig(scheme coding.Scheme, redundancy float64) protocol.Config {
+	cfg := Config(schemeSeed)
+	cfg.Scheme = scheme
+	cfg.Redundancy = redundancy
+	return cfg
+}
+
+// Run executes one scheme session on nw.
+func (s SchemeScenario) Run(nw *topology.Network, src, dst int) (*protocol.Stats, error) {
+	return omnc.Run(nw, src, dst, omnc.OMNC(omnc.RateOptions{}), SchemeConfig(s.Scheme, s.Redundancy))
+}
+
 // MultiScenario is one benchmarked multi-unicast workload: two sessions of
 // one protocol contending on the shared engine over the strip network.
 type MultiScenario struct {

@@ -16,9 +16,9 @@
 //     channel through one entry point — Run(net, src, dst, proto, cfg) —
 //     where proto is a Protocol value from the OMNC, MORE, OldMORE or ETX
 //     constructors; RunMulti(net, sessions, proto, cfg) runs several
-//     contending sessions of the same protocol on one shared channel.
-//     (RunOMNC, RunMORE, RunOldMORE and RunETX remain as deprecated
-//     wrappers.)
+//     contending sessions of the same protocol on one shared channel. The
+//     coding scheme and redundancy are session parameters
+//     (SessionConfig.Scheme, SessionConfig.Redundancy).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for how every
 // figure of the paper is regenerated.
@@ -57,6 +57,13 @@ var (
 	// ErrDestinationDown matches a session whose destination crashed with no
 	// recovery scheduled before the horizon.
 	ErrDestinationDown = protocol.ErrDestinationDown
+	// ErrInvalidScheme matches a rejected coding scheme, whether an unknown
+	// -scheme flag name (ParseScheme) or an out-of-range
+	// SessionConfig.Scheme value (SessionConfig.Validate).
+	ErrInvalidScheme = coding.ErrInvalidScheme
+	// ErrInvalidRedundancy matches a rejected SessionConfig.Redundancy: the
+	// factor must be 0 (rateless) or at least 1.
+	ErrInvalidRedundancy = coding.ErrInvalidRedundancy
 )
 
 // Re-exported types. The aliases keep the public API surface in one place
@@ -83,14 +90,23 @@ type (
 	// CodingParams fixes generation size, block size and the arithmetic
 	// kernel.
 	CodingParams = coding.Params
+	// Scheme selects the coding strategy of a session: full-recoding RLNC
+	// (the default), end-to-end RLNC, or source-only Reed-Solomon.
+	Scheme = coding.Scheme
 	// Generation holds one generation of source blocks.
 	Generation = coding.Generation
 	// Packet is one coded packet.
 	Packet = coding.Packet
 	// Encoder emits random linear combinations at the source.
 	Encoder = coding.Encoder
+	// RSEncoder emits systematic Reed-Solomon shards at the source
+	// (SchemeRS).
+	RSEncoder = coding.RSEncoder
 	// Recoder re-encodes buffered innovative packets at a forwarder.
 	Recoder = coding.Recoder
+	// ForwardBuffer queues innovative packets verbatim at a non-recoding
+	// forwarder (SchemeRLNCE2E, SchemeRS).
+	ForwardBuffer = coding.ForwardBuffer
 	// Decoder progressively decodes a generation at the destination.
 	Decoder = coding.Decoder
 
@@ -102,6 +118,23 @@ type (
 	// OMNC, MORE, OldMORE or ETX constructors and pass it to Run.
 	Protocol = protocol.Protocol
 )
+
+// Coding schemes, settable as SessionConfig.Scheme and spelled "rlnc",
+// "rlnc-e2e" and "rs" by the CLI -scheme flags (Scheme.String/ParseScheme).
+const (
+	// SchemeRLNC is the paper's full-recoding RLNC: every forwarder
+	// re-encodes over its buffered subspace, refreshing redundancy per hop.
+	SchemeRLNC = coding.SchemeRLNC
+	// SchemeRLNCE2E is end-to-end RLNC: only the source codes; forwarders
+	// relay innovative packets verbatim.
+	SchemeRLNCE2E = coding.SchemeRLNCE2E
+	// SchemeRS is source-only systematic Reed-Solomon over GF(256).
+	SchemeRS = coding.SchemeRS
+)
+
+// ParseScheme maps a scheme name ("rlnc", "rlnc-e2e", "rs") to its value;
+// unknown names fail with ErrInvalidScheme. The inverse of Scheme.String.
+func ParseScheme(name string) (Scheme, error) { return coding.ParseScheme(name) }
 
 // DefaultCodingParams are the paper's evaluation parameters: generations of
 // 40 blocks of 1 KB (Sec. 5).
@@ -224,41 +257,6 @@ func Run(net *Network, src, dst int, proto Protocol, cfg SessionConfig) (*Sessio
 	return proto.Run(net, src, dst, cfg)
 }
 
-// RunOMNC emulates one unicast session under the OMNC protocol.
-//
-// Deprecated: use Run(net, src, dst, OMNC(RateOptions{}), cfg).
-func RunOMNC(net *Network, src, dst int, cfg SessionConfig) (*SessionStats, error) {
-	return Run(net, src, dst, OMNC(core.Options{}), cfg)
-}
-
-// RunOMNCWithOptions is RunOMNC with explicit rate-controller options.
-//
-// Deprecated: use Run(net, src, dst, OMNC(opts), cfg).
-func RunOMNCWithOptions(net *Network, src, dst int, opts RateOptions, cfg SessionConfig) (*SessionStats, error) {
-	return Run(net, src, dst, OMNC(opts), cfg)
-}
-
-// RunMORE emulates one session under the MORE baseline.
-//
-// Deprecated: use Run(net, src, dst, MORE(), cfg).
-func RunMORE(net *Network, src, dst int, cfg SessionConfig) (*SessionStats, error) {
-	return Run(net, src, dst, MORE(), cfg)
-}
-
-// RunOldMORE emulates one session under the oldMORE baseline.
-//
-// Deprecated: use Run(net, src, dst, OldMORE(), cfg).
-func RunOldMORE(net *Network, src, dst int, cfg SessionConfig) (*SessionStats, error) {
-	return Run(net, src, dst, OldMORE(), cfg)
-}
-
-// RunETX emulates one session under traditional best-path ETX routing.
-//
-// Deprecated: use Run(net, src, dst, ETX(), cfg).
-func RunETX(net *Network, src, dst int, cfg SessionConfig) (*SessionStats, error) {
-	return Run(net, src, dst, ETX(), cfg)
-}
-
 // Extension types (beyond the paper's single-unicast evaluation; see
 // DESIGN.md "Extensions").
 type (
@@ -272,10 +270,6 @@ type (
 	// MultiStats aggregates a multiple-unicast emulation: per-session
 	// statistics plus aggregate throughput and Jain's fairness index.
 	MultiStats = protocol.MultiStats
-	// ConcurrentStats is the former name of MultiStats.
-	//
-	// Deprecated: use MultiStats.
-	ConcurrentStats = protocol.ConcurrentStats
 	// MultiSession is one session of a joint rate-control problem.
 	MultiSession = core.MultiSession
 	// MultiResult is the joint rate allocation.
@@ -309,14 +303,6 @@ func OptimizeRatesJointly(sessions []MultiSession, opts RateOptions) (*MultiResu
 // joint controller; MORE, OldMORE and ETX contend uncoordinated.
 func RunMulti(net *Network, sessions []Endpoints, proto Protocol, cfg SessionConfig) (*MultiStats, error) {
 	return protocol.RunMulti(net, sessions, proto, cfg)
-}
-
-// RunConcurrentOMNC emulates several OMNC sessions simultaneously on one
-// shared channel, rates allocated by the joint controller.
-//
-// Deprecated: use RunMulti(net, sessions, OMNC(opts), cfg).
-func RunConcurrentOMNC(net *Network, sessions []Endpoints, opts RateOptions, cfg SessionConfig) (*ConcurrentStats, error) {
-	return protocol.RunConcurrentOMNC(net, sessions, opts, cfg)
 }
 
 // Tracing types: attach a TraceBuffer (or any TraceRecorder) to

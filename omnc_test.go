@@ -103,12 +103,12 @@ func TestCodingFacadeRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		if _, err := relay.Add(enc.Packet()); err != nil {
+		if _, err := relay.Add(enc.Next()); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 20 && !dec.Decoded(); i++ {
-		if _, err := dec.Add(relay.Packet()); err != nil {
+		if _, err := dec.Add(relay.Next()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -123,13 +123,13 @@ func TestRunAllProtocols(t *testing.T) {
 		name string
 		run  func() (*SessionStats, error)
 	}{
-		{"omnc", func() (*SessionStats, error) { return RunOMNC(nw, 0, 3, fastSession(1)) }},
+		{"omnc", func() (*SessionStats, error) { return Run(nw, 0, 3, OMNC(RateOptions{}), fastSession(1)) }},
 		{"omnc-opts", func() (*SessionStats, error) {
-			return RunOMNCWithOptions(nw, 0, 3, RateOptions{MaxIterations: 500}, fastSession(2))
+			return Run(nw, 0, 3, OMNC(RateOptions{MaxIterations: 500}), fastSession(2))
 		}},
-		{"more", func() (*SessionStats, error) { return RunMORE(nw, 0, 3, fastSession(3)) }},
-		{"oldmore", func() (*SessionStats, error) { return RunOldMORE(nw, 0, 3, fastSession(4)) }},
-		{"etx", func() (*SessionStats, error) { return RunETX(nw, 0, 3, fastSession(5)) }},
+		{"more", func() (*SessionStats, error) { return Run(nw, 0, 3, MORE(), fastSession(3)) }},
+		{"oldmore", func() (*SessionStats, error) { return Run(nw, 0, 3, OldMORE(), fastSession(4)) }},
+		{"etx", func() (*SessionStats, error) { return Run(nw, 0, 3, ETX(), fastSession(5)) }},
 	}
 	for _, tt := range runs {
 		t.Run(tt.name, func(t *testing.T) {
@@ -170,12 +170,12 @@ func TestMultiUnicastFacade(t *testing.T) {
 	if len(joint.PerSession) != 1 || joint.PerSession[0].Gamma <= 0 {
 		t.Fatalf("joint = %+v", joint)
 	}
-	cs, err := RunConcurrentOMNC(nw, []Endpoints{{Src: 0, Dst: 3}}, RateOptions{}, fastSession(22))
+	cs, err := RunMulti(nw, []Endpoints{{Src: 0, Dst: 3}}, OMNC(RateOptions{}), fastSession(22))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cs.AggregateThroughput <= 0 {
-		t.Fatal("concurrent facade delivered nothing")
+		t.Fatal("multi facade delivered nothing")
 	}
 }
 
@@ -204,7 +204,7 @@ func TestTraceFacade(t *testing.T) {
 	cfg := fastSession(31)
 	cfg.Duration = 60
 	cfg.Trace = buf
-	if _, err := RunOMNC(nw, 0, 3, cfg); err != nil {
+	if _, err := Run(nw, 0, 3, OMNC(RateOptions{}), cfg); err != nil {
 		t.Fatal(err)
 	}
 	if buf.Count(TraceTx) == 0 || buf.Count(TraceDecode) == 0 {
