@@ -16,545 +16,107 @@
 //	omnc-bench -scheme rs [-redundancy R]       spot-measure one coding
 //	                                            scheme session
 //
-// -check verifies the schema and re-asserts the regression gates: the OMNC
-// session must show at least 50% fewer allocs/op than the pre-pooling
-// baseline, and multi-session workloads (when present in the report, as in
-// BENCH_3.json and later) must stay within 25% of their recorded allocs/op.
-// Coding-scheme sessions (BENCH_5.json and later) must keep the end-to-end
-// RLNC and Reed-Solomon strategies within 2x of the default full-recoding
-// session's allocs/op — the proof that the strategy layer rides the same
-// pooled arena instead of allocating per packet.
-// Reports that carry the parallel-engine scaling ladder (BENCH_4.json and
-// later) must additionally show identical emulated throughput across every
-// worker count — the engines are required to be bit-identical, so any drift
-// is a determinism bug, not noise — and, when the recording machine had at
-// least four CPUs, at least a 2x ns/op speedup at four workers over the
-// serial engine. Reports recorded on fewer CPUs (where no wall-clock
-// speedup is physically available) still gate on determinism. Reports that
-// predate the multi scenarios (BENCH_2.json) still validate.
+// The measurement machinery and the regression gates -check re-asserts live
+// in internal/benchreport; this command is the flag surface over them. Full
+// recordings run through internal/jobs (kind "bench"), the same dispatcher
+// omnc-serve uses, so a daemon-recorded report and a CLI-recorded one are
+// the same code path.
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
-	"time"
 
+	"omnc/internal/benchreport"
+	"omnc/internal/cliflags"
 	"omnc/internal/coding"
-	"omnc/internal/profiling"
+	"omnc/internal/jobs"
 	"omnc/internal/sessionbench"
 )
-
-// schemaVersion identifies the report layout. Bump only when a field
-// changes meaning; adding fields is backward compatible.
-const schemaVersion = "omnc-bench/v1"
-
-// Report is the top-level BENCH_<n>.json document.
-type Report struct {
-	Schema    string `json:"schema"`
-	GoVersion string `json:"go_version"`
-	// CPUs is runtime.NumCPU() on the recording machine. The parallel-engine
-	// speedup gate only binds when this is >= 4; the determinism gate binds
-	// regardless. Absent (0) in reports recorded before BENCH_4.json.
-	CPUs       int      `json:"cpus,omitempty"`
-	Iterations int      `json:"iterations"`
-	Benchmarks []Result `json:"benchmarks"`
-}
-
-// Result is one session benchmark with its recorded baseline.
-type Result struct {
-	Name        string   `json:"name"`
-	NsPerOp     int64    `json:"ns_per_op"`
-	AllocsPerOp int64    `json:"allocs_per_op"`
-	BytesPerOp  int64    `json:"bytes_per_op"`
-	Throughput  float64  `json:"throughput_bytes_per_s"`
-	Baseline    Baseline `json:"baseline"`
-}
-
-// Baseline is a frozen earlier measurement of the same scenario.
-type Baseline struct {
-	NsPerOp     int64 `json:"ns_per_op"`
-	AllocsPerOp int64 `json:"allocs_per_op"`
-	BytesPerOp  int64 `json:"bytes_per_op"`
-}
-
-// baselines freezes the pre-pooling numbers (go test -bench Session
-// -benchtime=5x on the commit before the arena landed). They stay valid as
-// long as internal/sessionbench's scenario is unchanged.
-var baselines = map[string]Baseline{
-	"SessionOMNC": {NsPerOp: 22093928, AllocsPerOp: 72996, BytesPerOp: 3804190},
-	"SessionMORE": {NsPerOp: 9651859, AllocsPerOp: 30166, BytesPerOp: 1692928},
-	"SessionETX":  {NsPerOp: 980601, AllocsPerOp: 14319, BytesPerOp: 626320},
-}
-
-// multiBaselines freezes the first recorded measurements of the
-// multi-unicast scenarios (two contending sessions on one shared engine,
-// BENCH_3.json). Unlike the single-session baselines they are not
-// pre-optimization numbers — the multi path was born on the pooled hot path
-// — so -check holds reports near them instead of far below them.
-var multiBaselines = map[string]Baseline{
-	"MultiSessionOMNC": {NsPerOp: 21043627, AllocsPerOp: 34732, BytesPerOp: 1378872},
-	"MultiSessionETX":  {NsPerOp: 1933779, AllocsPerOp: 2713, BytesPerOp: 123209},
-}
-
-// allocGate is the acceptance threshold -check re-asserts: current
-// allocs/op must be at most this fraction of baseline on the OMNC session.
-const allocGate = 0.5
-
-// multiAllocGate bounds multi-session drift: allocs/op may exceed the
-// recorded baseline by at most this factor.
-const multiAllocGate = 1.25
-
-// speedupGate is the minimum serial-ns/op over four-worker-ns/op ratio the
-// scaled scenario must show, enforced only for reports recorded on a
-// machine with at least four CPUs (a single-CPU recorder cannot exhibit
-// wall-clock parallel speedup no matter how parallel the round structure).
-const speedupGate = 2.0
-
-// schemeAllocGate bounds the non-default coding schemes: their session
-// allocs/op may exceed the in-report default-RLNC scheme entry by at most
-// this factor. The non-recoding relays queue pooled packets instead of
-// re-encoding, and the RS encoder writes into arena packets — neither may
-// cost per-packet allocations.
-const schemeAllocGate = 2.0
 
 func main() {
 	iters := flag.Int("iters", 5, "measured session runs per benchmark (after one warmup)")
 	out := flag.String("out", "BENCH_5.json", "output path, or - for stdout")
 	check := flag.String("check", "", "validate an existing report instead of benchmarking")
 	engWork := flag.Int("engine-workers", -1, "spot-measure the scaled multi-session workload at this engine worker count (0 = serial) instead of recording a report")
-	scheme := flag.String("scheme", "rlnc", "with -redundancy, the coding scheme to spot-measure; non-default values skip report recording")
-	redund := flag.Float64("redundancy", 0, "source emission cap for the -scheme spot measurement (0 = rateless)")
-	prof := profiling.RegisterFlags(flag.CommandLine)
-	flag.Parse()
-	stopProf, err := prof.Start()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "omnc-bench: %v\n", err)
-		os.Exit(1)
-	}
-	defer func() {
-		if err := stopProf(); err != nil {
-			fmt.Fprintf(os.Stderr, "omnc-bench: %v\n", err)
-			os.Exit(1)
-		}
-	}()
+	cod := cliflags.RegisterCoding(flag.CommandLine,
+		"with -redundancy, the coding scheme to spot-measure; non-default values skip report recording",
+		"source emission cap for the -scheme spot measurement (0 = rateless)")
+	app := cliflags.New("omnc-bench", flag.CommandLine)
+	app.Main(func(ctx context.Context) error {
+		return run(ctx, *iters, *out, *check, *engWork, cod.Scheme, cod.Redundancy)
+	})
+}
 
-	if *check != "" {
-		if err := checkReport(*check); err != nil {
-			fmt.Fprintf(os.Stderr, "omnc-bench: %s: %v\n", *check, err)
-			os.Exit(1)
+func run(ctx context.Context, iters int, out, check string, engWork int, schemeName string, redundancy float64) error {
+	if check != "" {
+		if err := benchreport.CheckFile(check); err != nil {
+			return fmt.Errorf("%s: %w", check, err)
 		}
-		fmt.Printf("%s: schema %s ok, gates held\n", *check, schemaVersion)
-		return
+		fmt.Printf("%s: schema %s ok, gates held\n", check, benchreport.SchemaVersion)
+		return nil
 	}
 
-	if *scheme != "rlnc" || *redund != 0 {
-		schemeVal, err := coding.ParseScheme(*scheme)
+	if schemeName != "rlnc" || redundancy != 0 {
+		schemeVal, err := coding.ParseScheme(schemeName)
 		if err == nil {
-			err = coding.ValidateRedundancy(*redund)
+			err = coding.ValidateRedundancy(redundancy)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "omnc-bench: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		s := sessionbench.SchemeScenario{
 			Name:       fmt.Sprintf("SessionScheme/%s", schemeVal),
 			Scheme:     schemeVal,
-			Redundancy: *redund,
+			Redundancy: redundancy,
 		}
-		r, err := measureScheme(s, *iters)
+		r, err := benchreport.MeasureScheme(s, iters)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "omnc-bench: %s: %v\n", s.Name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", s.Name, err)
 		}
 		fmt.Printf("%s (redundancy %g): %d ns/op %d allocs/op %d B/op %.0f bytes/s\n",
-			r.Name, *redund, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.Throughput)
-		return
+			r.Name, redundancy, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.Throughput)
+		return nil
 	}
 
-	if *engWork >= 0 {
+	if engWork >= 0 {
 		s := sessionbench.ScaledMultiScenario{
-			Name:          fmt.Sprintf("MultiSessionScaled/workers=%d", *engWork),
-			EngineWorkers: *engWork,
+			Name:          fmt.Sprintf("MultiSessionScaled/workers=%d", engWork),
+			EngineWorkers: engWork,
 		}
-		if *engWork == 0 {
+		if engWork == 0 {
 			s.Name = "MultiSessionScaled/serial"
 		}
-		r, err := measureScaled(s, *iters)
+		r, err := benchreport.MeasureScaled(s, iters)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "omnc-bench: %s: %v\n", s.Name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", s.Name, err)
 		}
 		fmt.Printf("%s: %d ns/op %d allocs/op %d B/op %.0f bytes/s (cpus=%d)\n",
 			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.Throughput, runtime.NumCPU())
-		return
+		return nil
 	}
 
-	rep, err := record(*iters)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "omnc-bench: %v\n", err)
-		os.Exit(1)
-	}
-	buf, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "omnc-bench: %v\n", err)
-		os.Exit(1)
-	}
-	buf = append(buf, '\n')
-	if *out == "-" {
-		os.Stdout.Write(buf)
-		return
-	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "omnc-bench: %v\n", err)
-		os.Exit(1)
-	}
-	for _, r := range rep.Benchmarks {
-		fmt.Printf("%-12s %12d ns/op %8d allocs/op %10d B/op  (baseline %d allocs/op)\n",
-			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.Baseline.AllocsPerOp)
-	}
-}
-
-// record benchmarks every scenario and assembles the report.
-func record(iters int) (*Report, error) {
-	if iters < 1 {
-		return nil, fmt.Errorf("need at least 1 iteration, got %d", iters)
-	}
-	rep := &Report{
-		Schema:     schemaVersion,
-		GoVersion:  runtime.Version(),
-		CPUs:       runtime.NumCPU(),
-		Iterations: iters,
-	}
-	for _, s := range sessionbench.Scenarios() {
-		r, err := measure(s, iters)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.Name, err)
-		}
-		rep.Benchmarks = append(rep.Benchmarks, r)
-	}
-	for _, s := range sessionbench.MultiScenarios() {
-		r, err := measureMulti(s, iters)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.Name, err)
-		}
-		rep.Benchmarks = append(rep.Benchmarks, r)
-	}
-	for _, s := range sessionbench.ScaledMultiScenarios() {
-		r, err := measureScaled(s, iters)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.Name, err)
-		}
-		rep.Benchmarks = append(rep.Benchmarks, r)
-	}
-	for _, s := range sessionbench.SchemeScenarios() {
-		r, err := measureScheme(s, iters)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.Name, err)
-		}
-		rep.Benchmarks = append(rep.Benchmarks, r)
-	}
-	return rep, nil
-}
-
-// measureScheme is measure for one coding-scheme session; scheme entries
-// carry no frozen baseline — checkReport gates them against the in-report
-// default-RLNC entry instead.
-func measureScheme(s sessionbench.SchemeScenario, iters int) (Result, error) {
-	nw, src, dst, err := sessionbench.Network()
-	if err != nil {
-		return Result{}, err
-	}
-	st, err := s.Run(nw, src, dst)
-	if err != nil {
-		return Result{}, err
-	}
-	var before, after runtime.MemStats
-	runtime.GC()
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	for i := 0; i < iters; i++ {
-		if st, err = s.Run(nw, src, dst); err != nil {
-			return Result{}, err
-		}
-		if st.GenerationsDecoded == 0 {
-			return Result{}, fmt.Errorf("session decoded nothing")
-		}
-	}
-	elapsed := time.Since(start)
-	runtime.ReadMemStats(&after)
-	n := int64(iters)
-	return Result{
-		Name:        s.Name,
-		NsPerOp:     elapsed.Nanoseconds() / n,
-		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / n,
-		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / n,
-		Throughput:  st.Throughput,
-	}, nil
-}
-
-// measure runs one warmup session (arena fill, lazy tables) and then iters
-// timed sessions, deriving allocs/op and B/op from MemStats deltas — the
-// same quantities testing.B reports with -benchmem.
-func measure(s sessionbench.Scenario, iters int) (Result, error) {
-	nw, src, dst, err := sessionbench.Network()
-	if err != nil {
-		return Result{}, err
-	}
-	st, err := s.Run(nw, src, dst)
-	if err != nil {
-		return Result{}, err
-	}
-	var before, after runtime.MemStats
-	runtime.GC()
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	for i := 0; i < iters; i++ {
-		if st, err = s.Run(nw, src, dst); err != nil {
-			return Result{}, err
-		}
-		if st.GenerationsDecoded == 0 {
-			return Result{}, fmt.Errorf("session decoded nothing")
-		}
-	}
-	elapsed := time.Since(start)
-	runtime.ReadMemStats(&after)
-	n := int64(iters)
-	return Result{
-		Name:        s.Name,
-		NsPerOp:     elapsed.Nanoseconds() / n,
-		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / n,
-		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / n,
-		Throughput:  st.Throughput,
-		Baseline:    baselines[s.Name],
-	}, nil
-}
-
-// measureMulti is measure for a multi-unicast workload: one warmup, then
-// iters timed runs of all contending sessions on one shared engine.
-func measureMulti(s sessionbench.MultiScenario, iters int) (Result, error) {
-	nw, _, _, err := sessionbench.Network()
-	if err != nil {
-		return Result{}, err
-	}
-	ms, err := s.Run(nw)
-	if err != nil {
-		return Result{}, err
-	}
-	var before, after runtime.MemStats
-	runtime.GC()
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	for i := 0; i < iters; i++ {
-		if ms, err = s.Run(nw); err != nil {
-			return Result{}, err
-		}
-		for j, st := range ms.PerSession {
-			if st.Throughput <= 0 {
-				return Result{}, fmt.Errorf("session %d delivered nothing", j)
-			}
-		}
-	}
-	elapsed := time.Since(start)
-	runtime.ReadMemStats(&after)
-	n := int64(iters)
-	return Result{
-		Name:        s.Name,
-		NsPerOp:     elapsed.Nanoseconds() / n,
-		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / n,
-		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / n,
-		Throughput:  ms.AggregateThroughput,
-		Baseline:    multiBaselines[s.Name],
-	}, nil
-}
-
-// measureScaled is measureMulti for the parallel-engine scaling workload:
-// sixteen sessions on radio-isolated strips with the scenario's engine
-// worker count. The emulated throughput must come out identical for every
-// worker count — checkReport enforces that.
-func measureScaled(s sessionbench.ScaledMultiScenario, iters int) (Result, error) {
-	nw, sessions, err := sessionbench.ScaledNetwork()
-	if err != nil {
-		return Result{}, err
-	}
-	ms, err := s.Run(nw, sessions)
-	if err != nil {
-		return Result{}, err
-	}
-	var before, after runtime.MemStats
-	runtime.GC()
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	for i := 0; i < iters; i++ {
-		if ms, err = s.Run(nw, sessions); err != nil {
-			return Result{}, err
-		}
-		for j, st := range ms.PerSession {
-			if st.Throughput <= 0 {
-				return Result{}, fmt.Errorf("session %d delivered nothing", j)
-			}
-		}
-	}
-	elapsed := time.Since(start)
-	runtime.ReadMemStats(&after)
-	n := int64(iters)
-	return Result{
-		Name:        s.Name,
-		NsPerOp:     elapsed.Nanoseconds() / n,
-		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / n,
-		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / n,
-		Throughput:  ms.AggregateThroughput,
-	}, nil
-}
-
-// checkReport validates a committed report: schema identity, one entry per
-// scenario with sane fields, and the OMNC allocation gate.
-func checkReport(path string) error {
-	buf, err := os.ReadFile(path)
+	res, err := jobs.Run(ctx, jobs.Spec{Version: jobs.SpecVersion, Kind: jobs.KindBench, Iters: iters})
 	if err != nil {
 		return err
 	}
-	var rep Report
-	if err := json.Unmarshal(buf, &rep); err != nil {
-		return fmt.Errorf("parse: %w", err)
+	art := res.Artifact("bench.json")
+	if art == nil {
+		return fmt.Errorf("bench run produced no report artifact")
 	}
-	if rep.Schema != schemaVersion {
-		return fmt.Errorf("schema %q, want %q", rep.Schema, schemaVersion)
+	if out == "-" {
+		os.Stdout.Write(art.Data)
+		return nil
 	}
-	if rep.GoVersion == "" {
-		return fmt.Errorf("missing go_version")
+	if err := os.WriteFile(out, art.Data, 0o644); err != nil {
+		return err
 	}
-	if rep.Iterations < 1 {
-		return fmt.Errorf("iterations %d, want >= 1", rep.Iterations)
-	}
-	byName := map[string]Result{}
-	for _, r := range rep.Benchmarks {
-		if r.NsPerOp <= 0 || r.AllocsPerOp <= 0 || r.BytesPerOp <= 0 {
-			return fmt.Errorf("%s: non-positive measurement %+v", r.Name, r)
-		}
-		if r.Throughput <= 0 {
-			return fmt.Errorf("%s: non-positive throughput", r.Name)
-		}
-		byName[r.Name] = r
-	}
-	for _, s := range sessionbench.Scenarios() {
-		r, ok := byName[s.Name]
-		if !ok {
-			return fmt.Errorf("missing benchmark %s", s.Name)
-		}
-		if r.Baseline != baselines[s.Name] {
-			return fmt.Errorf("%s: baseline %+v drifted from recorded %+v", s.Name, r.Baseline, baselines[s.Name])
-		}
-	}
-	omncRes := byName["SessionOMNC"]
-	limit := int64(float64(omncRes.Baseline.AllocsPerOp) * allocGate)
-	if omncRes.AllocsPerOp > limit {
-		return fmt.Errorf("SessionOMNC allocs/op %d exceeds gate %d (%.0f%% of baseline %d)",
-			omncRes.AllocsPerOp, limit, allocGate*100, omncRes.Baseline.AllocsPerOp)
-	}
-	// Multi-unicast entries appeared in BENCH_3.json; a report that carries
-	// any of them must carry all of them, with unchanged baselines and
-	// allocs/op within the drift gate. Earlier reports stay valid.
-	hasMulti := false
-	for name := range multiBaselines {
-		if _, ok := byName[name]; ok {
-			hasMulti = true
-			break
-		}
-	}
-	if hasMulti {
-		for _, s := range sessionbench.MultiScenarios() {
-			r, ok := byName[s.Name]
-			if !ok {
-				return fmt.Errorf("missing benchmark %s", s.Name)
-			}
-			if r.Baseline != multiBaselines[s.Name] {
-				return fmt.Errorf("%s: baseline %+v drifted from recorded %+v", s.Name, r.Baseline, multiBaselines[s.Name])
-			}
-			mlimit := int64(float64(r.Baseline.AllocsPerOp) * multiAllocGate)
-			if r.AllocsPerOp > mlimit {
-				return fmt.Errorf("%s allocs/op %d exceeds gate %d (%.0f%% of baseline %d)",
-					s.Name, r.AllocsPerOp, mlimit, multiAllocGate*100, r.Baseline.AllocsPerOp)
-			}
-		}
-	}
-	// The parallel-engine scaling ladder appeared in BENCH_4.json. A report
-	// carrying any rung must carry all of them with identical emulated
-	// throughput (the engines are bit-identical by contract — divergence is
-	// a determinism bug, never noise), must declare the recording machine's
-	// CPU count, and — when that machine could actually run rounds in
-	// parallel (cpus >= 4) — must show the speedup the parallel engine
-	// exists for.
-	scaled := sessionbench.ScaledMultiScenarios()
-	hasScaled := false
-	for _, s := range scaled {
-		if _, ok := byName[s.Name]; ok {
-			hasScaled = true
-			break
-		}
-	}
-	if hasScaled {
-		var serial, four Result
-		var tp float64
-		for i, s := range scaled {
-			r, ok := byName[s.Name]
-			if !ok {
-				return fmt.Errorf("missing benchmark %s", s.Name)
-			}
-			if i == 0 {
-				tp = r.Throughput
-			} else if r.Throughput != tp {
-				return fmt.Errorf("%s: emulated throughput %v differs from %s's %v — parallel engine diverged from serial",
-					s.Name, r.Throughput, scaled[0].Name, tp)
-			}
-			switch s.EngineWorkers {
-			case 0:
-				serial = r
-			case 4:
-				four = r
-			}
-		}
-		if rep.CPUs < 1 {
-			return fmt.Errorf("report carries the scaling ladder but no cpus field")
-		}
-		if rep.CPUs >= 4 {
-			ratio := float64(serial.NsPerOp) / float64(four.NsPerOp)
-			if ratio < speedupGate {
-				return fmt.Errorf("scaled speedup %.2fx at 4 workers below gate %.1fx (serial %d ns/op, workers=4 %d ns/op, cpus=%d)",
-					ratio, speedupGate, serial.NsPerOp, four.NsPerOp, rep.CPUs)
-			}
-		}
-	}
-	// Coding-scheme entries appeared in BENCH_5.json: a report carrying any
-	// of them must carry all of them, and the non-recoding strategies must
-	// stay within schemeAllocGate of the in-report default-RLNC session —
-	// the arena-use proof for the strategy layer. Earlier reports stay valid.
-	schemes := sessionbench.SchemeScenarios()
-	hasSchemes := false
-	for _, s := range schemes {
-		if _, ok := byName[s.Name]; ok {
-			hasSchemes = true
-			break
-		}
-	}
-	if hasSchemes {
-		ref, ok := byName["SessionScheme/rlnc"]
-		if !ok {
-			return fmt.Errorf("scheme entries present but the SessionScheme/rlnc reference is missing")
-		}
-		for _, s := range schemes {
-			r, ok := byName[s.Name]
-			if !ok {
-				return fmt.Errorf("missing benchmark %s", s.Name)
-			}
-			slimit := int64(float64(ref.AllocsPerOp) * schemeAllocGate)
-			if r.AllocsPerOp > slimit {
-				return fmt.Errorf("%s allocs/op %d exceeds gate %d (%.0f%% of SessionScheme/rlnc's %d)",
-					s.Name, r.AllocsPerOp, slimit, schemeAllocGate*100, ref.AllocsPerOp)
-			}
-		}
+	for _, r := range res.Bench.Benchmarks {
+		fmt.Printf("%-12s %12d ns/op %8d allocs/op %10d B/op  (baseline %d allocs/op)\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.Baseline.AllocsPerOp)
 	}
 	return nil
 }

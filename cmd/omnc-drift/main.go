@@ -9,26 +9,21 @@
 //	omnc-drift                    # two-relay diamond, 2 s wall time
 //	omnc-drift -duration 5s -rate 500000
 //	omnc-drift -trials 4 -workers 4   # four sessions, concurrently
+//
+// The session itself runs through internal/jobs (kind "loopback"), so the
+// same workload is reachable as an omnc-serve job.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
-	"omnc"
+	"omnc/internal/cliflags"
 	"omnc/internal/coding"
-	"omnc/internal/core"
-	"omnc/internal/drift"
-	"omnc/internal/parallel"
-	"omnc/internal/profiling"
-	"omnc/internal/seedmix"
+	"omnc/internal/jobs"
 )
-
-// streamDriftTrial derives each trial's loss-process seed from the -seed
-// flag; every trial gets an independent stream.
-const streamDriftTrial int64 = 201
 
 func main() {
 	var (
@@ -38,104 +33,72 @@ func main() {
 		block    = flag.Int("block", 64, "bytes per block")
 		seed     = flag.Int64("seed", 1, "loss-process seed")
 		trials   = flag.Int("trials", 1, "independent loopback sessions to run")
-		workers  = flag.Int("workers", 0, "concurrent sessions (0 = all cores); each owns its own sockets")
-		scheme   = flag.String("scheme", "rlnc", "coding scheme: rlnc (full recoding), rlnc-e2e (no recoding), rs (source-only Reed-Solomon)")
-		redund   = flag.Float64("redundancy", 0, "coded packets per generation as a factor of the generation size (0 = rateless)")
 	)
-	prof := profiling.RegisterFlags(flag.CommandLine)
-	flag.Parse()
-	stopProf, err := prof.Start()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "omnc-drift:", err)
-		os.Exit(1)
-	}
-	err = run(*duration, *rate, *genSize, *block, *seed, *trials, *workers, *scheme, *redund)
-	if perr := stopProf(); perr != nil && err == nil {
-		err = perr
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "omnc-drift:", err)
-		os.Exit(1)
-	}
+	pool := cliflags.RegisterPool(flag.CommandLine, false)
+	cod := cliflags.RegisterCoding(flag.CommandLine,
+		"coding scheme: rlnc (full recoding), rlnc-e2e (no recoding), rs (source-only Reed-Solomon)",
+		"coded packets per generation as a factor of the generation size (0 = rateless)")
+	app := cliflags.New("omnc-drift", flag.CommandLine)
+	app.Main(func(ctx context.Context) error {
+		return run(ctx, *duration, *rate, *genSize, *block, *seed, *trials, pool.Workers, cod.Scheme, cod.Redundancy)
+	})
 }
 
-func run(duration time.Duration, rate float64, genSize, block int, seed int64, trials, workers int,
+func run(ctx context.Context, duration time.Duration, rate float64, genSize, block int, seed int64, trials, workers int,
 	schemeName string, redundancy float64) error {
 	if trials < 1 {
 		return fmt.Errorf("-trials must be at least 1, got %d", trials)
+	}
+	// The Spec treats zero sizes as "use the defaults"; the flag surface
+	// treats them as user error, so reject them before they normalize away.
+	if genSize < 1 || block < 1 {
+		return fmt.Errorf("generation size and block size must be positive, got %dx%d", genSize, block)
 	}
 	schemeVal, err := coding.ParseScheme(schemeName)
 	if err != nil {
 		return err
 	}
-	nw, err := omnc.NetworkFromMatrix([][]float64{
-		{0, 0.8, 0.6, 0},
-		{0.8, 0, 0, 0.7},
-		{0.6, 0, 0, 0.9},
-		{0, 0.7, 0.9, 0},
-	})
-	if err != nil {
+	spec := jobs.Spec{
+		Version: jobs.SpecVersion, Kind: jobs.KindLoopback,
+		Seed: seed, Duration: duration.Seconds(), Rate: rate,
+		GenerationSize: genSize, BlockSize: block,
+		Trials: trials, Workers: workers,
+	}
+	(&cliflags.CodingFlags{Scheme: schemeName, Redundancy: redundancy}).Apply(&spec)
+	if err := spec.Validate(); err != nil {
 		return err
 	}
-	sg, err := core.SelectNodes(nw, 0, 3)
-	if err != nil {
-		return err
-	}
-	rates := make([]float64, sg.Size())
-	for i := range rates {
-		rates[i] = rate
-	}
-	rates[sg.Dst] = 0
 
 	fmt.Printf("running OMNC over loopback UDP: %d nodes, generation %dx%dB, scheme %s, %v wall time, %d session(s)\n",
-		sg.Size(), genSize, block, schemeVal, duration, trials)
+		4, genSize, block, schemeVal, duration, trials)
 
-	// Each trial is a full loopback session with its own sockets and a
-	// loss-process seed derived from (seed, trial); concurrent sessions
-	// don't interact, so -workers trades wall-clock time for CPU only.
-	results := make([]*drift.Result, trials)
-	err = parallel.ForEach(trials, parallel.Workers(workers), func(i int) error {
-		trialSeed := seed
-		if trials > 1 {
-			trialSeed = seedmix.Derive(seed, streamDriftTrial, int64(i))
-		}
-		res, err := drift.RunSession(nw, sg, drift.Config{
-			Coding:     coding.Params{GenerationSize: genSize, BlockSize: block},
-			Scheme:     schemeVal,
-			Redundancy: redundancy,
-			Rates:      rates,
-			Duration:   duration,
-			Seed:       trialSeed,
-		})
-		if err != nil {
-			return fmt.Errorf("trial %d: %w", i, err)
-		}
-		results[i] = res
-		return nil
-	})
+	res, err := jobs.Run(ctx, spec)
 	if err != nil {
 		return err
 	}
 
-	var sum drift.Result
-	for i, res := range results {
+	var sum struct {
+		decoded, corrupted int
+		forwarded, dropped int64
+	}
+	for i, r := range res.Loopback {
 		if trials > 1 {
 			fmt.Printf("trial %d: %d generations decoded, %d corrupted, %d datagrams lost\n",
-				i, res.GenerationsDecoded, res.Corrupted, res.DatagramsDropped)
+				i, r.GenerationsDecoded, r.Corrupted, r.DatagramsDropped)
 		}
-		sum.GenerationsDecoded += res.GenerationsDecoded
-		sum.Corrupted += res.Corrupted
-		sum.DatagramsForwarded += res.DatagramsForwarded
-		sum.DatagramsDropped += res.DatagramsDropped
+		sum.decoded += r.GenerationsDecoded
+		sum.corrupted += r.Corrupted
+		sum.forwarded += r.DatagramsForwarded
+		sum.dropped += r.DatagramsDropped
 	}
-	total := sum.DatagramsForwarded + sum.DatagramsDropped
+	total := sum.forwarded + sum.dropped
 	fmt.Printf("generations decoded:  %d (verified byte-for-byte; %d corrupted)\n",
-		sum.GenerationsDecoded, sum.Corrupted)
+		sum.decoded, sum.corrupted)
 	fmt.Printf("channel emulator:     %d datagrams forwarded, %d lost (%.0f%% loss)\n",
-		sum.DatagramsForwarded, sum.DatagramsDropped,
-		100*float64(sum.DatagramsDropped)/float64(max64(total, 1)))
+		sum.forwarded, sum.dropped,
+		100*float64(sum.dropped)/float64(max64(total, 1)))
 	fmt.Printf("goodput:              %.0f bytes/s of decoded application data per session\n",
-		float64(sum.GenerationsDecoded*genSize*block)/(duration.Seconds()*float64(trials)))
+		float64(sum.decoded*genSize*block)/(duration.Seconds()*float64(trials)))
 	return nil
 }
 

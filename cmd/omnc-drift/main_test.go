@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -9,7 +10,7 @@ func TestRunShortSession(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wall-clock test")
 	}
-	if err := run(600*time.Millisecond, 300_000, 6, 32, 2, 1, 0, "rlnc", 0); err != nil {
+	if err := run(context.Background(), 600*time.Millisecond, 300_000, 6, 32, 2, 1, 0, "rlnc", 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -18,7 +19,7 @@ func TestRunParallelTrials(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wall-clock test")
 	}
-	if err := run(400*time.Millisecond, 300_000, 6, 32, 2, 2, 2, "rlnc", 0); err != nil {
+	if err := run(context.Background(), 400*time.Millisecond, 300_000, 6, 32, 2, 2, 2, "rlnc", 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -28,26 +29,26 @@ func TestRunSchemeFlag(t *testing.T) {
 		t.Skip("wall-clock test")
 	}
 	for _, scheme := range []string{"rlnc-e2e", "rs"} {
-		if err := run(400*time.Millisecond, 300_000, 6, 32, 2, 1, 0, scheme, 3); err != nil {
+		if err := run(context.Background(), 400*time.Millisecond, 300_000, 6, 32, 2, 1, 0, scheme, 3); err != nil {
 			t.Fatalf("%s: %v", scheme, err)
 		}
 	}
 }
 
 func TestRunBadCoding(t *testing.T) {
-	if err := run(100*time.Millisecond, 1000, 0, 0, 1, 1, 1, "rlnc", 0); err == nil {
+	if err := run(context.Background(), 100*time.Millisecond, 1000, 0, 0, 1, 1, 1, "rlnc", 0); err == nil {
 		t.Fatal("invalid generation size must fail")
 	}
 }
 
 func TestRunBadTrials(t *testing.T) {
-	if err := run(100*time.Millisecond, 1000, 8, 64, 1, 0, 1, "rlnc", 0); err == nil {
+	if err := run(context.Background(), 100*time.Millisecond, 1000, 8, 64, 1, 0, 1, "rlnc", 0); err == nil {
 		t.Fatal("zero trials must fail")
 	}
 }
 
 func TestRunBadScheme(t *testing.T) {
-	if err := run(100*time.Millisecond, 1000, 8, 64, 1, 1, 1, "fountain", 0); err == nil {
+	if err := run(context.Background(), 100*time.Millisecond, 1000, 8, 64, 1, 1, 1, "fountain", 0); err == nil {
 		t.Fatal("unknown scheme must fail")
 	}
 }

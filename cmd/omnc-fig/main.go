@@ -20,22 +20,25 @@
 // The default scale is laptop-sized (30 sessions, 200 emulated seconds,
 // payload-rank fidelity); -full selects the paper's full scale (300
 // sessions of 800 s with 1 KB blocks — hours of CPU time).
+//
+// Every figure runs through internal/jobs, the dispatcher behind
+// omnc-serve: the CSVs written here are the byte-identical artifacts a
+// daemon job for the same Spec lands in its run directory (the golden-file
+// tests pin this). This command owns only the terminal rendering.
 package main
 
 import (
-	"encoding/csv"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
-	"strconv"
-	"time"
 
-	"omnc/internal/coding"
+	"omnc/internal/cliflags"
 	"omnc/internal/experiments"
+	"omnc/internal/jobs"
 	"omnc/internal/metrics"
-	"omnc/internal/profiling"
 	"omnc/internal/sim"
 )
 
@@ -48,107 +51,80 @@ func main() {
 		seed     = flag.Int64("seed", 1, "experiment seed")
 		mac      = flag.String("mac", "oracle", "channel model: oracle or csma")
 		csvDir   = flag.String("csv", "", "directory to write CSV series into")
-		workers  = flag.Int("workers", 0, "concurrent session emulations (0 = all cores, 1 = serial); results are identical either way")
-		engWork  = flag.Int("engine-workers", 0, "parallel event-engine workers per session (0 = serial engine); results are identical either way")
 		report   = flag.Bool("report", false, "collect per-session observability reports and print per-figure totals")
-		scheme   = flag.String("scheme", "rlnc", "coding scheme for the comparison figures: rlnc, rlnc-e2e or rs (-fig schemes sweeps all three)")
-		redund   = flag.Float64("redundancy", 0, "source emission cap as a factor of the generation size (0 = rateless)")
 	)
-	prof := profiling.RegisterFlags(flag.CommandLine)
-	flag.Parse()
-	stopProf, err := prof.Start()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "omnc-fig:", err)
-		os.Exit(1)
-	}
-	err = run(*fig, *full, *sessions, *duration, *seed, *mac, *csvDir, *workers, *engWork, *report, *scheme, *redund)
-	if perr := stopProf(); perr != nil && err == nil {
-		err = perr
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "omnc-fig:", err)
-		os.Exit(1)
-	}
+	pool := cliflags.RegisterPool(flag.CommandLine, true)
+	cod := cliflags.RegisterCoding(flag.CommandLine,
+		"coding scheme for the comparison figures: rlnc, rlnc-e2e or rs (-fig schemes sweeps all three)",
+		"source emission cap as a factor of the generation size (0 = rateless)")
+	app := cliflags.New("omnc-fig", flag.CommandLine)
+	app.Main(func(ctx context.Context) error {
+		return run(ctx, *fig, *full, *sessions, *duration, *seed, *mac, *csvDir,
+			pool.Workers, pool.EngineWorkers, *report, cod.Scheme, cod.Redundancy)
+	})
 }
 
-func run(fig string, full bool, sessions int, duration float64, seed int64, mac, csvDir string, workers, engineWorkers int, report bool,
-	schemeName string, redundancy float64) error {
-	cfg := experiments.QuickConfig(seed)
-	if full {
-		cfg = experiments.PaperConfig(seed)
+func run(ctx context.Context, fig string, full bool, sessions int, duration float64, seed int64, mac, csvDir string,
+	workers, engineWorkers int, report bool, schemeName string, redundancy float64) error {
+	base := jobs.Spec{
+		Version: jobs.SpecVersion,
+		Seed:    seed, Full: full, Sessions: sessions, Duration: duration,
+		Workers: workers, EngineWorkers: engineWorkers, Report: report,
 	}
-	if sessions > 0 {
-		cfg.Sessions = sessions
+	// The Spec's zero MAC is the oracle default; keep flag-built specs on the
+	// zero value so they hash like hand-written ones.
+	if mac != "oracle" && mac != "" {
+		base.MAC = mac
 	}
-	if duration > 0 {
-		cfg.Duration = duration
-	}
-	cfg.Workers = workers
-	cfg.EngineWorkers = engineWorkers
-	cfg.Report = report
-	schemeVal, err := coding.ParseScheme(schemeName)
-	if err != nil {
-		return err
-	}
-	if err := coding.ValidateRedundancy(redundancy); err != nil {
-		return err
-	}
-	cfg.Scheme = schemeVal
-	cfg.Redundancy = redundancy
-	switch mac {
-	case "oracle", "":
-		cfg.MAC = sim.ModeOracle
-	case "csma":
-		cfg.MAC = sim.ModeCSMA
-	default:
-		return fmt.Errorf("unknown -mac %q (want oracle or csma)", mac)
-	}
+	(&cliflags.CodingFlags{Scheme: schemeName, Redundancy: redundancy}).Apply(&base)
 
 	switch fig {
 	case "1":
-		return fig1(csvDir)
-	case "2l":
-		return comparisonFigs(cfg, csvDir, "2l")
-	case "2r":
-		cfg.MeanQuality = 0.91
-		return comparisonFigs(cfg, csvDir, "2r")
-	case "3":
-		return comparisonFigs(cfg, csvDir, "3")
-	case "4":
-		return comparisonFigs(cfg, csvDir, "4")
-	case "lpgap":
-		cfg.SolveLPGap = true
-		return comparisonFigs(cfg, csvDir, "lpgap")
+		base.Kind = jobs.KindFig1
+		return fig1(ctx, base, csvDir)
+	case "2l", "2r", "3", "4", "lpgap":
+		base.Kind = jobs.KindComparison
+		base.Figures = []string{fig}
+		return comparisonFigs(ctx, base, csvDir, fig)
 	case "drift":
-		return driftFig(cfg)
+		base.Kind = jobs.KindDrift
+		return driftFig(ctx, base, csvDir)
 	case "multi":
-		return multiFig(cfg, full, csvDir)
+		base.Kind = jobs.KindMulti
+		return multiFig(ctx, base, csvDir)
 	case "faults":
-		return faultsFig(cfg, csvDir)
+		base.Kind = jobs.KindFaults
+		return faultsFig(ctx, base, csvDir)
 	case "schemes":
-		return schemesFig(cfg, csvDir)
+		base.Kind = jobs.KindSchemes
+		return schemesFig(ctx, base, csvDir)
 	case "all":
-		if err := fig1(csvDir); err != nil {
+		f1 := base
+		f1.Kind = jobs.KindFig1
+		if err := fig1(ctx, f1, csvDir); err != nil {
 			return err
 		}
-		cfg.SolveLPGap = true
-		if err := comparisonFigs(cfg, csvDir, "2l", "3", "4", "lpgap"); err != nil {
+		cmp := base
+		cmp.Kind = jobs.KindComparison
+		cmp.Figures = []string{"2l", "3", "4", "lpgap"}
+		if err := comparisonFigs(ctx, cmp, csvDir, "2l", "3", "4", "lpgap"); err != nil {
 			return err
 		}
-		hq := cfg
-		hq.MeanQuality = 0.91
-		hq.SolveLPGap = false
-		return comparisonFigs(hq, csvDir, "2r")
+		hq := base
+		hq.Kind = jobs.KindComparison
+		hq.Figures = []string{"2r"}
+		return comparisonFigs(ctx, hq, csvDir, "2r")
 	default:
 		return fmt.Errorf("unknown -fig %q", fig)
 	}
 }
 
-func fig1(csvDir string) error {
-	res, err := experiments.Fig1Convergence(experiments.Fig1Config{})
+func fig1(ctx context.Context, spec jobs.Spec, csvDir string) error {
+	r, err := jobs.Run(ctx, spec)
 	if err != nil {
 		return err
 	}
+	res := r.Fig1
 	fmt.Printf("Figure 1: convergence of the distributed rate-control algorithm\n")
 	fmt.Printf("(capacity 1e5 B/s; converged=%v after %d iterations; gamma=%.0f B/s)\n\n",
 		res.Converged, res.Iterations, res.Gamma)
@@ -170,38 +146,26 @@ func fig1(csvDir string) error {
 		fmt.Println()
 	}
 	fmt.Println()
-	if csvDir == "" {
-		return nil
-	}
-	rows := [][]string{headerRow(res.Nodes)}
-	for t := 0; t < res.Iterations; t++ {
-		row := []string{strconv.Itoa(t + 1)}
-		for i := range res.Nodes {
-			row = append(row, fmt.Sprintf("%.2f", res.Series[i][t]))
-		}
-		rows = append(rows, row)
-	}
-	return writeCSV(filepath.Join(csvDir, "fig1_convergence.csv"), rows)
+	return writeArtifact(csvDir, r, "fig1_convergence.csv")
 }
 
-func headerRow(nodes []int) []string {
-	row := []string{"iteration"}
-	for _, id := range nodes {
-		row = append(row, fmt.Sprintf("node%d_bytes_per_sec", id))
+func comparisonFigs(ctx context.Context, spec jobs.Spec, csvDir string, figs ...string) error {
+	// The preamble derives from the effective config, so vet the Spec before
+	// using it (jobs.Run would only catch it after the banner printed).
+	if err := spec.Validate(); err != nil {
+		return err
 	}
-	return row
-}
-
-func comparisonFigs(cfg experiments.Config, csvDir string, figs ...string) error {
+	cfg := spec.EffectiveComparison()
 	fmt.Printf("Running %d sessions on %d nodes (density %.0f, mean quality target %s, MAC %s)...\n",
 		cfg.Sessions, cfg.Nodes, cfg.Density, qualityLabel(cfg.MeanQuality), macLabel(cfg.MAC))
-	cfg.Progress = metrics.NewProgress(cfg.Sessions)
-	stopTicker := startProgressTicker(cfg.Progress)
-	c, err := experiments.RunComparison(cfg)
+	progress := metrics.NewProgress(spec.Units())
+	stopTicker := cliflags.StartProgressTicker("omnc-fig", progress)
+	r, err := jobs.RunWithProgress(ctx, spec, progress)
 	stopTicker()
 	if err != nil {
 		return err
 	}
+	c := r.Comparison
 	fmt.Printf("network mean link quality: %.3f\n", c.Network.MeanLinkQuality())
 	if it := c.RateIterationsSummary(); it.N > 0 {
 		fmt.Printf("rate-control iterations (paper mean: 91): %s\n", it)
@@ -214,11 +178,10 @@ func comparisonFigs(cfg experiments.Config, csvDir string, figs ...string) error
 			if f == "2r" {
 				label = "high link quality"
 			}
-			curves := c.GainCDFs()
 			fmt.Println(metrics.ASCIIPlot(
 				fmt.Sprintf("Figure 2 (%s): CDF of throughput gain over ETX routing", label),
-				"throughput gain", 4, curves))
-			if err := writeCurves(csvDir, "fig"+f+"_gains.csv", "gain", curves); err != nil {
+				"throughput gain", 4, c.GainCDFs()))
+			if err := writeArtifact(csvDir, r, "fig"+f+"_gains.csv"); err != nil {
 				return err
 			}
 		case "3":
@@ -231,20 +194,18 @@ func comparisonFigs(cfg experiments.Config, csvDir string, figs ...string) error
 			}
 			fmt.Println(metrics.ASCIIPlot(
 				"Figure 3: CDF of time-averaged queue size", "queue size (packets)", xMax, curves))
-			if err := writeCurves(csvDir, "fig3_queues.csv", "queue", curves); err != nil {
+			if err := writeArtifact(csvDir, r, "fig3_queues.csv"); err != nil {
 				return err
 			}
 		case "4":
-			nodeCurves := c.NodeUtilityCDFs()
 			fmt.Println(metrics.ASCIIPlot(
-				"Figure 4 (left): CDF of node utility ratio", "node utility ratio", 1, nodeCurves))
-			pathCurves := c.PathUtilityCDFs()
+				"Figure 4 (left): CDF of node utility ratio", "node utility ratio", 1, c.NodeUtilityCDFs()))
 			fmt.Println(metrics.ASCIIPlot(
-				"Figure 4 (right): CDF of path utility ratio", "path utility ratio", 1, pathCurves))
-			if err := writeCurves(csvDir, "fig4_node_utility.csv", "node_utility", nodeCurves); err != nil {
+				"Figure 4 (right): CDF of path utility ratio", "path utility ratio", 1, c.PathUtilityCDFs()))
+			if err := writeArtifact(csvDir, r, "fig4_node_utility.csv"); err != nil {
 				return err
 			}
-			if err := writeCurves(csvDir, "fig4_path_utility.csv", "path_utility", pathCurves); err != nil {
+			if err := writeArtifact(csvDir, r, "fig4_path_utility.csv"); err != nil {
 				return err
 			}
 		case "lpgap":
@@ -256,7 +217,7 @@ func comparisonFigs(cfg experiments.Config, csvDir string, figs ...string) error
 }
 
 // printReportTotals summarizes the per-session observability reports per
-// protocol; it prints nothing when the comparison ran without Config.Report.
+// protocol; it prints nothing when the comparison ran without reports.
 func printReportTotals(c *experiments.Comparison) {
 	totals := c.ReportTotals()
 	if len(totals) == 0 {
@@ -278,23 +239,14 @@ func printReportTotals(c *experiments.Comparison) {
 	fmt.Println()
 }
 
-// driftFig runs the link-dynamics extension: OMNC throughput as per-epoch
+// driftFig prints the link-dynamics extension: OMNC throughput as per-epoch
 // link drift intensifies, re-initiating node selection and rates each epoch.
-func driftFig(cfg experiments.Config) error {
-	cfg.Sessions = minInt(cfg.Sessions, 8)
-	// Shorter generations keep per-epoch throughput measurable: an epoch is
-	// a fraction of the session, and only fully decoded generations count.
-	cfg.Coding.GenerationSize = 16
-	cfg.AirPacketSize = 16 + 1024
-	res, err := experiments.DriftSweep(experiments.DriftSweepConfig{
-		Base:           cfg,
-		Jitters:        []float64{0, 0.1, 0.2, 0.3, 0.4},
-		Epochs:         3,
-		ReinitOverhead: 5,
-	})
+func driftFig(ctx context.Context, spec jobs.Spec, csvDir string) error {
+	r, err := jobs.Run(ctx, spec)
 	if err != nil {
 		return err
 	}
+	res := r.Drift
 	fmt.Println("Extension: OMNC throughput under link-quality drift")
 	fmt.Println("(3 epochs per session; node selection and rate control re-initiated each epoch; 5 s overhead charged)")
 	fmt.Printf("\n%-10s %s\n", "jitter", "throughput (bytes/s)")
@@ -302,61 +254,33 @@ func driftFig(cfg experiments.Config) error {
 		fmt.Printf("%-10.2f %s\n", j, res.Throughput[i])
 	}
 	fmt.Println()
-	return nil
+	return writeArtifact(csvDir, r, "fig_drift.csv")
 }
 
-// multiFig runs the multi-unicast scaling extension: several unicast
+// multiFig prints the multi-unicast scaling extension: several unicast
 // sessions of one protocol contend on one shared engine, and the series
 // report aggregate throughput and Jain's fairness index versus the session
 // count. OMNC allocates rates jointly; the baselines contend uncoordinated.
 // -sessions caps the largest session count.
-func multiFig(cfg experiments.Config, full bool, csvDir string) error {
-	counts := []int{1, 2, 4, 6}
-	if cfg.Sessions > 0 && cfg.Sessions < counts[len(counts)-1] {
-		kept := counts[:0]
-		for _, c := range counts {
-			if c <= cfg.Sessions {
-				kept = append(kept, c)
-			}
-		}
-		counts = kept
+func multiFig(ctx context.Context, spec jobs.Spec, csvDir string) error {
+	if err := spec.Validate(); err != nil {
+		return err
 	}
+	cfg := spec.EffectiveComparison()
+	counts, trials := spec.MultiPlan()
 	if len(counts) == 0 {
-		return fmt.Errorf("-sessions %d leaves no session counts to sweep", cfg.Sessions)
-	}
-	trials := 2
-	if full {
-		trials = 3
-	}
-	mc := experiments.MultiConfig{
-		Nodes:         cfg.Nodes,
-		Density:       cfg.Density,
-		MeanQuality:   cfg.MeanQuality,
-		SessionCounts: counts,
-		Trials:        trials,
-		MinHops:       cfg.MinHops,
-		MaxHops:       cfg.MaxHops,
-		Duration:      cfg.Duration,
-		Capacity:      cfg.Capacity,
-		CBRRate:       cfg.CBRRate,
-		Coding:        cfg.Coding,
-		AirPacketSize: cfg.AirPacketSize,
-		Protocols:     cfg.Protocols,
-		MAC:           cfg.MAC,
-		RateOptions:   cfg.RateOptions,
-		Seed:          cfg.Seed,
-		Workers:       cfg.Workers,
-		EngineWorkers: cfg.EngineWorkers,
-		Progress:      metrics.NewProgress(len(counts) * trials),
+		return fmt.Errorf("-sessions %d leaves no session counts to sweep", spec.Sessions)
 	}
 	fmt.Printf("Running multi-unicast scaling on %d nodes (counts %v, %d trials each, MAC %s)...\n",
-		mc.Nodes, counts, trials, macLabel(mc.MAC))
-	stopTicker := startProgressTicker(mc.Progress)
-	sc, err := experiments.RunMultiScaling(mc)
+		cfg.Nodes, counts, trials, macLabel(cfg.MAC))
+	progress := metrics.NewProgress(spec.Units())
+	stopTicker := cliflags.StartProgressTicker("omnc-fig", progress)
+	r, err := jobs.RunWithProgress(ctx, spec, progress)
 	stopTicker()
 	if err != nil {
 		return err
 	}
+	sc := r.Multi
 
 	protos := append([]string(nil), sc.Config.Protocols...)
 	sort.Strings(protos)
@@ -375,60 +299,29 @@ func multiFig(cfg experiments.Config, full bool, csvDir string) error {
 		fmt.Println()
 	}
 	fmt.Println()
-
-	if csvDir == "" {
-		return nil
-	}
-	rows := [][]string{{"protocol", "sessions", "aggregate_bytes_per_sec", "jain_fairness"}}
-	for _, p := range protos {
-		for _, pt := range sc.Points {
-			rows = append(rows, []string{
-				p,
-				strconv.Itoa(pt.Sessions),
-				fmt.Sprintf("%.5f", pt.AggregateThroughput[p]),
-				fmt.Sprintf("%.5f", pt.JainFairness[p]),
-			})
-		}
-	}
-	return writeCSV(filepath.Join(csvDir, "fig_multi.csv"), rows)
+	return writeArtifact(csvDir, r, "fig_multi.csv")
 }
 
-// faultsFig runs the fault-injection extension: every protocol's throughput
-// and mean time-to-recover as node churn and link instability rise. Each
-// (session, churn rate) cell draws a randomized fault plan with the session's
-// endpoints protected; churn 0 is the exact fault-free path.
-func faultsFig(cfg experiments.Config, csvDir string) error {
-	sessions := minInt(cfg.Sessions, 4)
-	churn := []float64{0, 2, 5}
-	fc := experiments.FaultsConfig{
-		Nodes:         cfg.Nodes,
-		Density:       cfg.Density,
-		MeanQuality:   cfg.MeanQuality,
-		Sessions:      sessions,
-		MinHops:       cfg.MinHops,
-		MaxHops:       cfg.MaxHops,
-		Duration:      cfg.Duration,
-		Capacity:      cfg.Capacity,
-		CBRRate:       cfg.CBRRate,
-		Coding:        cfg.Coding,
-		AirPacketSize: cfg.AirPacketSize,
-		ChurnRates:    churn,
-		Protocols:     cfg.Protocols,
-		MAC:           cfg.MAC,
-		RateOptions:   cfg.RateOptions,
-		Seed:          cfg.Seed,
-		Workers:       cfg.Workers,
-		EngineWorkers: cfg.EngineWorkers,
-		Progress:      metrics.NewProgress(sessions * len(churn)),
+// faultsFig prints the fault-injection extension: every protocol's
+// throughput and mean time-to-recover as node churn and link instability
+// rise. Each (session, churn rate) cell draws a randomized fault plan with
+// the session's endpoints protected; churn 0 is the exact fault-free path.
+func faultsFig(ctx context.Context, spec jobs.Spec, csvDir string) error {
+	if err := spec.Validate(); err != nil {
+		return err
 	}
+	cfg := spec.EffectiveComparison()
+	sessions, churn := spec.FaultsPlan()
 	fmt.Printf("Running fault churn on %d nodes (%d sessions x churn %v per 100 s, MAC %s)...\n",
-		fc.Nodes, sessions, churn, macLabel(fc.MAC))
-	stopTicker := startProgressTicker(fc.Progress)
-	res, err := experiments.RunFaultChurn(fc)
+		cfg.Nodes, sessions, churn, macLabel(cfg.MAC))
+	progress := metrics.NewProgress(spec.Units())
+	stopTicker := cliflags.StartProgressTicker("omnc-fig", progress)
+	r, err := jobs.RunWithProgress(ctx, spec, progress)
 	stopTicker()
 	if err != nil {
 		return err
 	}
+	res := r.Faults
 
 	protos := append([]string(nil), res.Config.Protocols...)
 	sort.Strings(protos)
@@ -446,50 +339,30 @@ func faultsFig(cfg experiments.Config, csvDir string) error {
 		fmt.Println()
 	}
 	fmt.Println()
-
-	if csvDir == "" {
-		return nil
-	}
-	rows := [][]string{{"protocol", "churn_per_100s", "throughput_bytes_per_sec", "mean_recovery_s"}}
-	for _, p := range protos {
-		for _, pt := range res.Points {
-			rows = append(rows, []string{
-				p,
-				fmt.Sprintf("%.5f", pt.Churn),
-				fmt.Sprintf("%.5f", pt.Throughput[p]),
-				fmt.Sprintf("%.5f", pt.Recovery[p]),
-			})
-		}
-	}
-	return writeCSV(filepath.Join(csvDir, "fig_faults.csv"), rows)
+	return writeArtifact(csvDir, r, "fig_faults.csv")
 }
 
-// schemesFig runs the coding-scheme extension: OMNC throughput on an explicit
-// lossy relay chain as the coding scheme (full-recoding RLNC, end-to-end RLNC,
-// source-only Reed-Solomon), the source redundancy factor, and the chain
-// length vary. The chain makes the strategy difference visible: every
-// delivered byte crossed every hop, so relays that can only repeat stored
-// packets fall behind in-network recoding as hops accumulate.
-func schemesFig(cfg experiments.Config, csvDir string) error {
-	sc := experiments.SchemesConfig{
-		Duration:      cfg.Duration,
-		Capacity:      cfg.Capacity,
-		CBRRate:       cfg.CBRRate,
-		MAC:           cfg.MAC,
-		RateOptions:   cfg.RateOptions,
-		Seed:          cfg.Seed,
-		Workers:       cfg.Workers,
-		EngineWorkers: cfg.EngineWorkers,
+// schemesFig prints the coding-scheme extension: OMNC throughput on an
+// explicit lossy relay chain as the coding scheme (full-recoding RLNC,
+// end-to-end RLNC, source-only Reed-Solomon), the source redundancy factor,
+// and the chain length vary. The chain makes the strategy difference
+// visible: every delivered byte crossed every hop, so relays that can only
+// repeat stored packets fall behind in-network recoding as hops accumulate.
+func schemesFig(ctx context.Context, spec jobs.Spec, csvDir string) error {
+	if err := spec.Validate(); err != nil {
+		return err
 	}
-	sc.Progress = metrics.NewProgress(sc.CellCount())
+	cfg := spec.EffectiveComparison()
 	fmt.Printf("Running coding schemes on lossy chains (%d cells, MAC %s)...\n",
-		sc.CellCount(), macLabel(sc.MAC))
-	stopTicker := startProgressTicker(sc.Progress)
-	res, err := experiments.RunSchemesSweep(sc)
+		spec.Units(), macLabel(cfg.MAC))
+	progress := metrics.NewProgress(spec.Units())
+	stopTicker := cliflags.StartProgressTicker("omnc-fig", progress)
+	r, err := jobs.RunWithProgress(ctx, spec, progress)
 	stopTicker()
 	if err != nil {
 		return err
 	}
+	res := r.Schemes
 
 	schemes := res.Config.Schemes
 	fmt.Println("\nExtension: OMNC throughput by coding scheme, redundancy and chain length")
@@ -511,21 +384,7 @@ func schemesFig(cfg experiments.Config, csvDir string) error {
 		}
 	}
 	fmt.Println()
-
-	if csvDir == "" {
-		return nil
-	}
-	rows := [][]string{{"scheme", "redundancy", "hops", "throughput_bytes_per_sec", "generations_decoded"}}
-	for _, p := range res.Points {
-		rows = append(rows, []string{
-			p.Scheme.String(),
-			fmt.Sprintf("%.2f", p.Redundancy),
-			strconv.Itoa(p.Hops),
-			fmt.Sprintf("%.5f", p.Throughput),
-			fmt.Sprintf("%.5f", p.GenerationsDecoded),
-		})
-	}
-	return writeCSV(filepath.Join(csvDir, "fig_schemes.csv"), rows)
+	return writeArtifact(csvDir, r, "fig_schemes.csv")
 }
 
 // redundancyLabel formats a source emission cap for humans.
@@ -534,13 +393,6 @@ func redundancyLabel(r float64) string {
 		return "rateless"
 	}
 	return fmt.Sprintf("%.2fx", r)
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func qualityLabel(q float64) string {
@@ -557,64 +409,23 @@ func macLabel(m sim.Mode) string {
 	return "oracle"
 }
 
-// startProgressTicker reports sweep progress to stderr while a long
-// comparison runs; the returned func stops the reporting goroutine.
-func startProgressTicker(p *metrics.Progress) func() {
-	stop := make(chan struct{})
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		ticker := time.NewTicker(5 * time.Second)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-ticker.C:
-				fmt.Fprintf(os.Stderr, "omnc-fig: %s sessions done\n", p)
-			}
-		}
-	}()
-	return func() {
-		close(stop)
-		<-done
-	}
-}
-
-func writeCurves(dir, name, xName string, curves map[string]*metrics.CDF) error {
+// writeArtifact copies one of the run's landed artifacts into the CSV
+// directory — the same bytes an omnc-serve job for this Spec stores.
+func writeArtifact(dir string, r *jobs.Result, name string) error {
 	if dir == "" {
 		return nil
 	}
-	// Protocols in sorted order: the CSV is byte-stable for a fixed seed
-	// (the golden-file test depends on it; map order is not deterministic).
-	protos := make([]string, 0, len(curves))
-	for proto := range curves {
-		protos = append(protos, proto)
+	art := r.Artifact(name)
+	if art == nil {
+		return fmt.Errorf("run produced no %s artifact", name)
 	}
-	sort.Strings(protos)
-	rows := [][]string{{"protocol", xName, "cdf"}}
-	for _, proto := range protos {
-		for _, pt := range curves[proto].Points(200) {
-			rows = append(rows, []string{proto, fmt.Sprintf("%.5f", pt.X), fmt.Sprintf("%.5f", pt.F)})
-		}
-	}
-	return writeCSV(filepath.Join(dir, name), rows)
-}
-
-func writeCSV(path string, rows [][]string) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(path)
-	if err != nil {
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, art.Data, 0o644); err != nil {
 		return err
 	}
-	defer f.Close()
-	w := csv.NewWriter(f)
-	if err := w.WriteAll(rows); err != nil {
-		return err
-	}
-	w.Flush()
 	fmt.Printf("wrote %s\n", path)
-	return w.Error()
+	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"flag"
 	"os"
@@ -18,7 +19,7 @@ var update = flag.Bool("update", false, "rewrite golden files under testdata/")
 
 func TestRunFig1WritesCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("1", false, 0, 0, 1, "oracle", dir, 0, 0, false, "rlnc", 0); err != nil {
+	if err := run(context.Background(), "1", false, 0, 0, 1, "oracle", dir, 0, 0, false, "rlnc", 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig1_convergence.csv")); err != nil {
@@ -28,7 +29,7 @@ func TestRunFig1WritesCSV(t *testing.T) {
 
 func TestRunFig2SmallSession(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("2l", false, 1, 60, 7, "oracle", dir, 0, 0, false, "rlnc", 0); err != nil {
+	if err := run(context.Background(), "2l", false, 1, 60, 7, "oracle", dir, 0, 0, false, "rlnc", 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig2l_gains.csv")); err != nil {
@@ -37,16 +38,16 @@ func TestRunFig2SmallSession(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run("nope", false, 1, 10, 1, "oracle", "", 0, 0, false, "rlnc", 0); err == nil {
+	if err := run(context.Background(), "nope", false, 1, 10, 1, "oracle", "", 0, 0, false, "rlnc", 0); err == nil {
 		t.Fatal("unknown figure must fail")
 	}
-	if err := run("2l", false, 1, 10, 1, "token-ring", "", 0, 0, false, "rlnc", 0); err == nil {
+	if err := run(context.Background(), "2l", false, 1, 10, 1, "token-ring", "", 0, 0, false, "rlnc", 0); err == nil {
 		t.Fatal("unknown MAC must fail")
 	}
-	if err := run("2l", false, 1, 10, 1, "oracle", "", 0, 0, false, "fountain", 0); err == nil {
+	if err := run(context.Background(), "2l", false, 1, 10, 1, "oracle", "", 0, 0, false, "fountain", 0); err == nil {
 		t.Fatal("unknown scheme must fail")
 	}
-	if err := run("2l", false, 1, 10, 1, "oracle", "", 0, 0, false, "rlnc", 0.5); err == nil {
+	if err := run(context.Background(), "2l", false, 1, 10, 1, "oracle", "", 0, 0, false, "rlnc", 0.5); err == nil {
 		t.Fatal("sub-unit redundancy must fail")
 	}
 }
@@ -58,7 +59,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 // intentional behaviour change.
 func TestGoldenFig2CSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("2l", false, 2, 60, 7, "oracle", dir, 2, 0, false, "rlnc", 0); err != nil {
+	if err := run(context.Background(), "2l", false, 2, 60, 7, "oracle", dir, 2, 0, false, "rlnc", 0); err != nil {
 		t.Fatal(err)
 	}
 	compareGolden(t, filepath.Join(dir, "fig2l_gains.csv"), "fig2l_gains.golden.csv")
@@ -72,7 +73,7 @@ func TestGoldenFig2CSVWithReport(t *testing.T) {
 		t.Skip("fixture is owned by TestGoldenFig2CSV")
 	}
 	dir := t.TempDir()
-	if err := run("2l", false, 2, 60, 7, "oracle", dir, 2, 0, true, "rlnc", 0); err != nil {
+	if err := run(context.Background(), "2l", false, 2, 60, 7, "oracle", dir, 2, 0, true, "rlnc", 0); err != nil {
 		t.Fatal(err)
 	}
 	compareGolden(t, filepath.Join(dir, "fig2l_gains.csv"), "fig2l_gains.golden.csv")
@@ -84,7 +85,7 @@ func TestGoldenFig2CSVWithReport(t *testing.T) {
 // workers-invariant determinism at the CLI boundary.
 func TestGoldenMultiCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("multi", false, 2, 60, 7, "oracle", dir, 2, 0, false, "rlnc", 0); err != nil {
+	if err := run(context.Background(), "multi", false, 2, 60, 7, "oracle", dir, 2, 0, false, "rlnc", 0); err != nil {
 		t.Fatal(err)
 	}
 	compareGolden(t, filepath.Join(dir, "fig_multi.csv"), "fig_multi.golden.csv")
@@ -96,7 +97,7 @@ func TestGoldenMultiCSV(t *testing.T) {
 // count, so the serial fixture must match without regeneration.
 func TestGoldenMultiCSVParallelEngine(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("multi", false, 2, 60, 7, "oracle", dir, 2, 2, false, "rlnc", 0); err != nil {
+	if err := run(context.Background(), "multi", false, 2, 60, 7, "oracle", dir, 2, 2, false, "rlnc", 0); err != nil {
 		t.Fatal(err)
 	}
 	compareGolden(t, filepath.Join(dir, "fig_multi.csv"), "fig_multi.golden.csv")
@@ -110,7 +111,7 @@ func TestGoldenMultiCSVParallelEngine(t *testing.T) {
 // sessions bit-identical.
 func TestGoldenFaultsCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("faults", false, 2, 60, 7, "oracle", dir, 2, 0, false, "rlnc", 0); err != nil {
+	if err := run(context.Background(), "faults", false, 2, 60, 7, "oracle", dir, 2, 0, false, "rlnc", 0); err != nil {
 		t.Fatal(err)
 	}
 	compareGolden(t, filepath.Join(dir, "fig_faults.csv"), "fig_faults.golden.csv")
@@ -123,7 +124,7 @@ func TestGoldenFaultsCSV(t *testing.T) {
 // ordering inside the fixture.
 func TestGoldenSchemesCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("schemes", false, 0, 60, 7, "oracle", dir, 2, 0, false, "rlnc", 0); err != nil {
+	if err := run(context.Background(), "schemes", false, 0, 60, 7, "oracle", dir, 2, 0, false, "rlnc", 0); err != nil {
 		t.Fatal(err)
 	}
 	compareGolden(t, filepath.Join(dir, "fig_schemes.csv"), "fig_schemes.golden.csv")

@@ -1,0 +1,321 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"omnc/internal/buildinfo"
+	"omnc/internal/jobs"
+	"omnc/internal/metrics"
+)
+
+// server wires the job queue, the results store and the worker pool behind
+// the HTTP surface. All handler state is the queue's and store's own
+// (both are crash-safe on disk); the server only adds the live bits that
+// must not survive a restart — progress counters and SSE wakeups.
+type server struct {
+	queue *jobs.Queue
+	store *jobs.Store
+
+	mu       sync.Mutex
+	progress map[string]*metrics.Progress
+	// change is closed and replaced on every job state transition so SSE
+	// streams can push promptly instead of only on their poll tick.
+	change chan struct{}
+}
+
+func newServer(q *jobs.Queue, st *jobs.Store) *server {
+	return &server{
+		queue:    q,
+		store:    st,
+		progress: make(map[string]*metrics.Progress),
+		change:   make(chan struct{}),
+	}
+}
+
+// handler builds the route table. Method-qualified patterns give wrong-method
+// requests a 405 for free.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /runs", s.handleRuns)
+	mux.HandleFunc("GET /runs/{id}", s.handleRun)
+	mux.HandleFunc("GET /runs/{id}/artifacts/{name}", s.handleArtifact)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// jobStatus is one job as the API reports it: the queue's durable record
+// plus, while the job runs, a live progress snapshot.
+type jobStatus struct {
+	jobs.Job
+	Progress *metrics.Snapshot `json:"progress,omitempty"`
+}
+
+func (s *server) status(j jobs.Job) jobStatus {
+	st := jobStatus{Job: j}
+	if j.State == jobs.JobRunning {
+		s.mu.Lock()
+		p := s.progress[j.ID]
+		s.mu.Unlock()
+		if p != nil {
+			snap := p.Snapshot()
+			st.Progress = &snap
+		}
+	}
+	return st
+}
+
+// maxSpecBytes bounds a POST /jobs body; a Spec is a small flat document.
+const maxSpecBytes = 1 << 20
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("spec exceeds %d bytes", maxSpecBytes))
+		return
+	}
+	spec, err := jobs.Decode(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.queue.Submit(spec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.broadcast()
+	w.Header().Set("Location", "/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, s.status(j))
+}
+
+func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	list := s.queue.List()
+	out := make([]jobStatus, len(list))
+	for i, j := range list {
+		out[i] = s.status(j)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(j))
+}
+
+// handleJobEvents streams job status as server-sent events until the job
+// reaches a terminal state or the client goes away. Every event carries the
+// same document GET /jobs/{id} serves.
+func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.queue.Get(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	for {
+		wake := s.changed()
+		j, ok := s.queue.Get(id)
+		if !ok {
+			return
+		}
+		buf, err := json.Marshal(s.status(j))
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: status\ndata: %s\n\n", buf)
+		fl.Flush()
+		if j.State == jobs.JobDone || j.State == jobs.JobFailed {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-wake:
+		case <-time.After(time.Second):
+			// Poll tick so running jobs stream progress between transitions.
+		}
+	}
+}
+
+func (s *server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	runs, err := s.store.List()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if runs == nil {
+		runs = []jobs.StoredRun{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"runs": runs})
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	run, err := s.store.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, run)
+}
+
+func (s *server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	buf, err := s.store.ReadArtifact(r.PathValue("id"), r.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", artifactContentType(r.PathValue("name")))
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf)
+}
+
+func artifactContentType(name string) string {
+	switch {
+	case strings.HasSuffix(name, ".csv"):
+		return "text/csv; charset=utf-8"
+	case strings.HasSuffix(name, ".json"):
+		return "application/json"
+	case strings.HasSuffix(name, ".jsonl"):
+		return "application/jsonl"
+	case strings.HasSuffix(name, ".svg"):
+		return "image/svg+xml"
+	}
+	return "application/octet-stream"
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	counts := map[jobs.JobState]int{}
+	for _, j := range s.queue.List() {
+		counts[j.State]++
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"build":  buildinfo.Collect(),
+		"cpus":   runtime.NumCPU(),
+		"jobs":   counts,
+	})
+}
+
+// worker is one slot of the bounded scheduler: claim, run, land, repeat.
+// claimCtx stopping ends the claiming loop (graceful shutdown); runCtx
+// stopping cancels in-flight experiments, whose jobs are then requeued
+// rather than failed.
+func (s *server) worker(claimCtx, runCtx context.Context) {
+	for {
+		// Take the wake channel before claiming so a submit that lands
+		// between Claim and the select is never missed.
+		wake := s.queue.Wait()
+		j, ok, err := s.queue.Claim()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omnc-serve: claim: %v\n", err)
+			return
+		}
+		if !ok {
+			select {
+			case <-claimCtx.Done():
+				return
+			case <-wake:
+			}
+			continue
+		}
+		s.broadcast()
+		s.runJob(runCtx, j)
+		select {
+		case <-claimCtx.Done():
+			return
+		default:
+		}
+	}
+}
+
+func (s *server) runJob(runCtx context.Context, j jobs.Job) {
+	p := metrics.NewProgress(j.Spec.Units())
+	s.mu.Lock()
+	s.progress[j.ID] = p
+	s.mu.Unlock()
+	res, err := jobs.RunWithProgress(runCtx, j.Spec, p)
+	s.mu.Lock()
+	delete(s.progress, j.ID)
+	s.mu.Unlock()
+
+	switch {
+	case err != nil && runCtx.Err() != nil:
+		// Shutdown took the job down mid-run: hand it back to the queue so
+		// the next daemon re-runs it bit-identically from the Spec.
+		if qerr := s.queue.Requeue(j.ID); qerr != nil {
+			fmt.Fprintf(os.Stderr, "omnc-serve: requeue %s: %v\n", j.ID, qerr)
+		}
+	case err != nil:
+		if qerr := s.queue.Fail(j.ID, err); qerr != nil {
+			fmt.Fprintf(os.Stderr, "omnc-serve: fail %s: %v\n", j.ID, qerr)
+		}
+	default:
+		runID, lerr := s.store.Land(res)
+		if lerr != nil {
+			if qerr := s.queue.Fail(j.ID, lerr); qerr != nil {
+				fmt.Fprintf(os.Stderr, "omnc-serve: fail %s: %v\n", j.ID, qerr)
+			}
+		} else if qerr := s.queue.Done(j.ID, runID); qerr != nil {
+			fmt.Fprintf(os.Stderr, "omnc-serve: done %s: %v\n", j.ID, qerr)
+		}
+	}
+	s.broadcast()
+}
+
+// changed returns a channel closed at the next state transition.
+func (s *server) changed() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.change
+}
+
+// broadcast releases every changed() waiter.
+func (s *server) broadcast() {
+	s.mu.Lock()
+	close(s.change)
+	s.change = make(chan struct{})
+	s.mu.Unlock()
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(buf, '\n'))
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -10,30 +10,24 @@
 //	omnc-sim -trials 16 -workers 4       # 16 loss realizations, 4 at a time
 //	omnc-sim -report out.json            # per-node/per-link observability report
 //	omnc-sim -cpuprofile cpu.prof        # profile the run (also -memprofile, -pprof-http)
+//
+// The session runs through internal/jobs (kind "session"), the same
+// dispatcher omnc-serve uses, so any omnc-sim invocation is reproducible by
+// POSTing the equivalent Spec to a daemon; the seed streams are shared, so
+// the numbers come out identical.
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
 	"omnc"
-	"omnc/internal/graph"
+	"omnc/internal/cliflags"
+	"omnc/internal/jobs"
 	"omnc/internal/metrics"
-	"omnc/internal/parallel"
-	"omnc/internal/profiling"
-	"omnc/internal/seedmix"
 	"omnc/internal/topology"
-)
-
-// RNG streams derived from the -seed flag via seedmix: endpoint placement
-// and per-trial loss processes draw from separate streams, so the same base
-// seed replays the same session under independent loss realizations.
-const (
-	streamSimPlacement int64 = 100
-	streamSimTrial     int64 = 101
 )
 
 func main() {
@@ -52,33 +46,22 @@ func main() {
 		quality  = flag.Float64("quality", 0, "target mean link quality (0 = default lossy)")
 		svgPath  = flag.String("svg", "", "render the session's forwarder subgraph as SVG to this path")
 		trials   = flag.Int("trials", 1, "independent loss realizations of the same session")
-		workers  = flag.Int("workers", 0, "concurrent trials (0 = all cores); results are identical either way")
-		engWork  = flag.Int("engine-workers", 0, "parallel event-engine workers per session (0 = serial engine); results are identical either way")
 		faultsAt = flag.String("faults", "", "JSON fault plan to inject (node crashes, link flaps, burst loss)")
 		reportAt = flag.String("report", "", "write the session's observability report as JSON to this path")
-		scheme   = flag.String("scheme", "rlnc", "coding scheme: rlnc (full recoding), rlnc-e2e (no recoding), rs (source-only Reed-Solomon)")
-		redund   = flag.Float64("redundancy", 0, "coded packets per generation as a factor of the generation size (0 = rateless)")
 	)
-	prof := profiling.RegisterFlags(flag.CommandLine)
-	flag.Parse()
-	stopProf, err := prof.Start()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "omnc-sim:", err)
-		os.Exit(1)
-	}
-	err = run(*proto, *nodes, *density, *seed, *src, *dst, *minHops, *maxHops,
-		*duration, *capacity, *cbr, *quality, *svgPath, *trials, *workers, *engWork, *faultsAt, *reportAt,
-		*scheme, *redund)
-	if perr := stopProf(); perr != nil && err == nil {
-		err = perr
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "omnc-sim:", err)
-		os.Exit(1)
-	}
+	pool := cliflags.RegisterPool(flag.CommandLine, true)
+	cod := cliflags.RegisterCoding(flag.CommandLine,
+		"coding scheme: rlnc (full recoding), rlnc-e2e (no recoding), rs (source-only Reed-Solomon)",
+		"coded packets per generation as a factor of the generation size (0 = rateless)")
+	app := cliflags.New("omnc-sim", flag.CommandLine)
+	app.Main(func(ctx context.Context) error {
+		return run(ctx, *proto, *nodes, *density, *seed, *src, *dst, *minHops, *maxHops,
+			*duration, *capacity, *cbr, *quality, *svgPath, *trials, pool.Workers, pool.EngineWorkers,
+			*faultsAt, *reportAt, cod.Scheme, cod.Redundancy)
+	})
 }
 
-func run(proto string, nodes int, density float64, seed int64, src, dst, minHops, maxHops int,
+func run(ctx context.Context, proto string, nodes int, density float64, seed int64, src, dst, minHops, maxHops int,
 	duration, capacity, cbr, quality float64, svgPath string, trials, workers, engineWorkers int,
 	faultsPath, reportPath, schemeName string, redundancy float64) error {
 	if trials < 1 {
@@ -101,32 +84,36 @@ func run(proto string, nodes int, density float64, seed int64, src, dst, minHops
 			return fmt.Errorf("%s: %w", faultsPath, err)
 		}
 	}
-	nw, err := omnc.GenerateNetwork(nodes, density, seed)
+
+	spec := jobs.Spec{
+		Version: jobs.SpecVersion, Kind: jobs.KindSession,
+		Seed: seed, Nodes: nodes, Density: density, MeanQuality: quality,
+		MinHops: minHops, MaxHops: maxHops,
+		Duration: duration, Capacity: capacity,
+		Trials: trials, Workers: workers, EngineWorkers: engineWorkers,
+		Protocol: proto, Faults: plan, Report: reportPath != "",
+	}
+	// The flag spells "backlogged" as 0; the Spec reserves 0 for its default
+	// CBR rate and uses negative for backlogged.
+	if cbr == 0 {
+		spec.CBRRate = -1
+	} else {
+		spec.CBRRate = cbr
+	}
+	if src >= 0 && dst >= 0 {
+		spec.Src, spec.Dst = &src, &dst
+	}
+	(&cliflags.CodingFlags{Scheme: schemeName, Redundancy: redundancy}).Apply(&spec)
+
+	res, err := jobs.Run(ctx, spec)
 	if err != nil {
 		return err
 	}
-	if quality > 0 {
-		phy, err := omnc.DefaultPHY().CalibrateGain(quality)
-		if err != nil {
-			return err
-		}
-		if nw, err = nw.WithPHY(phy); err != nil {
-			return err
-		}
-	}
+	nw, sg := res.Network, res.Subgraph
+	src, dst = *res.Src, *res.Dst
+
 	fmt.Printf("network: %d nodes, density %.1f, mean link quality %.3f\n",
 		nw.Size(), nw.MeanDegree()+1, nw.MeanLinkQuality())
-
-	if src < 0 || dst < 0 {
-		src, dst, err = pickSession(nw, seed, minHops, maxHops)
-		if err != nil {
-			return err
-		}
-	}
-	sg, err := omnc.SelectForwarders(nw, src, dst)
-	if err != nil {
-		return err
-	}
 	fmt.Printf("session: %d -> %d (%d selected forwarders, %d links, %.0f candidate paths)\n",
 		src, dst, sg.Size(), len(sg.Links), sg.PathCount())
 	if svgPath != "" {
@@ -135,57 +122,18 @@ func run(proto string, nodes int, density float64, seed int64, src, dst, minHops
 		}
 		fmt.Printf("wrote %s\n", svgPath)
 	}
-
-	cfg := omnc.SessionConfig{
-		Scheme:              scheme,
-		Redundancy:          redundancy,
-		Capacity:            capacity,
-		Duration:            duration,
-		CBRRate:             cbr,
-		Seed:                seed,
-		QueueSampleInterval: 0.5,
-		Faults:              plan,
-		Report:              reportPath != "",
-		EngineWorkers:       engineWorkers,
-	}
 	if plan != nil {
 		fmt.Printf("fault plan: %d events from %s\n", len(plan.Events), faultsPath)
-	}
-	// Rank fidelity by default: exact innovation behaviour at a fraction of
-	// the arithmetic cost; air time still models full 1 KB payloads.
-	cfg.Coding = omnc.DefaultCodingParams()
-	cfg.Coding.BlockSize = 8
-	cfg.AirPacketSize = cfg.Coding.GenerationSize + 1024
-
-	var protoVal omnc.Protocol
-	switch proto {
-	case "omnc":
-		protoVal = omnc.OMNC(omnc.RateOptions{})
-	case "more":
-		protoVal = omnc.MORE()
-	case "oldmore":
-		protoVal = omnc.OldMORE()
-	case "etx":
-		protoVal = omnc.ETX()
-	default:
-		return fmt.Errorf("unknown protocol %q", proto)
 	}
 	if scheme != omnc.SchemeRLNC || redundancy != 0 {
 		fmt.Printf("coding scheme: %s, redundancy %s\n", scheme, redundancyLabel(redundancy))
 	}
-	runProto := func(cfg omnc.SessionConfig) (*omnc.SessionStats, error) {
-		return omnc.Run(nw, src, dst, protoVal, cfg)
-	}
 
 	if trials > 1 {
-		return runTrials(runProto, cfg, seed, trials, workers)
+		return printTrials(res.Session, trials)
 	}
 
-	st, err := runProto(cfg)
-	if err != nil {
-		return err
-	}
-
+	st := res.Session[0]
 	fmt.Printf("\nprotocol:            %s\n", st.Policy)
 	fmt.Printf("throughput:          %.0f bytes/s\n", st.Throughput)
 	fmt.Printf("generations decoded: %d (over %.0f emulated seconds)\n", st.GenerationsDecoded, st.Duration)
@@ -202,14 +150,11 @@ func run(proto string, nodes int, density float64, seed int64, src, dst, minHops
 	fmt.Printf("node utility:        %.2f\n", st.NodeUtility)
 	fmt.Printf("path utility:        %.2f\n", st.PathUtility)
 	if reportPath != "" {
-		if st.Report == nil {
+		art := res.Artifact("report.json")
+		if art == nil {
 			return fmt.Errorf("reporting was requested but the session produced no report")
 		}
-		buf, err := json.MarshalIndent(st.Report, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(reportPath, append(buf, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(reportPath, art.Data, 0o644); err != nil {
 			return err
 		}
 		fmt.Printf("report:              %d tx frames, %d rx, %d innovative, %d discarded, %.1f s airtime -> %s\n",
@@ -219,27 +164,10 @@ func run(proto string, nodes int, density float64, seed int64, src, dst, minHops
 	return nil
 }
 
-// runTrials replays the session under trials independent loss realizations
-// on a bounded worker pool and prints the per-trial throughputs plus a
-// summary. Trial i's protocol seed is derived from (seed, i), so the output
-// is identical for every -workers value.
-func runTrials(runProto func(omnc.SessionConfig) (*omnc.SessionStats, error),
-	cfg omnc.SessionConfig, seed int64, trials, workers int) error {
-	stats := make([]*omnc.SessionStats, trials)
-	err := parallel.ForEach(trials, parallel.Workers(workers), func(i int) error {
-		tcfg := cfg
-		tcfg.Seed = seedmix.Derive(seed, streamSimTrial, int64(i))
-		st, err := runProto(tcfg)
-		if err != nil {
-			return fmt.Errorf("trial %d: %w", i, err)
-		}
-		stats[i] = st
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-
+// printTrials prints the per-trial throughputs plus a summary. Trial i's
+// protocol seed is derived from (seed, i) inside internal/jobs, so the
+// output is identical for every -workers value.
+func printTrials(stats []*omnc.SessionStats, trials int) error {
 	fmt.Printf("\nprotocol: %s, %d trials\n", stats[0].Policy, trials)
 	fmt.Printf("%-7s %-18s %-12s %s\n", "trial", "throughput (B/s)", "mean queue", "generations")
 	tps := make([]float64, trials)
@@ -274,29 +202,4 @@ func renderSessionSVG(nw *omnc.Network, sg *omnc.Subgraph, src, dst int, path st
 		Src:       src,
 		Dst:       dst,
 	})
-}
-
-// pickSession samples endpoints with the paper's hop constraint.
-func pickSession(nw *omnc.Network, seed int64, minHops, maxHops int) (int, int, error) {
-	adj := make([][]int, nw.Size())
-	for i := range adj {
-		adj[i] = nw.Neighbors(i)
-	}
-	rng := rand.New(rand.NewSource(seedmix.Derive(seed, streamSimPlacement)))
-	for attempt := 0; attempt < 5000; attempt++ {
-		src := rng.Intn(nw.Size())
-		dst := rng.Intn(nw.Size())
-		if src == dst {
-			continue
-		}
-		h := graph.HopCounts(adj, src)[dst]
-		if h < minHops || h > maxHops {
-			continue
-		}
-		if _, err := omnc.SelectForwarders(nw, src, dst); err != nil {
-			continue
-		}
-		return src, dst, nil
-	}
-	return 0, 0, fmt.Errorf("no session with %d-%d hops found", minHops, maxHops)
 }

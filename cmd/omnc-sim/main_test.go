@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -11,21 +12,21 @@ import (
 )
 
 func TestRunRandomSession(t *testing.T) {
-	if err := run("omnc", 100, 6, 3, -1, -1, 3, 8, 60, 2e4, 1e4, 0, "", 1, 0, 0, "", "", "rlnc", 0); err != nil {
+	if err := run(context.Background(), "omnc", 100, 6, 3, -1, -1, 3, 8, 60, 2e4, 1e4, 0, "", 1, 0, 0, "", "", "rlnc", 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunExplicitEndpointsETX(t *testing.T) {
 	// Deterministic topology: find a pair via the random path first.
-	if err := run("etx", 100, 6, 3, -1, -1, 3, 8, 60, 2e4, 0, 0, "", 1, 0, 0, "", "", "rlnc", 0); err != nil {
+	if err := run(context.Background(), "etx", 100, 6, 3, -1, -1, 3, 8, 60, 2e4, 0, 0, "", 1, 0, 0, "", "", "rlnc", 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWritesSessionSVG(t *testing.T) {
 	svg := filepath.Join(t.TempDir(), "session.svg")
-	if err := run("more", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, svg, 1, 0, 0, "", "", "rlnc", 0); err != nil {
+	if err := run(context.Background(), "more", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, svg, 1, 0, 0, "", "", "rlnc", 0); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(svg)
@@ -38,31 +39,31 @@ func TestRunWritesSessionSVG(t *testing.T) {
 }
 
 func TestRunUnknownProtocol(t *testing.T) {
-	if err := run("bogus", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0, 0, "", "", "rlnc", 0); err == nil {
+	if err := run(context.Background(), "bogus", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0, 0, "", "", "rlnc", 0); err == nil {
 		t.Fatal("unknown protocol must fail")
 	}
 }
 
 func TestRunBadQuality(t *testing.T) {
-	if err := run("omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0.05, "", 1, 0, 0, "", "", "rlnc", 0); err == nil {
+	if err := run(context.Background(), "omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0.05, "", 1, 0, 0, "", "", "rlnc", 0); err == nil {
 		t.Fatal("bad quality target must fail")
 	}
 }
 
 func TestRunParallelTrials(t *testing.T) {
-	if err := run("etx", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, "", 4, 2, 0, "", "", "rlnc", 0); err != nil {
+	if err := run(context.Background(), "etx", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, "", 4, 2, 0, "", "", "rlnc", 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunParallelEngine(t *testing.T) {
-	if err := run("omnc", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 1e4, 0, "", 1, 0, 2, "", "", "rlnc", 0); err != nil {
+	if err := run(context.Background(), "omnc", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 1e4, 0, "", 1, 0, 2, "", "", "rlnc", 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadTrials(t *testing.T) {
-	if err := run("etx", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, "", 0, 1, 0, "", "", "rlnc", 0); err == nil {
+	if err := run(context.Background(), "etx", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, "", 0, 1, 0, "", "", "rlnc", 0); err == nil {
 		t.Fatal("zero trials must fail")
 	}
 }
@@ -77,7 +78,7 @@ func TestRunWithFaultPlan(t *testing.T) {
 	if err := os.WriteFile(plan, []byte(doc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("omnc", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 1e4, 0, "", 1, 0, 0, plan, "", "rlnc", 0); err != nil {
+	if err := run(context.Background(), "omnc", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 1e4, 0, "", 1, 0, 0, plan, "", "rlnc", 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -92,10 +93,10 @@ func TestRunRejectsBadFaultPlan(t *testing.T) {
 	if err := os.WriteFile(plan, []byte(doc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0, 0, plan, "", "rlnc", 0); err == nil {
+	if err := run(context.Background(), "omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0, 0, plan, "", "rlnc", 0); err == nil {
 		t.Fatal("invalid fault plan must fail")
 	}
-	if err := run("omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0, 0,
+	if err := run(context.Background(), "omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0, 0,
 		filepath.Join(t.TempDir(), "missing.json"), "", "rlnc", 0); err == nil {
 		t.Fatal("missing fault plan file must fail")
 	}
@@ -103,24 +104,24 @@ func TestRunRejectsBadFaultPlan(t *testing.T) {
 
 func TestRunSchemeFlag(t *testing.T) {
 	for _, scheme := range []string{"rlnc-e2e", "rs"} {
-		if err := run("omnc", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 1e4, 0, "", 1, 0, 0, "", "", scheme, 2); err != nil {
+		if err := run(context.Background(), "omnc", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 1e4, 0, "", 1, 0, 0, "", "", scheme, 2); err != nil {
 			t.Fatalf("%s: %v", scheme, err)
 		}
 	}
 }
 
 func TestRunRejectsBadSchemeAndRedundancy(t *testing.T) {
-	if err := run("omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0, 0, "", "", "fountain", 0); err == nil {
+	if err := run(context.Background(), "omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0, 0, "", "", "fountain", 0); err == nil {
 		t.Fatal("unknown scheme must fail")
 	}
-	if err := run("omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0, 0, "", "", "rlnc", 0.5); err == nil {
+	if err := run(context.Background(), "omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0, 0, "", "", "rlnc", 0.5); err == nil {
 		t.Fatal("sub-unit redundancy must fail")
 	}
 }
 
 func TestRunWritesReport(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "report.json")
-	if err := run("omnc", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 1e4, 0, "", 1, 0, 0, "", out, "rlnc", 0); err != nil {
+	if err := run(context.Background(), "omnc", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 1e4, 0, "", 1, 0, 0, "", out, "rlnc", 0); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -138,7 +139,7 @@ func TestRunWritesReport(t *testing.T) {
 
 func TestRunRejectsReportWithTrials(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "report.json")
-	if err := run("etx", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, "", 4, 2, 0, "", out, "rlnc", 0); err == nil {
+	if err := run(context.Background(), "etx", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, "", 4, 2, 0, "", out, "rlnc", 0); err == nil {
 		t.Fatal("-report with -trials > 1 must fail")
 	}
 }

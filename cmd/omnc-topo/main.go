@@ -6,20 +6,24 @@
 //
 //	omnc-topo -nodes 300 -density 6 -seed 1
 //	omnc-topo -quality 0.91 -links links.csv
+//
+// The deployment itself comes from internal/jobs (kind "topo") — the same
+// Spec an omnc-serve job would run — so the CSV written here is byte
+// identical to the daemon's landed links.csv artifact. The degree and
+// reachability statistics are display-only and computed here.
 package main
 
 import (
-	"encoding/csv"
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 
 	"omnc"
-	"omnc/internal/coding"
+	"omnc/internal/cliflags"
 	"omnc/internal/graph"
+	"omnc/internal/jobs"
 	"omnc/internal/metrics"
-	"omnc/internal/profiling"
 	"omnc/internal/topology"
 )
 
@@ -31,48 +35,32 @@ func main() {
 		quality = flag.Float64("quality", 0, "target mean link quality (0 = default lossy)")
 		links   = flag.String("links", "", "write the directed link set as CSV to this path")
 		svg     = flag.String("svg", "", "render the deployment as SVG to this path")
-		scheme  = flag.String("scheme", "rlnc", "coding scheme the deployment is inspected for: rlnc, rlnc-e2e or rs (validated and echoed)")
-		redund  = flag.Float64("redundancy", 0, "source emission cap as a factor of the generation size (0 = rateless; validated and echoed)")
 	)
-	prof := profiling.RegisterFlags(flag.CommandLine)
-	flag.Parse()
-	stopProf, err := prof.Start()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "omnc-topo:", err)
-		os.Exit(1)
-	}
-	err = run(*nodes, *density, *seed, *quality, *links, *svg, *scheme, *redund)
-	if perr := stopProf(); perr != nil && err == nil {
-		err = perr
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "omnc-topo:", err)
-		os.Exit(1)
-	}
+	cod := cliflags.RegisterCoding(flag.CommandLine,
+		"coding scheme the deployment is inspected for: rlnc, rlnc-e2e or rs (validated and echoed)",
+		"source emission cap as a factor of the generation size (0 = rateless; validated and echoed)")
+	app := cliflags.New("omnc-topo", flag.CommandLine)
+	app.Main(func(ctx context.Context) error {
+		return run(ctx, *nodes, *density, *seed, *quality, *links, *svg, cod.Scheme, cod.Redundancy)
+	})
 }
 
-func run(nodes int, density float64, seed int64, quality float64, linksPath, svgPath, schemeName string, redundancy float64) error {
-	// Validate the coding flags with the same parser every tool shares, so a
-	// sweep script can vet its whole flag set against the cheapest command.
+func run(ctx context.Context, nodes int, density float64, seed int64, quality float64, linksPath, svgPath, schemeName string, redundancy float64) error {
+	spec := jobs.Spec{
+		Version: jobs.SpecVersion, Kind: jobs.KindTopo,
+		Seed: seed, Nodes: nodes, Density: density, MeanQuality: quality,
+	}
+	(&cliflags.CodingFlags{Scheme: schemeName, Redundancy: redundancy}).Apply(&spec)
+	res, err := jobs.Run(ctx, spec)
+	if err != nil {
+		return err
+	}
+	nw := res.Network
+	// The scheme is validated by the Spec; re-parse only to echo its recoding
+	// behaviour in the summary line.
 	schemeVal, err := omnc.ParseScheme(schemeName)
 	if err != nil {
 		return err
-	}
-	if err := coding.ValidateRedundancy(redundancy); err != nil {
-		return err
-	}
-	nw, err := omnc.GenerateNetwork(nodes, density, seed)
-	if err != nil {
-		return err
-	}
-	if quality > 0 {
-		phy, err := omnc.DefaultPHY().CalibrateGain(quality)
-		if err != nil {
-			return err
-		}
-		if nw, err = nw.WithPHY(phy); err != nil {
-			return err
-		}
 	}
 
 	var degrees, qualities []float64
@@ -135,28 +123,13 @@ func run(nodes int, density float64, seed int64, quality float64, linksPath, svg
 	if linksPath == "" {
 		return nil
 	}
-	f, err := os.Create(linksPath)
-	if err != nil {
+	art := res.Artifact("links.csv")
+	if art == nil {
+		return fmt.Errorf("topo run produced no link artifact")
+	}
+	if err := os.WriteFile(linksPath, art.Data, 0o644); err != nil {
 		return err
 	}
-	defer f.Close()
-	w := csv.NewWriter(f)
-	if err := w.Write([]string{"from", "to", "probability", "distance_m"}); err != nil {
-		return err
-	}
-	for i := 0; i < nw.Size(); i++ {
-		for _, j := range nw.Neighbors(i) {
-			d := nw.Position(i).Distance(nw.Position(j))
-			if err := w.Write([]string{
-				strconv.Itoa(i), strconv.Itoa(j),
-				fmt.Sprintf("%.4f", nw.Prob(i, j)),
-				fmt.Sprintf("%.1f", d),
-			}); err != nil {
-				return err
-			}
-		}
-	}
-	w.Flush()
 	fmt.Printf("wrote %s\n", linksPath)
-	return w.Error()
+	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +11,7 @@ import (
 func TestRunPrintsStatsAndWritesLinks(t *testing.T) {
 	dir := t.TempDir()
 	links := filepath.Join(dir, "links.csv")
-	if err := run(60, 6, 3, 0, links, "", "rlnc", 0); err != nil {
+	if err := run(context.Background(), 60, 6, 3, 0, links, "", "rlnc", 0); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(links)
@@ -27,7 +28,7 @@ func TestRunPrintsStatsAndWritesLinks(t *testing.T) {
 }
 
 func TestRunHighQuality(t *testing.T) {
-	if err := run(40, 6, 1, 0.9, "", "", "rs", 2); err != nil {
+	if err := run(context.Background(), 40, 6, 1, 0.9, "", "", "rs", 2); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -35,7 +36,7 @@ func TestRunHighQuality(t *testing.T) {
 func TestRunWritesSVG(t *testing.T) {
 	dir := t.TempDir()
 	svg := filepath.Join(dir, "topo.svg")
-	if err := run(40, 6, 2, 0, "", svg, "rlnc", 0); err != nil {
+	if err := run(context.Background(), 40, 6, 2, 0, "", svg, "rlnc", 0); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(svg)
@@ -48,19 +49,19 @@ func TestRunWritesSVG(t *testing.T) {
 }
 
 func TestRunRejectsBadInput(t *testing.T) {
-	if err := run(1, 6, 1, 0, "", "", "rlnc", 0); err == nil {
+	if err := run(context.Background(), 1, 6, 1, 0, "", "", "rlnc", 0); err == nil {
 		t.Fatal("single node must fail")
 	}
-	if err := run(40, 6, 1, 0.05, "", "", "rlnc", 0); err == nil {
+	if err := run(context.Background(), 40, 6, 1, 0.05, "", "", "rlnc", 0); err == nil {
 		t.Fatal("uncalibratable quality must fail")
 	}
 }
 
 func TestRunRejectsBadScheme(t *testing.T) {
-	if err := run(40, 6, 1, 0, "", "", "fountain", 0); err == nil {
+	if err := run(context.Background(), 40, 6, 1, 0, "", "", "fountain", 0); err == nil {
 		t.Fatal("unknown scheme must fail")
 	}
-	if err := run(40, 6, 1, 0, "", "", "rlnc", 0.5); err == nil {
+	if err := run(context.Background(), 40, 6, 1, 0, "", "", "rlnc", 0.5); err == nil {
 		t.Fatal("sub-unit redundancy must fail")
 	}
 }

@@ -1,0 +1,41 @@
+package benchreport
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestCheckCommittedReports re-validates every committed BENCH_<n>.json the
+// way CI does — the library move out of cmd/omnc-bench must not loosen a
+// single gate.
+func TestCheckCommittedReports(t *testing.T) {
+	for _, name := range []string{"BENCH_2.json", "BENCH_3.json", "BENCH_4.json", "BENCH_5.json"} {
+		if err := CheckFile("../../" + name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestCheckRejectsGarbage(t *testing.T) {
+	if err := Check([]byte("{")); err == nil {
+		t.Fatal("malformed JSON must fail")
+	}
+	if err := Check([]byte(`{"schema":"omnc-bench/v999"}`)); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong schema must fail, got %v", err)
+	}
+}
+
+func TestRecordRejectsZeroIters(t *testing.T) {
+	if _, err := Record(context.Background(), 0); err == nil {
+		t.Fatal("zero iterations must fail")
+	}
+}
+
+func TestRecordHonorsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Record(ctx, 1); err == nil {
+		t.Fatal("cancelled context must abort the recording")
+	}
+}

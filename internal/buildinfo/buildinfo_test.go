@@ -1,0 +1,48 @@
+package buildinfo
+
+import (
+	"encoding/json"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestCollectReportsHost(t *testing.T) {
+	info := Collect()
+	if info.GoVersion != runtime.Version() {
+		t.Fatalf("go version %q, want %q", info.GoVersion, runtime.Version())
+	}
+	if info.CPUs < 1 {
+		t.Fatalf("cpus = %d", info.CPUs)
+	}
+	if info.GOMAXPROCS < 1 {
+		t.Fatalf("gomaxprocs = %d", info.GOMAXPROCS)
+	}
+}
+
+func TestStringMentionsCPUs(t *testing.T) {
+	s := Info{GoVersion: "go1.22.0", CPUs: 4, Version: "(devel)"}.String()
+	if !strings.Contains(s, "4 cpus") {
+		t.Fatalf("string %q lacks the cpu count", s)
+	}
+	if !strings.Contains(s, "go1.22.0") {
+		t.Fatalf("string %q lacks the toolchain", s)
+	}
+}
+
+func TestStringTruncatesRevision(t *testing.T) {
+	s := Info{Revision: "0123456789abcdef0123", Dirty: true}.String()
+	if !strings.Contains(s, "0123456789ab-dirty") {
+		t.Fatalf("string %q should carry the short dirty revision", s)
+	}
+}
+
+func TestJSONRoundTrips(t *testing.T) {
+	var got Info
+	if err := json.Unmarshal(Collect().JSON(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.CPUs != runtime.NumCPU() {
+		t.Fatalf("cpus = %d, want %d", got.CPUs, runtime.NumCPU())
+	}
+}

@@ -1,0 +1,154 @@
+// Package cliflags is the shared scaffold of the omnc command-line tools.
+// Every CLI used to carry the same boilerplate — profiling flags, a
+// hand-rolled error exit, its own copy of the -scheme/-redundancy and
+// -workers/-engine-workers blocks — five times over. This package holds it
+// once: an App that owns flag parsing, -version, profiling and
+// interrupt-aware context plumbing, plus composable flag groups that build
+// the corresponding fields of a jobs.Spec.
+package cliflags
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"omnc/internal/buildinfo"
+	"omnc/internal/jobs"
+	"omnc/internal/metrics"
+	"omnc/internal/profiling"
+)
+
+// App is one CLI's shared scaffold. Construct with New before defining
+// command-specific flags, then hand main's body to Main.
+type App struct {
+	// Name prefixes error output ("omnc-sim: ...").
+	Name string
+
+	version *bool
+	prof    *profiling.Flags
+}
+
+// New registers the scaffold's flags (-version plus the profiling block) on
+// fs and returns the App. Pass flag.CommandLine from a real main.
+func New(name string, fs *flag.FlagSet) *App {
+	return &App{
+		Name:    name,
+		version: fs.Bool("version", false, "print build information and exit"),
+		prof:    profiling.RegisterFlags(fs),
+	}
+}
+
+// Main parses the command line and executes run with the full scaffold:
+// -version short-circuits to build info; profiling starts and stops around
+// the run; SIGINT/SIGTERM cancel run's context so every tool drains the same
+// way. It exits the process with the run's status.
+func (a *App) Main(run func(ctx context.Context) error) {
+	flag.Parse()
+	os.Exit(a.RunParsed(run))
+}
+
+// RunParsed is Main after flag parsing — separated so tests can drive the
+// scaffold without exiting the process.
+func (a *App) RunParsed(run func(ctx context.Context) error) int {
+	if *a.version {
+		fmt.Println(buildinfo.Collect())
+		return 0
+	}
+	stopProf, err := a.prof.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", a.Name, err)
+		return 1
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err = run(ctx)
+	stop()
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", a.Name, err)
+		return 1
+	}
+	return 0
+}
+
+// CodingFlags is the -scheme/-redundancy block every tool shares.
+type CodingFlags struct {
+	Scheme     string
+	Redundancy float64
+}
+
+// RegisterCoding adds the coding-scheme flag block to fs. The usage strings
+// vary slightly per tool, so the caller supplies them.
+func RegisterCoding(fs *flag.FlagSet, schemeUsage, redundancyUsage string) *CodingFlags {
+	c := &CodingFlags{}
+	fs.StringVar(&c.Scheme, "scheme", "rlnc", schemeUsage)
+	fs.Float64Var(&c.Redundancy, "redundancy", 0, redundancyUsage)
+	return c
+}
+
+// Apply writes the block into the Spec, normalizing the default scheme name
+// to the Spec's zero value so flag-built and hand-written specs hash alike.
+func (c *CodingFlags) Apply(s *jobs.Spec) {
+	if c.Scheme != "" && c.Scheme != "rlnc" {
+		s.Scheme = c.Scheme
+	} else {
+		s.Scheme = ""
+	}
+	s.Redundancy = c.Redundancy
+}
+
+// PoolFlags is the -workers/-engine-workers block.
+type PoolFlags struct {
+	Workers       int
+	EngineWorkers int
+}
+
+// RegisterPool adds the worker-pool flag block to fs. engine controls
+// whether the tool exposes -engine-workers (omnc-drift's loopback sessions
+// have no event engine to parallelize).
+func RegisterPool(fs *flag.FlagSet, engine bool) *PoolFlags {
+	p := &PoolFlags{}
+	fs.IntVar(&p.Workers, "workers", 0, "concurrent session emulations (0 = all cores, 1 = serial); results are identical either way")
+	if engine {
+		fs.IntVar(&p.EngineWorkers, "engine-workers", 0, "parallel event-engine workers per session (0 = serial engine); results are identical either way")
+	}
+	return p
+}
+
+// Apply writes the block into the Spec.
+func (p *PoolFlags) Apply(s *jobs.Spec) {
+	s.Workers = p.Workers
+	s.EngineWorkers = p.EngineWorkers
+}
+
+// StartProgressTicker reports sweep progress to stderr every five seconds
+// until the returned stop func is called. A nil Progress returns a no-op.
+func StartProgressTicker(name string, p *metrics.Progress) func() {
+	if p == nil {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(5 * time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				fmt.Fprintf(os.Stderr, "%s: %s done\n", name, p)
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		<-done
+	}
+}

@@ -96,7 +96,7 @@ func DriftSweep(cfg DriftSweepConfig) (*DriftSweepResult, error) {
 		tps[ji] = make([]float64, len(pairs))
 	}
 	cells := len(cfg.Jitters) * len(pairs)
-	err = parallel.ForEach(cells, parallel.Workers(base.Workers), func(i int) error {
+	err = parallel.ForEachCtx(ctxOrBackground(base.Ctx), cells, parallel.Workers(base.Workers), func(i int) error {
 		ji, si := i/len(pairs), i%len(pairs)
 		p := pairs[si]
 		pcfg := protocol.Config{

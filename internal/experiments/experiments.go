@@ -16,6 +16,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -126,6 +127,20 @@ type Config struct {
 	// Report enables per-session observability reports (protocol.Config
 	// Report); each Stats in SessionResult.ByProtocol then carries one.
 	Report bool
+	// Ctx, when non-nil, cancels the sweep cooperatively: no new session is
+	// dispatched once it is done, and the runner returns the context's
+	// error. Sessions already emulating run to completion — cancellation is
+	// a session-boundary affair, which keeps every completed result
+	// bit-identical to an uncancelled run's. Nil means context.Background().
+	Ctx context.Context
+}
+
+// ctxOrBackground normalizes an optional per-sweep context.
+func ctxOrBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
 }
 
 // PaperConfig returns the full-scale evaluation settings of Sec. 5.
@@ -256,7 +271,7 @@ func RunComparison(cfg Config) (*Comparison, error) {
 
 	out := &Comparison{Config: cfg, Network: nw}
 	out.Sessions = make([]SessionResult, len(trials))
-	err = parallel.ForEach(len(trials), parallel.Workers(cfg.Workers), func(i int) error {
+	err = parallel.ForEachCtx(ctxOrBackground(cfg.Ctx), len(trials), parallel.Workers(cfg.Workers), func(i int) error {
 		tr := trials[i]
 		res, err := runSession(nw, tr.sg, tr.src, tr.dst, cfg, i)
 		if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -66,6 +67,9 @@ type FaultsConfig struct {
 	EngineWorkers int
 	// Progress, when non-nil, is incremented once per completed cell.
 	Progress *metrics.Progress
+	// Ctx, when non-nil, cancels the sweep between cells (Config.Ctx
+	// semantics). Nil means context.Background().
+	Ctx context.Context
 }
 
 func (c FaultsConfig) withDefaults() FaultsConfig {
@@ -172,7 +176,7 @@ func RunFaultChurn(cfg FaultsConfig) (*FaultChurn, error) {
 	}
 
 	results := make([]faultCellResult, len(cells))
-	err = parallel.ForEach(len(cells), parallel.Workers(cfg.Workers), func(i int) error {
+	err = parallel.ForEachCtx(ctxOrBackground(cfg.Ctx), len(cells), parallel.Workers(cfg.Workers), func(i int) error {
 		res, err := runFaultCell(nw, cells[i], cfg, i)
 		if err != nil {
 			return fmt.Errorf("experiments: session %d->%d at churn %v: %w",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -60,6 +61,9 @@ type MultiConfig struct {
 	EngineWorkers int
 	// Progress, when non-nil, is incremented once per completed cell.
 	Progress *metrics.Progress
+	// Ctx, when non-nil, cancels the sweep between cells (Config.Ctx
+	// semantics). Nil means context.Background().
+	Ctx context.Context
 }
 
 func (c MultiConfig) withDefaults() MultiConfig {
@@ -161,7 +165,7 @@ func RunMultiScaling(cfg MultiConfig) (*MultiScaling, error) {
 	}
 
 	results := make([]multiCellResult, len(cells))
-	err = parallel.ForEach(len(cells), parallel.Workers(cfg.Workers), func(i int) error {
+	err = parallel.ForEachCtx(ctxOrBackground(cfg.Ctx), len(cells), parallel.Workers(cfg.Workers), func(i int) error {
 		res, err := runMultiCell(nw, cells[i], cfg, i)
 		if err != nil {
 			return fmt.Errorf("experiments: %d sessions, trial %d: %w",

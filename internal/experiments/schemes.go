@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -56,6 +57,9 @@ type SchemesConfig struct {
 	EngineWorkers int
 	// Progress, when non-nil, is incremented once per completed cell.
 	Progress *metrics.Progress
+	// Ctx, when non-nil, cancels the sweep between cells (Config.Ctx
+	// semantics). Nil means context.Background().
+	Ctx context.Context
 }
 
 func (c SchemesConfig) withDefaults() SchemesConfig {
@@ -199,7 +203,7 @@ func RunSchemesSweep(cfg SchemesConfig) (*SchemesResult, error) {
 		decoded    float64
 	}
 	results := make([]cellResult, len(cells))
-	err := parallel.ForEach(len(cells), parallel.Workers(cfg.Workers), func(i int) error {
+	err := parallel.ForEachCtx(ctxOrBackground(cfg.Ctx), len(cells), parallel.Workers(cfg.Workers), func(i int) error {
 		cell := cells[i]
 		hops := cfg.Hops[cell.hopIdx]
 		nw := nets[cell.hopIdx]

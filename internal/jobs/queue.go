@@ -1,0 +1,310 @@
+package jobs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// JobState is the lifecycle position of a queued job. Transitions are
+// strictly pending -> running -> done | failed; the only backward edge is
+// running -> pending (a requeue), taken on graceful shutdown and on
+// crash recovery.
+type JobState string
+
+const (
+	JobPending JobState = "pending"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Job is one queued experiment: the Spec plus its lifecycle record. Copies
+// returned by the Queue are snapshots; mutating them affects nothing.
+type Job struct {
+	ID    string   `json:"id"`
+	Spec  Spec     `json:"spec"`
+	State JobState `json:"state"`
+	// Error is the failure reason, set only in state failed.
+	Error string `json:"error,omitempty"`
+	// Run is the results-store run ID, set only in state done.
+	Run string `json:"run,omitempty"`
+	// Requeues counts how many times the job was returned to pending
+	// (daemon restarts mid-run, graceful-shutdown drains).
+	Requeues    int        `json:"requeues,omitempty"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// journalRecord is one line of the queue's JSONL journal. The journal is the
+// queue's single source of truth: every state transition is one appended,
+// fsync'd line, and opening a queue replays the journal from the top. A
+// crash between transitions therefore loses at most the transition being
+// written, never a submitted job.
+type journalRecord struct {
+	Op   string    `json:"op"` // submit | start | done | fail | requeue
+	ID   string    `json:"id"`
+	Time time.Time `json:"time"`
+	Spec *Spec     `json:"spec,omitempty"`  // submit only
+	Err  string    `json:"error,omitempty"` // fail only
+	Run  string    `json:"run,omitempty"`   // done only
+}
+
+// Queue is a crash-safe, disk-backed FIFO of experiment jobs. All methods
+// are safe for concurrent use.
+type Queue struct {
+	mu    sync.Mutex
+	f     *os.File
+	jobs  map[string]*Job
+	order []string // submission order, the dispatch order
+	seq   int
+
+	// wake is closed and replaced whenever a job becomes claimable, so the
+	// scheduler can block on Wait instead of polling.
+	wake chan struct{}
+}
+
+// OpenQueue opens (or creates) the journal at path and replays it. Jobs
+// found in state running did not survive their previous process — they are
+// requeued (with a journal record of their own), so a daemon killed mid-job
+// re-runs the work after restart, bit-identically from the Spec's seed.
+func OpenQueue(path string) (*Queue, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: queue: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: queue: %w", err)
+	}
+	q := &Queue{f: f, jobs: make(map[string]*Job), wake: make(chan struct{})}
+	if err := q.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Recover: a running job's process is gone (it was us, before a crash
+	// or kill). Requeue through the journal so the recovery itself is
+	// durable.
+	for _, id := range q.order {
+		if q.jobs[id].State == JobRunning {
+			if err := q.transition(id, JobRunning, JobPending, "requeue", "", ""); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+	}
+	return q, nil
+}
+
+// replay rebuilds the in-memory state from the journal. Records are applied
+// in order; a torn final line (crash mid-append) is tolerated and dropped.
+func (q *Queue) replay() error {
+	if _, err := q.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("jobs: queue: %w", err)
+	}
+	sc := bufio.NewScanner(q.f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			// Only the final line may be torn; anything else is corruption
+			// worth failing loudly over.
+			if !sc.Scan() {
+				break
+			}
+			return fmt.Errorf("jobs: queue: journal line %d corrupt: %v", line, err)
+		}
+		if err := q.apply(rec); err != nil {
+			return fmt.Errorf("jobs: queue: journal line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("jobs: queue: %w", err)
+	}
+	if _, err := q.f.Seek(0, 2); err != nil {
+		return fmt.Errorf("jobs: queue: %w", err)
+	}
+	return nil
+}
+
+// apply folds one journal record into the in-memory state.
+func (q *Queue) apply(rec journalRecord) error {
+	switch rec.Op {
+	case "submit":
+		if rec.Spec == nil {
+			return fmt.Errorf("submit without spec")
+		}
+		if _, dup := q.jobs[rec.ID]; dup {
+			return fmt.Errorf("duplicate job id %q", rec.ID)
+		}
+		q.jobs[rec.ID] = &Job{ID: rec.ID, Spec: *rec.Spec, State: JobPending, SubmittedAt: rec.Time}
+		q.order = append(q.order, rec.ID)
+		var n int
+		if _, err := fmt.Sscanf(rec.ID, "j%d", &n); err == nil && n > q.seq {
+			q.seq = n
+		}
+	case "start", "done", "fail", "requeue":
+		j, ok := q.jobs[rec.ID]
+		if !ok {
+			return fmt.Errorf("%s for unknown job %q", rec.Op, rec.ID)
+		}
+		switch rec.Op {
+		case "start":
+			j.State, j.StartedAt = JobRunning, &rec.Time
+		case "done":
+			j.State, j.Run, j.FinishedAt = JobDone, rec.Run, &rec.Time
+		case "fail":
+			j.State, j.Error, j.FinishedAt = JobFailed, rec.Err, &rec.Time
+		case "requeue":
+			j.State, j.StartedAt = JobPending, nil
+			j.Requeues++
+		}
+	default:
+		return fmt.Errorf("unknown op %q", rec.Op)
+	}
+	return nil
+}
+
+// append writes one journal record durably (fsync) and folds it in.
+func (q *Queue) append(rec journalRecord) error {
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobs: queue: %w", err)
+	}
+	if _, err := q.f.Write(append(buf, '\n')); err != nil {
+		return fmt.Errorf("jobs: queue: %w", err)
+	}
+	if err := q.f.Sync(); err != nil {
+		return fmt.Errorf("jobs: queue: %w", err)
+	}
+	return q.apply(rec)
+}
+
+// Submit validates and enqueues a Spec, returning the job snapshot.
+func (q *Queue) Submit(s Spec) (Job, error) {
+	if err := s.Validate(); err != nil {
+		return Job{}, err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.seq++
+	id := fmt.Sprintf("j%d", q.seq)
+	if err := q.append(journalRecord{Op: "submit", ID: id, Time: time.Now().UTC(), Spec: &s}); err != nil {
+		return Job{}, err
+	}
+	q.wakeLocked()
+	return *q.jobs[id], nil
+}
+
+// Claim atomically moves the oldest pending job to running and returns it.
+// ok is false when nothing is pending.
+func (q *Queue) Claim() (Job, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, id := range q.order {
+		if q.jobs[id].State != JobPending {
+			continue
+		}
+		if err := q.transition(id, JobPending, JobRunning, "start", "", ""); err != nil {
+			return Job{}, false, err
+		}
+		return *q.jobs[id], true, nil
+	}
+	return Job{}, false, nil
+}
+
+// Done marks a running job completed, recording its results-store run ID.
+func (q *Queue) Done(id, runID string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.transition(id, JobRunning, JobDone, "done", "", runID)
+}
+
+// Fail marks a running job failed with the reason.
+func (q *Queue) Fail(id string, cause error) error {
+	msg := "unknown failure"
+	if cause != nil {
+		msg = cause.Error()
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.transition(id, JobRunning, JobFailed, "fail", msg, "")
+}
+
+// Requeue returns a running job to pending — the graceful-shutdown path for
+// claimed-but-unfinished work.
+func (q *Queue) Requeue(id string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if err := q.transition(id, JobRunning, JobPending, "requeue", "", ""); err != nil {
+		return err
+	}
+	q.wakeLocked()
+	return nil
+}
+
+// transition enforces the state machine and journals the edge. Callers hold
+// q.mu (OpenQueue's recovery runs before the Queue escapes, so it is exempt).
+func (q *Queue) transition(id string, from, to JobState, op, errMsg, runID string) error {
+	j, ok := q.jobs[id]
+	if !ok {
+		return fmt.Errorf("jobs: queue: unknown job %q", id)
+	}
+	if j.State != from {
+		return fmt.Errorf("jobs: queue: job %s is %s, not %s (cannot move to %s)", id, j.State, from, to)
+	}
+	return q.append(journalRecord{Op: op, ID: id, Time: time.Now().UTC(), Err: errMsg, Run: runID})
+}
+
+// Get returns a snapshot of the job.
+func (q *Queue) Get(id string) (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// List returns snapshots of every job in submission order.
+func (q *Queue) List() []Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Job, 0, len(q.order))
+	for _, id := range q.order {
+		out = append(out, *q.jobs[id])
+	}
+	return out
+}
+
+// Wait returns a channel that is closed the next time a job becomes
+// claimable (submit or requeue). Callers re-Claim after it fires.
+func (q *Queue) Wait() <-chan struct{} {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.wake
+}
+
+// wakeLocked releases every Wait-er; q.mu held.
+func (q *Queue) wakeLocked() {
+	close(q.wake)
+	q.wake = make(chan struct{})
+}
+
+// Close releases the journal file. The queue must not be used afterwards.
+func (q *Queue) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.f.Close()
+}

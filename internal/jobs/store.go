@@ -1,0 +1,167 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Store is the results store: every completed run lands in a
+// content-addressed directory root/<spec-hash> holding spec.json,
+// result.json and the run's artifacts. The address is the hash of the
+// canonical Spec, so re-running the same Spec overwrites the directory with
+// bit-identical bytes — the store is idempotent by construction.
+type Store struct {
+	root string
+}
+
+// StoredRun is the browsable head of one landed run.
+type StoredRun struct {
+	ID        string     `json:"id"`
+	Kind      string     `json:"kind"`
+	Seed      int64      `json:"seed"`
+	Summary   string     `json:"summary"`
+	Artifacts []Artifact `json:"artifacts,omitempty"`
+}
+
+// OpenStore opens (or creates) the store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: store: %w", err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// Land writes the run's directory atomically: everything is staged under a
+// temporary directory and renamed into place, so a crash mid-land leaves
+// either the complete previous run or nothing — never a half-written one.
+// It returns the run ID (the Spec's content address).
+func (st *Store) Land(res *Result) (string, error) {
+	id := res.Spec.Hash()
+	tmp, err := os.MkdirTemp(st.root, ".land-*")
+	if err != nil {
+		return "", fmt.Errorf("jobs: store: %w", err)
+	}
+	defer os.RemoveAll(tmp)
+
+	spec, err := json.MarshalIndent(res.Spec, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("jobs: store: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(tmp, "spec.json"), append(spec, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("jobs: store: %w", err)
+	}
+	head, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("jobs: store: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(tmp, "result.json"), append(head, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("jobs: store: %w", err)
+	}
+	for _, a := range res.Artifacts {
+		if !validArtifactName(a.Name) {
+			return "", fmt.Errorf("jobs: store: artifact name %q not landable", a.Name)
+		}
+		if err := os.WriteFile(filepath.Join(tmp, a.Name), a.Data, 0o644); err != nil {
+			return "", fmt.Errorf("jobs: store: %w", err)
+		}
+	}
+
+	final := filepath.Join(st.root, id)
+	// Same Spec, same bytes: replacing an existing landing is a no-op in
+	// content, so clearing it first is safe.
+	if err := os.RemoveAll(final); err != nil {
+		return "", fmt.Errorf("jobs: store: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return "", fmt.Errorf("jobs: store: %w", err)
+	}
+	return id, nil
+}
+
+// Get loads the head of a landed run.
+func (st *Store) Get(id string) (StoredRun, error) {
+	if !validRunID(id) {
+		return StoredRun{}, fmt.Errorf("jobs: store: bad run id %q", id)
+	}
+	buf, err := os.ReadFile(filepath.Join(st.root, id, "result.json"))
+	if err != nil {
+		return StoredRun{}, fmt.Errorf("jobs: store: %w", err)
+	}
+	var res Result
+	if err := json.Unmarshal(buf, &res); err != nil {
+		return StoredRun{}, fmt.Errorf("jobs: store: run %s: %w", id, err)
+	}
+	return StoredRun{
+		ID: id, Kind: res.Spec.Kind, Seed: res.Spec.Seed,
+		Summary: res.Summary, Artifacts: res.Artifacts,
+	}, nil
+}
+
+// ReadArtifact returns the bytes of one landed artifact.
+func (st *Store) ReadArtifact(id, name string) ([]byte, error) {
+	if !validRunID(id) {
+		return nil, fmt.Errorf("jobs: store: bad run id %q", id)
+	}
+	if !validArtifactName(name) {
+		return nil, fmt.Errorf("jobs: store: bad artifact name %q", name)
+	}
+	buf, err := os.ReadFile(filepath.Join(st.root, id, name))
+	if err != nil {
+		return nil, fmt.Errorf("jobs: store: %w", err)
+	}
+	return buf, nil
+}
+
+// List returns the heads of every landed run, sorted by run ID for a stable
+// index.
+func (st *Store) List() ([]StoredRun, error) {
+	entries, err := os.ReadDir(st.root)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: store: %w", err)
+	}
+	var out []StoredRun
+	for _, e := range entries {
+		if !e.IsDir() || !validRunID(e.Name()) {
+			continue
+		}
+		run, err := st.Get(e.Name())
+		if err != nil {
+			// A run deleted or corrupted out from under us is not worth
+			// failing the whole index over; skip it.
+			continue
+		}
+		out = append(out, run)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// validRunID accepts exactly the hex addresses Land produces, keeping path
+// traversal out of the store.
+func validRunID(id string) bool {
+	if len(id) != 16 {
+		return false
+	}
+	for _, c := range id {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// validArtifactName accepts simple file names — no separators, no dotfiles,
+// and not the store's own reserved files.
+func validArtifactName(name string) bool {
+	if name == "" || strings.HasPrefix(name, ".") {
+		return false
+	}
+	if name == "spec.json" || name == "result.json" {
+		return false
+	}
+	return !strings.ContainsAny(name, "/\\")
+}

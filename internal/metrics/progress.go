@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 )
 
 // Progress is a goroutine-safe completion counter for long-running
@@ -15,11 +16,16 @@ import (
 type Progress struct {
 	done  atomic.Int64
 	total int64
+	// start anchors Snapshot's rate and ETA; zero (the zero-value Progress)
+	// means no rate is derivable.
+	start time.Time
 }
 
-// NewProgress returns a counter expecting total completions.
+// NewProgress returns a counter expecting total completions. The counter's
+// clock starts now: Snapshot rates measure from construction, which is when
+// the sweeps that use Progress begin dispatching work.
 func NewProgress(total int) *Progress {
-	return &Progress{total: int64(total)}
+	return &Progress{total: int64(total), start: time.Now()}
 }
 
 // Add records n more completed trials.
@@ -39,6 +45,53 @@ func (p *Progress) Fraction() float64 {
 		return 0
 	}
 	return float64(p.done.Load()) / float64(p.total)
+}
+
+// Snapshot is a point-in-time view of a Progress counter, shaped for
+// progress endpoints and tickers: completion counts, the completion rate
+// since the counter was created, and the remaining-time estimate that rate
+// implies.
+type Snapshot struct {
+	// Done and Total mirror the counter; Total is 0 when unknown.
+	Done  int `json:"done"`
+	Total int `json:"total,omitempty"`
+	// Fraction is Done/Total. Like Progress.Fraction it is NOT clamped: a
+	// value above 1 means a worker over-counted, and readers must see that
+	// bug rather than a soothing 100%.
+	Fraction float64 `json:"fraction"`
+	// RatePerSec is completions per second since the counter's creation
+	// (0 when nothing completed yet or the counter never started a clock).
+	RatePerSec float64 `json:"rate_per_sec"`
+	// ETASeconds estimates the remaining seconds at RatePerSec. It is 0
+	// when unknowable (no total, no completions yet) and 0 — not negative —
+	// when Done already reached or overshot Total.
+	ETASeconds float64 `json:"eta_seconds"`
+	// ElapsedSeconds is the time since the counter's creation.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// Snapshot captures the counter's current state. It is safe to call from any
+// goroutine while workers keep adding.
+func (p *Progress) Snapshot() Snapshot {
+	s := Snapshot{
+		Done:     p.Done(),
+		Total:    p.Total(),
+		Fraction: p.Fraction(),
+	}
+	if p.start.IsZero() {
+		return s
+	}
+	elapsed := time.Since(p.start).Seconds()
+	s.ElapsedSeconds = elapsed
+	if elapsed > 0 && s.Done > 0 {
+		s.RatePerSec = float64(s.Done) / elapsed
+	}
+	if s.RatePerSec > 0 && s.Total > 0 {
+		if remaining := s.Total - s.Done; remaining > 0 {
+			s.ETASeconds = float64(remaining) / s.RatePerSec
+		}
+	}
+	return s
 }
 
 // String renders "done/total" (or just the count when the total is

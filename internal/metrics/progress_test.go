@@ -65,3 +65,63 @@ func TestProgressConcurrentAdds(t *testing.T) {
 		t.Fatalf("fraction = %v", p.Fraction())
 	}
 }
+
+func TestSnapshotZeroTotal(t *testing.T) {
+	// A total-less counter (the zero value) still snapshots: counts flow
+	// through, but no fraction, rate or ETA can be derived.
+	var p Progress
+	p.Add(3)
+	s := p.Snapshot()
+	if s.Done != 3 || s.Total != 0 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Fraction != 0 || s.RatePerSec != 0 || s.ETASeconds != 0 || s.ElapsedSeconds != 0 {
+		t.Fatalf("zero-value progress must not invent rates: %+v", s)
+	}
+}
+
+func TestSnapshotRateAndETA(t *testing.T) {
+	p := NewProgress(10)
+	p.Add(4)
+	s := p.Snapshot()
+	if s.Done != 4 || s.Total != 10 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Fraction != 0.4 {
+		t.Fatalf("fraction = %v", s.Fraction)
+	}
+	if s.ElapsedSeconds <= 0 {
+		t.Fatalf("elapsed = %v", s.ElapsedSeconds)
+	}
+	if s.RatePerSec <= 0 {
+		t.Fatalf("rate = %v", s.RatePerSec)
+	}
+	// ETA must agree with the rate: remaining / rate.
+	want := 6 / s.RatePerSec
+	if diff := s.ETASeconds - want; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("eta = %v, want %v", s.ETASeconds, want)
+	}
+}
+
+func TestSnapshotSurfacesOvercount(t *testing.T) {
+	// The PR-5 watcher semantics: an over-count is a worker bug that the
+	// reader must see. Snapshot keeps Fraction > 1 and reports a zero —
+	// never negative — ETA.
+	p := NewProgress(2)
+	p.Add(5)
+	s := p.Snapshot()
+	if s.Fraction != 2.5 {
+		t.Fatalf("fraction = %v, want the true 2.5", s.Fraction)
+	}
+	if s.ETASeconds != 0 {
+		t.Fatalf("eta = %v, want 0 for overshot work (never negative)", s.ETASeconds)
+	}
+}
+
+func TestSnapshotNoCompletionsYet(t *testing.T) {
+	p := NewProgress(5)
+	s := p.Snapshot()
+	if s.RatePerSec != 0 || s.ETASeconds != 0 {
+		t.Fatalf("no completions must mean no rate and no ETA: %+v", s)
+	}
+}

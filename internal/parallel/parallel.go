@@ -5,6 +5,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -30,6 +31,15 @@ func Workers(n int) int {
 // so a lower-indexed failure can never be masked by a later one that a
 // faster worker happened to hit first.
 func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done, no
+// further index is dispatched and the context's error is returned (unless an
+// fn at a lower index already failed — the lowest-failing-index contract
+// holds, with cancellation ranking below every real failure). Indices
+// already running are not interrupted; fn owns its own promptness.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -38,6 +48,9 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -76,6 +89,9 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n || int64(i) >= bound.Load() {
 					return
@@ -87,5 +103,8 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
 }

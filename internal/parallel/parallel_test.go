@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -94,5 +95,71 @@ func TestForEachStopsDispatchAfterError(t *testing.T) {
 	}
 	if n := ran.Load(); n > 16 {
 		t.Fatalf("ran %d trials after early failure", n)
+	}
+}
+
+func TestForEachCtxCancelStopsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForEachCtx(ctx, 1000, 4, func(i int) error {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= 1000 {
+		t.Fatalf("cancellation dispatched all %d indices", got)
+	}
+}
+
+func TestForEachCtxCancelSerial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	err := ForEachCtx(ctx, 100, 1, func(i int) error {
+		ran++
+		if i == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 3 {
+		t.Fatalf("ran %d indices, want 3 (cancel checked before each dispatch)", ran)
+	}
+}
+
+func TestForEachCtxRealErrorBeatsCancellation(t *testing.T) {
+	// A genuine fn failure must win over the cancellation it triggered:
+	// callers distinguish "work failed" from "caller gave up".
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	err := ForEachCtx(ctx, 50, 4, func(i int) error {
+		if i == 0 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the fn error", err)
+	}
+}
+
+func TestForEachCtxBackgroundMatchesForEach(t *testing.T) {
+	var a, b atomic.Int64
+	if err := ForEach(64, 4, func(i int) error { a.Add(int64(i)); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEachCtx(context.Background(), 64, 4, func(i int) error { b.Add(int64(i)); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if a.Load() != b.Load() {
+		t.Fatalf("sums diverged: %d vs %d", a.Load(), b.Load())
 	}
 }
