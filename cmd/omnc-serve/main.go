@@ -70,8 +70,12 @@ func serve(ctx context.Context, addr, dataDir string, workers int, drain time.Du
 	}
 	s := newServer(q, st)
 
-	// Workers claim until ctx ends and run until runCtx ends; the gap
-	// between the two is the drain window for in-flight jobs.
+	// Workers claim until claimCtx ends and run until runCtx ends; the gap
+	// between the two is the drain window for in-flight jobs. claimCtx
+	// derives from ctx so both the signal path and the serve-error path can
+	// stop the claiming loop.
+	claimCtx, cancelClaim := context.WithCancel(ctx)
+	defer cancelClaim()
 	runCtx, cancelRun := context.WithCancel(context.Background())
 	defer cancelRun()
 	var wg sync.WaitGroup
@@ -79,7 +83,7 @@ func serve(ctx context.Context, addr, dataDir string, workers int, drain time.Du
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s.worker(ctx, runCtx)
+			s.worker(claimCtx, runCtx)
 		}()
 	}
 
@@ -94,6 +98,11 @@ func serve(ctx context.Context, addr, dataDir string, workers int, drain time.Du
 
 	select {
 	case err := <-serveErr:
+		// The listener died while ctx is still live: stop claiming before
+		// cancelling runs, or idle workers would block on claimCtx forever
+		// and a mid-job worker would loop claim -> instant cancel -> requeue,
+		// growing the journal unboundedly.
+		cancelClaim()
 		cancelRun()
 		wg.Wait()
 		return err

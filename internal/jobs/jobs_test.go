@@ -41,6 +41,54 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestHashNormalization: Specs that name the same computation — list order
+// permuted, defaults spelled out — must share one content address, while
+// Specs naming different computations must not.
+func TestHashNormalization(t *testing.T) {
+	equivalent := [][2]Spec{
+		{
+			{Version: 1, Kind: KindComparison, Figures: []string{"2l", "3"}},
+			{Version: 1, Kind: KindComparison, Figures: []string{"3", "2l"}},
+		},
+		{
+			{Version: 1, Kind: KindComparison, Figures: []string{"2l"}, Protocols: []string{"omnc", "etx"}},
+			{Version: 1, Kind: KindComparison, Figures: []string{"2l"}, Protocols: []string{"etx", "omnc"}},
+		},
+		{
+			{Version: 1, Kind: KindComparison, Figures: []string{"2l"}},
+			{Version: 1, Kind: KindComparison, Figures: []string{"2l"}, Protocols: []string{"omnc", "more", "oldmore", "etx"}},
+		},
+		{
+			{Version: 1, Kind: KindSession},
+			{Version: 1, Kind: KindSession, Scheme: "rlnc", Protocol: "omnc", MAC: "oracle", Trials: 1},
+		},
+	}
+	for i, pair := range equivalent {
+		if pair[0].Hash() != pair[1].Hash() {
+			t.Errorf("pair %d: equivalent specs hash apart: %+v vs %+v", i, pair[0], pair[1])
+		}
+	}
+	distinct := [][2]Spec{
+		{
+			{Version: 1, Kind: KindSession},
+			{Version: 1, Kind: KindSession, Scheme: "rs"},
+		},
+		{
+			{Version: 1, Kind: KindSession},
+			{Version: 1, Kind: KindSession, Trials: 2},
+		},
+		{
+			{Version: 1, Kind: KindComparison, Figures: []string{"2l"}},
+			{Version: 1, Kind: KindComparison, Figures: []string{"3"}},
+		},
+	}
+	for i, pair := range distinct {
+		if pair[0].Hash() == pair[1].Hash() {
+			t.Errorf("pair %d: different specs hash alike: %+v vs %+v", i, pair[0], pair[1])
+		}
+	}
+}
+
 func TestDecodeRejectsUnknownFields(t *testing.T) {
 	if _, err := Decode([]byte(`{"version":1,"kind":"fig1","sessoins":3}`)); err == nil {
 		t.Fatal("typo'd field must be rejected, not silently dropped")
@@ -306,6 +354,11 @@ func TestQueueToleratesTornFinalLine(t *testing.T) {
 	if _, err := q.Submit(Spec{Version: 1, Kind: KindFig1}); err != nil {
 		t.Fatal(err)
 	}
+	// Claim so the next open's crash recovery appends a requeue record of
+	// its own — the first write after the torn fragment.
+	if _, ok, err := q.Claim(); err != nil || !ok {
+		t.Fatalf("claim: ok=%v err=%v", ok, err)
+	}
 	if err := q.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -322,9 +375,75 @@ func TestQueueToleratesTornFinalLine(t *testing.T) {
 	if err != nil {
 		t.Fatalf("torn final line must be tolerated: %v", err)
 	}
-	defer q2.Close()
 	if jobs := q2.List(); len(jobs) != 1 || jobs[0].State != JobPending {
 		t.Fatalf("after torn line: %+v", jobs)
+	}
+	// The fragment must be truncated away, not appended onto: everything
+	// written since — the recovery requeue and this submit — must survive
+	// yet another replay intact.
+	if _, err := q2.Submit(Spec{Version: 1, Kind: KindBench}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	q3, err := OpenQueue(path)
+	if err != nil {
+		t.Fatalf("journal corrupt after post-recovery appends: %v", err)
+	}
+	defer q3.Close()
+	jobs := q3.List()
+	if len(jobs) != 2 || jobs[0].State != JobPending || jobs[1].State != JobPending {
+		t.Fatalf("after reopen: %+v", jobs)
+	}
+	if jobs[0].Requeues != 1 {
+		t.Fatalf("recovery requeue lost: %+v", jobs[0])
+	}
+}
+
+func TestQueueDropsUnterminatedFinalRecord(t *testing.T) {
+	// A parseable final line with no trailing newline is still a torn append
+	// (record and newline are one write): it was never acknowledged durable,
+	// and keeping it would make the next append concatenate onto it.
+	path := filepath.Join(t.TempDir(), "queue.jsonl")
+	q, err := OpenQueue(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(Spec{Version: 1, Kind: KindFig1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"submit","id":"j2","spec":{"version":1,"kind":"bench"}}`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	q2, err := OpenQueue(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs := q2.List(); len(jobs) != 1 || jobs[0].ID != "j1" {
+		t.Fatalf("unterminated record must be dropped: %+v", jobs)
+	}
+	if _, err := q2.Submit(Spec{Version: 1, Kind: KindBench}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	q3, err := OpenQueue(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q3.Close()
+	if jobs := q3.List(); len(jobs) != 2 {
+		t.Fatalf("after reopen: %+v", jobs)
 	}
 }
 

@@ -2,8 +2,10 @@ package jobs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -101,37 +103,59 @@ func OpenQueue(path string) (*Queue, error) {
 }
 
 // replay rebuilds the in-memory state from the journal. Records are applied
-// in order; a torn final line (crash mid-append) is tolerated and dropped.
+// in order; a torn final line (crash mid-append) is tolerated, dropped AND
+// truncated away, so the next append starts on a clean line boundary instead
+// of concatenating onto the fragment and corrupting the journal for the
+// replay after this one.
 func (q *Queue) replay() error {
 	if _, err := q.f.Seek(0, 0); err != nil {
 		return fmt.Errorf("jobs: queue: %w", err)
 	}
-	sc := bufio.NewScanner(q.f)
-	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	r := bufio.NewReaderSize(q.f, 1<<20)
+	var off, goodEnd int64
 	line := 0
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
+	for {
+		raw, rerr := r.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return fmt.Errorf("jobs: queue: %w", rerr)
 		}
-		var rec journalRecord
-		if err := json.Unmarshal(raw, &rec); err != nil {
-			// Only the final line may be torn; anything else is corruption
-			// worth failing loudly over.
-			if !sc.Scan() {
+		if len(raw) > 0 {
+			line++
+			off += int64(len(raw))
+			if rerr == io.EOF {
+				// The final line is unterminated. Each append writes record
+				// plus newline in one Write before fsync, so this append
+				// never completed and was never acknowledged as durable —
+				// even if the fragment happens to parse, drop it.
 				break
 			}
-			return fmt.Errorf("jobs: queue: journal line %d corrupt: %v", line, err)
+			trimmed := bytes.TrimSuffix(raw, []byte("\n"))
+			if len(trimmed) > 0 {
+				var rec journalRecord
+				if uerr := json.Unmarshal(trimmed, &rec); uerr != nil {
+					// Only the final line may be torn; anything else is
+					// corruption worth failing loudly over.
+					if _, perr := r.Peek(1); perr == io.EOF {
+						break
+					}
+					return fmt.Errorf("jobs: queue: journal line %d corrupt: %v", line, uerr)
+				}
+				if aerr := q.apply(rec); aerr != nil {
+					return fmt.Errorf("jobs: queue: journal line %d: %w", line, aerr)
+				}
+			}
+			goodEnd = off
 		}
-		if err := q.apply(rec); err != nil {
-			return fmt.Errorf("jobs: queue: journal line %d: %w", line, err)
+		if rerr == io.EOF {
+			break
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("jobs: queue: %w", err)
+	if off > goodEnd {
+		if err := q.f.Truncate(goodEnd); err != nil {
+			return fmt.Errorf("jobs: queue: %w", err)
+		}
 	}
-	if _, err := q.f.Seek(0, 2); err != nil {
+	if _, err := q.f.Seek(goodEnd, 0); err != nil {
 		return fmt.Errorf("jobs: queue: %w", err)
 	}
 	return nil

@@ -187,8 +187,9 @@ func Decode(data []byte) (Spec, error) {
 	return s, nil
 }
 
-// Encode serializes the Spec canonically (the inverse of Decode). The
-// canonical bytes also feed the content address of the run directory.
+// Encode serializes the Spec canonically (the inverse of Decode). Hash
+// feeds a normalized copy of the Spec through the same encoding to form the
+// run directory's content address.
 func (s Spec) Encode() ([]byte, error) {
 	buf, err := json.Marshal(s)
 	if err != nil {
@@ -198,16 +199,53 @@ func (s Spec) Encode() ([]byte, error) {
 }
 
 // Hash returns the Spec's content address: a hex SHA-256 prefix of the
-// canonical encoding. Two jobs with the same Spec run the same computation
-// from the same seed, so they share one run directory.
+// normalized canonical encoding. Two Specs naming the same computation —
+// regardless of list order or spelled-out defaults — hash alike, so they
+// share one run directory.
 func (s Spec) Hash() string {
-	buf, err := s.Encode()
+	buf, err := s.normalized().Encode()
 	if err != nil {
 		// Spec is a plain struct of marshalable fields; this cannot happen.
 		panic(fmt.Sprintf("jobs: hash: %v", err))
 	}
 	sum := sha256.Sum256(buf)
 	return hex.EncodeToString(sum[:8])
+}
+
+// normalized returns the copy of the Spec that feeds the content address:
+// order-insensitive lists sorted and spelled-out defaults folded to their
+// zero forms. Only rewrites proven computation-invariant belong here —
+// every comparison protocol runs from the same per-session seed and the
+// artifacts serialize protocols in sorted order, so list order cannot
+// change a landed byte.
+func (s Spec) normalized() Spec {
+	n := s
+	if len(s.Figures) > 0 {
+		n.Figures = s.SortedFigures()
+	}
+	if len(s.Protocols) > 0 {
+		ps := append([]string(nil), s.Protocols...)
+		sort.Strings(ps)
+		// The full protocol set spelled out is the nil default.
+		if len(ps) == 4 && ps[0] == experiments.ProtoETX && ps[1] == experiments.ProtoMORE &&
+			ps[2] == experiments.ProtoOldMORE && ps[3] == experiments.ProtoOMNC {
+			ps = nil
+		}
+		n.Protocols = ps
+	}
+	if n.Scheme == "rlnc" {
+		n.Scheme = "" // schemeName: "" already means rlnc
+	}
+	if n.Protocol == experiments.ProtoOMNC {
+		n.Protocol = "" // runSession: "" already means omnc
+	}
+	if n.MAC == "oracle" {
+		n.MAC = "" // mac: "" already means oracle
+	}
+	if n.Trials == 1 {
+		n.Trials = 0 // trials: both mean a single run
+	}
+	return n
 }
 
 // Validate checks the Spec against the same rules the CLIs enforce flag by

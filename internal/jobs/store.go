@@ -12,8 +12,9 @@ import (
 // Store is the results store: every completed run lands in a
 // content-addressed directory root/<spec-hash> holding spec.json,
 // result.json and the run's artifacts. The address is the hash of the
-// canonical Spec, so re-running the same Spec overwrites the directory with
-// bit-identical bytes — the store is idempotent by construction.
+// canonical Spec, so re-running the same Spec would land bit-identical
+// bytes; an existing landing is therefore left in place — the store is
+// idempotent by construction.
 type Store struct {
 	root string
 }
@@ -71,12 +72,20 @@ func (st *Store) Land(res *Result) (string, error) {
 	}
 
 	final := filepath.Join(st.root, id)
-	// Same Spec, same bytes: replacing an existing landing is a no-op in
-	// content, so clearing it first is safe.
-	if err := os.RemoveAll(final); err != nil {
-		return "", fmt.Errorf("jobs: store: %w", err)
+	// Same Spec, same bytes: an existing landing is already the content this
+	// one would write, so leave it untouched. Never removing a live run
+	// directory keeps relands invisible to concurrent readers, and two
+	// workers landing the same Spec cannot interleave a RemoveAll between
+	// each other's Renames.
+	if _, err := os.Stat(final); err == nil {
+		return id, nil
 	}
 	if err := os.Rename(tmp, final); err != nil {
+		// A concurrent worker landed the same Spec between our Stat and
+		// Rename; its bytes are ours, so the job still succeeded.
+		if _, serr := os.Stat(final); serr == nil {
+			return id, nil
+		}
 		return "", fmt.Errorf("jobs: store: %w", err)
 	}
 	return id, nil
