@@ -9,12 +9,14 @@
 //
 // Usage:
 //
-//	omnc-bench [-iters N] [-out BENCH_5.json]   record a fresh report
-//	omnc-bench -check BENCH_5.json              validate a committed report
+//	omnc-bench [-iters N] [-out BENCH_6.json]   record a fresh report
+//	omnc-bench -check BENCH_6.json              validate a committed report
 //	omnc-bench -engine-workers N                spot-measure the scaled
 //	                                            workload at N workers
 //	omnc-bench -scheme rs [-redundancy R]       spot-measure one coding
 //	                                            scheme session
+//	omnc-bench -field 16                        spot-measure one coefficient
+//	                                            field session
 //
 // The measurement machinery and the regression gates -check re-asserts live
 // in internal/benchreport; this command is the flag surface over them. Full
@@ -39,7 +41,7 @@ import (
 
 func main() {
 	iters := flag.Int("iters", 5, "measured session runs per benchmark (after one warmup)")
-	out := flag.String("out", "BENCH_5.json", "output path, or - for stdout")
+	out := flag.String("out", "BENCH_6.json", "output path, or - for stdout")
 	check := flag.String("check", "", "validate an existing report instead of benchmarking")
 	engWork := flag.Int("engine-workers", -1, "spot-measure the scaled multi-session workload at this engine worker count (0 = serial) instead of recording a report")
 	cod := cliflags.RegisterCoding(flag.CommandLine,
@@ -47,11 +49,11 @@ func main() {
 		"source emission cap for the -scheme spot measurement (0 = rateless)")
 	app := cliflags.New("omnc-bench", flag.CommandLine)
 	app.Main(func(ctx context.Context) error {
-		return run(ctx, *iters, *out, *check, *engWork, cod.Scheme, cod.Redundancy)
+		return run(ctx, *iters, *out, *check, *engWork, cod.Scheme, cod.Redundancy, cod.Field)
 	})
 }
 
-func run(ctx context.Context, iters int, out, check string, engWork int, schemeName string, redundancy float64) error {
+func run(ctx context.Context, iters int, out, check string, engWork int, schemeName string, redundancy float64, fieldName string) error {
 	if check != "" {
 		if err := benchreport.CheckFile(check); err != nil {
 			return fmt.Errorf("%s: %w", check, err)
@@ -79,6 +81,24 @@ func run(ctx context.Context, iters int, out, check string, engWork int, schemeN
 		}
 		fmt.Printf("%s (redundancy %g): %d ns/op %d allocs/op %d B/op %.0f bytes/s\n",
 			r.Name, redundancy, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.Throughput)
+		return nil
+	}
+
+	if fieldName != "" && fieldName != "8" {
+		fieldVal, err := coding.ParseField(fieldName)
+		if err != nil {
+			return err
+		}
+		s := sessionbench.FieldScenario{
+			Name:  fmt.Sprintf("SessionField/%s", fieldVal),
+			Field: fieldVal,
+		}
+		r, err := benchreport.MeasureField(s, iters)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.Name, err)
+		}
+		fmt.Printf("%s: %d ns/op %d allocs/op %d B/op %.0f bytes/s\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.Throughput)
 		return nil
 	}
 

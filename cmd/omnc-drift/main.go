@@ -40,12 +40,12 @@ func main() {
 		"coded packets per generation as a factor of the generation size (0 = rateless)")
 	app := cliflags.New("omnc-drift", flag.CommandLine)
 	app.Main(func(ctx context.Context) error {
-		return run(ctx, *duration, *rate, *genSize, *block, *seed, *trials, pool.Workers, cod.Scheme, cod.Redundancy)
+		return run(ctx, *duration, *rate, *genSize, *block, *seed, *trials, pool.Workers, cod)
 	})
 }
 
 func run(ctx context.Context, duration time.Duration, rate float64, genSize, block int, seed int64, trials, workers int,
-	schemeName string, redundancy float64) error {
+	cod *cliflags.CodingFlags) error {
 	if trials < 1 {
 		return fmt.Errorf("-trials must be at least 1, got %d", trials)
 	}
@@ -54,7 +54,7 @@ func run(ctx context.Context, duration time.Duration, rate float64, genSize, blo
 	if genSize < 1 || block < 1 {
 		return fmt.Errorf("generation size and block size must be positive, got %dx%d", genSize, block)
 	}
-	schemeVal, err := coding.ParseScheme(schemeName)
+	schemeVal, err := coding.ParseScheme(cod.Scheme)
 	if err != nil {
 		return err
 	}
@@ -64,7 +64,7 @@ func run(ctx context.Context, duration time.Duration, rate float64, genSize, blo
 		GenerationSize: genSize, BlockSize: block,
 		Trials: trials, Workers: workers,
 	}
-	(&cliflags.CodingFlags{Scheme: schemeName, Redundancy: redundancy}).Apply(&spec)
+	cod.Apply(&spec)
 	if err := spec.Validate(); err != nil {
 		return err
 	}

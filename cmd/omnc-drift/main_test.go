@@ -4,13 +4,15 @@ import (
 	"context"
 	"testing"
 	"time"
+
+	"omnc/internal/cliflags"
 )
 
 func TestRunShortSession(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wall-clock test")
 	}
-	if err := run(context.Background(), 600*time.Millisecond, 300_000, 6, 32, 2, 1, 0, "rlnc", 0); err != nil {
+	if err := run(context.Background(), 600*time.Millisecond, 300_000, 6, 32, 2, 1, 0, codf("rlnc", 0)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -19,7 +21,7 @@ func TestRunParallelTrials(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wall-clock test")
 	}
-	if err := run(context.Background(), 400*time.Millisecond, 300_000, 6, 32, 2, 2, 2, "rlnc", 0); err != nil {
+	if err := run(context.Background(), 400*time.Millisecond, 300_000, 6, 32, 2, 2, 2, codf("rlnc", 0)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -29,26 +31,31 @@ func TestRunSchemeFlag(t *testing.T) {
 		t.Skip("wall-clock test")
 	}
 	for _, scheme := range []string{"rlnc-e2e", "rs"} {
-		if err := run(context.Background(), 400*time.Millisecond, 300_000, 6, 32, 2, 1, 0, scheme, 3); err != nil {
+		if err := run(context.Background(), 400*time.Millisecond, 300_000, 6, 32, 2, 1, 0, codf(scheme, 3)); err != nil {
 			t.Fatalf("%s: %v", scheme, err)
 		}
 	}
 }
 
 func TestRunBadCoding(t *testing.T) {
-	if err := run(context.Background(), 100*time.Millisecond, 1000, 0, 0, 1, 1, 1, "rlnc", 0); err == nil {
+	if err := run(context.Background(), 100*time.Millisecond, 1000, 0, 0, 1, 1, 1, codf("rlnc", 0)); err == nil {
 		t.Fatal("invalid generation size must fail")
 	}
 }
 
 func TestRunBadTrials(t *testing.T) {
-	if err := run(context.Background(), 100*time.Millisecond, 1000, 8, 64, 1, 0, 1, "rlnc", 0); err == nil {
+	if err := run(context.Background(), 100*time.Millisecond, 1000, 8, 64, 1, 0, 1, codf("rlnc", 0)); err == nil {
 		t.Fatal("zero trials must fail")
 	}
 }
 
 func TestRunBadScheme(t *testing.T) {
-	if err := run(context.Background(), 100*time.Millisecond, 1000, 8, 64, 1, 1, 1, "fountain", 0); err == nil {
+	if err := run(context.Background(), 100*time.Millisecond, 1000, 8, 64, 1, 1, 1, codf("fountain", 0)); err == nil {
 		t.Fatal("unknown scheme must fail")
 	}
+}
+
+// codf builds the coding flag block the way flag parsing would.
+func codf(scheme string, redundancy float64) *cliflags.CodingFlags {
+	return &cliflags.CodingFlags{Scheme: scheme, Redundancy: redundancy}
 }

@@ -60,12 +60,12 @@ func main() {
 	app := cliflags.New("omnc-fig", flag.CommandLine)
 	app.Main(func(ctx context.Context) error {
 		return run(ctx, *fig, *full, *sessions, *duration, *seed, *mac, *csvDir,
-			pool.Workers, pool.EngineWorkers, *report, cod.Scheme, cod.Redundancy)
+			pool.Workers, pool.EngineWorkers, *report, cod)
 	})
 }
 
 func run(ctx context.Context, fig string, full bool, sessions int, duration float64, seed int64, mac, csvDir string,
-	workers, engineWorkers int, report bool, schemeName string, redundancy float64) error {
+	workers, engineWorkers int, report bool, cod *cliflags.CodingFlags) error {
 	base := jobs.Spec{
 		Version: jobs.SpecVersion,
 		Seed:    seed, Full: full, Sessions: sessions, Duration: duration,
@@ -76,7 +76,7 @@ func run(ctx context.Context, fig string, full bool, sessions int, duration floa
 	if mac != "oracle" && mac != "" {
 		base.MAC = mac
 	}
-	(&cliflags.CodingFlags{Scheme: schemeName, Redundancy: redundancy}).Apply(&base)
+	cod.Apply(&base)
 
 	switch fig {
 	case "1":

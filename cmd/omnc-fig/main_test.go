@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"strconv"
 	"testing"
+
+	"omnc/internal/cliflags"
 )
 
 // -update regenerates the golden fixtures under testdata/ instead of
@@ -19,7 +21,7 @@ var update = flag.Bool("update", false, "rewrite golden files under testdata/")
 
 func TestRunFig1WritesCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(context.Background(), "1", false, 0, 0, 1, "oracle", dir, 0, 0, false, "rlnc", 0); err != nil {
+	if err := run(context.Background(), "1", false, 0, 0, 1, "oracle", dir, 0, 0, false, codf("rlnc", 0)); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig1_convergence.csv")); err != nil {
@@ -29,7 +31,7 @@ func TestRunFig1WritesCSV(t *testing.T) {
 
 func TestRunFig2SmallSession(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(context.Background(), "2l", false, 1, 60, 7, "oracle", dir, 0, 0, false, "rlnc", 0); err != nil {
+	if err := run(context.Background(), "2l", false, 1, 60, 7, "oracle", dir, 0, 0, false, codf("rlnc", 0)); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig2l_gains.csv")); err != nil {
@@ -38,16 +40,16 @@ func TestRunFig2SmallSession(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run(context.Background(), "nope", false, 1, 10, 1, "oracle", "", 0, 0, false, "rlnc", 0); err == nil {
+	if err := run(context.Background(), "nope", false, 1, 10, 1, "oracle", "", 0, 0, false, codf("rlnc", 0)); err == nil {
 		t.Fatal("unknown figure must fail")
 	}
-	if err := run(context.Background(), "2l", false, 1, 10, 1, "token-ring", "", 0, 0, false, "rlnc", 0); err == nil {
+	if err := run(context.Background(), "2l", false, 1, 10, 1, "token-ring", "", 0, 0, false, codf("rlnc", 0)); err == nil {
 		t.Fatal("unknown MAC must fail")
 	}
-	if err := run(context.Background(), "2l", false, 1, 10, 1, "oracle", "", 0, 0, false, "fountain", 0); err == nil {
+	if err := run(context.Background(), "2l", false, 1, 10, 1, "oracle", "", 0, 0, false, codf("fountain", 0)); err == nil {
 		t.Fatal("unknown scheme must fail")
 	}
-	if err := run(context.Background(), "2l", false, 1, 10, 1, "oracle", "", 0, 0, false, "rlnc", 0.5); err == nil {
+	if err := run(context.Background(), "2l", false, 1, 10, 1, "oracle", "", 0, 0, false, codf("rlnc", 0.5)); err == nil {
 		t.Fatal("sub-unit redundancy must fail")
 	}
 }
@@ -59,7 +61,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 // intentional behaviour change.
 func TestGoldenFig2CSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(context.Background(), "2l", false, 2, 60, 7, "oracle", dir, 2, 0, false, "rlnc", 0); err != nil {
+	if err := run(context.Background(), "2l", false, 2, 60, 7, "oracle", dir, 2, 0, false, codf("rlnc", 0)); err != nil {
 		t.Fatal(err)
 	}
 	compareGolden(t, filepath.Join(dir, "fig2l_gains.csv"), "fig2l_gains.golden.csv")
@@ -73,7 +75,7 @@ func TestGoldenFig2CSVWithReport(t *testing.T) {
 		t.Skip("fixture is owned by TestGoldenFig2CSV")
 	}
 	dir := t.TempDir()
-	if err := run(context.Background(), "2l", false, 2, 60, 7, "oracle", dir, 2, 0, true, "rlnc", 0); err != nil {
+	if err := run(context.Background(), "2l", false, 2, 60, 7, "oracle", dir, 2, 0, true, codf("rlnc", 0)); err != nil {
 		t.Fatal(err)
 	}
 	compareGolden(t, filepath.Join(dir, "fig2l_gains.csv"), "fig2l_gains.golden.csv")
@@ -85,7 +87,7 @@ func TestGoldenFig2CSVWithReport(t *testing.T) {
 // workers-invariant determinism at the CLI boundary.
 func TestGoldenMultiCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(context.Background(), "multi", false, 2, 60, 7, "oracle", dir, 2, 0, false, "rlnc", 0); err != nil {
+	if err := run(context.Background(), "multi", false, 2, 60, 7, "oracle", dir, 2, 0, false, codf("rlnc", 0)); err != nil {
 		t.Fatal(err)
 	}
 	compareGolden(t, filepath.Join(dir, "fig_multi.csv"), "fig_multi.golden.csv")
@@ -97,7 +99,7 @@ func TestGoldenMultiCSV(t *testing.T) {
 // count, so the serial fixture must match without regeneration.
 func TestGoldenMultiCSVParallelEngine(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(context.Background(), "multi", false, 2, 60, 7, "oracle", dir, 2, 2, false, "rlnc", 0); err != nil {
+	if err := run(context.Background(), "multi", false, 2, 60, 7, "oracle", dir, 2, 2, false, codf("rlnc", 0)); err != nil {
 		t.Fatal(err)
 	}
 	compareGolden(t, filepath.Join(dir, "fig_multi.csv"), "fig_multi.golden.csv")
@@ -111,7 +113,7 @@ func TestGoldenMultiCSVParallelEngine(t *testing.T) {
 // sessions bit-identical.
 func TestGoldenFaultsCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(context.Background(), "faults", false, 2, 60, 7, "oracle", dir, 2, 0, false, "rlnc", 0); err != nil {
+	if err := run(context.Background(), "faults", false, 2, 60, 7, "oracle", dir, 2, 0, false, codf("rlnc", 0)); err != nil {
 		t.Fatal(err)
 	}
 	compareGolden(t, filepath.Join(dir, "fig_faults.csv"), "fig_faults.golden.csv")
@@ -124,7 +126,7 @@ func TestGoldenFaultsCSV(t *testing.T) {
 // ordering inside the fixture.
 func TestGoldenSchemesCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(context.Background(), "schemes", false, 0, 60, 7, "oracle", dir, 2, 0, false, "rlnc", 0); err != nil {
+	if err := run(context.Background(), "schemes", false, 0, 60, 7, "oracle", dir, 2, 0, false, codf("rlnc", 0)); err != nil {
 		t.Fatal(err)
 	}
 	compareGolden(t, filepath.Join(dir, "fig_schemes.csv"), "fig_schemes.golden.csv")
@@ -202,4 +204,9 @@ func compareGolden(t *testing.T, gotPath, name string) {
 		t.Fatalf("figure data drifted from %s (%d vs %d bytes); rerun with -update if the change is intentional",
 			golden, len(got), len(want))
 	}
+}
+
+// codf builds the coding flag block the way flag parsing would.
+func codf(scheme string, redundancy float64) *cliflags.CodingFlags {
+	return &cliflags.CodingFlags{Scheme: scheme, Redundancy: redundancy}
 }

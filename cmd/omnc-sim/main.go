@@ -57,17 +57,18 @@ func main() {
 	app.Main(func(ctx context.Context) error {
 		return run(ctx, *proto, *nodes, *density, *seed, *src, *dst, *minHops, *maxHops,
 			*duration, *capacity, *cbr, *quality, *svgPath, *trials, pool.Workers, pool.EngineWorkers,
-			*faultsAt, *reportAt, cod.Scheme, cod.Redundancy)
+			*faultsAt, *reportAt, cod)
 	})
 }
 
 func run(ctx context.Context, proto string, nodes int, density float64, seed int64, src, dst, minHops, maxHops int,
 	duration, capacity, cbr, quality float64, svgPath string, trials, workers, engineWorkers int,
-	faultsPath, reportPath, schemeName string, redundancy float64) error {
+	faultsPath, reportPath string, cod *cliflags.CodingFlags) error {
 	if trials < 1 {
 		return fmt.Errorf("-trials must be at least 1, got %d", trials)
 	}
-	scheme, err := omnc.ParseScheme(schemeName)
+	redundancy := cod.Redundancy
+	scheme, err := omnc.ParseScheme(cod.Scheme)
 	if err != nil {
 		return err
 	}
@@ -103,7 +104,7 @@ func run(ctx context.Context, proto string, nodes int, density float64, seed int
 	if src >= 0 && dst >= 0 {
 		spec.Src, spec.Dst = &src, &dst
 	}
-	(&cliflags.CodingFlags{Scheme: schemeName, Redundancy: redundancy}).Apply(&spec)
+	cod.Apply(&spec)
 
 	res, err := jobs.Run(ctx, spec)
 	if err != nil {
@@ -127,6 +128,9 @@ func run(ctx context.Context, proto string, nodes int, density float64, seed int
 	}
 	if scheme != omnc.SchemeRLNC || redundancy != 0 {
 		fmt.Printf("coding scheme: %s, redundancy %s\n", scheme, redundancyLabel(redundancy))
+	}
+	if spec.Field != "" {
+		fmt.Printf("coefficient field: GF(2^%s)\n", spec.Field)
 	}
 
 	if trials > 1 {

@@ -8,25 +8,26 @@ import (
 	"strings"
 	"testing"
 
+	"omnc/internal/cliflags"
 	"omnc/internal/report"
 )
 
 func TestRunRandomSession(t *testing.T) {
-	if err := run(context.Background(), "omnc", 100, 6, 3, -1, -1, 3, 8, 60, 2e4, 1e4, 0, "", 1, 0, 0, "", "", "rlnc", 0); err != nil {
+	if err := run(context.Background(), "omnc", 100, 6, 3, -1, -1, 3, 8, 60, 2e4, 1e4, 0, "", 1, 0, 0, "", "", codf("rlnc", 0)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunExplicitEndpointsETX(t *testing.T) {
 	// Deterministic topology: find a pair via the random path first.
-	if err := run(context.Background(), "etx", 100, 6, 3, -1, -1, 3, 8, 60, 2e4, 0, 0, "", 1, 0, 0, "", "", "rlnc", 0); err != nil {
+	if err := run(context.Background(), "etx", 100, 6, 3, -1, -1, 3, 8, 60, 2e4, 0, 0, "", 1, 0, 0, "", "", codf("rlnc", 0)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWritesSessionSVG(t *testing.T) {
 	svg := filepath.Join(t.TempDir(), "session.svg")
-	if err := run(context.Background(), "more", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, svg, 1, 0, 0, "", "", "rlnc", 0); err != nil {
+	if err := run(context.Background(), "more", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, svg, 1, 0, 0, "", "", codf("rlnc", 0)); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(svg)
@@ -39,31 +40,31 @@ func TestRunWritesSessionSVG(t *testing.T) {
 }
 
 func TestRunUnknownProtocol(t *testing.T) {
-	if err := run(context.Background(), "bogus", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0, 0, "", "", "rlnc", 0); err == nil {
+	if err := run(context.Background(), "bogus", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0, 0, "", "", codf("rlnc", 0)); err == nil {
 		t.Fatal("unknown protocol must fail")
 	}
 }
 
 func TestRunBadQuality(t *testing.T) {
-	if err := run(context.Background(), "omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0.05, "", 1, 0, 0, "", "", "rlnc", 0); err == nil {
+	if err := run(context.Background(), "omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0.05, "", 1, 0, 0, "", "", codf("rlnc", 0)); err == nil {
 		t.Fatal("bad quality target must fail")
 	}
 }
 
 func TestRunParallelTrials(t *testing.T) {
-	if err := run(context.Background(), "etx", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, "", 4, 2, 0, "", "", "rlnc", 0); err != nil {
+	if err := run(context.Background(), "etx", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, "", 4, 2, 0, "", "", codf("rlnc", 0)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunParallelEngine(t *testing.T) {
-	if err := run(context.Background(), "omnc", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 1e4, 0, "", 1, 0, 2, "", "", "rlnc", 0); err != nil {
+	if err := run(context.Background(), "omnc", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 1e4, 0, "", 1, 0, 2, "", "", codf("rlnc", 0)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadTrials(t *testing.T) {
-	if err := run(context.Background(), "etx", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, "", 0, 1, 0, "", "", "rlnc", 0); err == nil {
+	if err := run(context.Background(), "etx", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, "", 0, 1, 0, "", "", codf("rlnc", 0)); err == nil {
 		t.Fatal("zero trials must fail")
 	}
 }
@@ -78,7 +79,7 @@ func TestRunWithFaultPlan(t *testing.T) {
 	if err := os.WriteFile(plan, []byte(doc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), "omnc", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 1e4, 0, "", 1, 0, 0, plan, "", "rlnc", 0); err != nil {
+	if err := run(context.Background(), "omnc", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 1e4, 0, "", 1, 0, 0, plan, "", codf("rlnc", 0)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -93,35 +94,35 @@ func TestRunRejectsBadFaultPlan(t *testing.T) {
 	if err := os.WriteFile(plan, []byte(doc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), "omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0, 0, plan, "", "rlnc", 0); err == nil {
+	if err := run(context.Background(), "omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0, 0, plan, "", codf("rlnc", 0)); err == nil {
 		t.Fatal("invalid fault plan must fail")
 	}
 	if err := run(context.Background(), "omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0, 0,
-		filepath.Join(t.TempDir(), "missing.json"), "", "rlnc", 0); err == nil {
+		filepath.Join(t.TempDir(), "missing.json"), "", codf("rlnc", 0)); err == nil {
 		t.Fatal("missing fault plan file must fail")
 	}
 }
 
 func TestRunSchemeFlag(t *testing.T) {
 	for _, scheme := range []string{"rlnc-e2e", "rs"} {
-		if err := run(context.Background(), "omnc", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 1e4, 0, "", 1, 0, 0, "", "", scheme, 2); err != nil {
+		if err := run(context.Background(), "omnc", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 1e4, 0, "", 1, 0, 0, "", "", codf(scheme, 2)); err != nil {
 			t.Fatalf("%s: %v", scheme, err)
 		}
 	}
 }
 
 func TestRunRejectsBadSchemeAndRedundancy(t *testing.T) {
-	if err := run(context.Background(), "omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0, 0, "", "", "fountain", 0); err == nil {
+	if err := run(context.Background(), "omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0, 0, "", "", codf("fountain", 0)); err == nil {
 		t.Fatal("unknown scheme must fail")
 	}
-	if err := run(context.Background(), "omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0, 0, "", "", "rlnc", 0.5); err == nil {
+	if err := run(context.Background(), "omnc", 60, 6, 1, -1, -1, 3, 8, 30, 2e4, 0, 0, "", 1, 0, 0, "", "", codf("rlnc", 0.5)); err == nil {
 		t.Fatal("sub-unit redundancy must fail")
 	}
 }
 
 func TestRunWritesReport(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "report.json")
-	if err := run(context.Background(), "omnc", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 1e4, 0, "", 1, 0, 0, "", out, "rlnc", 0); err != nil {
+	if err := run(context.Background(), "omnc", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 1e4, 0, "", 1, 0, 0, "", out, codf("rlnc", 0)); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -139,7 +140,12 @@ func TestRunWritesReport(t *testing.T) {
 
 func TestRunRejectsReportWithTrials(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "report.json")
-	if err := run(context.Background(), "etx", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, "", 4, 2, 0, "", out, "rlnc", 0); err == nil {
+	if err := run(context.Background(), "etx", 100, 6, 3, -1, -1, 3, 8, 40, 2e4, 0, 0, "", 4, 2, 0, "", out, codf("rlnc", 0)); err == nil {
 		t.Fatal("-report with -trials > 1 must fail")
 	}
+}
+
+// codf builds the coding flag block the way flag parsing would.
+func codf(scheme string, redundancy float64) *cliflags.CodingFlags {
+	return &cliflags.CodingFlags{Scheme: scheme, Redundancy: redundancy}
 }

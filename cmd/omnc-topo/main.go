@@ -41,16 +41,16 @@ func main() {
 		"source emission cap as a factor of the generation size (0 = rateless; validated and echoed)")
 	app := cliflags.New("omnc-topo", flag.CommandLine)
 	app.Main(func(ctx context.Context) error {
-		return run(ctx, *nodes, *density, *seed, *quality, *links, *svg, cod.Scheme, cod.Redundancy)
+		return run(ctx, *nodes, *density, *seed, *quality, *links, *svg, cod)
 	})
 }
 
-func run(ctx context.Context, nodes int, density float64, seed int64, quality float64, linksPath, svgPath, schemeName string, redundancy float64) error {
+func run(ctx context.Context, nodes int, density float64, seed int64, quality float64, linksPath, svgPath string, cod *cliflags.CodingFlags) error {
 	spec := jobs.Spec{
 		Version: jobs.SpecVersion, Kind: jobs.KindTopo,
 		Seed: seed, Nodes: nodes, Density: density, MeanQuality: quality,
 	}
-	(&cliflags.CodingFlags{Scheme: schemeName, Redundancy: redundancy}).Apply(&spec)
+	cod.Apply(&spec)
 	res, err := jobs.Run(ctx, spec)
 	if err != nil {
 		return err
@@ -58,7 +58,7 @@ func run(ctx context.Context, nodes int, density float64, seed int64, quality fl
 	nw := res.Network
 	// The scheme is validated by the Spec; re-parse only to echo its recoding
 	// behaviour in the summary line.
-	schemeVal, err := omnc.ParseScheme(schemeName)
+	schemeVal, err := omnc.ParseScheme(cod.Scheme)
 	if err != nil {
 		return err
 	}
@@ -100,8 +100,8 @@ func run(ctx context.Context, nodes int, density float64, seed int64, quality fl
 		relays = "relays forward verbatim"
 	}
 	redLabel := "rateless"
-	if redundancy > 0 {
-		redLabel = fmt.Sprintf("%.2fx", redundancy)
+	if cod.Redundancy > 0 {
+		redLabel = fmt.Sprintf("%.2fx", cod.Redundancy)
 	}
 	fmt.Printf("coding scheme:       %s (%s), redundancy %s\n", schemeVal, relays, redLabel)
 

@@ -6,12 +6,14 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"omnc/internal/cliflags"
 )
 
 func TestRunPrintsStatsAndWritesLinks(t *testing.T) {
 	dir := t.TempDir()
 	links := filepath.Join(dir, "links.csv")
-	if err := run(context.Background(), 60, 6, 3, 0, links, "", "rlnc", 0); err != nil {
+	if err := run(context.Background(), 60, 6, 3, 0, links, "", codf("rlnc", 0)); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(links)
@@ -28,7 +30,7 @@ func TestRunPrintsStatsAndWritesLinks(t *testing.T) {
 }
 
 func TestRunHighQuality(t *testing.T) {
-	if err := run(context.Background(), 40, 6, 1, 0.9, "", "", "rs", 2); err != nil {
+	if err := run(context.Background(), 40, 6, 1, 0.9, "", "", codf("rs", 2)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -36,7 +38,7 @@ func TestRunHighQuality(t *testing.T) {
 func TestRunWritesSVG(t *testing.T) {
 	dir := t.TempDir()
 	svg := filepath.Join(dir, "topo.svg")
-	if err := run(context.Background(), 40, 6, 2, 0, "", svg, "rlnc", 0); err != nil {
+	if err := run(context.Background(), 40, 6, 2, 0, "", svg, codf("rlnc", 0)); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(svg)
@@ -49,19 +51,24 @@ func TestRunWritesSVG(t *testing.T) {
 }
 
 func TestRunRejectsBadInput(t *testing.T) {
-	if err := run(context.Background(), 1, 6, 1, 0, "", "", "rlnc", 0); err == nil {
+	if err := run(context.Background(), 1, 6, 1, 0, "", "", codf("rlnc", 0)); err == nil {
 		t.Fatal("single node must fail")
 	}
-	if err := run(context.Background(), 40, 6, 1, 0.05, "", "", "rlnc", 0); err == nil {
+	if err := run(context.Background(), 40, 6, 1, 0.05, "", "", codf("rlnc", 0)); err == nil {
 		t.Fatal("uncalibratable quality must fail")
 	}
 }
 
 func TestRunRejectsBadScheme(t *testing.T) {
-	if err := run(context.Background(), 40, 6, 1, 0, "", "", "fountain", 0); err == nil {
+	if err := run(context.Background(), 40, 6, 1, 0, "", "", codf("fountain", 0)); err == nil {
 		t.Fatal("unknown scheme must fail")
 	}
-	if err := run(context.Background(), 40, 6, 1, 0, "", "", "rlnc", 0.5); err == nil {
+	if err := run(context.Background(), 40, 6, 1, 0, "", "", codf("rlnc", 0.5)); err == nil {
 		t.Fatal("sub-unit redundancy must fail")
 	}
+}
+
+// codf builds the coding flag block the way flag parsing would.
+func codf(scheme string, redundancy float64) *cliflags.CodingFlags {
+	return &cliflags.CodingFlags{Scheme: scheme, Redundancy: redundancy}
 }

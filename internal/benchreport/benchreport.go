@@ -93,6 +93,19 @@ const speedupGate = 2.0
 // cost per-packet allocations.
 const schemeAllocGate = 2.0
 
+// omncAllocCeiling is the absolute allocs/op bound the pooled OMNC session
+// must hold once a report carries field entries (the BENCH_6.json vintage,
+// recorded with the solver-workspace arena): rate-control replans reuse
+// pooled LP tableaus and credit vectors, so a whole session stays under two
+// thousand allocations regardless of replan count.
+const omncAllocCeiling = 2000
+
+// fieldAllocGate bounds the non-default coefficient fields: their session
+// allocs/op may exceed the in-report default-field OMNC session by at most
+// this factor. GF(2^16) doubles coefficient bytes and builds per-scalar
+// tables on the stack — neither may show up as heap allocations.
+const fieldAllocGate = 2.0
+
 // Record benchmarks every scenario and assembles the report. It honors ctx
 // between scenarios: a cancelled recording returns the context's error
 // rather than a half-comparable report.
@@ -146,6 +159,16 @@ func Record(ctx context.Context, iters int) (*Report, error) {
 		}
 		rep.Benchmarks = append(rep.Benchmarks, r)
 	}
+	for _, s := range sessionbench.FieldScenarios() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r, err := MeasureField(s, iters)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+	}
 	return rep, nil
 }
 
@@ -163,6 +186,42 @@ func (r *Report) Encode() ([]byte, error) {
 // carry no frozen baseline — Check gates them against the in-report
 // default-RLNC entry instead.
 func MeasureScheme(s sessionbench.SchemeScenario, iters int) (Result, error) {
+	nw, src, dst, err := sessionbench.Network()
+	if err != nil {
+		return Result{}, err
+	}
+	st, err := s.Run(nw, src, dst)
+	if err != nil {
+		return Result{}, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if st, err = s.Run(nw, src, dst); err != nil {
+			return Result{}, err
+		}
+		if st.GenerationsDecoded == 0 {
+			return Result{}, fmt.Errorf("session decoded nothing")
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := int64(iters)
+	return Result{
+		Name:        s.Name,
+		NsPerOp:     elapsed.Nanoseconds() / n,
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / n,
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / n,
+		Throughput:  st.Throughput,
+	}, nil
+}
+
+// MeasureField is Measure for one coefficient-field session; field entries
+// carry no frozen baseline — Check gates them against the in-report
+// default-field SessionOMNC entry instead.
+func MeasureField(s sessionbench.FieldScenario, iters int) (Result, error) {
 	nw, src, dst, err := sessionbench.Network()
 	if err != nil {
 		return Result{}, err
@@ -462,6 +521,37 @@ func Check(buf []byte) error {
 			if r.AllocsPerOp > slimit {
 				return fmt.Errorf("%s allocs/op %d exceeds gate %d (%.0f%% of SessionScheme/rlnc's %d)",
 					s.Name, r.AllocsPerOp, slimit, schemeAllocGate*100, ref.AllocsPerOp)
+			}
+		}
+	}
+	// Coefficient-field entries appeared in BENCH_6.json, recorded with the
+	// solver-workspace arena. A report carrying any of them must carry all of
+	// them within fieldAllocGate of the in-report default-field OMNC session,
+	// and the OMNC session itself must hold the absolute workspace-era
+	// allocation ceiling — a far tighter bound than the fraction-of-baseline
+	// gate above. Earlier reports stay valid.
+	fields := sessionbench.FieldScenarios()
+	hasFields := false
+	for _, s := range fields {
+		if _, ok := byName[s.Name]; ok {
+			hasFields = true
+			break
+		}
+	}
+	if hasFields {
+		if omncRes.AllocsPerOp > omncAllocCeiling {
+			return fmt.Errorf("SessionOMNC allocs/op %d exceeds the workspace-era ceiling %d",
+				omncRes.AllocsPerOp, omncAllocCeiling)
+		}
+		for _, s := range fields {
+			r, ok := byName[s.Name]
+			if !ok {
+				return fmt.Errorf("missing benchmark %s", s.Name)
+			}
+			flimit := int64(float64(omncRes.AllocsPerOp) * fieldAllocGate)
+			if r.AllocsPerOp > flimit {
+				return fmt.Errorf("%s allocs/op %d exceeds gate %d (%.0f%% of SessionOMNC's %d)",
+					s.Name, r.AllocsPerOp, flimit, fieldAllocGate*100, omncRes.AllocsPerOp)
 			}
 		}
 	}

@@ -2,6 +2,8 @@ package benchreport
 
 import (
 	"context"
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -10,10 +12,79 @@ import (
 // way CI does — the library move out of cmd/omnc-bench must not loosen a
 // single gate.
 func TestCheckCommittedReports(t *testing.T) {
-	for _, name := range []string{"BENCH_2.json", "BENCH_3.json", "BENCH_4.json", "BENCH_5.json"} {
+	for _, name := range []string{"BENCH_2.json", "BENCH_3.json", "BENCH_4.json", "BENCH_5.json", "BENCH_6.json"} {
 		if err := CheckFile("../../" + name); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
+	}
+}
+
+// mutateCommitted loads BENCH_6.json, applies mut, and returns the
+// re-serialized report — a passing report one edit away from the case under
+// test, so each gate is exercised in isolation.
+func mutateCommitted(t *testing.T, mut func(*Report)) []byte {
+	t.Helper()
+	buf, err := os.ReadFile("../../BENCH_6.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatal(err)
+	}
+	mut(&rep)
+	out, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func (r *Report) result(name string) *Result {
+	for i := range r.Benchmarks {
+		if r.Benchmarks[i].Name == name {
+			return &r.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// TestCheckFieldVintageGates pins the BENCH_6 vintage: once field entries
+// are present, the OMNC session must hold the absolute workspace-era alloc
+// ceiling (far below the fraction-of-baseline gate) and every field entry
+// must stay within fieldAllocGate of it.
+func TestCheckFieldVintageGates(t *testing.T) {
+	overCeiling := mutateCommitted(t, func(rep *Report) {
+		// Over the absolute ceiling but still far under the 50%-of-baseline
+		// gate (36498), so only the new gate can catch it.
+		rep.result("SessionOMNC").AllocsPerOp = omncAllocCeiling + 1
+	})
+	if err := Check(overCeiling); err == nil || !strings.Contains(err.Error(), "workspace-era ceiling") {
+		t.Fatalf("OMNC over the absolute ceiling must fail the ceiling gate, got %v", err)
+	}
+
+	fieldOverGate := mutateCommitted(t, func(rep *Report) {
+		omnc := rep.result("SessionOMNC")
+		rep.result("SessionField/16").AllocsPerOp = int64(float64(omnc.AllocsPerOp)*fieldAllocGate) + 1
+	})
+	if err := Check(fieldOverGate); err == nil || !strings.Contains(err.Error(), "SessionField/16") {
+		t.Fatalf("field entry over %gx OMNC must fail its gate, got %v", fieldAllocGate, err)
+	}
+
+	// Dropping the field entries reverts the report to an earlier vintage:
+	// neither new gate applies, so a pre-BENCH_6 allocs/op level passes again.
+	earlierVintage := mutateCommitted(t, func(rep *Report) {
+		kept := rep.Benchmarks[:0]
+		for _, r := range rep.Benchmarks {
+			if !strings.HasPrefix(r.Name, "SessionField/") {
+				kept = append(kept, r)
+			}
+		}
+		rep.Benchmarks = kept
+		rep.result("SessionOMNC").AllocsPerOp = omncAllocCeiling + 1
+	})
+	if err := Check(earlierVintage); err != nil {
+		t.Fatalf("report without field entries must not carry the ceiling gate: %v", err)
 	}
 }
 

@@ -76,23 +76,27 @@ func (a *App) RunParsed(run func(ctx context.Context) error) int {
 	return 0
 }
 
-// CodingFlags is the -scheme/-redundancy block every tool shares.
+// CodingFlags is the -scheme/-redundancy/-field block every tool shares.
 type CodingFlags struct {
 	Scheme     string
 	Redundancy float64
+	Field      string
 }
 
-// RegisterCoding adds the coding-scheme flag block to fs. The usage strings
-// vary slightly per tool, so the caller supplies them.
+// RegisterCoding adds the coding-scheme flag block to fs. The scheme and
+// redundancy usage strings vary slightly per tool, so the caller supplies
+// them; -field reads the same everywhere.
 func RegisterCoding(fs *flag.FlagSet, schemeUsage, redundancyUsage string) *CodingFlags {
 	c := &CodingFlags{}
 	fs.StringVar(&c.Scheme, "scheme", "rlnc", schemeUsage)
 	fs.Float64Var(&c.Redundancy, "redundancy", 0, redundancyUsage)
+	fs.StringVar(&c.Field, "field", "8", "coefficient field: 8 (GF(2^8), the paper's) or 16 (GF(2^16))")
 	return c
 }
 
-// Apply writes the block into the Spec, normalizing the default scheme name
-// to the Spec's zero value so flag-built and hand-written specs hash alike.
+// Apply writes the block into the Spec, normalizing the default scheme and
+// field names to the Spec's zero values so flag-built and hand-written specs
+// hash alike.
 func (c *CodingFlags) Apply(s *jobs.Spec) {
 	if c.Scheme != "" && c.Scheme != "rlnc" {
 		s.Scheme = c.Scheme
@@ -100,6 +104,11 @@ func (c *CodingFlags) Apply(s *jobs.Spec) {
 		s.Scheme = ""
 	}
 	s.Redundancy = c.Redundancy
+	if c.Field != "" && c.Field != "8" {
+		s.Field = c.Field
+	} else {
+		s.Field = ""
+	}
 }
 
 // PoolFlags is the -workers/-engine-workers block.

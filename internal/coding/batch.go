@@ -23,10 +23,15 @@ type BatchDecoder struct {
 	blocks  [][]byte
 }
 
-// NewBatchDecoder returns a batch decoder for the identified generation.
+// NewBatchDecoder returns a batch decoder for the identified generation. The
+// strawman eliminates with the GF(2^8) kernels directly, so it only supports
+// the default field.
 func NewBatchDecoder(generation int, params Params) (*BatchDecoder, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
+	}
+	if params.Field != Field8 {
+		return nil, fmt.Errorf("%w: batch decoder supports GF(2^8) only", ErrInvalidField)
 	}
 	return &BatchDecoder{gen: generation, params: params}, nil
 }
@@ -36,7 +41,7 @@ func (d *BatchDecoder) Add(p *Packet) error {
 	if p.Generation != d.gen {
 		return fmt.Errorf("coding: packet generation %d, decoder generation %d", p.Generation, d.gen)
 	}
-	if len(p.Coeffs) != d.params.GenerationSize || len(p.Payload) != d.params.BlockSize {
+	if len(p.Coeffs) != d.params.CoeffBytes() || len(p.Payload) != d.params.BlockSize {
 		return fmt.Errorf("coding: malformed packet (%d coeffs, %d payload)", len(p.Coeffs), len(p.Payload))
 	}
 	d.packets = append(d.packets, p)
@@ -114,6 +119,69 @@ func (d *BatchDecoder) TryDecode() bool {
 
 // Decoded reports whether a successful TryDecode has happened.
 func (d *BatchDecoder) Decoded() bool { return d.blocks != nil }
+
+// AppendBatch emits count re-encoded packets in one pass and appends them to
+// dst. It is bit-identical to count sequential Next calls — every weight
+// vector is drawn up front in emission order, consuming exactly the RNG
+// sequence the sequential calls would (including the all-zero retry) — but
+// the combination runs stored-rows-outer, outputs-inner, so each buffered
+// row is loaded once and its coefficient draw amortized across the whole
+// batch instead of being re-streamed per packet. With nothing buffered dst
+// is returned unchanged (Next's nil case).
+//
+// The caller owns one reference per appended packet, as with Next.
+func (r *Recoder) AppendBatch(dst []*Packet, count int) []*Packet {
+	m := r.m
+	if count <= 0 || m.rows == 0 {
+		return dst
+	}
+	rows := m.rows
+	fo := m.fops
+	es := m.params.Field.elemSize()
+	weights := getBuf(count * rows * es)
+	defer putBuf(weights)
+	for j := 0; j < count; j++ {
+		wj := weights[j*rows*es : (j+1)*rows*es]
+		for {
+			nonZero := false
+			for i := 0; i < rows; i++ {
+				v := fo.randElem(r.rng)
+				fo.setElem(wj, i, v)
+				if v != 0 {
+					nonZero = true
+				}
+			}
+			if nonZero {
+				break
+			}
+		}
+	}
+	start := len(dst)
+	for j := 0; j < count; j++ {
+		pk := GetPacket(m.params) // zeroed: the accumulators start empty
+		pk.Generation = r.gen
+		dst = append(dst, pk)
+	}
+	// Field addition is XOR, so accumulating row-by-row across packets is
+	// exactly the per-packet accumulation reordered — identical bytes.
+	for i := 0; i < rows; i++ {
+		rc, rp := m.coeffs[i], m.payloads[i]
+		for j := 0; j < count; j++ {
+			if w := fo.elem(weights[j*rows*es:(j+1)*rows*es], i); w != 0 {
+				pk := dst[start+j]
+				fo.mulAdd(pk.Coeffs, rc, w)
+				fo.mulAdd(pk.Payload, rp, w)
+			}
+		}
+	}
+	return dst
+}
+
+// NextBatch emits count re-encoded packets in one amortized pass; it returns
+// nil when nothing has been buffered yet. See AppendBatch for the contract.
+func (r *Recoder) NextBatch(count int) []*Packet {
+	return r.AppendBatch(nil, count)
+}
 
 // Data returns the decoded generation after a successful TryDecode, nil
 // before.

@@ -38,8 +38,14 @@ type Params struct {
 	// BlockSize is m, the number of payload bytes per block.
 	BlockSize int
 	// Strategy selects the GF(2^8) bulk-arithmetic kernel. The zero value
-	// means gf256.StrategyAccel.
+	// means gf256.StrategyAccel. Ignored under Field16, which has a single
+	// kernel.
 	Strategy gf256.Strategy
+	// Field selects the coefficient field; the zero value is Field8
+	// (GF(2^8), the paper's field, bit-identical to builds without the
+	// option). Field16 halves the non-innovation probability per packet at
+	// the cost of doubled coefficient overhead.
+	Field Field
 }
 
 // DefaultParams are the evaluation parameters from Sec. 5 of the paper:
@@ -62,6 +68,14 @@ func (p Params) Validate() error {
 	if p.BlockSize <= 0 {
 		return fmt.Errorf("coding: block size %d must be positive", p.BlockSize)
 	}
+	if !p.Field.Valid() {
+		return fmt.Errorf("%w: %d", ErrInvalidField, int(p.Field))
+	}
+	if p.Field == Field16 && p.BlockSize%2 != 0 {
+		// GF(2^16) kernels operate on two-byte lanes; an odd block would
+		// leave a dangling half element.
+		return fmt.Errorf("coding: block size %d must be even under GF(2^16)", p.BlockSize)
+	}
 	return nil
 }
 
@@ -72,10 +86,14 @@ func (p Params) strategy() gf256.Strategy {
 	return p.Strategy
 }
 
+// CoeffBytes returns the packed size of the coefficient vector in bytes:
+// GenerationSize elements of the field's element width.
+func (p Params) CoeffBytes() int { return p.GenerationSize * p.Field.elemSize() }
+
 // PacketSize returns the number of bytes a coded packet occupies on the air:
 // coefficient vector plus coded payload. (Headers are accounted separately
 // by the simulator.)
-func (p Params) PacketSize() int { return p.GenerationSize + p.BlockSize }
+func (p Params) PacketSize() int { return p.CoeffBytes() + p.BlockSize }
 
 // Packet is one coded packet: a GF(2^8) linear combination of the blocks of
 // one generation, carrying its combination coefficients. Packets emitted by
@@ -168,9 +186,9 @@ func (g *Generation) Data() []byte {
 // Encoder produces random linear combinations of a generation's source
 // blocks: one row of X = R * B per call (Sec. 3.1).
 type Encoder struct {
-	gen    *Generation
-	rng    *rand.Rand
-	kernel gf256.Kernel
+	gen  *Generation
+	rng  *rand.Rand
+	fops *fieldOps
 	// budget caps emissions per generation (the redundancy knob, set by
 	// NewSource); 0 means unlimited — the rateless default.
 	budget  int
@@ -180,7 +198,7 @@ type Encoder struct {
 // NewEncoder returns an encoder drawing coefficients from rng. The rng must
 // not be shared concurrently.
 func NewEncoder(gen *Generation, rng *rand.Rand) *Encoder {
-	return &Encoder{gen: gen, rng: rng, kernel: gf256.KernelFor(gen.params.strategy())}
+	return &Encoder{gen: gen, rng: rng, fops: gen.params.fieldOps()}
 }
 
 // Next emits a fresh coded packet over the whole generation, drawn from the
@@ -200,14 +218,17 @@ func (e *Encoder) Next() *Packet {
 
 // fill overwrites pk with a fresh random combination of the generation.
 func (e *Encoder) fill(pk *Packet) {
+	fo := e.fops
+	n := e.gen.params.GenerationSize
 	coeffs := pk.Coeffs
 	// Reject the (vanishingly unlikely) all-zero vector: it wastes a
 	// transmission and is trivially non-innovative.
 	for {
 		nonZero := false
-		for i := range coeffs {
-			coeffs[i] = byte(e.rng.Intn(256))
-			if coeffs[i] != 0 {
+		for i := 0; i < n; i++ {
+			v := fo.randElem(e.rng)
+			fo.setElem(coeffs, i, v)
+			if v != 0 {
 				nonZero = true
 			}
 		}
@@ -215,7 +236,7 @@ func (e *Encoder) fill(pk *Packet) {
 			break
 		}
 	}
-	for i, c := range coeffs {
-		e.kernel.MulAdd(pk.Payload, e.gen.blocks[i], c)
+	for i := 0; i < n; i++ {
+		fo.mulAdd(pk.Payload, e.gen.blocks[i], fo.elem(coeffs, i))
 	}
 }

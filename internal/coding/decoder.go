@@ -3,8 +3,6 @@ package coding
 import (
 	"fmt"
 	"math/rand"
-
-	"omnc/internal/gf256"
 )
 
 // rref is a progressive Gauss-Jordan eliminator over the augmented matrix
@@ -25,7 +23,7 @@ import (
 // release returns the slabs to the arena.
 type rref struct {
 	params Params
-	kernel gf256.Kernel
+	fops   *fieldOps
 	// pivot[c] is the index into rows of the row whose leading coefficient
 	// column is c, or -1.
 	pivot []int
@@ -43,22 +41,22 @@ type rref struct {
 }
 
 func newRREF(params Params) *rref {
-	n, bs := params.GenerationSize, params.BlockSize
+	n, bs, cb := params.GenerationSize, params.BlockSize, params.CoeffBytes()
 	m := &rref{
 		params:   params,
-		kernel:   gf256.KernelFor(params.strategy()),
+		fops:     params.fieldOps(),
 		pivot:    make([]int, n),
 		coeffs:   make([][]byte, n+1),
 		payloads: make([][]byte, n+1),
-		coefSlab: getBuf((n + 1) * n),
+		coefSlab: getBuf((n + 1) * cb),
 		paySlab:  getBuf((n + 1) * bs),
-		weights:  getBuf(n),
+		weights:  getBuf(cb),
 	}
 	for i := range m.pivot {
 		m.pivot[i] = -1
 	}
 	for i := 0; i <= n; i++ {
-		m.coeffs[i] = m.coefSlab[i*n : (i+1)*n]
+		m.coeffs[i] = m.coefSlab[i*cb : (i+1)*cb]
 		m.payloads[i] = m.paySlab[i*bs : (i+1)*bs]
 	}
 	return m
@@ -86,28 +84,30 @@ func (m *rref) full() bool { return m.rows == m.params.GenerationSize }
 // slices are only read: the matrix copies them into its own storage, so the
 // caller keeps ownership.
 func (m *rref) add(coeffs, payload []byte) bool {
-	k := m.kernel
+	fo := m.fops
+	n := m.params.GenerationSize
 	wc, wp := m.coeffs[m.rows], m.payloads[m.rows]
 	copy(wc, coeffs)
 	copy(wp, payload)
 	// Forward-eliminate: cancel every known pivot column.
-	for c := 0; c < len(wc); c++ {
-		if wc[c] == 0 {
+	for c := 0; c < n; c++ {
+		f := fo.elem(wc, c)
+		if f == 0 {
 			continue
 		}
 		r := m.pivot[c]
 		if r < 0 {
 			continue
 		}
-		f := wc[c]
-		k.MulAdd(wc, m.coeffs[r], f)
-		k.MulAdd(wp, m.payloads[r], f)
+		fo.mulAdd(wc, m.coeffs[r], f)
+		fo.mulAdd(wp, m.payloads[r], f)
 	}
 	// Find the leading column of what remains.
 	lead := -1
-	for c, v := range wc {
-		if v != 0 {
-			lead = c
+	var leadV uint32
+	for c := 0; c < n; c++ {
+		if v := fo.elem(wc, c); v != 0 {
+			lead, leadV = c, v
 			break
 		}
 	}
@@ -115,16 +115,16 @@ func (m *rref) add(coeffs, payload []byte) bool {
 		return false // non-innovative: reduced to the zero row
 	}
 	// Normalize the leading coefficient to 1.
-	if f := wc[lead]; f != 1 {
-		inv := gf256.Inv(f)
-		k.Scale(wc, inv)
-		k.Scale(wp, inv)
+	if leadV != 1 {
+		inv := fo.inv(leadV)
+		fo.mul(wc, wc, inv)
+		fo.mul(wp, wp, inv)
 	}
 	// Back-substitute into all existing rows to keep RREF.
 	for r := 0; r < m.rows; r++ {
-		if f := m.coeffs[r][lead]; f != 0 {
-			k.MulAdd(m.coeffs[r], wc, f)
-			k.MulAdd(m.payloads[r], wp, f)
+		if f := fo.elem(m.coeffs[r], lead); f != 0 {
+			fo.mulAdd(m.coeffs[r], wc, f)
+			fo.mulAdd(m.payloads[r], wp, f)
 		}
 	}
 	// The scratch row becomes row `rows`; the next free row is the new
@@ -138,19 +138,22 @@ func (m *rref) add(coeffs, payload []byte) bool {
 // modifying the matrix or the packet. It borrows the scratch row, which add
 // fully overwrites on its next call.
 func (m *rref) isInnovative(coeffs []byte) bool {
-	k := m.kernel
+	fo := m.fops
+	n := m.params.GenerationSize
 	work := m.coeffs[m.rows]
 	copy(work, coeffs)
-	for c := 0; c < len(work); c++ {
-		if work[c] == 0 {
+	for c := 0; c < n; c++ {
+		f := fo.elem(work, c)
+		if f == 0 {
 			continue
 		}
 		r := m.pivot[c]
 		if r < 0 {
 			return true // a free leading column remains
 		}
-		k.MulAdd(work, m.coeffs[r], work[c])
+		fo.mulAdd(work, m.coeffs[r], f)
 	}
+	// A non-zero element implies a non-zero byte, whatever the width.
 	for _, v := range work {
 		if v != 0 {
 			return true
@@ -167,27 +170,29 @@ func (m *rref) combineInto(rng *rand.Rand, coeffs, payload []byte) bool {
 	if m.rows == 0 {
 		return false
 	}
-	k := m.kernel
+	fo := m.fops
 	clear(coeffs)
 	clear(payload)
-	weights := m.weights[:m.rows]
+	weights := m.weights[:m.rows*m.params.Field.elemSize()]
 	for {
 		nonZero := false
-		for i := range weights {
-			weights[i] = byte(rng.Intn(256))
-			if weights[i] != 0 {
+		for i := 0; i < m.rows; i++ {
+			v := fo.randElem(rng)
+			fo.setElem(weights, i, v)
+			if v != 0 {
 				nonZero = true
 			}
 		}
 		if !nonZero {
 			continue
 		}
-		for i, w := range weights {
+		for i := 0; i < m.rows; i++ {
+			w := fo.elem(weights, i)
 			if w == 0 {
 				continue
 			}
-			k.MulAdd(coeffs, m.coeffs[i], w)
-			k.MulAdd(payload, m.payloads[i], w)
+			fo.mulAdd(coeffs, m.coeffs[i], w)
+			fo.mulAdd(payload, m.payloads[i], w)
 		}
 		return true
 	}
@@ -220,7 +225,7 @@ func (d *Decoder) Add(p *Packet) (innovative bool, err error) {
 	if p.Generation != d.gen {
 		return false, fmt.Errorf("coding: packet generation %d, decoder generation %d", p.Generation, d.gen)
 	}
-	if len(p.Coeffs) != d.m.params.GenerationSize || len(p.Payload) != d.m.params.BlockSize {
+	if len(p.Coeffs) != d.m.params.CoeffBytes() || len(p.Payload) != d.m.params.BlockSize {
 		return false, fmt.Errorf("coding: malformed packet (%d coeffs, %d payload)", len(p.Coeffs), len(p.Payload))
 	}
 	return d.m.add(p.Coeffs, p.Payload), nil
@@ -253,8 +258,9 @@ func (d *Decoder) Block(i int) []byte {
 	if r < 0 {
 		return nil
 	}
-	row := d.m.coeffs[r]
-	for c, v := range row {
+	row, fo := d.m.coeffs[r], d.m.fops
+	for c := 0; c < d.m.params.GenerationSize; c++ {
+		v := fo.elem(row, c)
 		if (c == i && v != 1) || (c != i && v != 0) {
 			return nil
 		}
@@ -306,7 +312,7 @@ func (r *Recoder) Add(p *Packet) (innovative bool, err error) {
 	if p.Generation != r.gen {
 		return false, fmt.Errorf("coding: packet generation %d, recoder generation %d", p.Generation, r.gen)
 	}
-	if len(p.Coeffs) != r.m.params.GenerationSize || len(p.Payload) != r.m.params.BlockSize {
+	if len(p.Coeffs) != r.m.params.CoeffBytes() || len(p.Payload) != r.m.params.BlockSize {
 		return false, fmt.Errorf("coding: malformed packet (%d coeffs, %d payload)", len(p.Coeffs), len(p.Payload))
 	}
 	return r.m.add(p.Coeffs, p.Payload), nil

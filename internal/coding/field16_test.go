@@ -1,0 +1,417 @@
+package coding
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"omnc/internal/gf16"
+)
+
+// field16Params mirrors testParams under the 16-bit field; block sizes must
+// be even (Validate enforces it).
+func field16Params(n, m int) Params {
+	return Params{GenerationSize: n, BlockSize: m, Field: Field16}
+}
+
+func TestParseFieldRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want Field
+	}{
+		{"", Field8},
+		{"8", Field8},
+		{"16", Field16},
+	} {
+		got, err := ParseField(tc.name)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseField(%q) = %v, %v; want %v", tc.name, got, err, tc.want)
+		}
+		// String round-trips back through ParseField (the canonical
+		// spelling; "" normalizes to "8").
+		back, err := ParseField(got.String())
+		if err != nil || back != got {
+			t.Fatalf("ParseField(%v.String()) = %v, %v", got, back, err)
+		}
+	}
+	for _, bad := range []string{"4", "32", "gf16", " 8"} {
+		if _, err := ParseField(bad); !errors.Is(err, ErrInvalidField) {
+			t.Fatalf("ParseField(%q) error = %v, want ErrInvalidField", bad, err)
+		}
+	}
+	if Field(7).Valid() || Field(-1).Valid() {
+		t.Fatal("out-of-range Field values must not validate")
+	}
+}
+
+func TestField16ParamsValidate(t *testing.T) {
+	if err := field16Params(8, 32).Validate(); err != nil {
+		t.Fatalf("even block size: %v", err)
+	}
+	if err := field16Params(8, 33).Validate(); err == nil {
+		t.Fatal("odd block size must be rejected under GF(2^16)")
+	}
+	p := testParams(8, 33)
+	p.Field = Field(9)
+	if err := p.Validate(); !errors.Is(err, ErrInvalidField) {
+		t.Fatalf("invalid field error = %v, want ErrInvalidField", err)
+	}
+	if got := field16Params(8, 32).CoeffBytes(); got != 16 {
+		t.Fatalf("CoeffBytes = %d, want 16 (two bytes per coefficient)", got)
+	}
+	if got := field16Params(8, 32).PacketSize(); got != 16+32 {
+		t.Fatalf("PacketSize = %d, want 48", got)
+	}
+}
+
+// TestField16EncodeDecodeRoundTrip mirrors TestEncodeDecodeRoundTrip: random
+// data survives encode -> decode across dimensions, now with two-byte
+// coefficients. The per-packet non-innovation probability is ~1/65536, so the
+// packet allowance is tighter than the GF(2^8) test needs.
+func TestField16EncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 8, 40} {
+		for _, m := range []int{2, 16, 128} {
+			p := field16Params(n, m)
+			data := randomData(rng, n*m)
+			gen, err := NewGeneration(1, p, data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc := NewEncoder(gen, rng)
+			dec, err := NewDecoder(1, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sent := 0
+			for !dec.Decoded() {
+				if sent > n+16 {
+					t.Fatalf("n=%d m=%d: not decoded after %d packets", n, m, sent)
+				}
+				pk := enc.Next()
+				if _, err := dec.Add(pk); err != nil {
+					t.Fatal(err)
+				}
+				pk.Release()
+				sent++
+			}
+			if !bytes.Equal(dec.Data(), data) {
+				t.Fatalf("n=%d m=%d: decoded data mismatch", n, m)
+			}
+			dec.Close()
+		}
+	}
+}
+
+// TestField16LossyChainRoundTrip pushes one generation through the recoding
+// chain source -> relay -> relay -> decoder under precomputed per-hop
+// erasures — the multihop scenario the field option exists for — and checks
+// exact recovery of the data.
+func TestField16LossyChainRoundTrip(t *testing.T) {
+	const (
+		n, m  = 12, 64
+		hops  = 3
+		slots = 120
+		loss  = 0.3
+	)
+	p := field16Params(n, m)
+	rng := rand.New(rand.NewSource(42))
+	data := randomData(rng, n*m)
+	gen, err := NewGeneration(0, p, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maskRNG := rand.New(rand.NewSource(977))
+	masks := make([][]bool, hops)
+	for h := range masks {
+		masks[h] = make([]bool, slots)
+		for s := range masks[h] {
+			masks[h][s] = maskRNG.Float64() >= loss
+		}
+	}
+	enc := NewEncoder(gen, rng)
+	relays := make([]*Recoder, hops-1)
+	for i := range relays {
+		if relays[i], err = NewRecoder(0, p, rng); err != nil {
+			t.Fatal(err)
+		}
+		defer relays[i].Close()
+	}
+	dec, err := NewDecoder(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dec.Close()
+	deliver := func(i int, pk *Packet) {
+		if i < len(relays) {
+			if _, err := relays[i].Add(pk); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		if _, err := dec.Add(pk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for slot := 0; slot < slots && !dec.Decoded(); slot++ {
+		pk := enc.Next()
+		if masks[0][slot] {
+			deliver(0, pk)
+		}
+		pk.Release()
+		for i, relay := range relays {
+			out := relay.Next()
+			if out == nil {
+				continue
+			}
+			if masks[i+1][slot] {
+				deliver(i+1, out)
+			}
+			out.Release()
+		}
+	}
+	if !dec.Decoded() {
+		t.Fatalf("chain stalled at rank %d/%d", dec.Rank(), n)
+	}
+	if !bytes.Equal(dec.Data(), data) {
+		t.Fatal("decoded data mismatch after lossy recoding chain")
+	}
+}
+
+// TestField16RankMonotone mirrors TestPropertyRankMonotone: rank never
+// decreases, never exceeds the packet count, and duplicates never count.
+func TestField16RankMonotone(t *testing.T) {
+	n := 10
+	p := field16Params(n, 8)
+	rng := rand.New(rand.NewSource(5))
+	gen, _ := NewGeneration(0, p, nil)
+	enc := NewEncoder(gen, rng)
+	dec, _ := NewDecoder(0, p)
+	defer dec.Close()
+	prev := 0
+	for i := 0; i < 2*n; i++ {
+		pk := enc.Next()
+		if i%3 == 2 {
+			dup := pk.Clone()
+			dec.Add(pk)
+			pk.Release()
+			pk = dup // resend a duplicate: must not raise rank
+		}
+		dec.Add(pk)
+		pk.Release()
+		r := dec.Rank()
+		if r < prev || r > i+2 || r > n {
+			t.Fatalf("packet %d: rank %d (prev %d)", i, r, prev)
+		}
+		prev = r
+	}
+	if prev != n {
+		t.Fatalf("final rank %d, want %d", prev, n)
+	}
+}
+
+// TestField16SystematicPrefix mirrors TestProgressiveBlockAvailability and
+// the RS systematic-prefix test: hand-built unit-coefficient packets decode
+// their block immediately, one at a time, before the generation completes.
+func TestField16SystematicPrefix(t *testing.T) {
+	const n, m = 5, 8
+	p := field16Params(n, m)
+	rng := rand.New(rand.NewSource(3))
+	data := randomData(rng, n*m)
+	gen, err := NewGeneration(0, p, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dec.Close()
+	for i := 0; i < n; i++ {
+		pk := &Packet{Generation: 0, Coeffs: make([]byte, p.CoeffBytes()), Payload: append([]byte(nil), gen.Block(i)...)}
+		gf16.SetElem(pk.Coeffs, i, 1)
+		innovative, err := dec.Add(pk)
+		if err != nil || !innovative {
+			t.Fatalf("unit packet %d: innovative=%v err=%v", i, innovative, err)
+		}
+		for j := 0; j < n; j++ {
+			blk := dec.Block(j)
+			if j <= i {
+				if !bytes.Equal(blk, gen.Block(j)) {
+					t.Fatalf("after %d unit packets: block %d wrong or unavailable", i+1, j)
+				}
+			} else if blk != nil {
+				t.Fatalf("after %d unit packets: block %d available early", i+1, j)
+			}
+		}
+	}
+	if !dec.Decoded() || !bytes.Equal(dec.Data(), data) {
+		t.Fatal("systematic prefix did not complete the generation")
+	}
+}
+
+// isRREF16 is isRREF lifted to two-byte coefficients.
+func isRREF16(m *rref) bool {
+	fo := m.fops
+	for c, r := range m.pivot {
+		if r < 0 {
+			continue
+		}
+		if fo.elem(m.coeffs[r], c) != 1 {
+			return false
+		}
+		for other := 0; other < m.rows; other++ {
+			if other != r && fo.elem(m.coeffs[other], c) != 0 {
+				return false
+			}
+		}
+		for cc := 0; cc < c; cc++ {
+			if fo.elem(m.coeffs[r], cc) != 0 {
+				return false
+			}
+		}
+	}
+	count := 0
+	for _, r := range m.pivot {
+		if r >= 0 {
+			count++
+		}
+	}
+	return count == m.rows
+}
+
+// TestField16RREFInvariant mirrors TestPropertyRREFInvariant over GF(2^16).
+func TestField16RREFInvariant(t *testing.T) {
+	const n = 8
+	p := field16Params(n, 4)
+	rng := rand.New(rand.NewSource(17))
+	gen, _ := NewGeneration(0, p, nil)
+	enc := NewEncoder(gen, rng)
+	m := newRREF(p)
+	defer m.release()
+	for i := 0; i < n+3; i++ {
+		pk := enc.Next()
+		m.add(pk.Coeffs, pk.Payload)
+		pk.Release()
+		if !isRREF16(m) {
+			t.Fatalf("matrix left RREF after packet %d", i)
+		}
+	}
+	if m.rank() != n {
+		t.Fatalf("rank %d, want %d", m.rank(), n)
+	}
+}
+
+// TestField16BatchMatchesSequential extends the NextBatch bit-identity
+// contract to the wide field: the batched element-wise weight draws must
+// consume the RNG exactly as sequential emission does.
+func TestField16BatchMatchesSequential(t *testing.T) {
+	const n, bs, fill, batch = 8, 32, 5, 6
+	load := func(seed int64) *Recoder {
+		rng := rand.New(rand.NewSource(seed))
+		gen, err := NewGeneration(1, field16Params(n, bs), randomData(rng, n*bs/2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := NewEncoder(gen, rng)
+		rec, err := NewRecoder(1, field16Params(n, bs), rand.New(rand.NewSource(seed+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rec.Rank() < fill {
+			p := enc.Next()
+			if _, err := rec.Add(p); err != nil {
+				t.Fatal(err)
+			}
+			p.Release()
+		}
+		return rec
+	}
+	seq, bat := load(99), load(99)
+	defer seq.Close()
+	defer bat.Close()
+	var want []*Packet
+	for j := 0; j < batch; j++ {
+		want = append(want, seq.Next())
+	}
+	got := bat.NextBatch(batch)
+	if len(got) != batch {
+		t.Fatalf("NextBatch returned %d packets, want %d", len(got), batch)
+	}
+	for j := range want {
+		if !bytes.Equal(want[j].Coeffs, got[j].Coeffs) || !bytes.Equal(want[j].Payload, got[j].Payload) {
+			t.Fatalf("batch packet %d differs from sequential Next", j)
+		}
+		want[j].Release()
+		got[j].Release()
+	}
+	after, afterBatch := seq.Next(), bat.Next()
+	if !bytes.Equal(after.Coeffs, afterBatch.Coeffs) {
+		t.Fatal("RNG position diverged after the batch")
+	}
+	after.Release()
+	afterBatch.Release()
+}
+
+// TestField16SchemeRestrictions pins the GF(2^8)-only corners: the
+// Reed-Solomon Cauchy construction and the batch-decoding strawman reject a
+// 16-bit parameter set with the typed sentinel.
+func TestField16SchemeRestrictions(t *testing.T) {
+	p := field16Params(8, 32)
+	gen, err := NewGeneration(0, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRSEncoder(gen); !errors.Is(err, ErrInvalidField) {
+		t.Fatalf("NewRSEncoder error = %v, want ErrInvalidField", err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewSource(SchemeRS, gen, rng, 0); !errors.Is(err, ErrInvalidField) {
+		t.Fatalf("NewSource(SchemeRS) error = %v, want ErrInvalidField", err)
+	}
+	if _, err := NewBatchDecoder(0, p); !errors.Is(err, ErrInvalidField) {
+		t.Fatalf("NewBatchDecoder error = %v, want ErrInvalidField", err)
+	}
+	// RLNC sources and relays accept the wide field.
+	if _, err := NewSource(SchemeRLNC, gen, rng, 0); err != nil {
+		t.Fatalf("NewSource(SchemeRLNC): %v", err)
+	}
+	relay, err := NewRelay(SchemeRLNC, 0, p, rng)
+	if err != nil {
+		t.Fatalf("NewRelay(SchemeRLNC): %v", err)
+	}
+	relay.Close()
+}
+
+// TestField16WireRoundTrip: a GF(2^16) packet survives marshal -> unmarshal
+// byte-for-byte. The wire format carries the coefficient vector as opaque
+// bytes with an explicit length, so no format change is needed.
+func TestField16WireRoundTrip(t *testing.T) {
+	p := field16Params(6, 32)
+	rng := rand.New(rand.NewSource(8))
+	gen, err := NewGeneration(3, p, randomData(rng, 6*32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := NewEncoder(gen, rng).Next()
+	defer pk.Release()
+	buf, err := MarshalData(9, pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != WireSize(p) {
+		t.Fatalf("wire size %d, want %d", len(buf), WireSize(p))
+	}
+	msg, out, err := UnmarshalPacket(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Release()
+	if msg.Session != 9 || out.Generation != 3 {
+		t.Fatalf("header mismatch: session %d generation %d", msg.Session, out.Generation)
+	}
+	if !bytes.Equal(out.Coeffs, pk.Coeffs) || !bytes.Equal(out.Payload, pk.Payload) {
+		t.Fatal("wire round-trip altered the packet")
+	}
+}

@@ -57,7 +57,7 @@ func (f *ForwardBuffer) Add(p *Packet) (innovative bool, err error) {
 	if p.Generation != f.gen {
 		return false, fmt.Errorf("coding: packet generation %d, relay generation %d", p.Generation, f.gen)
 	}
-	if len(p.Coeffs) != f.params.GenerationSize || len(p.Payload) != f.params.BlockSize {
+	if len(p.Coeffs) != f.params.CoeffBytes() || len(p.Payload) != f.params.BlockSize {
 		return false, fmt.Errorf("coding: malformed packet (%d coeffs, %d payload)", len(p.Coeffs), len(p.Payload))
 	}
 	if !f.filter.add(p.Coeffs, nil) {

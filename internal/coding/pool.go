@@ -99,7 +99,7 @@ func putBuf(b []byte) {
 // reuse.
 func GetPacket(params Params) *Packet {
 	pk := packetPool.Get().(*Packet)
-	n, m := params.GenerationSize, params.BlockSize
+	n, m := params.CoeffBytes(), params.BlockSize
 	if cap(pk.Coeffs) >= n {
 		pk.Coeffs = pk.Coeffs[:n]
 		clear(pk.Coeffs)

@@ -37,10 +37,14 @@ type RSEncoder struct {
 
 // NewRSEncoder returns a systematic Reed-Solomon source for the
 // generation. The GF(2^8) Cauchy construction caps GenerationSize at 255,
-// which Params.Validate already guarantees.
+// which Params.Validate already guarantees, and ties the scheme to the
+// default field: a GF(2^16) parameter set is rejected.
 func NewRSEncoder(gen *Generation) (*RSEncoder, error) {
 	if err := gen.params.Validate(); err != nil {
 		return nil, err
+	}
+	if gen.params.Field != Field8 {
+		return nil, fmt.Errorf("%w: Reed-Solomon is a GF(2^8) Cauchy construction", ErrInvalidField)
 	}
 	return &RSEncoder{gen: gen, kernel: gf256.KernelFor(gen.params.strategy())}, nil
 }

@@ -66,7 +66,7 @@ type Message struct {
 // WireSize returns the serialized size in bytes of a data packet under the
 // given parameters.
 func WireSize(p Params) int {
-	return dataHeaderLen + p.GenerationSize + p.BlockSize
+	return dataHeaderLen + p.CoeffBytes() + p.BlockSize
 }
 
 // AckWireSize is the serialized size of an ACK message.

@@ -3,8 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-
-	"omnc/internal/graph"
 )
 
 // The multiple-unicast extension the paper's conclusion points to ("the
@@ -123,6 +121,14 @@ func (mc *MultiRateController) Run() (*MultiResult, error) {
 		return load
 	}
 
+	// Shared per-iteration scratch — SUB1's digraph and Dijkstra storage
+	// plus the xt/w temporaries — comes from the pooled workspace. Sessions
+	// run sequentially within an iteration and each re-zeroes the slices it
+	// borrows (f64), so one workspace serves them all with results identical
+	// to fresh allocation (Options.FreshWorkspace is the oracle).
+	ws := getRateWorkspace(o.FreshWorkspace)
+	defer putRateWorkspace(ws, o.FreshWorkspace)
+
 	epochStart := 1
 	nextRestart := 2
 	stable := 0
@@ -150,8 +156,8 @@ func (mc *MultiRateController) Run() (*MultiResult, error) {
 		for _, st := range states {
 			sg := st.sg
 			// SUB1: session-private shortest path and gamma.
-			g := sg.ForwardGraph(st.lambda)
-			path, pMin, ok := graph.ShortestPath(g, sg.Src, sg.Dst)
+			sg.ForwardGraphInto(&ws.g, st.lambda)
+			path, pMin, ok := ws.pf.ShortestPath(&ws.g, sg.Src, sg.Dst)
 			if !ok {
 				return nil, &ErrUnreachable{Src: sg.Nodes[sg.Src], Dst: sg.Nodes[sg.Dst]}
 			}
@@ -159,8 +165,8 @@ func (mc *MultiRateController) Run() (*MultiResult, error) {
 			if pMin > 1 {
 				gamma = 1 / pMin
 			}
-			xt := make([]float64, len(sg.Links))
-			for _, li := range pathLinkIndices(sg, path) {
+			xt := f64(&ws.xt, len(sg.Links))
+			for _, li := range pathLinkIndicesInto(sg, path, ints(&ws.onPath, len(path))) {
 				xt[li] = gamma
 			}
 			for li := range st.sumX {
@@ -169,7 +175,7 @@ func (mc *MultiRateController) Run() (*MultiResult, error) {
 			}
 
 			// SUB2: proximal update against shared congestion prices.
-			w := make([]float64, sg.Size())
+			w := f64(&ws.w, sg.Size())
 			for li, l := range sg.Links {
 				w[l.From] += st.lambda[li] * l.Prob
 			}

@@ -3,8 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-
-	"omnc/internal/graph"
 )
 
 // Options tunes the distributed rate-control algorithm (Table 1). The zero
@@ -35,6 +33,12 @@ type Options struct {
 	Window int
 	// RecordTrace enables per-iteration snapshots (used to draw Fig. 1).
 	RecordTrace bool
+	// FreshWorkspace disables solver-workspace reuse: every Run allocates
+	// its scratch storage instead of drawing it from the package pool. The
+	// results are bit-identical either way — pooled scratch is re-zeroed on
+	// acquisition — which is exactly what the solver-reuse property tests
+	// assert by running both modes. Production runs leave this false.
+	FreshWorkspace bool
 }
 
 func (o Options) withDefaults() Options {
@@ -124,16 +128,23 @@ func (rc *RateController) Run() (*Result, error) {
 		return nil, fmt.Errorf("core: subgraph has no links")
 	}
 
+	// All scratch storage comes from the pooled workspace (workspace.go):
+	// acquisition re-zeroes every slice, so the solve below is byte-for-byte
+	// the same computation as with freshly made slices, without the
+	// per-iteration (and per-replan) allocations.
+	ws := getRateWorkspace(o.FreshWorkspace)
+	defer putRateWorkspace(ws, o.FreshWorkspace)
+
 	// Step 1 of Table 1: primal variables at small positive values, duals
 	// at zero. Everything below is in capacity units (C == 1).
 	const initRate = 0.01
-	b := make([]float64, k)
+	b := f64(&ws.b, k)
 	for i := range b {
 		b[i] = initRate
 	}
 	b[sg.Dst] = 0 // the destination never transmits for this session
-	lambda := make([]float64, nl)
-	beta := make([]float64, k) // beta[Src] stays 0: (4) holds for i != S
+	lambda := f64(&ws.lambda, nl)
+	beta := f64(&ws.beta, k) // beta[Src] stays 0: (4) holds for i != S
 
 	// Running sums for primal recovery (13) and (18). Plain 1/t averaging
 	// over the whole history would let the crude early iterates dominate
@@ -141,17 +152,17 @@ func (rc *RateController) Run() (*Result, error) {
 	// power-of-two iteration: at any time they cover at least the latest
 	// half of the run, which remains a valid ergodic primal recovery in the
 	// sense of Sherali-Choi while converging much faster in practice.
-	sumX := make([]float64, nl)
-	sumB := make([]float64, k)
-	avgB := make([]float64, k)
-	prevAvgB := make([]float64, k)
-	avgX := make([]float64, nl)
+	sumX := f64(&ws.sumX, nl)
+	sumB := f64(&ws.sumB, k)
+	avgB := f64(&ws.avgB, k)
+	prevAvgB := f64(&ws.prevAvgB, k)
+	avgX := f64(&ws.avgX, nl)
 	epochStart := 1
 	nextRestart := 2
 	// Full-history sums drive the reported Fig. 1 trace: they converge more
 	// slowly but without the visible jumps the epoch restarts would cause.
-	traceSumX := make([]float64, nl)
-	traceSumB := make([]float64, k)
+	traceSumX := f64(&ws.traceSumX, nl)
+	traceSumB := f64(&ws.traceSumB, k)
 
 	res := &Result{}
 	stable := 0
@@ -172,8 +183,8 @@ func (rc *RateController) Run() (*Result, error) {
 
 		// --- Step 3, SUB1: shortest path under link costs lambda, then
 		// gamma = U'^{-1}(p_min) with U = ln, i.e. gamma = 1/p_min (12).
-		g := sg.ForwardGraph(lambda)
-		path, pMin, ok := graph.ShortestPath(g, sg.Src, sg.Dst)
+		sg.ForwardGraphInto(&ws.g, lambda)
+		path, pMin, ok := ws.pf.ShortestPath(&ws.g, sg.Src, sg.Dst)
 		if !ok {
 			return nil, &ErrUnreachable{Src: sg.Nodes[sg.Src], Dst: sg.Nodes[sg.Dst]}
 		}
@@ -181,8 +192,8 @@ func (rc *RateController) Run() (*Result, error) {
 		if pMin > 1 {
 			gamma = 1 / pMin
 		}
-		xt := make([]float64, nl)
-		onPath := pathLinkIndices(sg, path)
+		xt := f64(&ws.xt, nl)
+		onPath := pathLinkIndicesInto(sg, path, ints(&ws.onPath, len(path)))
 		for _, li := range onPath {
 			xt[li] = gamma
 		}
@@ -194,11 +205,11 @@ func (rc *RateController) Run() (*Result, error) {
 
 		// --- Step 4, SUB2: proximal update of b (17) and congestion price
 		// update (15). w_i = sum_j lambda_ij p_ij over out-links of i.
-		w := make([]float64, k)
+		w := f64(&ws.w, k)
 		for li, l := range sg.Links {
 			w[l.From] += lambda[li] * l.Prob
 		}
-		newB := make([]float64, k)
+		newB := f64(&ws.newB, k)
 		for i := 0; i < k; i++ {
 			if i == sg.Dst {
 				continue
@@ -320,7 +331,12 @@ func recoveredGamma(sg *Subgraph, x []float64) float64 {
 
 // pathLinkIndices maps a node path to the indices of its links.
 func pathLinkIndices(sg *Subgraph, path []int) []int {
-	idx := make([]int, 0, len(path)-1)
+	return pathLinkIndicesInto(sg, path, make([]int, 0, len(path)-1))
+}
+
+// pathLinkIndicesInto is pathLinkIndices appending into a caller-supplied
+// buffer (which must be empty) so hot loops can reuse storage.
+func pathLinkIndicesInto(sg *Subgraph, path, idx []int) []int {
 	for h := 0; h+1 < len(path); h++ {
 		from, to := path[h], path[h+1]
 		for _, li := range sg.Out(from) {

@@ -240,6 +240,20 @@ func (sg *Subgraph) In(i int) []int { return sg.in[i] }
 // costs (len(costs) == len(Links)); nil costs mean unit costs.
 func (sg *Subgraph) ForwardGraph(costs []float64) *graph.Digraph {
 	g := graph.New(sg.Size())
+	sg.forwardEdges(g, costs)
+	return g
+}
+
+// ForwardGraphInto is ForwardGraph rebuilding into an existing digraph,
+// reusing its adjacency storage. Edges are inserted in Links order either
+// way, so the resulting graph — and every Dijkstra tie-break downstream — is
+// identical to a freshly built one.
+func (sg *Subgraph) ForwardGraphInto(g *graph.Digraph, costs []float64) {
+	g.Reset(sg.Size())
+	sg.forwardEdges(g, costs)
+}
+
+func (sg *Subgraph) forwardEdges(g *graph.Digraph, costs []float64) {
 	for i, l := range sg.Links {
 		c := 1.0
 		if costs != nil {
@@ -247,7 +261,6 @@ func (sg *Subgraph) ForwardGraph(costs []float64) *graph.Digraph {
 		}
 		g.AddEdge(l.From, l.To, c)
 	}
-	return g
 }
 
 // PathCount returns the number of distinct source-to-destination paths in

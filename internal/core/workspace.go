@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sync"
+
+	"omnc/internal/graph"
+)
+
+// rateWorkspace owns every piece of scratch storage one rate-control Run
+// consumes: the primal/dual vectors and recovery sums, SUB1's forwarder
+// digraph and Dijkstra scratch, and the per-iteration temporaries. Runs draw
+// a workspace from a package-level pool and return it on exit — the same
+// arena discipline internal/coding/pool.go applies to packets — so the
+// Lagrangian solve allocates nothing per iteration and topology-epoch
+// replans recycle the previous epoch's storage instead of re-paying it.
+//
+// Every slice is re-zeroed on acquisition (f64/ints below), so a pooled
+// workspace is indistinguishable from freshly made storage and results stay
+// bit-identical with Options.FreshWorkspace set — the property the solver
+// reuse tests pin.
+type rateWorkspace struct {
+	b, lambda, beta      []float64
+	sumX, sumB, avgB     []float64
+	prevAvgB, avgX       []float64
+	traceSumX, traceSumB []float64
+	xt, w, newB          []float64
+	onPath               []int
+	g                    graph.Digraph
+	pf                   graph.PathFinder
+}
+
+var ratePool = sync.Pool{New: func() any { return new(rateWorkspace) }}
+
+// getRateWorkspace returns a workspace: pooled by default, freshly allocated
+// when fresh is set (the fresh-allocate oracle of the reuse property tests).
+func getRateWorkspace(fresh bool) *rateWorkspace {
+	if fresh {
+		return new(rateWorkspace)
+	}
+	return ratePool.Get().(*rateWorkspace)
+}
+
+// putRateWorkspace recycles the workspace unless it was a fresh oracle.
+func putRateWorkspace(ws *rateWorkspace, fresh bool) {
+	if !fresh {
+		ratePool.Put(ws)
+	}
+}
+
+// f64 returns a zeroed float64 slice of length n backed by *buf, growing it
+// when needed. Semantically identical to make([]float64, n); the reuse is
+// invisible to the caller.
+func f64(buf *[]float64, n int) []float64 {
+	s := *buf
+	if cap(s) < n {
+		s = make([]float64, n)
+	} else {
+		s = s[:n]
+		for i := range s {
+			s[i] = 0
+		}
+	}
+	*buf = s
+	return s
+}
+
+// ints returns an empty int slice with capacity at least n backed by *buf.
+func ints(buf *[]int, n int) []int {
+	s := *buf
+	if cap(s) < n {
+		s = make([]int, 0, n)
+	}
+	*buf = s[:0]
+	return *buf
+}

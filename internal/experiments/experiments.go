@@ -200,7 +200,7 @@ func (c Config) withDefaults() Config {
 		c.Coding = coding.Params{GenerationSize: 40, BlockSize: 8, Strategy: gf256.StrategyAccel}
 	}
 	if c.AirPacketSize == 0 {
-		c.AirPacketSize = c.Coding.GenerationSize + 1024
+		c.AirPacketSize = c.Coding.CoeffBytes() + 1024
 	}
 	if len(c.Protocols) == 0 {
 		c.Protocols = []string{ProtoOMNC, ProtoMORE, ProtoOldMORE, ProtoETX}

@@ -91,7 +91,7 @@ func (c SchemesConfig) withDefaults() SchemesConfig {
 		c.Coding = coding.Params{GenerationSize: 16, BlockSize: 8}
 	}
 	if c.AirPacketSize == 0 {
-		c.AirPacketSize = c.Coding.GenerationSize + 1024
+		c.AirPacketSize = c.Coding.CoeffBytes() + 1024
 	}
 	return c
 }

@@ -1,0 +1,106 @@
+package gf16
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestFieldAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		a, b, c := uint16(rng.Intn(1<<16)), uint16(rng.Intn(1<<16)), uint16(rng.Intn(1<<16))
+		if Mul(a, b) != Mul(b, a) {
+			t.Fatalf("commutativity: %#x * %#x", a, b)
+		}
+		if Mul(a, Mul(b, c)) != Mul(Mul(a, b), c) {
+			t.Fatalf("associativity: %#x %#x %#x", a, b, c)
+		}
+		if Mul(a, b^c) != Mul(a, b)^Mul(a, c) {
+			t.Fatalf("distributivity: %#x over %#x + %#x", a, b, c)
+		}
+		if Mul(a, 1) != a || Mul(a, 0) != 0 {
+			t.Fatalf("identity/annihilator: %#x", a)
+		}
+	}
+}
+
+func TestInv(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 2000; trial++ {
+		a := uint16(1 + rng.Intn(1<<16-1))
+		if got := Mul(a, Inv(a)); got != 1 {
+			t.Fatalf("%#x * Inv = %#x, want 1", a, got)
+		}
+	}
+	if Inv(1) != 1 {
+		t.Fatal("Inv(1) != 1")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) must panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestBulkKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 * rng.Intn(40)
+		c := uint16(rng.Intn(1 << 16))
+		src := make([]byte, n)
+		rng.Read(src)
+		dst := make([]byte, n)
+		rng.Read(dst)
+
+		wantAdd := append([]byte(nil), dst...)
+		for i := 0; i < n/2; i++ {
+			SetElem(wantAdd, i, Elem(wantAdd, i)^Mul(c, Elem(src, i)))
+		}
+		gotAdd := append([]byte(nil), dst...)
+		MulAdd(gotAdd, src, c)
+		if !bytes.Equal(gotAdd, wantAdd) {
+			t.Fatalf("MulAdd(c=%#x, n=%d) = %x, want %x", c, n, gotAdd, wantAdd)
+		}
+
+		wantMul := make([]byte, n)
+		for i := 0; i < n/2; i++ {
+			SetElem(wantMul, i, Mul(c, Elem(src, i)))
+		}
+		gotMul := append([]byte(nil), dst...)
+		MulSlice(gotMul, src, c)
+		if !bytes.Equal(gotMul, wantMul) {
+			t.Fatalf("MulSlice(c=%#x, n=%d) = %x, want %x", c, n, gotMul, wantMul)
+		}
+
+		// In-place aliasing (the Scale pattern).
+		self := append([]byte(nil), src...)
+		MulSlice(self, self, c)
+		selfWant := make([]byte, n)
+		for i := 0; i < n/2; i++ {
+			SetElem(selfWant, i, Mul(c, Elem(src, i)))
+		}
+		if !bytes.Equal(self, selfWant) {
+			t.Fatalf("in-place MulSlice(c=%#x, n=%d) diverged", c, n)
+		}
+	}
+}
+
+func TestKernelPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { MulAdd(make([]byte, 4), make([]byte, 2), 5) },
+		func() { MulAdd(make([]byte, 3), make([]byte, 3), 5) },
+		func() { MulSlice(make([]byte, 4), make([]byte, 2), 5) },
+		func() { MulSlice(make([]byte, 3), make([]byte, 3), 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("contract violation must panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

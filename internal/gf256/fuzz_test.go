@@ -1,0 +1,106 @@
+package gf256
+
+import (
+	"bytes"
+	"testing"
+)
+
+// refMulAdd is the byte-at-a-time reference: shift-and-reduce multiplication
+// with no tables and no word tricks, so it shares no machinery with the
+// kernels under test.
+func refMulAdd(dst, src []byte, c byte) {
+	for i := range src {
+		dst[i] ^= mulSlow(c, src[i])
+	}
+}
+
+func refMul(dst, src []byte, c byte) {
+	for i := range src {
+		dst[i] = mulSlow(c, src[i])
+	}
+}
+
+// FuzzGFKernels differentially tests every bulk kernel — nibble, bit-plane
+// wide XOR, full table, naive log/exp, and the c==1 xorSlice fast path —
+// against the byte-at-a-time reference, across random lengths (word loops
+// plus tails), random buffer alignments (the wide kernels read 8-byte words
+// at arbitrary offsets) and dst==src aliasing (the in-place Scale pattern;
+// partial overlap stays forbidden by contract).
+func FuzzGFKernels(f *testing.F) {
+	f.Add([]byte{}, byte(0), uint8(0), false)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, byte(1), uint8(1), false)
+	f.Add(bytes.Repeat([]byte{0xFF}, 64), byte(0x53), uint8(7), true)
+	f.Add([]byte{0x80, 0x00, 0x1B, 0xCA}, byte(0x02), uint8(3), false)
+	f.Add(bytes.Repeat([]byte{0xAA, 0x55}, 100), byte(0xFE), uint8(5), true)
+
+	strategies := []Strategy{StrategyAccel, StrategyBitPlane, StrategyTable, StrategyNaive}
+	f.Fuzz(func(t *testing.T, data []byte, c byte, offset uint8, alias bool) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		// Rebase the operands at a fuzzed offset inside larger backings so
+		// the 8-byte word loops see every alignment class.
+		off := int(offset % 16)
+		srcBack := make([]byte, off+len(data))
+		copy(srcBack[off:], data)
+		src := srcBack[off : off+len(data)]
+		dstInit := make([]byte, len(data))
+		for i := range dstInit {
+			dstInit[i] = byte(i*131) ^ c
+		}
+
+		wantAdd := append([]byte(nil), dstInit...)
+		refMulAdd(wantAdd, src, c)
+		wantMul := make([]byte, len(data))
+		refMul(wantMul, src, c)
+		wantScale := append([]byte(nil), src...)
+		refMul(wantScale, wantScale, c)
+
+		for _, s := range strategies {
+			k := KernelFor(s)
+
+			dst := make([]byte, off+len(data))[off:]
+			copy(dst, dstInit)
+			MulAddSlice(s, dst, src, c)
+			if !bytes.Equal(dst, wantAdd) {
+				t.Fatalf("%v MulAddSlice(c=%#x, n=%d, off=%d) = %x, want %x", s, c, len(data), off, dst, wantAdd)
+			}
+
+			copy(dst, dstInit)
+			k.MulAdd(dst, src, c)
+			if !bytes.Equal(dst, wantAdd) {
+				t.Fatalf("%v Kernel.MulAdd(c=%#x, n=%d, off=%d) = %x, want %x", s, c, len(data), off, dst, wantAdd)
+			}
+
+			copy(dst, dstInit)
+			MulSlice(s, dst, src, c)
+			if !bytes.Equal(dst, wantMul) {
+				t.Fatalf("%v MulSlice(c=%#x, n=%d, off=%d) = %x, want %x", s, c, len(data), off, dst, wantMul)
+			}
+
+			copy(dst, dstInit)
+			k.Mul(dst, src, c)
+			if !bytes.Equal(dst, wantMul) {
+				t.Fatalf("%v Kernel.Mul(c=%#x, n=%d, off=%d) = %x, want %x", s, c, len(data), off, dst, wantMul)
+			}
+
+			if alias {
+				// dst == src exactly: the one aliasing shape the contract
+				// permits, exercised by Scale and in-place elimination.
+				buf := make([]byte, off+len(data))[off:]
+				copy(buf, src)
+				k.Scale(buf, c)
+				if !bytes.Equal(buf, wantScale) {
+					t.Fatalf("%v Scale(c=%#x, n=%d, off=%d) = %x, want %x", s, c, len(data), off, buf, wantScale)
+				}
+				copy(buf, src)
+				MulAddSlice(s, buf, buf, c)
+				wantSelf := append([]byte(nil), src...)
+				refMulAdd(wantSelf, src, c)
+				if !bytes.Equal(buf, wantSelf) {
+					t.Fatalf("%v MulAddSlice self-alias(c=%#x, n=%d, off=%d) = %x, want %x", s, c, len(data), off, buf, wantSelf)
+				}
+			}
+		}
+	})
+}

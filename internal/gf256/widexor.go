@@ -34,47 +34,66 @@ func bitPlaneConsts(c byte) [8]byte {
 	return ck
 }
 
-func mulAddWideXOR(dst, src []byte, c byte) {
+// planeConsts are the eight broadcast bit-plane constants of x -> c*x,
+// hoisted into distinct locals so the compiler keeps them in registers
+// across the word loop instead of reloading an array element per plane.
+type planeConsts struct {
+	b0, b1, b2, b3, b4, b5, b6, b7 uint64
+}
+
+func broadcastPlanes(c byte) planeConsts {
 	ck := bitPlaneConsts(c)
-	var bc [8]uint64
-	for k := 0; k < 8; k++ {
-		bc[k] = uint64(ck[k]) * broadcast
+	return planeConsts{
+		b0: uint64(ck[0]) * broadcast,
+		b1: uint64(ck[1]) * broadcast,
+		b2: uint64(ck[2]) * broadcast,
+		b3: uint64(ck[3]) * broadcast,
+		b4: uint64(ck[4]) * broadcast,
+		b5: uint64(ck[5]) * broadcast,
+		b6: uint64(ck[6]) * broadcast,
+		b7: uint64(ck[7]) * broadcast,
 	}
-	n := len(src)
-	i := 0
-	for ; i+8 <= n; i += 8 {
-		w := binary.LittleEndian.Uint64(src[i:])
-		var acc uint64
-		for k := 0; k < 8; k++ {
-			mask := ((w >> uint(k)) & lsbMask) * 0xFF
-			acc ^= mask & bc[k]
-		}
-		d := binary.LittleEndian.Uint64(dst[i:])
-		binary.LittleEndian.PutUint64(dst[i:], d^acc)
+}
+
+// mulWord applies all eight bit planes of x -> c*x to one 8-lane word. The
+// unrolled plane sequence is pure AND/SHIFT/MUL/XOR on registers — the shape
+// a vectorizing backend turns into mask-and-select lanes, and scalar Go
+// executes without a loop-carried counter.
+func mulWord(w uint64, p *planeConsts) uint64 {
+	acc := ((w >> 0) & lsbMask) * 0xFF & p.b0
+	acc ^= ((w >> 1) & lsbMask) * 0xFF & p.b1
+	acc ^= ((w >> 2) & lsbMask) * 0xFF & p.b2
+	acc ^= ((w >> 3) & lsbMask) * 0xFF & p.b3
+	acc ^= ((w >> 4) & lsbMask) * 0xFF & p.b4
+	acc ^= ((w >> 5) & lsbMask) * 0xFF & p.b5
+	acc ^= ((w >> 6) & lsbMask) * 0xFF & p.b6
+	acc ^= ((w >> 7) & lsbMask) * 0xFF & p.b7
+	return acc
+}
+
+func mulAddWideXOR(dst, src []byte, c byte) {
+	p := broadcastPlanes(c)
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		s := src[i : i+8 : i+8] // full-slice exprs: one bounds check per word
+		d := dst[i : i+8 : i+8]
+		w := binary.LittleEndian.Uint64(s)
+		binary.LittleEndian.PutUint64(d, binary.LittleEndian.Uint64(d)^mulWord(w, &p))
 	}
-	for ; i < n; i++ {
+	for i := n; i < len(src); i++ {
 		dst[i] ^= mulTable[c][src[i]]
 	}
 }
 
 func mulWideXOR(dst, src []byte, c byte) {
-	ck := bitPlaneConsts(c)
-	var bc [8]uint64
-	for k := 0; k < 8; k++ {
-		bc[k] = uint64(ck[k]) * broadcast
+	p := broadcastPlanes(c)
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		s := src[i : i+8 : i+8]
+		d := dst[i : i+8 : i+8]
+		binary.LittleEndian.PutUint64(d, mulWord(binary.LittleEndian.Uint64(s), &p))
 	}
-	n := len(src)
-	i := 0
-	for ; i+8 <= n; i += 8 {
-		w := binary.LittleEndian.Uint64(src[i:])
-		var acc uint64
-		for k := 0; k < 8; k++ {
-			mask := ((w >> uint(k)) & lsbMask) * 0xFF
-			acc ^= mask & bc[k]
-		}
-		binary.LittleEndian.PutUint64(dst[i:], acc)
-	}
-	for ; i < n; i++ {
+	for i := n; i < len(src); i++ {
 		dst[i] = mulTable[c][src[i]]
 	}
 }

@@ -7,7 +7,6 @@
 package graph
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -39,6 +38,23 @@ func (g *Digraph) AddEdge(u, v int, cost float64) {
 	g.adj[u] = append(g.adj[u], Edge{To: v, Cost: cost})
 }
 
+// Reset empties the digraph and resizes it to n nodes, keeping the adjacency
+// storage of earlier edges for reuse. A Reset digraph behaves exactly like
+// New(n) but allocates nothing once its lists have grown to the working-set
+// size — the rate controller rebuilds its forwarder graph every iteration
+// through this path.
+func (g *Digraph) Reset(n int) {
+	if cap(g.adj) < n {
+		adj := make([][]Edge, n)
+		copy(adj, g.adj[:cap(g.adj)])
+		g.adj = adj
+	}
+	g.adj = g.adj[:n]
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
+}
+
 // Edges returns the out-edges of u (not a copy).
 func (g *Digraph) Edges(u int) []Edge { return g.adj[u] }
 
@@ -50,35 +66,91 @@ type pqItem struct {
 	dist float64
 }
 
-type priorityQueue []pqItem
+// pqueue is a binary min-heap of pqItem ordered by dist. It replicates
+// container/heap's sift-up/sift-down exactly — same comparisons, same swaps —
+// so the pop order among equal-distance items (and therefore every Dijkstra
+// parent array built on it) is bit-identical to the boxed container/heap
+// implementation it replaced, without the per-push interface allocation.
+type pqueue []pqItem
 
-func (q priorityQueue) Len() int            { return len(q) }
-func (q priorityQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q priorityQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *priorityQueue) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *priorityQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
+func (q *pqueue) push(it pqItem) {
+	*q = append(*q, it)
+	// Sift up (container/heap's up).
+	h := *q
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(h[j].dist < h[i].dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (q *pqueue) pop() pqItem {
+	h := *q
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	// Sift down over h[:n] (container/heap's down).
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].dist < h[j1].dist {
+			j = j2
+		}
+		if !(h[j].dist < h[i].dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	it := h[n]
+	*q = h[:n]
 	return it
 }
 
-// Dijkstra returns the shortest distance from src to every node and the
-// predecessor array (parent[src] == src; parent of unreachable nodes is -1).
-func Dijkstra(g *Digraph, src int) (dist []float64, parent []int) {
+// PathFinder owns the scratch storage of Dijkstra queries — distance and
+// parent arrays, the priority queue, and the reconstructed path — so a hot
+// loop (SUB1 of the rate controller runs one query per iteration) can reuse
+// it across calls instead of reallocating. The zero value is ready to use.
+// A PathFinder must not be shared between goroutines.
+type PathFinder struct {
+	dist   []float64
+	parent []int
+	pq     pqueue
+	path   []int
+}
+
+// grow resizes the scratch arrays to n nodes.
+func (f *PathFinder) grow(n int) {
+	if cap(f.dist) < n {
+		f.dist = make([]float64, n)
+		f.parent = make([]int, n)
+	}
+	f.dist = f.dist[:n]
+	f.parent = f.parent[:n]
+}
+
+// dijkstra fills f.dist and f.parent from src.
+func (f *PathFinder) dijkstra(g *Digraph, src int) {
 	n := g.N()
-	dist = make([]float64, n)
-	parent = make([]int, n)
+	f.grow(n)
+	dist, parent := f.dist, f.parent
 	for i := range dist {
 		dist[i] = Inf
 		parent[i] = -1
 	}
 	dist[src] = 0
 	parent[src] = src
-	pq := &priorityQueue{{node: src, dist: 0}}
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(pqItem)
+	f.pq = f.pq[:0]
+	f.pq.push(pqItem{node: src, dist: 0})
+	for len(f.pq) > 0 {
+		it := f.pq.pop()
 		if it.dist > dist[it.node] {
 			continue
 		}
@@ -86,28 +158,48 @@ func Dijkstra(g *Digraph, src int) (dist []float64, parent []int) {
 			if nd := it.dist + e.Cost; nd < dist[e.To] {
 				dist[e.To] = nd
 				parent[e.To] = it.node
-				heap.Push(pq, pqItem{node: e.To, dist: nd})
+				f.pq.push(pqItem{node: e.To, dist: nd})
 			}
 		}
 	}
-	return dist, parent
+}
+
+// ShortestPath is the reusing counterpart of the package-level ShortestPath:
+// the returned path aliases the finder's scratch storage and is only valid
+// until the next call on this finder (copy it to keep it).
+func (f *PathFinder) ShortestPath(g *Digraph, src, dst int) (path []int, cost float64, ok bool) {
+	f.dijkstra(g, src)
+	if math.IsInf(f.dist[dst], 1) {
+		return nil, Inf, false
+	}
+	f.path = f.path[:0]
+	for at := dst; ; at = f.parent[at] {
+		f.path = append(f.path, at)
+		if at == src {
+			break
+		}
+	}
+	reverse(f.path)
+	return f.path, f.dist[dst], true
+}
+
+// Dijkstra returns the shortest distance from src to every node and the
+// predecessor array (parent[src] == src; parent of unreachable nodes is -1).
+func Dijkstra(g *Digraph, src int) (dist []float64, parent []int) {
+	var f PathFinder
+	f.dijkstra(g, src)
+	return f.dist, f.parent
 }
 
 // ShortestPath returns the minimum-cost path from src to dst as a node
 // sequence (src first), its total cost, and whether dst is reachable.
 func ShortestPath(g *Digraph, src, dst int) (path []int, cost float64, ok bool) {
-	dist, parent := Dijkstra(g, src)
-	if math.IsInf(dist[dst], 1) {
-		return nil, Inf, false
+	var f PathFinder
+	path, cost, ok = f.ShortestPath(g, src, dst)
+	if ok {
+		path = append([]int(nil), path...) // detach from the local finder
 	}
-	for at := dst; ; at = parent[at] {
-		path = append(path, at)
-		if at == src {
-			break
-		}
-	}
-	reverse(path)
-	return path, dist[dst], true
+	return path, cost, ok
 }
 
 func reverse(s []int) {

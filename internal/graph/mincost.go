@@ -1,7 +1,6 @@
 package graph
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -80,9 +79,9 @@ func MinCostFlow(n int, edges []FlowEdge, src, dst int, demand int64) (*FlowResu
 			prevEdge[i] = -1
 		}
 		dist[src] = 0
-		pq := &priorityQueue{{node: src, dist: 0}}
-		for pq.Len() > 0 {
-			it := heap.Pop(pq).(pqItem)
+		pq := pqueue{{node: src, dist: 0}}
+		for len(pq) > 0 {
+			it := pq.pop()
 			if it.dist > dist[it.node] {
 				continue
 			}
@@ -98,7 +97,7 @@ func MinCostFlow(n int, edges []FlowEdge, src, dst int, demand int64) (*FlowResu
 				if nd := it.dist + rc; nd < dist[e.to]-1e-15 {
 					dist[e.to] = nd
 					prevEdge[e.to] = ei
-					heap.Push(pq, pqItem{node: e.to, dist: nd})
+					pq.push(pqItem{node: e.to, dist: nd})
 				}
 			}
 		}

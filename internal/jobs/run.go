@@ -191,7 +191,7 @@ func runDrift(s Spec, h *progressHandle) (*Result, error) {
 	// Shorter generations keep per-epoch throughput measurable (the CLI's
 	// driftFig applies the same override).
 	cfg.Coding.GenerationSize = 16
-	cfg.AirPacketSize = 16 + 1024
+	cfg.AirPacketSize = cfg.Coding.CoeffBytes() + 1024
 	cfg.Ctx = h.ctx
 	r, err := experiments.DriftSweep(experiments.DriftSweepConfig{
 		Base:           cfg,
@@ -383,7 +383,8 @@ func runSession(s Spec, h *progressHandle) (*Result, error) {
 	// the arithmetic cost; air time still models full 1 KB payloads.
 	cfg.Coding = omnc.DefaultCodingParams()
 	cfg.Coding.BlockSize = 8
-	cfg.AirPacketSize = cfg.Coding.GenerationSize + 1024
+	cfg.Coding.Field = s.field()
+	cfg.AirPacketSize = cfg.Coding.CoeffBytes() + 1024
 
 	var traceBuf *bytes.Buffer
 	if s.Trace {
@@ -531,7 +532,7 @@ func runLoopback(s Spec, h *progressHandle) (*Result, error) {
 			trialSeed = seedmix.Derive(s.Seed, streamLoopbackTrial, int64(i))
 		}
 		r, err := drift.RunSession(nw, sg, drift.Config{
-			Coding:     coding.Params{GenerationSize: genSize, BlockSize: block},
+			Coding:     coding.Params{GenerationSize: genSize, BlockSize: block, Field: s.field()},
 			Scheme:     s.scheme(),
 			Redundancy: s.Redundancy,
 			Rates:      rates,

@@ -131,9 +131,11 @@ type Spec struct {
 
 	// Scheme is the coding strategy: "rlnc" (default), "rlnc-e2e" or
 	// "rs". Redundancy caps source emissions per generation as a factor of
-	// the generation size (0 = rateless).
+	// the generation size (0 = rateless). Field selects the coefficient
+	// field: "8" (GF(2^8), the default) or "16" (GF(2^16)).
 	Scheme     string  `json:"scheme,omitempty"`
 	Redundancy float64 `json:"redundancy,omitempty"`
+	Field      string  `json:"field,omitempty"`
 
 	// Src and Dst pin the session endpoints (KindSession); nil picks
 	// random endpoints under the hop constraint, exactly like omnc-sim.
@@ -236,6 +238,9 @@ func (s Spec) normalized() Spec {
 	if n.Scheme == "rlnc" {
 		n.Scheme = "" // schemeName: "" already means rlnc
 	}
+	if n.Field == "8" {
+		n.Field = "" // field: "" already means GF(2^8)
+	}
 	if n.Protocol == experiments.ProtoOMNC {
 		n.Protocol = "" // runSession: "" already means omnc
 	}
@@ -266,6 +271,13 @@ func (s Spec) Validate() error {
 	}
 	if err := coding.ValidateRedundancy(s.Redundancy); err != nil {
 		return err
+	}
+	f, err := coding.ParseField(s.Field)
+	if err != nil {
+		return err
+	}
+	if s.scheme() == coding.SchemeRS && f != coding.Field8 {
+		return fmt.Errorf("%w: scheme rs codes over GF(2^8) only", coding.ErrInvalidField)
 	}
 	if _, err := s.mac(); err != nil {
 		return err
@@ -384,6 +396,15 @@ func (s Spec) scheme() coding.Scheme {
 	return v
 }
 
+// field parses the (already validated) coefficient field.
+func (s Spec) field() coding.Field {
+	v, err := coding.ParseField(s.Field)
+	if err != nil {
+		panic(fmt.Sprintf("jobs: field %q passed Validate but not ParseField: %v", s.Field, err))
+	}
+	return v
+}
+
 // mac parses the channel model name.
 func (s Spec) mac() (sim.Mode, error) {
 	switch s.MAC {
@@ -449,6 +470,12 @@ func (s Spec) comparisonConfig() experiments.Config {
 	}
 	cfg.Scheme = s.scheme()
 	cfg.Redundancy = s.Redundancy
+	if f := s.field(); f != cfg.Coding.Field {
+		// A wider field doubles the coefficient bytes; keep the air frame
+		// carrying the full coefficient vector plus the 1 KB payload.
+		cfg.Coding.Field = f
+		cfg.AirPacketSize = cfg.Coding.CoeffBytes() + 1024
+	}
 	cfg.Workers = s.Workers
 	cfg.EngineWorkers = s.EngineWorkers
 	cfg.Report = s.Report

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Tolerance for pivoting and feasibility decisions.
@@ -83,9 +84,71 @@ func (p *Problem) Validate() error {
 	return nil
 }
 
+// workspace owns the solver's scratch storage: the dense tableau (one flat
+// float64 slab carved into row views), the right-hand side, the basis, and
+// the two phase cost vectors. Solve draws a workspace from a package pool
+// and recycles it on return, so repeated solves — the LP-gap figure solves
+// one program per session, and replans re-solve per epoch — stop paying the
+// tableau allocation. Acquisition re-zeroes everything it reuses, so a
+// pooled solve is numerically byte-identical to a fresh one (the property
+// TestSolvePooledMatchesFresh pins).
+type workspace struct {
+	slab           []float64
+	rows           [][]float64
+	b              []float64
+	basis          []int
+	phase1, phase2 []float64
+}
+
+var wsPool = sync.Pool{New: func() any { return new(workspace) }}
+
+// fslice returns a zeroed float64 slice of length n backed by *buf.
+func fslice(buf *[]float64, n int) []float64 {
+	s := *buf
+	if cap(s) < n {
+		s = make([]float64, n)
+	} else {
+		s = s[:n]
+		for i := range s {
+			s[i] = 0
+		}
+	}
+	*buf = s
+	return s
+}
+
+// tableau carves the workspace into an m x cols tableau with zeroed storage.
+func (ws *workspace) tableau(m, cols int) *tableau {
+	a := ws.rows
+	if cap(a) < m {
+		a = make([][]float64, m)
+	}
+	a = a[:m]
+	ws.rows = a
+	slab := fslice(&ws.slab, m*cols)
+	for i := 0; i < m; i++ {
+		a[i] = slab[i*cols : (i+1)*cols]
+	}
+	basis := ws.basis
+	if cap(basis) < m {
+		basis = make([]int, m)
+	}
+	basis = basis[:m]
+	ws.basis = basis
+	return &tableau{a: a, b: fslice(&ws.b, m), basis: basis, cols: cols}
+}
+
 // Solve maximizes the problem. It returns ErrInfeasible or ErrUnbounded for
 // degenerate inputs.
 func (p *Problem) Solve() (*Solution, error) {
+	ws := wsPool.Get().(*workspace)
+	defer wsPool.Put(ws)
+	return p.solveWith(ws)
+}
+
+// solveWith is Solve on an explicit workspace; tests pass a fresh workspace
+// to prove pooled and fresh solves agree bit for bit.
+func (p *Problem) solveWith(ws *workspace) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -99,18 +162,15 @@ func (p *Problem) Solve() (*Solution, error) {
 	cols := n + nSlack + nArt
 
 	// Build tableau rows with non-negative right-hand sides.
-	a := make([][]float64, m)
-	b := make([]float64, m)
-	basis := make([]int, m)
+	t := ws.tableau(m, cols)
+	a, b, basis := t.a, t.b, t.basis
 	for i := 0; i < mUb; i++ {
-		a[i] = make([]float64, cols)
 		copy(a[i], p.AUb[i])
 		a[i][n+i] = 1 // slack
 		b[i] = p.BUb[i]
 	}
 	for i := 0; i < mEq; i++ {
 		r := mUb + i
-		a[r] = make([]float64, cols)
 		copy(a[r], p.AEq[i])
 		b[r] = p.BEq[i]
 	}
@@ -125,10 +185,8 @@ func (p *Problem) Solve() (*Solution, error) {
 		basis[i] = n + nSlack + i
 	}
 
-	t := &tableau{a: a, b: b, basis: basis, cols: cols}
-
 	// Phase 1: minimize the sum of artificials, i.e. maximize -(sum).
-	phase1 := make([]float64, cols)
+	phase1 := fslice(&ws.phase1, cols)
 	for j := n + nSlack; j < cols; j++ {
 		phase1[j] = -1
 	}
@@ -145,7 +203,7 @@ func (p *Problem) Solve() (*Solution, error) {
 
 	// Phase 2: maximize the real objective over structural + slack columns,
 	// freezing artificial columns at zero.
-	phase2 := make([]float64, cols)
+	phase2 := fslice(&ws.phase2, cols)
 	copy(phase2, p.Objective)
 	it2, err := t.optimize(phase2, n+nSlack)
 	if err != nil {

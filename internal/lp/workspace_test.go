@@ -1,0 +1,80 @@
+package lp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomFeasibleProblem builds a bounded, feasible LP: box constraints keep
+// it bounded, a couple of random inequality rows and one equality row make
+// the tableau non-trivial.
+func randomFeasibleProblem(rng *rand.Rand, n int) *Problem {
+	p := &Problem{Objective: make([]float64, n)}
+	for j := range p.Objective {
+		p.Objective[j] = rng.Float64()
+	}
+	for j := 0; j < n; j++ { // x_j <= box
+		row := make([]float64, n)
+		row[j] = 1
+		p.AUb = append(p.AUb, row)
+		p.BUb = append(p.BUb, 1+rng.Float64())
+	}
+	for i := 0; i < 2; i++ {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		p.AUb = append(p.AUb, row)
+		p.BUb = append(p.BUb, float64(n)/2)
+	}
+	eq := make([]float64, n)
+	eq[0], eq[n-1] = 1, 1
+	p.AEq = append(p.AEq, eq)
+	p.BEq = append(p.BEq, 0.5)
+	return p
+}
+
+// TestSolvePooledMatchesFresh pins the workspace contract: a solve on a
+// recycled (dirty) workspace is bit-identical to one on a fresh workspace.
+// Solving problems of varying sizes back to back leaves stale tableau
+// contents behind for the next pooled solve to overwrite.
+func TestSolvePooledMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 40; trial++ {
+		p := randomFeasibleProblem(rng, 2+rng.Intn(9))
+		want, errW := p.solveWith(new(workspace))
+		got, errG := p.Solve()
+		if (errW == nil) != (errG == nil) {
+			t.Fatalf("trial %d: fresh err %v, pooled err %v", trial, errW, errG)
+		}
+		if errW != nil {
+			continue
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("trial %d: pooled solve diverged from fresh:\n got %+v\nwant %+v",
+				trial, got, want)
+		}
+	}
+}
+
+// TestSolveAllocsSteadyState gates the workspace's purpose: once the pool is
+// warm, a solve allocates only the Solution and its result slices — not the
+// tableau. The bound leaves headroom for the solution escapes (X, duals,
+// the Solution and tableau headers) but is far below the old per-solve
+// tableau cost.
+func TestSolveAllocsSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	p := randomFeasibleProblem(rng, 8)
+	if _, err := p.Solve(); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := p.Solve(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 8 {
+		t.Fatalf("pooled Solve allocates %.0f objects/op, want <= 8", allocs)
+	}
+}

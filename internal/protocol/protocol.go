@@ -123,6 +123,9 @@ func (c Config) Validate() error {
 	if !c.Scheme.Valid() {
 		return fmt.Errorf("%w: %d", coding.ErrInvalidScheme, int(c.Scheme))
 	}
+	if c.Scheme == coding.SchemeRS && c.Coding.Field != coding.Field8 {
+		return fmt.Errorf("%w: Reed-Solomon codes over GF(2^8) only", coding.ErrInvalidField)
+	}
 	return coding.ValidateRedundancy(c.Redundancy)
 }
 

@@ -91,11 +91,8 @@ func (rt *runtime) rejoin(n *node) {
 // rate allocation, MORE/oldMORE recompute their credits — and the new caps
 // land on the MAC without disturbing in-flight frames.
 func (rt *runtime) replan() {
+	down := rt.downMask()
 	inj := rt.env.Faults
-	down := make([]bool, rt.sg.Size())
-	for i, nid := range rt.sg.Nodes {
-		down[i] = inj.NodeDown(nid)
-	}
 	linkDown := func(i, j int) bool {
 		return inj.LinkDown(rt.sg.Nodes[i], rt.sg.Nodes[j])
 	}
@@ -121,6 +118,23 @@ func (rt *runtime) replan() {
 		pol = p
 	}
 	rt.applyPolicy(pol, down)
+}
+
+// downMask fills the runtime's replan scratch with the current down state of
+// every subgraph node. The slice is recycled across topology epochs: Masked
+// and applyPolicy both consume it synchronously and retain nothing, and fault
+// handlers for one runtime never overlap, so one mask per runtime suffices
+// even when jointReplan re-plans after the per-session handlers.
+func (rt *runtime) downMask() []bool {
+	inj := rt.env.Faults
+	if cap(rt.replanDown) < rt.sg.Size() {
+		rt.replanDown = make([]bool, rt.sg.Size())
+	}
+	down := rt.replanDown[:rt.sg.Size()]
+	for i, nid := range rt.sg.Nodes {
+		down[i] = inj.NodeDown(nid)
+	}
+	return down
 }
 
 // stall silences every transmitter of the session until a later epoch
@@ -173,10 +187,7 @@ func jointReplan(env *Env, rts []*runtime, opts core.Options, utilization float6
 			if rt.done {
 				continue
 			}
-			down := make([]bool, rt.sg.Size())
-			for i, nid := range rt.sg.Nodes {
-				down[i] = inj.NodeDown(nid)
-			}
+			down := rt.downMask()
 			linkDown := func(i, j int) bool {
 				return inj.LinkDown(rt.sg.Nodes[i], rt.sg.Nodes[j])
 			}

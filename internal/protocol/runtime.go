@@ -52,10 +52,13 @@ type runtime struct {
 	// Fault handling (rtfaults.go): rebuild re-solves the policy over the
 	// surviving subgraph on every topology epoch; failure carries the typed
 	// abnormal-termination cause; gen is the live generation, so recovered
-	// nodes can rejoin it with fresh state.
-	rebuild Builder
-	failure error
-	gen     *coding.Generation
+	// nodes can rejoin it with fresh state. replanDown is the down-mask
+	// scratch recycled across epochs (replan and jointReplan both borrow it
+	// within one fault event; nothing retains it past applyPolicy).
+	rebuild    Builder
+	failure    error
+	gen        *coding.Generation
+	replanDown []bool
 
 	currentGen int
 	decoded    int
@@ -163,10 +166,10 @@ func newSharedRuntime(env *Env, net *topology.Network, sg *core.Subgraph, pol *P
 }
 
 func attachRuntime(env *Env, net *topology.Network, sg *core.Subgraph, pol *Policy, cfg Config, id uint32, shared bool) (*runtime, error) {
-	nominalBlock := cfg.AirPacketSize - cfg.Coding.GenerationSize
+	nominalBlock := cfg.AirPacketSize - cfg.Coding.CoeffBytes()
 	if nominalBlock <= 0 {
-		return nil, fmt.Errorf("protocol: air packet size %d cannot carry %d coefficients",
-			cfg.AirPacketSize, cfg.Coding.GenerationSize)
+		return nil, fmt.Errorf("protocol: air packet size %d cannot carry %d coefficient bytes",
+			cfg.AirPacketSize, cfg.Coding.CoeffBytes())
 	}
 	rt := &runtime{
 		net:    net,

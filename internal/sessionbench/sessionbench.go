@@ -78,6 +78,43 @@ func (s SchemeScenario) Run(nw *topology.Network, src, dst int) (*protocol.Stats
 	return omnc.Run(nw, src, dst, omnc.OMNC(omnc.RateOptions{}), SchemeConfig(s.Scheme, s.Redundancy))
 }
 
+// FieldScenario is one benchmarked coefficient-field session: the OMNC
+// protocol on the strip network coding over a non-default field. The entry
+// proves the field strategy layer rides the pooled arena and the solver
+// workspaces — a wider field doubles coefficient traffic but must not add
+// per-packet allocations.
+type FieldScenario struct {
+	// Name is the stable benchmark identifier ("SessionField/16") used in
+	// BENCH_<n>.json and as the Benchmark* suffix.
+	Name  string
+	Field coding.Field
+}
+
+// fieldSeed keeps every FieldScenario on the same placement and loss
+// process, so the entries differ only by coefficient field.
+const fieldSeed = 81
+
+// FieldScenarios lists the benchmarked non-default fields in recorded order.
+func FieldScenarios() []FieldScenario {
+	return []FieldScenario{
+		{Name: "SessionField/16", Field: coding.Field16},
+	}
+}
+
+// FieldConfig is Config under an explicit coefficient field; the air frame
+// grows with the coefficient vector so air times stay faithful.
+func FieldConfig(f coding.Field) protocol.Config {
+	cfg := Config(fieldSeed)
+	cfg.Coding.Field = f
+	cfg.AirPacketSize = cfg.Coding.CoeffBytes() + 1024
+	return cfg
+}
+
+// Run executes one field session on nw.
+func (s FieldScenario) Run(nw *topology.Network, src, dst int) (*protocol.Stats, error) {
+	return omnc.Run(nw, src, dst, omnc.OMNC(omnc.RateOptions{}), FieldConfig(s.Field))
+}
+
 // MultiScenario is one benchmarked multi-unicast workload: two sessions of
 // one protocol contending on the shared engine over the strip network.
 type MultiScenario struct {

@@ -64,6 +64,10 @@ var (
 	// ErrInvalidRedundancy matches a rejected SessionConfig.Redundancy: the
 	// factor must be 0 (rateless) or at least 1.
 	ErrInvalidRedundancy = coding.ErrInvalidRedundancy
+	// ErrInvalidField matches a rejected coefficient field, whether an
+	// unknown -field flag name (ParseField) or a field/scheme combination the
+	// coding layer cannot serve (Reed-Solomon is GF(2^8)-only).
+	ErrInvalidField = coding.ErrInvalidField
 )
 
 // Re-exported types. The aliases keep the public API surface in one place
@@ -93,6 +97,9 @@ type (
 	// Scheme selects the coding strategy of a session: full-recoding RLNC
 	// (the default), end-to-end RLNC, or source-only Reed-Solomon.
 	Scheme = coding.Scheme
+	// Field selects the coefficient field of a session's code: Field8
+	// (GF(2^8), the paper's default) or Field16 (GF(2^16)).
+	Field = coding.Field
 	// Generation holds one generation of source blocks.
 	Generation = coding.Generation
 	// Packet is one coded packet.
@@ -132,9 +139,25 @@ const (
 	SchemeRS = coding.SchemeRS
 )
 
+// Coefficient fields, settable as CodingParams.Field and spelled "8" and
+// "16" by the CLI -field flags (Field.String/ParseField).
+const (
+	// Field8 is GF(2^8) with byte coefficients — the paper's field and the
+	// zero-value default; runs are bit-identical to builds without the knob.
+	Field8 = coding.Field8
+	// Field16 is GF(2^16): non-innovative arrivals drop from ~1/256 to
+	// ~1/65536 per packet at the cost of doubled coefficient overhead.
+	Field16 = coding.Field16
+)
+
 // ParseScheme maps a scheme name ("rlnc", "rlnc-e2e", "rs") to its value;
 // unknown names fail with ErrInvalidScheme. The inverse of Scheme.String.
 func ParseScheme(name string) (Scheme, error) { return coding.ParseScheme(name) }
+
+// ParseField maps a field name ("8", "16", or "" for the default) to its
+// value; unknown names fail with ErrInvalidField. The inverse of
+// Field.String.
+func ParseField(name string) (Field, error) { return coding.ParseField(name) }
 
 // DefaultCodingParams are the paper's evaluation parameters: generations of
 // 40 blocks of 1 KB (Sec. 5).

@@ -1,0 +1,132 @@
+package omnc_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"omnc"
+	"omnc/internal/seedmix"
+)
+
+// The solver-reuse property layer: pooled workspaces (rate-solve scratch,
+// LP tableaus, replan masks, Dijkstra storage) must be invisible in every
+// session statistic. RateOptions.FreshWorkspace is the oracle — it forces
+// the rate controller to allocate everything fresh — so a pooled run and a
+// fresh run of the same seeded fault plan must agree bit for bit, replan
+// after replan. Protocols without a rate controller (MORE, oldMORE, ETX)
+// still exercise the shared replan scratch and the pooled LP path, so they
+// replay against themselves under the same plans.
+
+// reusePlans is how many seeded fault plans each protocol endures.
+func reusePlans(t *testing.T) int {
+	if testing.Short() {
+		return 10
+	}
+	return 50
+}
+
+func TestWorkspaceReuseFaultReplans(t *testing.T) {
+	cs := newChaosSession(t, 5)
+	plans := reusePlans(t)
+	type pair struct {
+		pooled omnc.Protocol
+		oracle omnc.Protocol
+	}
+	protos := map[string]pair{
+		"omnc":    {omnc.OMNC(omnc.RateOptions{}), omnc.OMNC(omnc.RateOptions{FreshWorkspace: true})},
+		"more":    {omnc.MORE(), omnc.MORE()},
+		"oldmore": {omnc.OldMORE(), omnc.OldMORE()},
+		"etx":     {omnc.ETX(), omnc.ETX()},
+	}
+	for name, pr := range protos {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < plans; i++ {
+				plan, err := omnc.RandomFaultPlan(omnc.RandomFaultPlanConfig{
+					Nodes:        cs.nodes,
+					Links:        cs.links,
+					Horizon:      10,
+					CrashRate:    0.15,
+					MeanDowntime: 3,
+					FlapRate:     0.1,
+					BurstRate:    0.1,
+					BadFactor:    0.1,
+					Seed:         seedmix.Derive(4000, int64(i)),
+				})
+				if err != nil {
+					t.Fatalf("plan %d: %v", i, err)
+				}
+				cfg := chaosConfig(19, plan)
+				want, errW := omnc.Run(cs.nw, cs.src, cs.dst, pr.oracle, cfg)
+				got, errG := omnc.Run(cs.nw, cs.src, cs.dst, pr.pooled, cfg)
+				if planKillsDst(plan, cs.dst) {
+					if !errors.Is(errW, omnc.ErrDestinationDown) || !errors.Is(errG, omnc.ErrDestinationDown) {
+						t.Fatalf("plan %d kills the destination but errs = %v, %v", i, errW, errG)
+					}
+					continue
+				}
+				if errW != nil || errG != nil {
+					t.Fatalf("plan %d: fresh err %v, pooled err %v", i, errW, errG)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("plan %d: pooled run diverged from fresh-workspace oracle:\n got %+v\nwant %+v",
+						i, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkspaceReuseMultiSessionRace drives the joint replan path — several
+// sessions sharing pooled workspaces through crash/recover churn — across
+// parallel trials. Under -race this proves the sync.Pool handoff is the only
+// sharing between concurrent sessions; the fresh-workspace oracle run inside
+// each trial proves the shared scratch never changes a joint re-solve.
+func TestWorkspaceReuseMultiSessionRace(t *testing.T) {
+	nw, err := omnc.GenerateNetwork(40, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := findMultiSessions(t, nw, 2)
+	protect := make(map[int]bool)
+	for _, ep := range sessions {
+		protect[ep.Src] = true
+		protect[ep.Dst] = true
+	}
+	var candidates []int
+	for n := 0; n < nw.Size(); n++ {
+		if !protect[n] {
+			candidates = append(candidates, n)
+		}
+	}
+	for trial := 0; trial < 4; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			t.Parallel()
+			plan, err := omnc.RandomFaultPlan(omnc.RandomFaultPlanConfig{
+				Nodes:        candidates,
+				Horizon:      10,
+				CrashRate:    0.4,
+				MeanDowntime: 2,
+				Seed:         seedmix.Derive(5000, int64(trial)),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := chaosConfig(seedmix.Derive(6000, int64(trial)), plan)
+			want, err := omnc.RunMulti(nw, sessions, omnc.OMNC(omnc.RateOptions{FreshWorkspace: true}), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := omnc.RunMulti(nw, sessions, omnc.OMNC(omnc.RateOptions{}), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("pooled joint replan diverged from fresh-workspace oracle:\n got %+v\nwant %+v",
+					got, want)
+			}
+		})
+	}
+}
