@@ -10,21 +10,26 @@
 //
 // API:
 //
-//	POST /jobs                        submit a Spec, returns the queued job
-//	GET  /jobs                        all jobs with live progress
-//	GET  /jobs/{id}                   one job (progress snapshot while running)
-//	GET  /jobs/{id}/events            server-sent events until terminal state
-//	GET  /runs                        index of landed results
-//	GET  /runs/{id}                   one landed run (summary + artifact list)
-//	GET  /runs/{id}/artifacts/{name}  one artifact's bytes
-//	GET  /healthz                     build info, CPU count, queue counts
+//	POST   /jobs                        submit a Spec (?priority=N orders dispatch)
+//	GET    /jobs                        all jobs with live progress
+//	GET    /jobs/{id}                   one job (progress snapshot while running)
+//	DELETE /jobs/{id}                   cancel a pending or running job
+//	GET    /jobs/{id}/events            server-sent events until terminal state
+//	GET    /runs                        index of landed results
+//	GET    /runs/{id}                   one landed run (summary + artifact list)
+//	GET    /runs/{id}/artifacts/{name}  one artifact's bytes
+//	GET    /healthz                     build info, CPUs, queue counts, live workers
 //
 // The queue journal and the results store live under -data and survive
 // restarts: jobs that were running when the process died are requeued on
 // the next start, and re-running a Spec lands in the same run directory
 // with identical bytes (runs are addressed by the hash of their Spec).
-// SIGINT/SIGTERM drain: claiming stops immediately, running jobs get
-// -drain to finish, and whatever misses the deadline is requeued.
+// Cancellations are journaled the same way, so a job canceled mid-run
+// stays canceled across a restart instead of being requeued. Jobs that
+// fail with a transient (retryable) error re-run up to -max-retries times
+// with exponential backoff starting at -retry-backoff, then fail
+// terminally. SIGINT/SIGTERM drain: claiming stops immediately, running
+// jobs get -drain to finish, and whatever misses the deadline is requeued.
 package main
 
 import (
@@ -44,18 +49,20 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8377", "listen address")
-		dataDir = flag.String("data", "omnc-data", "state directory (queue journal and results store)")
-		workers = flag.Int("jobs", 2, "concurrent experiment jobs")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for running jobs before they are requeued")
+		addr       = flag.String("addr", "127.0.0.1:8377", "listen address")
+		dataDir    = flag.String("data", "omnc-data", "state directory (queue journal and results store)")
+		workers    = flag.Int("jobs", 2, "concurrent experiment jobs")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for running jobs before they are requeued")
+		maxRetries = flag.Int("max-retries", 2, "re-runs granted to a job failing with a transient error before it fails terminally")
+		retryBase  = flag.Duration("retry-backoff", time.Second, "backoff before the first retry; doubles per further retry")
 	)
 	app := cliflags.New("omnc-serve", flag.CommandLine)
 	app.Main(func(ctx context.Context) error {
-		return serve(ctx, *addr, *dataDir, *workers, *drain)
+		return serve(ctx, *addr, *dataDir, *workers, *drain, *maxRetries, *retryBase)
 	})
 }
 
-func serve(ctx context.Context, addr, dataDir string, workers int, drain time.Duration) error {
+func serve(ctx context.Context, addr, dataDir string, workers int, drain time.Duration, maxRetries int, retryBase time.Duration) error {
 	if workers < 1 {
 		workers = 1
 	}
@@ -64,6 +71,13 @@ func serve(ctx context.Context, addr, dataDir string, workers int, drain time.Du
 		return err
 	}
 	defer q.Close()
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	q.MaxRetries = maxRetries
+	if retryBase > 0 {
+		q.RetryBase = retryBase
+	}
 	st, err := jobs.OpenStore(filepath.Join(dataDir, "runs"))
 	if err != nil {
 		return err

@@ -3,13 +3,17 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"omnc/internal/buildinfo"
@@ -17,26 +21,55 @@ import (
 	"omnc/internal/metrics"
 )
 
+// jobQueue is the slice of jobs.Queue the server drives. An interface so
+// tests can interpose fault injection (flaky Claim) without touching the
+// journal machinery.
+type jobQueue interface {
+	SubmitPriority(s jobs.Spec, priority int) (jobs.Job, error)
+	Claim() (jobs.Job, bool, error)
+	Done(id, runID string) error
+	Fail(id string, cause error) error
+	Requeue(id string) error
+	Cancel(id string) (jobs.Job, error)
+	Get(id string) (jobs.Job, bool)
+	List() []jobs.Job
+	Wait() <-chan struct{}
+}
+
 // server wires the job queue, the results store and the worker pool behind
 // the HTTP surface. All handler state is the queue's and store's own
 // (both are crash-safe on disk); the server only adds the live bits that
-// must not survive a restart — progress counters and SSE wakeups.
+// must not survive a restart — progress counters, per-job cancel funcs and
+// SSE wakeups.
 type server struct {
-	queue *jobs.Queue
+	queue jobQueue
 	store *jobs.Store
+	// run executes one Spec; a seam for tests to inject failures and
+	// panics. Defaults to jobs.RunWithProgress.
+	run func(ctx context.Context, s jobs.Spec, p *metrics.Progress) (*jobs.Result, error)
+
+	// workers counts live worker goroutines, exposed in /healthz so a
+	// shrinking pool is observable instead of a silent capacity loss.
+	workers atomic.Int64
 
 	mu       sync.Mutex
 	progress map[string]*metrics.Progress
+	// cancels holds one context cancel per running job, the mechanism by
+	// which DELETE /jobs/{id} reclaims a busy worker. The queue's journal,
+	// not this map, is the durable record of the cancellation.
+	cancels map[string]context.CancelFunc
 	// change is closed and replaced on every job state transition so SSE
 	// streams can push promptly instead of only on their poll tick.
 	change chan struct{}
 }
 
-func newServer(q *jobs.Queue, st *jobs.Store) *server {
+func newServer(q jobQueue, st *jobs.Store) *server {
 	return &server{
 		queue:    q,
 		store:    st,
+		run:      jobs.RunWithProgress,
 		progress: make(map[string]*metrics.Progress),
+		cancels:  make(map[string]context.CancelFunc),
 		change:   make(chan struct{}),
 	}
 }
@@ -48,6 +81,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleJobs)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /runs", s.handleRuns)
 	mux.HandleFunc("GET /runs/{id}", s.handleRun)
@@ -95,7 +129,18 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	j, err := s.queue.Submit(spec)
+	// Priority is a submit-time query knob, not a Spec field: it orders
+	// dispatch without entering the content address, so urgent and casual
+	// submissions of one experiment share one run directory.
+	priority := 0
+	if v := r.URL.Query().Get("priority"); v != "" {
+		priority, err = strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("priority %q is not an integer", v))
+			return
+		}
+	}
+	j, err := s.queue.SubmitPriority(spec, priority)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -120,6 +165,37 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
 		return
 	}
+	writeJSON(w, http.StatusOK, s.status(j))
+}
+
+// handleCancel cancels a job. Pending jobs transition straight to canceled
+// in the journal; for running jobs the journal transition lands first (so
+// the cancellation survives a crash) and the per-job cancel func then
+// reclaims the worker, which observes the canceled state and leaves the
+// terminal record alone. Canceling twice is idempotent; canceling a done or
+// failed job is a 409.
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.queue.Get(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	j, err := s.queue.Cancel(id)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, jobs.ErrJobTerminal) {
+			code = http.StatusConflict
+		}
+		writeError(w, code, err)
+		return
+	}
+	s.mu.Lock()
+	cancel := s.cancels[id]
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	s.broadcast()
 	writeJSON(w, http.StatusOK, s.status(j))
 }
 
@@ -150,9 +226,11 @@ func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return
 		}
-		fmt.Fprintf(w, "event: status\ndata: %s\n\n", buf)
+		if _, err := fmt.Fprintf(w, "event: status\ndata: %s\n\n", buf); err != nil {
+			return // client gone mid-write
+		}
 		fl.Flush()
-		if j.State == jobs.JobDone || j.State == jobs.JobFailed {
+		if j.State.Terminal() {
 			return
 		}
 		select {
@@ -194,7 +272,10 @@ func (s *server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", artifactContentType(r.PathValue("name")))
 	w.WriteHeader(http.StatusOK)
-	w.Write(buf)
+	if _, err := w.Write(buf); err != nil {
+		// Headers are out; nothing to send the client. Drop the conn.
+		return
+	}
 }
 
 func artifactContentType(name string) string {
@@ -204,7 +285,9 @@ func artifactContentType(name string) string {
 	case strings.HasSuffix(name, ".json"):
 		return "application/json"
 	case strings.HasSuffix(name, ".jsonl"):
-		return "application/jsonl"
+		// Newline-delimited JSON's registered-in-practice type; the bare
+		// "application/jsonl" is not a real media type.
+		return "application/x-ndjson"
 	case strings.HasSuffix(name, ".svg"):
 		return "image/svg+xml"
 	}
@@ -217,32 +300,56 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		counts[j.State]++
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"build":  buildinfo.Collect(),
-		"cpus":   runtime.NumCPU(),
-		"jobs":   counts,
+		"status":  "ok",
+		"build":   buildinfo.Collect(),
+		"cpus":    runtime.NumCPU(),
+		"jobs":    counts,
+		"workers": s.workers.Load(),
 	})
 }
+
+// Claim-retry backoff bounds: a failing journal is retried, not fatal.
+const (
+	claimBackoffMin = 100 * time.Millisecond
+	claimBackoffMax = 5 * time.Second
+)
 
 // worker is one slot of the bounded scheduler: claim, run, land, repeat.
 // claimCtx stopping ends the claiming loop (graceful shutdown); runCtx
 // stopping cancels in-flight experiments, whose jobs are then requeued
-// rather than failed.
+// rather than failed. A Claim error is logged and retried with backoff —
+// returning here would silently shrink the pool to zero under transient
+// journal I/O errors, exactly the capacity loss the /healthz worker count
+// exists to rule out.
 func (s *server) worker(claimCtx, runCtx context.Context) {
+	s.workers.Add(1)
+	defer s.workers.Add(-1)
+	backoff := claimBackoffMin
 	for {
 		// Take the wake channel before claiming so a submit that lands
 		// between Claim and the select is never missed.
 		wake := s.queue.Wait()
 		j, ok, err := s.queue.Claim()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "omnc-serve: claim: %v\n", err)
-			return
+			fmt.Fprintf(os.Stderr, "omnc-serve: claim: %v (retrying in %v)\n", err, backoff)
+			select {
+			case <-claimCtx.Done():
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > claimBackoffMax {
+				backoff = claimBackoffMax
+			}
+			continue
 		}
+		backoff = claimBackoffMin
 		if !ok {
 			select {
 			case <-claimCtx.Done():
 				return
 			case <-wake:
+				// Submits, requeues, reprioritizations and expired retry
+				// backoffs all close the wake channel; no poll needed.
 			}
 			continue
 		}
@@ -257,37 +364,69 @@ func (s *server) worker(claimCtx, runCtx context.Context) {
 }
 
 func (s *server) runJob(runCtx context.Context, j jobs.Job) {
+	// jobCtx layers per-job cancellation (DELETE /jobs/{id}) over the
+	// pool-wide drain context.
+	jobCtx, cancel := context.WithCancel(runCtx)
+	defer cancel()
 	p := metrics.NewProgress(j.Spec.Units())
 	s.mu.Lock()
 	s.progress[j.ID] = p
+	s.cancels[j.ID] = cancel
 	s.mu.Unlock()
-	res, err := jobs.RunWithProgress(runCtx, j.Spec, p)
-	s.mu.Lock()
-	delete(s.progress, j.ID)
-	s.mu.Unlock()
+	// The progress entry and cancel func must go away on every exit path,
+	// including a panicking experiment — a stranded entry would leak and
+	// keep serving stale progress for a dead job.
+	defer func() {
+		s.mu.Lock()
+		delete(s.progress, j.ID)
+		delete(s.cancels, j.ID)
+		s.mu.Unlock()
+		s.broadcast()
+	}()
+
+	res, err := s.runRecovered(jobCtx, j.Spec, p)
 
 	switch {
-	case err != nil && runCtx.Err() != nil:
-		// Shutdown took the job down mid-run: hand it back to the queue so
-		// the next daemon re-runs it bit-identically from the Spec.
-		if qerr := s.queue.Requeue(j.ID); qerr != nil {
-			fmt.Fprintf(os.Stderr, "omnc-serve: requeue %s: %v\n", j.ID, qerr)
+	case err != nil && jobCtx.Err() != nil:
+		if runCtx.Err() != nil {
+			// Shutdown took the job down mid-run: hand it back to the queue
+			// so the next daemon re-runs it bit-identically from the Spec.
+			// A job canceled during the drain stays canceled.
+			if qerr := s.queue.Requeue(j.ID); qerr != nil && !errors.Is(qerr, jobs.ErrJobCanceled) {
+				fmt.Fprintf(os.Stderr, "omnc-serve: requeue %s: %v\n", j.ID, qerr)
+			}
+			break
 		}
+		// DELETE canceled just this job; the handler already journaled the
+		// terminal canceled state — nothing to transition.
 	case err != nil:
-		if qerr := s.queue.Fail(j.ID, err); qerr != nil {
+		if qerr := s.queue.Fail(j.ID, err); qerr != nil && !errors.Is(qerr, jobs.ErrJobCanceled) {
 			fmt.Fprintf(os.Stderr, "omnc-serve: fail %s: %v\n", j.ID, qerr)
 		}
 	default:
 		runID, lerr := s.store.Land(res)
 		if lerr != nil {
-			if qerr := s.queue.Fail(j.ID, lerr); qerr != nil {
+			// Landing is disk I/O on a finished result: transient by
+			// nature, so let the queue retry it with backoff.
+			if qerr := s.queue.Fail(j.ID, jobs.Retryable(lerr)); qerr != nil && !errors.Is(qerr, jobs.ErrJobCanceled) {
 				fmt.Fprintf(os.Stderr, "omnc-serve: fail %s: %v\n", j.ID, qerr)
 			}
-		} else if qerr := s.queue.Done(j.ID, runID); qerr != nil {
+		} else if qerr := s.queue.Done(j.ID, runID); qerr != nil && !errors.Is(qerr, jobs.ErrJobCanceled) {
 			fmt.Fprintf(os.Stderr, "omnc-serve: done %s: %v\n", j.ID, qerr)
 		}
 	}
-	s.broadcast()
+}
+
+// runRecovered executes one Spec, converting a panic anywhere inside the
+// experiment into an ordinary job failure — one bad job must never take
+// down the daemon or its worker slot.
+func (s *server) runRecovered(ctx context.Context, sp jobs.Spec, p *metrics.Progress) (res *jobs.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("job panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return s.run(ctx, sp, p)
 }
 
 // changed returns a channel closed at the next state transition.
@@ -313,7 +452,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	w.Write(append(buf, '\n'))
+	if _, err := w.Write(append(buf, '\n')); err != nil {
+		// The status line is already on the wire; a failed body write
+		// means the client is gone and there is nobody to tell.
+		return
+	}
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {

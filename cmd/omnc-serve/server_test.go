@@ -27,6 +27,13 @@ type testDaemon struct {
 }
 
 func startDaemon(t *testing.T) *testDaemon {
+	return startDaemonOpts(t, 1, nil)
+}
+
+// startDaemonOpts boots a daemon with the given worker count; configure (if
+// non-nil) runs after construction but before any worker starts, so tests
+// can tune retries or interpose fault injection race-free.
+func startDaemonOpts(t *testing.T, workers int, configure func(s *server, q *jobs.Queue)) *testDaemon {
 	t.Helper()
 	dir := t.TempDir()
 	q, err := jobs.OpenQueue(filepath.Join(dir, "queue.jsonl"))
@@ -38,13 +45,18 @@ func startDaemon(t *testing.T) *testDaemon {
 		t.Fatal(err)
 	}
 	s := newServer(q, st)
+	if configure != nil {
+		configure(s, q)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		s.worker(ctx, ctx)
-	}()
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.worker(ctx, ctx)
+		}()
+	}
 	ts := httptest.NewServer(s.handler())
 	d := &testDaemon{s: s, queue: q, ts: ts, cancel: cancel, wg: &wg}
 	t.Cleanup(func() {
@@ -359,7 +371,7 @@ func TestServeEndToEnd(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	serveErr := make(chan error, 1)
 	go func() {
-		serveErr <- serve(ctx, "127.0.0.1:0", dir, 1, time.Second)
+		serveErr <- serve(ctx, "127.0.0.1:0", dir, 1, time.Second, 2, time.Second)
 	}()
 	// The port is dynamic; probe the journal to know the daemon is up, then
 	// stop it — the wiring (queue, store, listener, drain) is what this
